@@ -1,0 +1,27 @@
+//! Extension experiment (paper appendix B): PPT's dual-loop design as a
+//! building block for the INT-based HPCC — "open an LCP loop whenever
+//! HPCC's estimated in-flight bytes are smaller than BDP, and use PPT's
+//! buffer-aware scheduling". Not a paper figure; an implementation of the
+//! paper's suggested future work, with one addition the sketch missed:
+//! the INT must be priority-aware (report the high band only), or HPCC
+//! counts the opportunistic traffic as congestion and yields the window
+//! the LCP loop then absorbs.
+
+use ppt::harness::{Scheme, TopoKind};
+use ppt::workloads::SizeDistribution;
+
+fn main() {
+    bench::banner(
+        "Ext (appendix B)",
+        "PPT-over-HPCC vs plain HPCC vs PPT",
+        "144-host oversubscribed fabric, Web Search, load 0.5",
+    );
+    let topo = TopoKind::Oversubscribed;
+    let flows = bench::workload_all_to_all(topo, SizeDistribution::web_search(), 0.5, bench::n_flows(1200));
+    bench::fct_header();
+    for scheme in [Scheme::Hpcc, Scheme::HpccPpt, Scheme::Ppt] {
+        bench::run_and_print(topo, scheme, &flows);
+    }
+    println!("\nexpected: PPT-over-HPCC adds scheduling gains for small flows on top of");
+    println!("HPCC's graceful rate control; overall close to native PPT.");
+}

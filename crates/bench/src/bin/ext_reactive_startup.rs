@@ -1,0 +1,29 @@
+//! Extension experiment (§2.1): the reactive-startup spectrum. DCTCP,
+//! TCP-10 and Halfback only attack the *startup* half of DCTCP's
+//! under-utilization; RC3 attacks both but aggressively; PPT attacks both
+//! gracefully. ExpressPass shows the proactive pre-credit cost (1st RTT
+//! wasted).
+
+use ppt::harness::{Scheme, TopoKind};
+use ppt::workloads::SizeDistribution;
+
+fn main() {
+    bench::banner(
+        "Ext (§2.1)",
+        "Reactive startup variants vs PPT",
+        "15-host testbed, Web Search, load 0.5",
+    );
+    let topo = TopoKind::PaperTestbed;
+    let flows = bench::workload_all_to_all(topo, SizeDistribution::web_search(), 0.5, bench::n_flows(500));
+    bench::fct_header();
+    for scheme in [
+        Scheme::Tcp10,
+        Scheme::Halfback,
+        Scheme::Dctcp,
+        Scheme::ExpressPass,
+        Scheme::Rc3,
+        Scheme::Ppt,
+    ] {
+        bench::run_and_print(topo, scheme, &flows);
+    }
+}

@@ -1,0 +1,28 @@
+//! Fig 2: the hypothetical (MW-oracle) DCTCP beats Homa and NDP on
+//! overall average FCT — the motivating observation of §2.3.
+
+use ppt::harness::Scheme;
+use ppt::harness::TopoKind;
+use ppt::workloads::SizeDistribution;
+
+fn main() {
+    bench::banner(
+        "Fig 2",
+        "Overall avg FCT: hypothetical DCTCP vs Homa vs NDP vs DCTCP",
+        "144-host leaf-spine 40/100G, Web Search, all-to-all, load 0.5",
+    );
+    let topo = TopoKind::Oversubscribed;
+    let flows = bench::workload_all_to_all(topo, SizeDistribution::web_search(), 0.5, bench::n_flows(1500));
+    bench::fct_header();
+    let mut rows = Vec::new();
+    for scheme in [Scheme::Dctcp, Scheme::Ndp, Scheme::Homa, Scheme::Hypothetical(1.0)] {
+        let name = scheme.name();
+        let s = bench::run_and_print(topo, scheme, &flows);
+        rows.push((name, s.overall_avg_us));
+    }
+    let homa = rows.iter().find(|r| r.0 == "Homa").unwrap().1;
+    let ndp = rows.iter().find(|r| r.0 == "NDP").unwrap().1;
+    let hypo = rows.last().unwrap().1;
+    println!("\nhypothetical vs Homa: {:+.1}% (paper: -33%)", (hypo / homa - 1.0) * 100.0);
+    println!("hypothetical vs NDP:  {:+.1}% (paper: -40%)", (hypo / ndp - 1.0) * 100.0);
+}

@@ -1,0 +1,24 @@
+//! Fig 3: filling the window gap to different fractions of MW.
+//! Under-filling wastes capacity; over-filling causes losses. 1x MW wins.
+
+use ppt::harness::{Scheme, TopoKind};
+use ppt::workloads::SizeDistribution;
+
+fn main() {
+    bench::banner(
+        "Fig 3",
+        "Overall avg FCT when filling the gap to f x MW",
+        "144-host leaf-spine 40/100G, Data Mining, all-to-all, load 0.6",
+    );
+    let topo = TopoKind::Oversubscribed;
+    let flows = bench::workload_all_to_all(topo, SizeDistribution::data_mining(), 0.6, bench::n_flows(250));
+    bench::fct_header();
+    let mut best = (f64::MAX, 0.0);
+    for frac in [0.5, 1.0, 1.5] {
+        let s = bench::run_and_print(topo, Scheme::Hypothetical(frac), &flows);
+        if s.overall_avg_us < best.0 {
+            best = (s.overall_avg_us, frac);
+        }
+    }
+    println!("\nbest fill fraction: {:.2} x MW (paper: 1.0 x MW)", best.1);
+}

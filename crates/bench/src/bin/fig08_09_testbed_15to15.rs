@@ -1,0 +1,28 @@
+//! Figs 8 & 9: testbed 15-to-15 all-to-all FCT statistics vs load, for
+//! the Web Search (Fig 8) and Data Mining (Fig 9) workloads.
+
+use ppt::harness::TopoKind;
+use ppt::workloads::SizeDistribution;
+
+fn main() {
+    let topo = TopoKind::PaperTestbed;
+    for (fig, dist, default_flows) in [
+        ("Fig 8", SizeDistribution::web_search(), 800),
+        ("Fig 9", SizeDistribution::data_mining(), 250),
+    ] {
+        bench::banner(
+            fig,
+            &format!("[Testbed] 15-to-15, {} workload", dist.name()),
+            "15 hosts, 10G, 80us RTT, RTOmin 10ms, loads 0.3-0.7",
+        );
+        for &load in &[0.3, 0.5, 0.7] {
+            println!("\n-- load {load} --");
+            let flows = bench::workload_all_to_all(topo, dist.clone(), load, bench::n_flows(default_flows));
+            bench::fct_header();
+            for scheme in bench::testbed_schemes() {
+                bench::run_and_print(topo, scheme, &flows);
+            }
+        }
+        println!();
+    }
+}

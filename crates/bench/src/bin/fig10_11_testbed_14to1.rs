@@ -1,0 +1,25 @@
+//! Figs 10 & 11: testbed 14-to-1 incast FCT statistics at 0.5 load, for
+//! the Web Search (Fig 10) and Data Mining (Fig 11) workloads.
+
+use ppt::harness::TopoKind;
+use ppt::workloads::SizeDistribution;
+
+fn main() {
+    let topo = TopoKind::PaperTestbed;
+    for (fig, dist, default_flows) in [
+        ("Fig 10", SizeDistribution::web_search(), 400),
+        ("Fig 11", SizeDistribution::data_mining(), 150),
+    ] {
+        bench::banner(
+            fig,
+            &format!("[Testbed] 14-to-1 incast, {} workload", dist.name()),
+            "15 hosts, 10G, 80us RTT, load 0.5 on the sink downlink",
+        );
+        let flows = bench::workload_incast(topo, dist.clone(), 0.5, bench::n_flows(default_flows), 14);
+        bench::fct_header();
+        for scheme in bench::testbed_schemes() {
+            bench::run_and_print(topo, scheme, &flows);
+        }
+        println!();
+    }
+}

@@ -1,0 +1,25 @@
+//! Figs 12 & 13: large-scale simulation on the 1.4:1 oversubscribed
+//! 40/100G fabric — the headline six-scheme comparison.
+
+use ppt::harness::TopoKind;
+use ppt::workloads::SizeDistribution;
+
+fn main() {
+    let topo = TopoKind::Oversubscribed;
+    for (fig, dist, default_flows) in [
+        ("Fig 12", SizeDistribution::web_search(), 1500),
+        ("Fig 13", SizeDistribution::data_mining(), 400),
+    ] {
+        bench::banner(
+            fig,
+            &format!("[Simulation] large-scale, {} workload", dist.name()),
+            "144 hosts, 9 leaves, 4 spines, 40/100G, all-to-all, load 0.5",
+        );
+        let flows = bench::workload_all_to_all(topo, dist.clone(), 0.5, bench::n_flows(default_flows));
+        bench::fct_header();
+        for scheme in bench::large_scale_schemes() {
+            bench::run_and_print(topo, scheme, &flows);
+        }
+        println!();
+    }
+}

@@ -1,0 +1,26 @@
+//! Fig 14: PPT's design as a building block for a delay-based transport
+//! (Swift-like): dual loop + scheduling on top of delay CC.
+
+use ppt::harness::{Scheme, TopoKind};
+use ppt::workloads::SizeDistribution;
+
+fn main() {
+    bench::banner(
+        "Fig 14",
+        "[Simulation] PPT over a delay-based transport (Swift-like)",
+        "144-host leaf-spine 40/100G, Web Search, load 0.5",
+    );
+    let topo = TopoKind::Oversubscribed;
+    let flows = bench::workload_all_to_all(topo, SizeDistribution::web_search(), 0.5, bench::n_flows(1200));
+    bench::fct_header();
+    let base = bench::run_and_print(topo, Scheme::Swift, &flows);
+    let ppt = bench::run_and_print(topo, Scheme::SwiftPpt, &flows);
+    println!(
+        "\nreductions vs plain delay-based: overall {:+.1}%, small avg {:+.1}%, small p99 {:+.1}%, large {:+.1}%",
+        (ppt.overall_avg_us / base.overall_avg_us - 1.0) * 100.0,
+        (ppt.small_avg_us / base.small_avg_us - 1.0) * 100.0,
+        (ppt.small_p99_us / base.small_p99_us - 1.0) * 100.0,
+        (ppt.large_avg_us / base.large_avg_us - 1.0) * 100.0,
+    );
+    println!("paper: -16.7% overall, -56.5%/-72.1% small avg/tail, -11% large");
+}

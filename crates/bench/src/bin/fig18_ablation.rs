@@ -1,0 +1,23 @@
+//! Fig 18: ablation — Effect of buffer-aware identification (original PPT vs PPT w/o identification).
+
+use ppt::harness::{Scheme, TopoKind};
+use ppt::workloads::SizeDistribution;
+
+fn main() {
+    bench::banner(
+        "Fig 18",
+        "[Simulation] Effect of buffer-aware identification",
+        "144-host leaf-spine 40/100G, Web Search, load 0.5",
+    );
+    let topo = TopoKind::Oversubscribed;
+    let flows = bench::workload_all_to_all(topo, SizeDistribution::web_search(), 0.5, bench::n_flows(1200));
+    bench::fct_header();
+    let full = bench::run_and_print(topo, Scheme::Ppt, &flows);
+    let ablated = bench::run_and_print(topo, Scheme::PptNoIdentification, &flows);
+    println!(
+        "\nablation slowdown: overall {:+.1}%, small avg {:+.1}%, small p99 {:+.1}%",
+        (ablated.overall_avg_us / full.overall_avg_us - 1.0) * 100.0,
+        (ablated.small_avg_us / full.small_avg_us - 1.0) * 100.0,
+        (ablated.small_p99_us / full.small_p99_us - 1.0) * 100.0,
+    );
+}

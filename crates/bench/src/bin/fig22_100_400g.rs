@@ -1,0 +1,19 @@
+//! Fig 22: the 100/400G topology — PPT's gains persist at higher line
+//! rates (with small-flow tails inflated by the larger BDP).
+
+use ppt::harness::TopoKind;
+use ppt::workloads::SizeDistribution;
+
+fn main() {
+    bench::banner(
+        "Fig 22",
+        "[100/400G] FCTs under Web Search at 0.5 load",
+        "144 hosts, 9 leaves, 4 spines, 100G edge / 400G core",
+    );
+    let topo = TopoKind::HighSpeed;
+    let flows = bench::workload_all_to_all(topo, SizeDistribution::web_search(), 0.5, bench::n_flows(1500));
+    bench::fct_header();
+    for scheme in bench::large_scale_schemes() {
+        bench::run_and_print(topo, scheme, &flows);
+    }
+}

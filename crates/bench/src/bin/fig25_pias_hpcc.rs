@@ -1,0 +1,19 @@
+//! Fig 25 (appendix D): PPT vs PIAS and HPCC.
+
+use ppt::harness::{Scheme, TopoKind};
+use ppt::workloads::SizeDistribution;
+
+fn main() {
+    bench::banner(
+        "Fig 25",
+        "[Simulation] PPT vs PIAS vs HPCC",
+        "144-host oversubscribed fabric, Web Search, load 0.5",
+    );
+    let topo = TopoKind::Oversubscribed;
+    let flows = bench::workload_all_to_all(topo, SizeDistribution::web_search(), 0.5, bench::n_flows(1200));
+    bench::fct_header();
+    for scheme in [Scheme::Pias, Scheme::Hpcc, Scheme::Ppt] {
+        bench::run_and_print(topo, scheme, &flows);
+    }
+    println!("\npaper: PPT -24.6% overall vs PIAS, -4.7% overall vs HPCC");
+}

@@ -1,0 +1,19 @@
+//! Fig 26 (appendix E): the non-oversubscribed topology — friendlier to
+//! proactive transports; PPT still wins overall and on large flows.
+
+use ppt::harness::TopoKind;
+use ppt::workloads::SizeDistribution;
+
+fn main() {
+    bench::banner(
+        "Fig 26",
+        "[Non-oversubscribed] FCTs under Web Search at 0.5 load",
+        "144 hosts, 10G edge / 40G core, 1:1 bisection",
+    );
+    let topo = TopoKind::NonOversubscribed;
+    let flows = bench::workload_all_to_all(topo, SizeDistribution::web_search(), 0.5, bench::n_flows(1000));
+    bench::fct_header();
+    for scheme in bench::large_scale_schemes() {
+        bench::run_and_print(topo, scheme, &flows);
+    }
+}

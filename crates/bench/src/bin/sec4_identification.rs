@@ -1,0 +1,46 @@
+//! §4.1 validation: buffer-aware identification accuracy.
+//!
+//! The paper measures, on real applications, how many large flows are
+//! identifiable from the *first* send() syscall: 86.7% of >1KB Memcached
+//! flows and 84.3% of >10KB web flows. Our application write model is
+//! calibrated to this (DEFAULT_FULL_WRITE_PROB); this binary validates
+//! the calibration end to end through the workload generator.
+
+use ppt::core::FlowIdentifier;
+use ppt::workloads::{all_to_all, SizeDistribution, WorkloadSpec};
+
+fn accuracy(dist: SizeDistribution, threshold: u64, flows: usize, seed: u64) -> (usize, usize) {
+    let spec = WorkloadSpec::new(dist, 0.5, ppt::netsim::Rate::gbps(10), flows, seed);
+    let list = all_to_all(16, &spec);
+    let ident = FlowIdentifier { threshold_bytes: threshold };
+    let large: Vec<_> = list.iter().filter(|f| f.size_bytes > threshold).collect();
+    let caught = large.iter().filter(|f| ident.is_large_at_start(f.first_write_bytes)).count();
+    (caught, large.len())
+}
+
+fn main() {
+    bench::banner(
+        "§4.1",
+        "Buffer-aware identification accuracy at flow start",
+        "first-syscall write model vs identification threshold",
+    );
+    println!("{:<14} {:>12} {:>12} {:>12} {:>10}", "workload", "threshold", "large flows", "identified", "accuracy");
+    for (dist, threshold, paper) in [
+        (SizeDistribution::memcached_w1(), 1_000u64, "86.7%"),
+        (SizeDistribution::web_search(), 10_000, "84.3%"),
+        (SizeDistribution::data_mining(), 100_000, "-"),
+    ] {
+        let name = dist.name();
+        let (caught, total) = accuracy(dist, threshold, bench::n_flows(20_000), bench::seed());
+        println!(
+            "{:<14} {:>12} {:>12} {:>12} {:>9.1}%  (paper: {})",
+            name,
+            threshold,
+            total,
+            caught,
+            caught as f64 / total as f64 * 100.0,
+            paper
+        );
+    }
+    println!("\nUnidentified large flows fall back to PIAS-style aging (Fig 18 isolates the benefit).");
+}

@@ -1,0 +1,19 @@
+//! Table 3: the testbed parameter settings, as configured in this repo.
+
+use ppt::harness::{SchemeEnv, TopoKind};
+
+fn main() {
+    bench::banner("Table 3", "Testbed parameters", "SchemeEnv::paper_testbed()");
+    let env = SchemeEnv::paper_testbed();
+    let topo = TopoKind::PaperTestbed;
+    println!("{:<34} {}", "Switch buffer size (per port)", format!("{} KB", env.port_buffer / 1000));
+    println!("{:<34} {}", "Hosts", topo.hosts());
+    println!("{:<34} {}", "Link rate", "10 Gbps");
+    println!("{:<34} {}", "RTT", "80 us");
+    println!("{:<34} {:?}", "RTO_min", env.min_rto);
+    println!("{:<34} {} KB", "RTTbytes for Homa", env.rtt_bytes / 1000);
+    println!("{:<34} {}", "Overcommitment degree for Homa", 2);
+    println!("{:<34} {} KB", "DCTCP/HCP ECN threshold", env.k_high / 1000);
+    println!("{:<34} {} KB", "LCP ECN threshold", env.k_low / 1000);
+    println!("{:<34} {} KB", "Identification threshold", 100);
+}

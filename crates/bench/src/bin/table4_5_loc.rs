@@ -1,0 +1,37 @@
+//! Tables 4 & 5 (appendix C): the deployability argument in numbers —
+//! Homa/Linux's stack size and the application changes it forces. These
+//! are static measurements reported by the paper (of third-party code),
+//! reproduced as data; contrast with PPT's ~400-line kernel patch and the
+//! line counts of this reproduction.
+
+fn main() {
+    bench::banner("Tables 4 & 5", "Deployability: lines-of-code accounting", "static data from the paper + this repo");
+    println!("Table 4: Homa/Linux stack modules (paper appendix C)");
+    println!("{:<26} {:>8} {:>8}", "module", "LoC", "share");
+    for (m, loc, pct) in [
+        ("User API", 1900, "15%"),
+        ("Transport control", 2800, "22%"),
+        ("GRO/GSO", 400, "3.1%"),
+        ("State management", 700, "5.5%"),
+        ("Memory management", 300, "2.4%"),
+        ("Timeout retransmission", 300, "2.4%"),
+        ("Other", 6300, "49.6%"),
+    ] {
+        println!("{:<26} {:>8} {:>8}", m, loc, pct);
+    }
+    println!("\nTable 5: key-value store changes needed to adopt Homa/Linux");
+    println!("{:<34} {:>8} {:>10}", "module", "LoC", "modified?");
+    for (m, loc, y) in [
+        ("Socket", 2080, "Y"),
+        ("HTTP package header processing", 1516, "N"),
+        ("RPC", 975, "Y"),
+        ("RAFT consensus protocol", 1365, "N"),
+        ("Coroutine synchronization", 145, "N"),
+        ("IO", 393, "Y"),
+        ("Other", 1694, "N"),
+    ] {
+        println!("{:<34} {:>8} {:>10}", m, loc, y);
+    }
+    println!("\nmodified modules total 3448 LoC = 42.2% of the application;");
+    println!("PPT's kernel prototype is ~400 LoC with zero application changes.");
+}

@@ -1,0 +1,123 @@
+//! Shared support for the experiment binaries that regenerate the paper's
+//! tables and figures.
+//!
+//! Every binary prints the same series/rows its figure plots. Scale knobs
+//! are environment variables so CI can run cheap versions:
+//!
+//! * `PPT_FLOWS` — flows per experiment point (default varies per figure)
+//! * `PPT_SEED`  — workload seed (default 42)
+
+use ppt::harness::{run_experiment, Experiment, Scheme, TopoKind};
+use ppt::stats::FctSummary;
+use ppt::workloads::{all_to_all, incast, FlowSpec, SizeDistribution, WorkloadSpec};
+
+/// Flows per experiment point (env-overridable).
+pub fn n_flows(default: usize) -> usize {
+    std::env::var("PPT_FLOWS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Workload seed (env-overridable).
+pub fn seed() -> u64 {
+    std::env::var("PPT_SEED").ok().and_then(|v| v.parse().ok()).unwrap_or(42)
+}
+
+/// Print the standard experiment banner.
+pub fn banner(id: &str, what: &str, setup: &str) {
+    println!("================================================================");
+    println!("{id}: {what}");
+    println!("setup: {setup}");
+    println!("================================================================");
+}
+
+/// Print the standard FCT table header.
+pub fn fct_header() {
+    println!(
+        "{:<24} {:>12} {:>12} {:>12} {:>12} {:>8}",
+        "scheme", "overall(us)", "small avg", "small p99", "large avg", "done%"
+    );
+}
+
+/// Print one FCT row.
+pub fn fct_row(name: &str, s: &FctSummary, completion: f64) {
+    println!(
+        "{:<24} {:>12.1} {:>12.1} {:>12.1} {:>12.1} {:>8.1}",
+        name,
+        s.overall_avg_us,
+        s.small_avg_us,
+        s.small_p99_us,
+        s.large_avg_us,
+        completion * 100.0
+    );
+}
+
+/// Build an all-to-all workload for a topology.
+pub fn workload_all_to_all(
+    topo: TopoKind,
+    dist: SizeDistribution,
+    load: f64,
+    flows: usize,
+) -> Vec<FlowSpec> {
+    let spec = WorkloadSpec::new(dist, load, topo.edge_rate(), flows, seed());
+    all_to_all(topo.hosts(), &spec)
+}
+
+/// Build an N-to-1 incast workload (senders 0..n, sink n).
+pub fn workload_incast(
+    topo: TopoKind,
+    dist: SizeDistribution,
+    load: f64,
+    flows: usize,
+    senders: usize,
+) -> Vec<FlowSpec> {
+    let spec = WorkloadSpec::new(dist, load, topo.edge_rate(), flows, seed());
+    incast(senders, &spec)
+}
+
+/// Run one scheme over a workload and print its FCT row.
+pub fn run_and_print(topo: TopoKind, scheme: Scheme, flows: &[FlowSpec]) -> FctSummary {
+    let name = scheme.name();
+    let outcome = run_experiment(&Experiment::new(topo, scheme, flows.to_vec()));
+    let s = outcome.fct.summary();
+    fct_row(&name, &s, outcome.completion_ratio);
+    s
+}
+
+/// The standard six-scheme comparison of the large-scale figures.
+pub fn large_scale_schemes() -> Vec<Scheme> {
+    vec![
+        Scheme::Ndp,
+        Scheme::Aeolus,
+        Scheme::Homa,
+        Scheme::Rc3,
+        Scheme::Dctcp,
+        Scheme::Ppt,
+    ]
+}
+
+/// The testbed comparison set (§6.1).
+pub fn testbed_schemes() -> Vec<Scheme> {
+    vec![Scheme::Homa, Scheme::Rc3, Scheme::Dctcp, Scheme::Ppt]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn env_knobs_have_defaults() {
+        assert!(n_flows(123) >= 1);
+        let _ = seed();
+    }
+
+    #[test]
+    fn workload_builders_produce_flows() {
+        let topo = TopoKind::Star { n: 4, rate_gbps: 10, delay_us: 20 };
+        let w = workload_all_to_all(topo, SizeDistribution::web_search(), 0.5, 10);
+        assert_eq!(w.len(), 10);
+        let i = workload_incast(topo, SizeDistribution::web_search(), 0.5, 10, 3);
+        assert!(i.iter().all(|f| f.dst == 3));
+    }
+}

@@ -1,0 +1,60 @@
+//! ECN marking threshold rule (Eq. 3).
+
+use netsim::{Rate, SimDuration};
+
+/// λ for the high-priority (HCP) queues — the DCTCP-theory value (§3.2,
+/// citing the DCTCP analysis paper).
+pub const LAMBDA_HIGH: f64 = 0.17;
+
+/// λ for the low-priority (LCP) queues — deliberately smaller so
+/// opportunistic packets sense congestion early and never crowd out
+/// normal traffic (§3.2).
+pub const LAMBDA_LOW: f64 = 0.1;
+
+/// Eq. 3: the marking threshold `K = λ · C · RTT` in bytes, for link speed
+/// `C` and base round-trip time `RTT`.
+///
+/// ```
+/// use ppt_core::marking_threshold_bytes;
+/// use netsim::{Rate, SimDuration};
+/// // 40G x 16us BDP = 80KB; λ = 0.1 → K = 8KB.
+/// assert_eq!(marking_threshold_bytes(0.1, Rate::gbps(40), SimDuration::from_micros(16)), 8_000);
+/// ```
+pub fn marking_threshold_bytes(lambda: f64, link_rate: Rate, base_rtt: SimDuration) -> u64 {
+    assert!(lambda > 0.0, "lambda must be positive");
+    let bdp = link_rate.bytes_per_sec() as f64 * base_rtt.as_secs_f64();
+    (lambda * bdp).round() as u64
+}
+
+/// The pair of thresholds PPT configures: (K_high for P0–P3, K_low for
+/// P4–P7).
+pub fn ppt_thresholds(link_rate: Rate, base_rtt: SimDuration) -> (u64, u64) {
+    (
+        marking_threshold_bytes(LAMBDA_HIGH, link_rate, base_rtt),
+        marking_threshold_bytes(LAMBDA_LOW, link_rate, base_rtt),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn threshold_scales_with_c_and_rtt() {
+        // 40Gbps × 16us = 80KB BDP; λ=0.1 → 8KB.
+        let k = marking_threshold_bytes(0.1, Rate::gbps(40), SimDuration::from_micros(16));
+        assert_eq!(k, 8_000);
+        // Doubling the RTT doubles K.
+        let k2 = marking_threshold_bytes(0.1, Rate::gbps(40), SimDuration::from_micros(32));
+        assert_eq!(k2, 16_000);
+    }
+
+    #[test]
+    fn low_threshold_below_high() {
+        let (hi, lo) = ppt_thresholds(Rate::gbps(10), SimDuration::from_micros(80));
+        assert!(lo < hi);
+        // 10G×80us = 100KB BDP: hi = 17KB, lo = 10KB.
+        assert_eq!(hi, 17_000);
+        assert_eq!(lo, 10_000);
+    }
+}

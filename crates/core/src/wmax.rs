@@ -1,0 +1,82 @@
+//! Per-flow maximum-window (MW) tracking.
+//!
+//! PPT fills the gap between DCTCP's current window and the maximum window
+//! the flow has experienced (§2.3, Fig 3: filling to exactly 1×MW is the
+//! sweet spot). Only windows observed *after* slow start count — a flow
+//! still ramping up has not yet discovered its fair share, and footnote 3
+//! of the paper restricts W_max to congestion-avoidance-phase windows.
+
+/// Tracks the maximum congestion-avoidance window a flow has reached.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct WmaxTracker {
+    w_max_bytes: u64,
+    in_congestion_avoidance: bool,
+}
+
+impl WmaxTracker {
+    /// Fresh tracker (flow still in slow start, no W_max yet).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Note that the flow left slow start (first congestion event or
+    /// ssthresh crossing). Windows observed from now on update W_max.
+    pub fn enter_congestion_avoidance(&mut self) {
+        self.in_congestion_avoidance = true;
+    }
+
+    /// True once the flow is past slow start.
+    pub fn past_slow_start(&self) -> bool {
+        self.in_congestion_avoidance
+    }
+
+    /// Observe the current congestion window.
+    pub fn observe(&mut self, cwnd_bytes: u64) {
+        if self.in_congestion_avoidance {
+            self.w_max_bytes = self.w_max_bytes.max(cwnd_bytes);
+        }
+    }
+
+    /// The recorded maximum window; `None` until the flow has spent time
+    /// in congestion avoidance.
+    pub fn w_max_bytes(&self) -> Option<u64> {
+        if self.in_congestion_avoidance && self.w_max_bytes > 0 {
+            Some(self.w_max_bytes)
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slow_start_windows_ignored() {
+        let mut t = WmaxTracker::new();
+        t.observe(1_000_000); // huge slow-start overshoot must not count
+        assert_eq!(t.w_max_bytes(), None);
+        t.enter_congestion_avoidance();
+        t.observe(80_000);
+        assert_eq!(t.w_max_bytes(), Some(80_000));
+    }
+
+    #[test]
+    fn tracks_running_maximum() {
+        let mut t = WmaxTracker::new();
+        t.enter_congestion_avoidance();
+        t.observe(50_000);
+        t.observe(70_000);
+        t.observe(60_000); // window cut: max must stick
+        assert_eq!(t.w_max_bytes(), Some(70_000));
+    }
+
+    #[test]
+    fn zero_window_is_not_a_maximum() {
+        let mut t = WmaxTracker::new();
+        t.enter_congestion_avoidance();
+        t.observe(0);
+        assert_eq!(t.w_max_bytes(), None);
+    }
+}

@@ -1,0 +1,682 @@
+//! The discrete-event simulation engine.
+//!
+//! A [`Simulator`] owns every node, link and flow, plus a single
+//! time-ordered event heap. Determinism: events at equal times are
+//! dispatched in insertion order (FIFO tie-break on a monotone sequence
+//! number), and nothing in the engine consults wall-clock randomness.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::host::{Ctx, Effects, FlowDesc, Transport};
+use crate::ids::{FlowId, HostId, LinkId, NodeId, SwitchId};
+use crate::link::Link;
+use crate::packet::{Packet, Payload};
+use crate::queue::PrioQueues;
+use crate::switch::{enqueue_policy, EnqueueOutcome, PortCounters, SwitchConfig};
+use crate::time::{SimDuration, SimTime};
+use crate::units::Rate;
+
+/// Engine-internal events.
+#[derive(Debug)]
+enum Ev<P> {
+    /// The application starts flow `flows[idx]` at its source host.
+    FlowStart(u32),
+    /// A packet finished serialization + propagation and arrives at `to`.
+    Deliver { to: NodeId, pkt: Packet<P> },
+    /// An egress transmitter finished serializing; it may start the next
+    /// queued packet.
+    TxDone { node: NodeId, port: u16 },
+    /// A transport timer at `host` fires with `token`.
+    Timer { host: HostId, token: u64 },
+    /// Sampler `idx` takes a measurement and reschedules itself.
+    Sample(u32),
+}
+
+struct QEntry<P> {
+    at: SimTime,
+    seq: u64,
+    ev: Ev<P>,
+}
+
+impl<P> PartialEq for QEntry<P> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<P> Eq for QEntry<P> {}
+impl<P> PartialOrd for QEntry<P> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<P> Ord for QEntry<P> {
+    // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops first.
+    fn cmp(&self, other: &Self) -> Ordering {
+        (other.at, other.seq).cmp(&(self.at, self.seq))
+    }
+}
+
+/// One egress transmitter: a priority-queue bank feeding one link.
+struct PortState<P> {
+    link: LinkId,
+    queues: PrioQueues<P>,
+    busy: bool,
+    counters: PortCounters,
+}
+
+impl<P> PortState<P> {
+    fn new(link: LinkId) -> Self {
+        PortState { link, queues: PrioQueues::new(), busy: false, counters: PortCounters::default() }
+    }
+}
+
+struct HostSlot<P> {
+    /// The single NIC egress port; `None` until the host is cabled.
+    nic: Option<PortState<P>>,
+    transport: Option<Box<dyn Transport<P>>>,
+    /// Wall-clock nanoseconds spent inside this host's transport handlers
+    /// and number of handler invocations (the Fig-19 CPU substitute).
+    cpu_ns: u64,
+    cpu_calls: u64,
+}
+
+struct SwitchSlot<P> {
+    ports: Vec<PortState<P>>,
+    cfg: SwitchConfig,
+    /// `routes[dst_host] -> candidate egress port indices` (ECMP set).
+    routes: Vec<Vec<u16>>,
+}
+
+/// What a sampler observes.
+#[derive(Clone, Copy, Debug)]
+enum SampleTarget {
+    /// Cumulative tx bytes of a link.
+    Link(LinkId),
+    /// Queue occupancy of a switch egress port.
+    Port(SwitchId, u16),
+}
+
+/// One time-series measurement.
+#[derive(Clone, Copy, Debug)]
+pub struct Sample {
+    /// When the sample was taken.
+    pub at: SimTime,
+    /// Link sampler: cumulative tx bytes. Port sampler: total backlog bytes.
+    pub value: u64,
+    /// Port sampler only: backlog per priority level.
+    pub per_priority: [u64; 8],
+}
+
+struct SamplerState {
+    target: SampleTarget,
+    interval: SimDuration,
+    until: SimTime,
+    samples: Vec<Sample>,
+}
+
+/// Handle to a registered sampler.
+#[derive(Clone, Copy, Debug)]
+pub struct SamplerId(u32);
+
+/// Run limits: the simulation stops at whichever comes first.
+#[derive(Clone, Copy, Debug)]
+pub struct RunLimits {
+    /// Hard stop time.
+    pub max_time: SimTime,
+    /// Hard event budget (guards against livelock bugs).
+    pub max_events: u64,
+}
+
+impl Default for RunLimits {
+    fn default() -> Self {
+        RunLimits { max_time: SimTime(u64::MAX), max_events: u64::MAX }
+    }
+}
+
+/// Summary of a completed run.
+#[derive(Clone, Copy, Debug)]
+pub struct RunReport {
+    /// Simulated time when the run stopped.
+    pub end_time: SimTime,
+    /// Events dispatched.
+    pub events: u64,
+    /// Flows that reported completion.
+    pub flows_completed: usize,
+    /// Total flows registered.
+    pub flows_total: usize,
+}
+
+/// The simulator.
+pub struct Simulator<P: Payload> {
+    now: SimTime,
+    heap: BinaryHeap<QEntry<P>>,
+    seq: u64,
+    links: Vec<Link>,
+    hosts: Vec<HostSlot<P>>,
+    switches: Vec<SwitchSlot<P>>,
+    flows: Vec<FlowDesc>,
+    completions: Vec<Option<SimTime>>,
+    samplers: Vec<SamplerState>,
+    effects: Effects<P>,
+    events: u64,
+    flows_completed: usize,
+    /// Measure wall-clock time in transport handlers (Fig-19 substitute).
+    pub measure_cpu: bool,
+}
+
+impl<P: Payload> Default for Simulator<P> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<P: Payload> Simulator<P> {
+    /// An empty network.
+    pub fn new() -> Self {
+        Simulator {
+            now: SimTime::ZERO,
+            heap: BinaryHeap::new(),
+            seq: 0,
+            links: Vec::new(),
+            hosts: Vec::new(),
+            switches: Vec::new(),
+            flows: Vec::new(),
+            completions: Vec::new(),
+            samplers: Vec::new(),
+            effects: Effects::default(),
+            events: 0,
+            flows_completed: 0,
+            measure_cpu: false,
+        }
+    }
+
+    // ---------------------------------------------------------------
+    // Topology construction
+    // ---------------------------------------------------------------
+
+    /// Add a host (must be cabled with [`Self::connect`] before use).
+    pub fn add_host(&mut self) -> HostId {
+        let id = HostId(self.hosts.len() as u32);
+        self.hosts.push(HostSlot { nic: None, transport: None, cpu_ns: 0, cpu_calls: 0 });
+        id
+    }
+
+    /// Add a switch with the given per-port configuration.
+    pub fn add_switch(&mut self, cfg: SwitchConfig) -> SwitchId {
+        let id = SwitchId(self.switches.len() as u32);
+        self.switches.push(SwitchSlot { ports: Vec::new(), cfg, routes: Vec::new() });
+        id
+    }
+
+    /// Cable `a` and `b` with a full-duplex link (two unidirectional links
+    /// of the same rate and delay). Hosts may be cabled exactly once.
+    pub fn connect(&mut self, a: NodeId, b: NodeId, rate: Rate, delay: SimDuration) {
+        let ab = self.new_link(rate, delay, b);
+        let ba = self.new_link(rate, delay, a);
+        self.attach_port(a, ab);
+        self.attach_port(b, ba);
+    }
+
+    fn new_link(&mut self, rate: Rate, delay: SimDuration, to: NodeId) -> LinkId {
+        let id = LinkId(self.links.len() as u32);
+        self.links.push(Link::new(rate, delay, to));
+        id
+    }
+
+    fn attach_port(&mut self, node: NodeId, link: LinkId) {
+        match node {
+            NodeId::Host(h) => {
+                let slot = &mut self.hosts[h.0 as usize];
+                assert!(slot.nic.is_none(), "host {h:?} already cabled");
+                slot.nic = Some(PortState::new(link));
+            }
+            NodeId::Switch(s) => {
+                self.switches[s.0 as usize].ports.push(PortState::new(link));
+            }
+        }
+    }
+
+    /// Compute destination-based ECMP routes on every switch via BFS
+    /// shortest paths. Call once after all `connect` calls.
+    pub fn build_routes(&mut self) {
+        let n_hosts = self.hosts.len();
+        for si in 0..self.switches.len() {
+            self.switches[si].routes = vec![Vec::new(); n_hosts];
+        }
+        // Distance (in hops) from every node to each destination host,
+        // computed by BFS from the host over reverse links. Links are
+        // symmetric here so forward BFS over neighbors is equivalent.
+        for dst in 0..n_hosts {
+            let dist = self.bfs_from(NodeId::Host(HostId(dst as u32)));
+            for si in 0..self.switches.len() {
+                let my = dist[self.node_index(NodeId::Switch(SwitchId(si as u32)))];
+                let mut candidates = Vec::new();
+                for (pi, port) in self.switches[si].ports.iter().enumerate() {
+                    let peer = self.links[port.link.0 as usize].to;
+                    if dist[self.node_index(peer)] + 1 == my {
+                        candidates.push(pi as u16);
+                    }
+                }
+                self.switches[si].routes[dst] = candidates;
+            }
+        }
+    }
+
+    fn node_index(&self, n: NodeId) -> usize {
+        match n {
+            NodeId::Host(h) => h.0 as usize,
+            NodeId::Switch(s) => self.hosts.len() + s.0 as usize,
+        }
+    }
+
+    /// BFS hop distance from `start` to every node (usize::MAX = unreachable).
+    fn bfs_from(&self, start: NodeId) -> Vec<usize> {
+        let n = self.hosts.len() + self.switches.len();
+        let mut dist = vec![usize::MAX; n];
+        let mut frontier = std::collections::VecDeque::new();
+        dist[self.node_index(start)] = 0;
+        frontier.push_back(start);
+        while let Some(node) = frontier.pop_front() {
+            let d = dist[self.node_index(node)];
+            let neighbor_links: Vec<LinkId> = match node {
+                NodeId::Host(h) => {
+                    self.hosts[h.0 as usize].nic.iter().map(|p| p.link).collect()
+                }
+                NodeId::Switch(s) => {
+                    self.switches[s.0 as usize].ports.iter().map(|p| p.link).collect()
+                }
+            };
+            for l in neighbor_links {
+                let peer = self.links[l.0 as usize].to;
+                let pi = self.node_index(peer);
+                if dist[pi] == usize::MAX {
+                    dist[pi] = d + 1;
+                    frontier.push_back(peer);
+                }
+            }
+        }
+        dist
+    }
+
+    /// Install the transport endpoint for a host.
+    pub fn set_transport(&mut self, host: HostId, t: Box<dyn Transport<P>>) {
+        self.hosts[host.0 as usize].transport = Some(t);
+    }
+
+    /// Access a host's transport (e.g. to read recorded state after a run).
+    pub fn transport(&self, host: HostId) -> Option<&dyn Transport<P>> {
+        self.hosts[host.0 as usize].transport.as_deref()
+    }
+
+    // ---------------------------------------------------------------
+    // Flows
+    // ---------------------------------------------------------------
+
+    /// Register a flow; ids are assigned densely in registration order.
+    pub fn add_flow(
+        &mut self,
+        src: HostId,
+        dst: HostId,
+        size_bytes: u64,
+        start: SimTime,
+        first_write_bytes: u64,
+    ) -> FlowId {
+        assert!(src != dst, "flow with src == dst");
+        assert!(size_bytes > 0, "empty flow");
+        let id = FlowId(self.flows.len() as u64);
+        self.flows.push(FlowDesc { id, src, dst, size_bytes, start, first_write_bytes });
+        self.completions.push(None);
+        id
+    }
+
+    /// All registered flows.
+    pub fn flows(&self) -> &[FlowDesc] {
+        &self.flows
+    }
+
+    /// Completion time of a flow, if it finished.
+    pub fn completion(&self, flow: FlowId) -> Option<SimTime> {
+        self.completions[flow.0 as usize]
+    }
+
+    /// (flow, completion) pairs for all finished flows.
+    pub fn completions(&self) -> impl Iterator<Item = (&FlowDesc, SimTime)> {
+        self.flows
+            .iter()
+            .zip(self.completions.iter())
+            .filter_map(|(f, c)| c.map(|t| (f, t)))
+    }
+
+    // ---------------------------------------------------------------
+    // Sampling
+    // ---------------------------------------------------------------
+
+    /// Sample a link's cumulative tx byte counter every `interval` until
+    /// `until`. The first sample fires at `interval`.
+    pub fn sample_link(&mut self, link: LinkId, interval: SimDuration, until: SimTime) -> SamplerId {
+        self.add_sampler(SampleTarget::Link(link), interval, until)
+    }
+
+    /// Sample a switch egress port's backlog every `interval` until `until`.
+    pub fn sample_port(
+        &mut self,
+        switch: SwitchId,
+        port: u16,
+        interval: SimDuration,
+        until: SimTime,
+    ) -> SamplerId {
+        self.add_sampler(SampleTarget::Port(switch, port), interval, until)
+    }
+
+    fn add_sampler(&mut self, target: SampleTarget, interval: SimDuration, until: SimTime) -> SamplerId {
+        let id = SamplerId(self.samplers.len() as u32);
+        self.samplers.push(SamplerState { target, interval, until, samples: Vec::new() });
+        self.schedule(self.now + interval, Ev::Sample(id.0));
+        id
+    }
+
+    /// Recorded samples of a sampler.
+    pub fn samples(&self, id: SamplerId) -> &[Sample] {
+        &self.samplers[id.0 as usize].samples
+    }
+
+    /// The link id a host's NIC transmits on (for sampling utilization).
+    pub fn host_uplink(&self, host: HostId) -> LinkId {
+        self.hosts[host.0 as usize].nic.as_ref().expect("host not cabled").link
+    }
+
+    /// The link a given switch port transmits on.
+    pub fn switch_port_link(&self, switch: SwitchId, port: u16) -> LinkId {
+        self.switches[switch.0 as usize].ports[port as usize].link
+    }
+
+    /// The switch egress port index whose link points at `target`, if any.
+    pub fn switch_port_towards(&self, switch: SwitchId, target: NodeId) -> Option<u16> {
+        self.switches[switch.0 as usize]
+            .ports
+            .iter()
+            .position(|p| self.links[p.link.0 as usize].to == target)
+            .map(|i| i as u16)
+    }
+
+    /// Read a link's configuration and counters.
+    pub fn link(&self, id: LinkId) -> &Link {
+        &self.links[id.0 as usize]
+    }
+
+    /// Per-port counters of a switch.
+    pub fn port_counters(&self, switch: SwitchId, port: u16) -> &PortCounters {
+        &self.switches[switch.0 as usize].ports[port as usize].counters
+    }
+
+    /// Aggregate counters over every switch port.
+    pub fn total_counters(&self) -> PortCounters {
+        let mut total = PortCounters::default();
+        for sw in &self.switches {
+            for p in &sw.ports {
+                total.enqueued += p.counters.enqueued;
+                total.dropped += p.counters.dropped;
+                total.trimmed += p.counters.trimmed;
+                total.marked += p.counters.marked;
+                total.dropped_bytes += p.counters.dropped_bytes;
+            }
+        }
+        total
+    }
+
+    /// Wall-clock nanoseconds spent in a host's transport handlers and the
+    /// number of invocations (only meaningful when `measure_cpu` was set).
+    pub fn cpu_account(&self, host: HostId) -> (u64, u64) {
+        let h = &self.hosts[host.0 as usize];
+        (h.cpu_ns, h.cpu_calls)
+    }
+
+    // ---------------------------------------------------------------
+    // Event loop
+    // ---------------------------------------------------------------
+
+    fn schedule(&mut self, at: SimTime, ev: Ev<P>) {
+        debug_assert!(at >= self.now, "scheduling into the past");
+        self.heap.push(QEntry { at, seq: self.seq, ev });
+        self.seq += 1;
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Run until the event queue drains or a limit is hit.
+    ///
+    /// On the first call every registered flow's start event is scheduled;
+    /// subsequent calls resume from where the previous one stopped.
+    pub fn run(&mut self, limits: RunLimits) -> RunReport {
+        if self.events == 0 {
+            for i in 0..self.flows.len() {
+                self.schedule(self.flows[i].start, Ev::FlowStart(i as u32));
+            }
+        }
+
+        while let Some(entry) = self.heap.pop() {
+            if entry.at > limits.max_time {
+                // Put it back for a potential future run() call.
+                self.heap.push(entry);
+                self.now = limits.max_time;
+                break;
+            }
+            self.now = entry.at;
+            self.events += 1;
+            self.dispatch(entry.ev);
+            if self.events >= limits.max_events {
+                break;
+            }
+        }
+        RunReport {
+            end_time: self.now,
+            events: self.events,
+            flows_completed: self.flows_completed,
+            flows_total: self.flows.len(),
+        }
+    }
+
+    fn dispatch(&mut self, ev: Ev<P>) {
+        match ev {
+            Ev::FlowStart(idx) => {
+                let flow = self.flows[idx as usize].clone();
+                let host = flow.src;
+                self.with_transport(host, |t, ctx| t.on_flow_start(&flow, ctx));
+            }
+            Ev::Deliver { to, pkt } => match to {
+                NodeId::Host(h) => {
+                    self.with_transport(h, |t, ctx| t.on_packet(pkt, ctx));
+                }
+                NodeId::Switch(s) => self.switch_forward(s, pkt),
+            },
+            Ev::TxDone { node, port } => self.tx_done(node, port),
+            Ev::Timer { host, token } => {
+                self.with_transport(host, |t, ctx| t.on_timer(token, ctx));
+            }
+            Ev::Sample(idx) => self.take_sample(idx),
+        }
+    }
+
+    /// Run a transport handler on `host` with a fresh effects sink, then
+    /// apply the effects (transmit packets, arm timers, record completions).
+    fn with_transport<F>(&mut self, host: HostId, f: F)
+    where
+        F: FnOnce(&mut dyn Transport<P>, &mut Ctx<'_, P>),
+    {
+        let mut effects = std::mem::take(&mut self.effects);
+        effects.clear();
+        let now = self.now;
+        {
+            let slot = &mut self.hosts[host.0 as usize];
+            let transport = slot
+                .transport
+                .as_deref_mut()
+                .unwrap_or_else(|| panic!("no transport installed on {host:?}"));
+            let mut ctx = Ctx::new(now, host, &mut effects);
+            if self.measure_cpu {
+                let t0 = std::time::Instant::now();
+                f(transport, &mut ctx);
+                slot.cpu_ns += t0.elapsed().as_nanos() as u64;
+                slot.cpu_calls += 1;
+            } else {
+                f(transport, &mut ctx);
+            }
+        }
+        // Apply effects.
+        for (at, token) in effects.timers.drain(..) {
+            let at = at.max(now);
+            self.schedule(at, Ev::Timer { host, token });
+        }
+        for flow in effects.completed.drain(..) {
+            let slot = &mut self.completions[flow.0 as usize];
+            if slot.is_none() {
+                *slot = Some(now);
+                self.flows_completed += 1;
+            }
+        }
+        let packets: Vec<Packet<P>> = effects.packets.drain(..).collect();
+        self.effects = effects;
+        for pkt in packets {
+            self.host_enqueue(host, pkt);
+        }
+    }
+
+    /// Enqueue a packet at a host NIC and kick the transmitter if idle.
+    fn host_enqueue(&mut self, host: HostId, pkt: Packet<P>) {
+        let slot = self.hosts[host.0 as usize].nic.as_mut().expect("host not cabled");
+        slot.queues.push(pkt);
+        if !slot.busy {
+            self.start_tx_host(host);
+        }
+    }
+
+    /// Route + admission at a switch, kicking the egress transmitter.
+    fn switch_forward(&mut self, switch: SwitchId, pkt: Packet<P>) {
+        let si = switch.0 as usize;
+        let routes = &self.switches[si].routes;
+        assert!(
+            !routes.is_empty(),
+            "switch {switch:?} has no route table (did you call build_routes?)"
+        );
+        let candidates = &routes[pkt.dst.0 as usize];
+        assert!(
+            !candidates.is_empty(),
+            "switch {switch:?} has no route to {:?} (did you call build_routes?)",
+            pkt.dst
+        );
+        let pi = candidates[(pkt.flow.path_hash() % candidates.len() as u64) as usize] as usize;
+        // INT telemetry observes the egress port state before enqueue.
+        let (qlen, qlen_high, tx_bytes, tx_high, rate) = {
+            let port = &self.switches[si].ports[pi];
+            let link = &self.links[port.link.0 as usize];
+            (
+                port.queues.total_bytes(),
+                port.queues.bytes_in_range(0..4),
+                link.tx_bytes,
+                link.tx_high_bytes,
+                link.rate,
+            )
+        };
+        let mut pkt = pkt;
+        pkt.payload.on_switch_hop(crate::packet::HopTelemetry {
+            qlen_bytes: qlen,
+            qlen_high_bytes: qlen_high,
+            tx_bytes,
+            tx_high_bytes: tx_high,
+            ts: self.now,
+            link_rate: rate,
+        });
+        let sw = &mut self.switches[si];
+        let port = &mut sw.ports[pi];
+        let outcome = enqueue_policy(&sw.cfg, &mut port.queues, &mut port.counters, pkt);
+        match outcome {
+            EnqueueOutcome::Dropped => {}
+            EnqueueOutcome::Queued { .. } | EnqueueOutcome::Trimmed => {
+                if !port.busy {
+                    self.start_tx_switch(switch, pi as u16);
+                }
+            }
+        }
+    }
+
+    /// Begin serializing the head-of-line packet at a host NIC.
+    fn start_tx_host(&mut self, host: HostId) {
+        let slot = self.hosts[host.0 as usize].nic.as_mut().expect("host not cabled");
+        let Some(pkt) = slot.queues.pop() else { return };
+        slot.busy = true;
+        let link_id = slot.link;
+        self.transmit(NodeId::Host(host), 0, link_id, pkt);
+    }
+
+    fn start_tx_switch(&mut self, switch: SwitchId, port: u16) {
+        let slot = &mut self.switches[switch.0 as usize].ports[port as usize];
+        let Some(pkt) = slot.queues.pop() else { return };
+        slot.busy = true;
+        let link_id = slot.link;
+        self.transmit(NodeId::Switch(switch), port, link_id, pkt);
+    }
+
+    fn transmit(&mut self, node: NodeId, port: u16, link_id: LinkId, pkt: Packet<P>) {
+        let link = &mut self.links[link_id.0 as usize];
+        link.tx_bytes += pkt.wire_bytes as u64;
+        link.tx_packets += 1;
+        if pkt.priority < 4 {
+            link.tx_high_bytes += pkt.wire_bytes as u64;
+        }
+        let ser = link.rate.serialization_time(pkt.wire_bytes as u64);
+        let arrive_at = self.now + ser + link.delay;
+        let to = link.to;
+        self.schedule(arrive_at, Ev::Deliver { to, pkt });
+        self.schedule(self.now + ser, Ev::TxDone { node, port });
+    }
+
+    fn tx_done(&mut self, node: NodeId, port: u16) {
+        match node {
+            NodeId::Host(h) => {
+                let slot = self.hosts[h.0 as usize].nic.as_mut().expect("host not cabled");
+                slot.busy = false;
+                if !slot.queues.is_empty() {
+                    self.start_tx_host(h);
+                }
+            }
+            NodeId::Switch(s) => {
+                let slot = &mut self.switches[s.0 as usize].ports[port as usize];
+                slot.busy = false;
+                if !slot.queues.is_empty() {
+                    self.start_tx_switch(s, port);
+                }
+            }
+        }
+    }
+
+    fn take_sample(&mut self, idx: u32) {
+        let now = self.now;
+        let (interval, until, target) = {
+            let s = &self.samplers[idx as usize];
+            (s.interval, s.until, s.target)
+        };
+        let sample = match target {
+            SampleTarget::Link(l) => Sample {
+                at: now,
+                value: self.links[l.0 as usize].tx_bytes,
+                per_priority: [0; 8],
+            },
+            SampleTarget::Port(sw, p) => {
+                let q = &self.switches[sw.0 as usize].ports[p as usize].queues;
+                let mut per = [0u64; 8];
+                for (i, slot) in per.iter_mut().enumerate() {
+                    *slot = q.bytes_at(i as u8);
+                }
+                Sample { at: now, value: q.total_bytes(), per_priority: per }
+            }
+        };
+        self.samplers[idx as usize].samples.push(sample);
+        if now + interval <= until {
+            self.schedule(now + interval, Ev::Sample(idx));
+        }
+    }
+}

@@ -1,0 +1,130 @@
+//! Host endpoints and the transport-protocol interface.
+
+use crate::ids::{FlowId, HostId};
+use crate::packet::{Packet, Payload};
+use crate::time::{SimDuration, SimTime};
+
+/// A flow (application message) to be transferred from `src` to `dst`.
+#[derive(Clone, Debug)]
+pub struct FlowDesc {
+    /// Unique id; flow ids are assigned densely from 0 by the simulator.
+    pub id: FlowId,
+    /// Sending host.
+    pub src: HostId,
+    /// Receiving host.
+    pub dst: HostId,
+    /// Total application bytes to deliver.
+    pub size_bytes: u64,
+    /// When the application hands the flow to the transport.
+    pub start: SimTime,
+    /// Bytes the application's *first* send() syscall copies into the TCP
+    /// send buffer. PPT's buffer-aware identifier (§4.1) keys off this; a
+    /// first write above the identification threshold flags the flow as
+    /// large at time zero.
+    pub first_write_bytes: u64,
+}
+
+impl FlowDesc {
+    /// Convenience constructor where the application writes the whole flow
+    /// in one syscall (the common case for RPC-style workloads).
+    pub fn new(id: FlowId, src: HostId, dst: HostId, size_bytes: u64, start: SimTime) -> Self {
+        FlowDesc { id, src, dst, size_bytes, start, first_write_bytes: size_bytes }
+    }
+}
+
+/// Side effects a transport handler wants the engine to apply: packets to
+/// transmit from this host's NIC, timers to arm, and flows to mark complete.
+#[derive(Debug)]
+pub struct Effects<P> {
+    pub(crate) packets: Vec<Packet<P>>,
+    pub(crate) timers: Vec<(SimTime, u64)>,
+    pub(crate) completed: Vec<FlowId>,
+}
+
+impl<P> Default for Effects<P> {
+    fn default() -> Self {
+        Effects { packets: Vec::new(), timers: Vec::new(), completed: Vec::new() }
+    }
+}
+
+impl<P> Effects<P> {
+    /// Decompose into (packets, timers, completed flows) — lets transport
+    /// authors unit-test handlers without an engine.
+    pub fn into_parts(self) -> (Vec<Packet<P>>, Vec<(SimTime, u64)>, Vec<FlowId>) {
+        (self.packets, self.timers, self.completed)
+    }
+
+    pub(crate) fn clear(&mut self) {
+        self.packets.clear();
+        self.timers.clear();
+        self.completed.clear();
+    }
+}
+
+/// Execution context handed to every transport callback.
+///
+/// Borrow-wise this is a sink: the engine applies the queued effects after
+/// the handler returns, so handlers never re-enter the engine.
+pub struct Ctx<'a, P> {
+    now: SimTime,
+    host: HostId,
+    effects: &'a mut Effects<P>,
+}
+
+impl<'a, P: Payload> Ctx<'a, P> {
+    /// Build a context around an effects sink. The engine does this for
+    /// every dispatch; it is public so transport handlers can be driven
+    /// directly in unit tests.
+    pub fn new(now: SimTime, host: HostId, effects: &'a mut Effects<P>) -> Self {
+        Ctx { now, host, effects }
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// The host this transport instance runs on.
+    pub fn host(&self) -> HostId {
+        self.host
+    }
+
+    /// Queue a packet for transmission on this host's NIC.
+    pub fn send(&mut self, pkt: Packet<P>) {
+        self.effects.packets.push(pkt);
+    }
+
+    /// Arm a timer that fires `on_timer(token)` at absolute time `at`.
+    ///
+    /// Timers cannot be cancelled; transports implement lazy cancellation
+    /// by ignoring stale tokens.
+    pub fn timer_at(&mut self, at: SimTime, token: u64) {
+        self.effects.timers.push((at, token));
+    }
+
+    /// Arm a timer `after` from now.
+    pub fn timer_after(&mut self, after: SimDuration, token: u64) {
+        self.timer_at(self.now + after, token);
+    }
+
+    /// Report that this host (as receiver) now holds every byte of `flow`.
+    /// The engine records the completion time; repeat calls are ignored.
+    pub fn flow_completed(&mut self, flow: FlowId) {
+        self.effects.completed.push(flow);
+    }
+}
+
+/// A transport protocol endpoint.
+///
+/// One instance runs per host and handles both the sender and receiver
+/// roles for every flow that starts at or targets that host.
+pub trait Transport<P: Payload> {
+    /// The application opened `flow` on this host (sender side).
+    fn on_flow_start(&mut self, flow: &FlowDesc, ctx: &mut Ctx<'_, P>);
+
+    /// A packet addressed to this host arrived off the wire.
+    fn on_packet(&mut self, pkt: Packet<P>, ctx: &mut Ctx<'_, P>);
+
+    /// A timer armed via [`Ctx::timer_at`] fired.
+    fn on_timer(&mut self, token: u64, ctx: &mut Ctx<'_, P>);
+}

@@ -1,0 +1,146 @@
+//! Strict-priority packet queues used at every egress port.
+
+use std::collections::VecDeque;
+
+use crate::packet::{Packet, NUM_PRIORITIES};
+
+/// A bank of eight strict-priority FIFO queues with byte accounting.
+///
+/// Priority 0 is served first. The bank tracks the byte backlog of each
+/// queue and of the whole bank; switches use those for ECN-marking and
+/// shared-buffer admission decisions.
+#[derive(Debug)]
+pub struct PrioQueues<P> {
+    queues: [VecDeque<Packet<P>>; NUM_PRIORITIES],
+    bytes: [u64; NUM_PRIORITIES],
+    total_bytes: u64,
+}
+
+impl<P> Default for PrioQueues<P> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<P> PrioQueues<P> {
+    /// An empty queue bank.
+    pub fn new() -> Self {
+        PrioQueues {
+            queues: std::array::from_fn(|_| VecDeque::new()),
+            bytes: [0; NUM_PRIORITIES],
+            total_bytes: 0,
+        }
+    }
+
+    /// Append a packet to its priority queue.
+    pub fn push(&mut self, pkt: Packet<P>) {
+        let p = pkt.priority as usize;
+        debug_assert!(p < NUM_PRIORITIES);
+        self.bytes[p] += pkt.wire_bytes as u64;
+        self.total_bytes += pkt.wire_bytes as u64;
+        self.queues[p].push_back(pkt);
+    }
+
+    /// Remove and return the head of the highest-priority non-empty queue.
+    pub fn pop(&mut self) -> Option<Packet<P>> {
+        for p in 0..NUM_PRIORITIES {
+            if let Some(pkt) = self.queues[p].pop_front() {
+                self.bytes[p] -= pkt.wire_bytes as u64;
+                self.total_bytes -= pkt.wire_bytes as u64;
+                return Some(pkt);
+            }
+        }
+        None
+    }
+
+    /// Evict the most recently queued packet of the lowest-priority
+    /// non-empty queue whose priority is strictly below `above`.
+    /// Models shared-buffer push-out: arriving high-priority traffic
+    /// reclaims space from low-priority backlog.
+    pub fn evict_lowest_below(&mut self, above: u8) -> Option<Packet<P>> {
+        for p in (above as usize + 1..NUM_PRIORITIES).rev() {
+            if let Some(pkt) = self.queues[p].pop_back() {
+                self.bytes[p] -= pkt.wire_bytes as u64;
+                self.total_bytes -= pkt.wire_bytes as u64;
+                return Some(pkt);
+            }
+        }
+        None
+    }
+
+    /// Byte backlog of one priority queue.
+    pub fn bytes_at(&self, priority: u8) -> u64 {
+        self.bytes[priority as usize]
+    }
+
+    /// Byte backlog across a half-open range of priorities.
+    pub fn bytes_in_range(&self, range: std::ops::Range<u8>) -> u64 {
+        range.map(|p| self.bytes[p as usize]).sum()
+    }
+
+    /// Total byte backlog across all priorities.
+    pub fn total_bytes(&self) -> u64 {
+        self.total_bytes
+    }
+
+    /// Total queued packet count.
+    pub fn len(&self) -> usize {
+        self.queues.iter().map(|q| q.len()).sum()
+    }
+
+    /// True when no packet is queued.
+    pub fn is_empty(&self) -> bool {
+        self.total_bytes == 0 && self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{FlowId, HostId};
+    use crate::packet::NoPayload;
+
+    fn pkt(prio: u8, payload: u32) -> Packet<NoPayload> {
+        Packet::data(FlowId(0), HostId(0), HostId(1), payload, NoPayload).with_priority(prio)
+    }
+
+    #[test]
+    fn strict_priority_order() {
+        let mut q = PrioQueues::new();
+        q.push(pkt(5, 100));
+        q.push(pkt(2, 200));
+        q.push(pkt(2, 300));
+        q.push(pkt(0, 400));
+        let order: Vec<u32> = std::iter::from_fn(|| q.pop().map(|p| p.payload_bytes())).collect();
+        assert_eq!(order, vec![400, 200, 300, 100]);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn byte_accounting_tracks_push_pop() {
+        let mut q = PrioQueues::new();
+        q.push(pkt(1, 100));
+        q.push(pkt(6, 50));
+        assert_eq!(q.bytes_at(1), 140);
+        assert_eq!(q.bytes_at(6), 90);
+        assert_eq!(q.total_bytes(), 230);
+        assert_eq!(q.bytes_in_range(0..4), 140);
+        assert_eq!(q.bytes_in_range(4..8), 90);
+        q.pop();
+        assert_eq!(q.total_bytes(), 90);
+        q.pop();
+        assert_eq!(q.total_bytes(), 0);
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn fifo_within_priority() {
+        let mut q = PrioQueues::new();
+        for i in 1..=5u32 {
+            q.push(pkt(3, i));
+        }
+        for i in 1..=5u32 {
+            assert_eq!(q.pop().unwrap().payload_bytes(), i);
+        }
+    }
+}

@@ -1,0 +1,91 @@
+//! Link rates and bandwidth-delay arithmetic.
+
+use crate::time::SimDuration;
+
+/// A link transmission rate.
+///
+/// Stored as bits per second. Constructors are provided for the usual
+/// datacenter units. Serialization-time math is exact in nanoseconds.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Rate {
+    bits_per_sec: u64,
+}
+
+impl Rate {
+    /// Rate from raw bits per second.
+    pub const fn from_bps(bits_per_sec: u64) -> Self {
+        Rate { bits_per_sec }
+    }
+
+    /// Rate from gigabits per second (e.g. `Rate::gbps(40)`).
+    pub const fn gbps(g: u64) -> Self {
+        Rate { bits_per_sec: g * 1_000_000_000 }
+    }
+
+    /// Rate from megabits per second.
+    pub const fn mbps(m: u64) -> Self {
+        Rate { bits_per_sec: m * 1_000_000 }
+    }
+
+    /// Raw bits per second.
+    pub const fn bits_per_sec(self) -> u64 {
+        self.bits_per_sec
+    }
+
+    /// Bytes per second.
+    pub const fn bytes_per_sec(self) -> u64 {
+        self.bits_per_sec / 8
+    }
+
+    /// Time to serialize `bytes` onto the wire at this rate.
+    ///
+    /// Rounds up to the next nanosecond so that back-to-back transmissions
+    /// never overlap.
+    pub fn serialization_time(self, bytes: u64) -> SimDuration {
+        debug_assert!(self.bits_per_sec > 0, "zero-rate link");
+        let bits = bytes * 8;
+        let ns = (bits * 1_000_000_000).div_ceil(self.bits_per_sec);
+        SimDuration::from_nanos(ns)
+    }
+
+    /// Bytes that can be transmitted in `dur` at this rate (rounded down).
+    pub fn bytes_in(self, dur: SimDuration) -> u64 {
+        (self.bits_per_sec as u128 * dur.as_nanos() as u128 / (8 * 1_000_000_000)) as u64
+    }
+}
+
+/// Bandwidth-delay product in bytes for a given bottleneck rate and
+/// base round-trip time.
+pub fn bdp_bytes(rate: Rate, base_rtt: SimDuration) -> u64 {
+    rate.bytes_in(base_rtt)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serialization_time_exact() {
+        // 1500B at 10Gbps = 12000 bits / 10^10 bps = 1.2us
+        assert_eq!(Rate::gbps(10).serialization_time(1500).as_nanos(), 1200);
+        // 1500B at 40Gbps = 300ns
+        assert_eq!(Rate::gbps(40).serialization_time(1500).as_nanos(), 300);
+        // rounding up: 1 byte at 3 bps -> ceil(8e9/3)
+        assert_eq!(Rate::from_bps(3).serialization_time(1).as_nanos(), 2_666_666_667);
+    }
+
+    #[test]
+    fn bdp_matches_hand_math() {
+        // 40Gbps * 16us RTT = 80KB
+        assert_eq!(bdp_bytes(Rate::gbps(40), SimDuration::from_micros(16)), 80_000);
+        // 10Gbps * 80us = 100KB
+        assert_eq!(bdp_bytes(Rate::gbps(10), SimDuration::from_micros(80)), 100_000);
+    }
+
+    #[test]
+    fn bytes_in_inverts_serialization() {
+        let r = Rate::gbps(25);
+        let d = r.serialization_time(123_456);
+        assert!(r.bytes_in(d) >= 123_456);
+    }
+}

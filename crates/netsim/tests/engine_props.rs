@@ -1,0 +1,164 @@
+//! Property tests of the simulation engine: conservation, determinism
+//! and ordering invariants under randomized topologies and workloads.
+
+use proptest::prelude::*;
+
+use netsim::host::{Ctx, FlowDesc, Transport};
+use netsim::packet::segment;
+use netsim::{
+    star, FlowId, LeafSpineParams, Packet, Payload, Rate, RunLimits, SimDuration, SimTime,
+    SwitchConfig, Topology,
+};
+
+#[derive(Clone, Debug)]
+struct Hdr {
+    size: u64,
+}
+impl Payload for Hdr {}
+
+/// Blast sender + byte-counting receiver (no congestion control): on a
+/// big-buffer fabric nothing may be lost.
+struct Blast {
+    rx: std::collections::HashMap<FlowId, (u64, u64)>,
+}
+
+impl Transport<Hdr> for Blast {
+    fn on_flow_start(&mut self, flow: &FlowDesc, ctx: &mut Ctx<'_, Hdr>) {
+        for (off, len) in segment(flow.size_bytes) {
+            let _ = off;
+            ctx.send(Packet::data(flow.id, flow.src, flow.dst, len, Hdr { size: flow.size_bytes }));
+        }
+    }
+    fn on_packet(&mut self, pkt: Packet<Hdr>, ctx: &mut Ctx<'_, Hdr>) {
+        let e = self.rx.entry(pkt.flow).or_insert((0, pkt.payload.size));
+        e.0 += pkt.payload_bytes() as u64;
+        if e.0 >= e.1 {
+            ctx.flow_completed(pkt.flow);
+        }
+    }
+    fn on_timer(&mut self, _: u64, _: &mut Ctx<'_, Hdr>) {}
+}
+
+fn build_star(n: usize) -> Topology<Hdr> {
+    let mut topo = star::<Hdr>(
+        n,
+        Rate::gbps(10),
+        SimDuration::from_micros(5),
+        SwitchConfig::basic(1 << 30),
+    );
+    for &h in &topo.hosts.clone() {
+        topo.sim
+            .set_transport(h, Box::new(Blast { rx: std::collections::HashMap::new() }));
+    }
+    topo
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every flow completes on an over-provisioned star, regardless of
+    /// sizes and arrival times, and FCT >= the physical lower bound.
+    #[test]
+    fn all_flows_complete_and_respect_physics(
+        flows in proptest::collection::vec((1u64..2_000_000, 0u64..1_000_000), 1..20),
+        n in 2usize..6,
+    ) {
+        let mut topo = build_star(n);
+        let mut ids = Vec::new();
+        for (i, &(size, start_ns)) in flows.iter().enumerate() {
+            let src = i % n;
+            let dst = (i + 1) % n;
+            ids.push(topo.sim.add_flow(
+                topo.hosts[src],
+                topo.hosts[dst],
+                size,
+                SimTime(start_ns),
+                size,
+            ));
+        }
+        let report = topo.sim.run(RunLimits::default());
+        prop_assert_eq!(report.flows_completed, flows.len());
+        for (id, &(size, start_ns)) in ids.iter().zip(flows.iter()) {
+            let done = topo.sim.completion(*id).unwrap();
+            let fct = done.saturating_since(SimTime(start_ns));
+            // Lower bound: last byte serialized once at 10G + 2 hops prop.
+            let min = Rate::gbps(10).serialization_time(size).as_nanos() / 2 + 10_000;
+            prop_assert!(fct.as_nanos() >= min.min(20_000), "fct {fct:?} too fast for size {size}");
+        }
+    }
+
+    /// Bit-identical reruns: equal inputs give equal completion times and
+    /// equal event counts.
+    #[test]
+    fn engine_is_deterministic(
+        flows in proptest::collection::vec((1u64..500_000, 0u64..200_000), 1..12),
+    ) {
+        let run = || {
+            let mut topo = build_star(4);
+            let ids: Vec<FlowId> = flows
+                .iter()
+                .enumerate()
+                .map(|(i, &(size, t))| {
+                    topo.sim.add_flow(topo.hosts[i % 4], topo.hosts[(i + 1) % 4], size, SimTime(t), size)
+                })
+                .collect();
+            let report = topo.sim.run(RunLimits::default());
+            let times: Vec<_> = ids.iter().map(|&id| topo.sim.completion(id)).collect();
+            (report.events, times)
+        };
+        prop_assert_eq!(run(), run());
+    }
+
+    /// Byte conservation at the switch: enqueued = delivered + dropped
+    /// (every admitted packet eventually leaves on a link).
+    #[test]
+    fn switch_counters_conserve_packets(
+        flows in proptest::collection::vec(1u64..300_000, 1..10),
+    ) {
+        let mut topo = build_star(3);
+        for (i, &size) in flows.iter().enumerate() {
+            topo.sim.add_flow(topo.hosts[i % 2], topo.hosts[2], size, SimTime::ZERO, size);
+        }
+        topo.sim.run(RunLimits::default());
+        let c = topo.sim.total_counters();
+        prop_assert_eq!(c.dropped, 0, "no drops on a 1GB buffer");
+        // Every data packet sent by hosts crossed exactly one switch.
+        let host_tx: u64 = (0..3)
+            .map(|i| topo.sim.link(topo.sim.host_uplink(topo.hosts[i])).tx_packets)
+            .sum();
+        prop_assert_eq!(c.enqueued, host_tx);
+    }
+}
+
+/// ECMP balance on a leaf-spine fabric: every spine carries traffic for
+/// enough flows, and per-flow paths are consistent (no reordering across
+/// spines for a single flow).
+#[test]
+fn ecmp_is_flow_consistent() {
+    let params = LeafSpineParams {
+        n_leaves: 2,
+        n_spines: 4,
+        hosts_per_leaf: 2,
+        edge_rate: Rate::gbps(10),
+        core_rate: Rate::gbps(40),
+        link_delay: SimDuration::from_micros(1),
+    };
+    let mut topo = netsim::leaf_spine::<Hdr>(&params, SwitchConfig::basic(1 << 30));
+    for &h in &topo.hosts.clone() {
+        topo.sim.set_transport(h, Box::new(Blast { rx: std::collections::HashMap::new() }));
+    }
+    // One multi-packet cross-rack flow: all packets must take one path,
+    // so exactly one leaf->spine link sees them.
+    topo.sim.add_flow(topo.hosts[0], topo.hosts[2], 100 * 1460, SimTime::ZERO, 1);
+    topo.sim.run(RunLimits::default());
+    let mut used_links = 0;
+    for &spine in &topo.spines.clone() {
+        let port = topo.sim.switch_port_towards(topo.leaves[0], netsim::NodeId::Switch(spine));
+        if let Some(p) = port {
+            if topo.sim.link(topo.sim.switch_port_link(topo.leaves[0], p)).tx_packets > 0 {
+                used_links += 1;
+            }
+        }
+    }
+    assert_eq!(used_links, 1, "a single flow must stay on one ECMP path");
+}

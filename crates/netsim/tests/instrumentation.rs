@@ -1,0 +1,153 @@
+//! Tests of the simulator's measurement machinery: samplers, counters,
+//! CPU accounting and topology introspection.
+
+use netsim::host::{Ctx, FlowDesc, Transport};
+use netsim::packet::segment;
+use netsim::{
+    star, FlowId, NodeId, Packet, Payload, Rate, RunLimits, SimDuration, SimTime, SwitchConfig,
+};
+
+#[derive(Clone, Debug)]
+struct Hdr {
+    size: u64,
+}
+impl Payload for Hdr {}
+
+struct Blast {
+    rx: std::collections::HashMap<FlowId, (u64, u64)>,
+    /// Busy-loop iterations per handler, to make CPU accounting visible.
+    spin: u32,
+}
+
+impl Transport<Hdr> for Blast {
+    fn on_flow_start(&mut self, flow: &FlowDesc, ctx: &mut Ctx<'_, Hdr>) {
+        for (_, len) in segment(flow.size_bytes) {
+            ctx.send(Packet::data(flow.id, flow.src, flow.dst, len, Hdr { size: flow.size_bytes }));
+        }
+    }
+    fn on_packet(&mut self, pkt: Packet<Hdr>, ctx: &mut Ctx<'_, Hdr>) {
+        for _ in 0..self.spin {
+            std::hint::black_box(0u64);
+        }
+        let e = self.rx.entry(pkt.flow).or_insert((0, pkt.payload.size));
+        e.0 += pkt.payload_bytes() as u64;
+        if e.0 >= e.1 {
+            ctx.flow_completed(pkt.flow);
+        }
+    }
+    fn on_timer(&mut self, _: u64, _: &mut Ctx<'_, Hdr>) {}
+}
+
+fn topo_with(spin: u32) -> netsim::Topology<Hdr> {
+    let mut t = star::<Hdr>(
+        3,
+        Rate::gbps(10),
+        SimDuration::from_micros(5),
+        SwitchConfig::basic(1 << 24),
+    );
+    for &h in &t.hosts.clone() {
+        t.sim.set_transport(h, Box::new(Blast { rx: Default::default(), spin }));
+    }
+    t
+}
+
+#[test]
+fn cpu_accounting_counts_handler_invocations() {
+    let mut topo = topo_with(10);
+    topo.sim.measure_cpu = true;
+    topo.sim.add_flow(topo.hosts[0], topo.hosts[1], 50 * 1460, SimTime::ZERO, 1);
+    topo.sim.run(RunLimits::default());
+    let (tx_ns, tx_calls) = topo.sim.cpu_account(topo.hosts[0]);
+    let (rx_ns, rx_calls) = topo.sim.cpu_account(topo.hosts[1]);
+    // Sender: 1 flow-start call. Receiver: 50 packet deliveries.
+    assert_eq!(tx_calls, 1);
+    assert_eq!(rx_calls, 50);
+    assert!(tx_ns > 0 && rx_ns > 0);
+}
+
+#[test]
+fn cpu_accounting_is_off_by_default() {
+    let mut topo = topo_with(0);
+    topo.sim.add_flow(topo.hosts[0], topo.hosts[1], 1460, SimTime::ZERO, 1);
+    topo.sim.run(RunLimits::default());
+    assert_eq!(topo.sim.cpu_account(topo.hosts[1]), (0, 0));
+}
+
+#[test]
+fn port_sampler_sees_backlog_with_priorities() {
+    let mut topo = topo_with(0);
+    // Two senders into one host: the shared egress port backs up.
+    topo.sim.add_flow(topo.hosts[0], topo.hosts[2], 200 * 1460, SimTime::ZERO, 1);
+    topo.sim.add_flow(topo.hosts[1], topo.hosts[2], 200 * 1460, SimTime::ZERO, 1);
+    let port = topo
+        .sim
+        .switch_port_towards(topo.leaves[0], NodeId::Host(topo.hosts[2]))
+        .expect("port toward receiver");
+    let sampler = topo.sim.sample_port(
+        topo.leaves[0],
+        port,
+        SimDuration::from_micros(10),
+        SimTime(1_000_000),
+    );
+    topo.sim.run(RunLimits::default());
+    let samples = topo.sim.samples(sampler);
+    assert!(!samples.is_empty());
+    let max_backlog = samples.iter().map(|s| s.value).max().unwrap();
+    assert!(max_backlog > 100_000, "burst should queue >100KB, saw {max_backlog}");
+    // Per-priority decomposition sums to the total.
+    for s in samples {
+        assert_eq!(s.per_priority.iter().sum::<u64>(), s.value);
+    }
+}
+
+#[test]
+fn sampler_stops_at_its_deadline() {
+    let mut topo = topo_with(0);
+    topo.sim.add_flow(topo.hosts[0], topo.hosts[1], 1000 * 1460, SimTime::ZERO, 1);
+    let link = topo.sim.host_uplink(topo.hosts[0]);
+    let sampler = topo.sim.sample_link(link, SimDuration::from_micros(10), SimTime(200_000));
+    topo.sim.run(RunLimits::default());
+    let samples = topo.sim.samples(sampler);
+    assert!(samples.iter().all(|s| s.at.as_nanos() <= 200_000));
+    // 10us interval over 200us => exactly 20 samples.
+    assert_eq!(samples.len(), 20);
+}
+
+#[test]
+fn link_counters_track_bytes_and_packets() {
+    let mut topo = topo_with(0);
+    let size = 10 * 1460u64;
+    topo.sim.add_flow(topo.hosts[0], topo.hosts[1], size, SimTime::ZERO, 1);
+    topo.sim.run(RunLimits::default());
+    let link = topo.sim.link(topo.sim.host_uplink(topo.hosts[0]));
+    assert_eq!(link.tx_packets, 10);
+    assert_eq!(link.tx_bytes, size + 10 * 40); // payload + headers
+    // All at priority 0 => the high-band counter matches.
+    assert_eq!(link.tx_high_bytes, link.tx_bytes);
+}
+
+#[test]
+#[should_panic(expected = "no route")]
+fn forwarding_without_routes_panics_clearly() {
+    let mut sim = netsim::Simulator::<Hdr>::new();
+    let sw = sim.add_switch(SwitchConfig::basic(1 << 20));
+    let a = sim.add_host();
+    let b = sim.add_host();
+    sim.connect(NodeId::Host(a), NodeId::Switch(sw), Rate::gbps(1), SimDuration::from_micros(1));
+    sim.connect(NodeId::Host(b), NodeId::Switch(sw), Rate::gbps(1), SimDuration::from_micros(1));
+    // build_routes() deliberately not called.
+    sim.set_transport(a, Box::new(Blast { rx: Default::default(), spin: 0 }));
+    sim.set_transport(b, Box::new(Blast { rx: Default::default(), spin: 0 }));
+    sim.add_flow(a, b, 100, SimTime::ZERO, 100);
+    sim.run(RunLimits::default());
+}
+
+#[test]
+#[should_panic(expected = "already cabled")]
+fn double_cabling_a_host_panics() {
+    let mut sim = netsim::Simulator::<Hdr>::new();
+    let sw = sim.add_switch(SwitchConfig::basic(1 << 20));
+    let a = sim.add_host();
+    sim.connect(NodeId::Host(a), NodeId::Switch(sw), Rate::gbps(1), SimDuration::from_micros(1));
+    sim.connect(NodeId::Host(a), NodeId::Switch(sw), Rate::gbps(1), SimDuration::from_micros(1));
+}

@@ -1,0 +1,551 @@
+//! The experiment harness: build a topology, install a scheme, inject a
+//! workload, run, and collect FCT statistics — the loop every figure of
+//! the paper runs.
+
+use netsim::{Rate, RunLimits, SimDuration, SimTime, SwitchConfig, Topology};
+use transports::{MwRecorder, Proto, TcpCfg};
+use workloads::FlowSpec;
+
+use dcn_stats::FctStats;
+use ppt_core::PptConfig;
+
+/// Everything scheme installation needs to know about the environment.
+#[derive(Clone, Debug)]
+pub struct SchemeEnv {
+    /// Edge (host) link rate.
+    pub edge_rate: Rate,
+    /// Base round-trip time.
+    pub base_rtt: SimDuration,
+    /// Per-port switch buffer, bytes.
+    pub port_buffer: u64,
+    /// ECN threshold for DCTCP / the HCP queues.
+    pub k_high: u64,
+    /// ECN threshold for the LCP queues.
+    pub k_low: u64,
+    /// Homa/Aeolus/NDP first-window ("RTTbytes").
+    pub rtt_bytes: u64,
+    /// Minimum RTO.
+    pub min_rto: SimDuration,
+    /// TCP send buffer (PPT identification + tail reach).
+    pub send_buffer: u64,
+    /// NDP trim threshold.
+    pub trim_threshold: u64,
+}
+
+impl SchemeEnv {
+    /// Defaults from the paper's Table 3 scaled to an environment.
+    pub fn new(edge_rate: Rate, base_rtt: SimDuration) -> Self {
+        let (k_high, k_low) = ppt_core::ppt_thresholds(edge_rate, base_rtt);
+        SchemeEnv {
+            edge_rate,
+            base_rtt,
+            port_buffer: 120_000,
+            k_high,
+            k_low,
+            rtt_bytes: netsim::bdp_bytes(edge_rate, base_rtt).max(10 * netsim::MSS_BYTES as u64),
+            min_rto: SimDuration::from_millis(10),
+            send_buffer: 2 << 20,
+            trim_threshold: 8 * netsim::MTU_BYTES as u64,
+        }
+    }
+
+    /// The paper's 15-host 10 G testbed (§6.1, Table 3): 80 µs RTT,
+    /// RTOmin 10 ms, K = 100 KB / 80 KB, big (50 MB-class) buffers.
+    pub fn paper_testbed() -> Self {
+        let mut env = Self::new(Rate::gbps(10), SimDuration::from_micros(80));
+        env.port_buffer = 1_000_000; // 50MB / 54 ports ≈ ~1MB per port
+        env.k_high = 100_000;
+        env.k_low = 80_000;
+        env.rtt_bytes = 50_000;
+        env
+    }
+
+    /// The paper's large-scale simulation settings (§6.2): 120 KB port
+    /// buffers, K = 96 KB / 86 KB, RTTbytes = 45 KB, 2 GB send buffers.
+    pub fn paper_sim(edge_rate: Rate, base_rtt: SimDuration) -> Self {
+        let mut env = Self::new(edge_rate, base_rtt);
+        env.port_buffer = 120_000;
+        env.k_high = 96_000;
+        env.k_low = 86_000;
+        env.rtt_bytes = 45_000;
+        env.min_rto = SimDuration::from_millis(1);
+        env.send_buffer = 2 << 30;
+        env
+    }
+
+    /// TCP mechanics derived from this environment.
+    pub fn tcp_cfg(&self) -> TcpCfg {
+        let mut cfg = TcpCfg::new(self.base_rtt);
+        cfg.min_rto = self.min_rto;
+        cfg
+    }
+
+    /// PPT configuration derived from this environment.
+    pub fn ppt_cfg(&self) -> PptConfig {
+        let mut cfg = PptConfig::new(self.edge_rate, self.base_rtt);
+        cfg.send_buffer_bytes = self.send_buffer;
+        cfg
+    }
+}
+
+/// Every scheme the paper evaluates, plus PPT's ablation variants.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Scheme {
+    Dctcp,
+    /// Table 1 baseline: loss-based TCP with a 10-MSS initial window.
+    Tcp10,
+    /// Table 1 baseline: TCP-10 + line-rate first RTT for short flows.
+    Halfback,
+    /// Table 1 baseline: credit-scheduled proactive transport.
+    ExpressPass,
+    Ppt,
+    /// Fig 15: LCP without ECN.
+    PptNoLcpEcn,
+    /// Fig 16: no EWD (line-rate LCP).
+    PptNoEwd,
+    /// Fig 17: no flow scheduling.
+    PptNoScheduling,
+    /// Fig 18: no buffer-aware identification.
+    PptNoIdentification,
+    /// Fig 3: fill to `fraction × MW`.
+    PptFill(f64),
+    Rc3,
+    /// Fig 24: RC3 with the low-priority buffer capped to a fraction of
+    /// the port buffer.
+    Rc3BufferCap(f64),
+    Pias,
+    Homa,
+    Aeolus,
+    Ndp,
+    Hpcc,
+    /// Appendix B: PPT's LCP + scheduling layered over HPCC, with
+    /// priority-aware INT.
+    HpccPpt,
+    Swift,
+    /// Fig 14: PPT layered over the Swift-like transport.
+    SwiftPpt,
+    /// §2.3: oracle gap-filler at `fraction × MW` (runs a DCTCP recording
+    /// pass automatically).
+    Hypothetical(f64),
+}
+
+impl Scheme {
+    /// Display name matching the paper's figures.
+    pub fn name(&self) -> String {
+        match self {
+            Scheme::Dctcp => "DCTCP".into(),
+            Scheme::Tcp10 => "TCP-10".into(),
+            Scheme::Halfback => "Halfback".into(),
+            Scheme::ExpressPass => "ExpressPass".into(),
+            Scheme::Ppt => "PPT".into(),
+            Scheme::PptNoLcpEcn => "PPT w/o ECN".into(),
+            Scheme::PptNoEwd => "PPT w/o EWD".into(),
+            Scheme::PptNoScheduling => "PPT w/o scheduling".into(),
+            Scheme::PptNoIdentification => "PPT w/o identification".into(),
+            Scheme::PptFill(f) => format!("PPT fill {:.0}%×MW", f * 100.0),
+            Scheme::Rc3 => "RC3".into(),
+            Scheme::Rc3BufferCap(f) => format!("RC3 lp-buf {:.0}%", f * 100.0),
+            Scheme::Pias => "PIAS".into(),
+            Scheme::Homa => "Homa".into(),
+            Scheme::Aeolus => "Aeolus".into(),
+            Scheme::Ndp => "NDP".into(),
+            Scheme::Hpcc => "HPCC".into(),
+            Scheme::HpccPpt => "PPT-over-HPCC".into(),
+            Scheme::Swift => "Swift-like".into(),
+            Scheme::SwiftPpt => "PPT-over-Swift".into(),
+            Scheme::Hypothetical(f) => format!("hypothetical DCTCP ({:.0}%×MW)", f * 100.0),
+        }
+    }
+
+    /// The switch configuration this scheme requires.
+    pub fn switch_config(&self, env: &SchemeEnv) -> SwitchConfig {
+        match self {
+            Scheme::Dctcp | Scheme::Pias => SwitchConfig::dctcp(env.port_buffer, env.k_high),
+            Scheme::Tcp10 | Scheme::Halfback | Scheme::ExpressPass => {
+                SwitchConfig::basic(env.port_buffer)
+            }
+            Scheme::Ppt
+            | Scheme::PptNoLcpEcn
+            | Scheme::PptNoEwd
+            | Scheme::PptNoScheduling
+            | Scheme::PptNoIdentification
+            | Scheme::PptFill(_)
+            | Scheme::SwiftPpt
+            | Scheme::Hypothetical(_) => SwitchConfig::ppt(env.port_buffer, env.k_high, env.k_low),
+            Scheme::Rc3 => SwitchConfig::ppt(env.port_buffer, env.k_high, env.k_low),
+            Scheme::Rc3BufferCap(frac) => {
+                SwitchConfig::ppt(env.port_buffer, env.k_high, env.k_low).with_range_cap(
+                    4,
+                    8,
+                    (env.port_buffer as f64 * frac) as u64,
+                )
+            }
+            Scheme::Homa => transports::homa_switch_config(env.port_buffer, false),
+            Scheme::Aeolus => transports::homa_switch_config(env.port_buffer, true),
+            Scheme::Ndp => SwitchConfig::ndp(env.port_buffer, env.trim_threshold),
+            Scheme::Hpcc | Scheme::Swift => SwitchConfig::basic(env.port_buffer),
+            Scheme::HpccPpt => {
+                // No ECN for the INT-driven HCP band; PPT's low threshold
+                // for the LCP band; push-out protection.
+                let mut cfg = SwitchConfig::basic(env.port_buffer).with_push_out(true);
+                for p in 4..8 {
+                    cfg.ecn[p] = Some(netsim::EcnRule {
+                        threshold_bytes: env.k_low,
+                        scope: netsim::MarkScope::Port,
+                    });
+                }
+                cfg
+            }
+        }
+    }
+
+    /// Install the scheme on every host of a built topology.
+    /// (The `Hypothetical` variant needs the two-pass [`run_experiment`].)
+    pub fn install(&self, topo: &mut Topology<Proto>, env: &SchemeEnv) {
+        let tcp = env.tcp_cfg();
+        match self {
+            Scheme::Dctcp => transports::install_dctcp(topo, &tcp),
+            Scheme::Tcp10 => {
+                for &h in &topo.hosts.clone() {
+                    topo.sim.set_transport(h, Box::new(transports::DctcpTransport::tcp10(tcp.clone())));
+                }
+            }
+            Scheme::Halfback => {
+                for &h in &topo.hosts.clone() {
+                    topo.sim.set_transport(h, Box::new(transports::DctcpTransport::halfback(tcp.clone())));
+                }
+            }
+            Scheme::ExpressPass => transports::install_expresspass(topo, env.min_rto),
+            Scheme::Ppt => transports::install_ppt(topo, &tcp, &env.ppt_cfg()),
+            Scheme::PptNoLcpEcn => {
+                let mut cfg = env.ppt_cfg();
+                cfg.lcp_ecn_enabled = false;
+                transports::install_ppt(topo, &tcp, &cfg);
+            }
+            Scheme::PptNoEwd => {
+                let mut cfg = env.ppt_cfg();
+                cfg.ewd_enabled = false;
+                transports::install_ppt(topo, &tcp, &cfg);
+            }
+            Scheme::PptNoScheduling => {
+                let mut cfg = env.ppt_cfg();
+                cfg.scheduling_enabled = false;
+                transports::install_ppt(topo, &tcp, &cfg);
+            }
+            Scheme::PptNoIdentification => {
+                let mut cfg = env.ppt_cfg();
+                cfg.identification_enabled = false;
+                transports::install_ppt(topo, &tcp, &cfg);
+            }
+            Scheme::PptFill(frac) => {
+                let mut cfg = env.ppt_cfg();
+                cfg.fill_fraction = *frac;
+                transports::install_ppt(topo, &tcp, &cfg);
+            }
+            Scheme::Rc3 | Scheme::Rc3BufferCap(_) => {
+                let cfg = transports::Rc3Cfg {
+                    bdp_bytes: netsim::bdp_bytes(env.edge_rate, env.base_rtt),
+                    send_buffer_bytes: 2 << 30,
+                };
+                transports::install_rc3(topo, &tcp, &cfg);
+            }
+            Scheme::Pias => transports::install_pias(topo, &tcp, &transports::PiasCfg::default()),
+            Scheme::Homa => {
+                let mut cfg = transports::HomaCfg::new(env.rtt_bytes);
+                cfg.resend_timeout = env.min_rto;
+                transports::install_homa(topo, &cfg);
+            }
+            Scheme::Aeolus => {
+                let mut cfg = transports::HomaCfg::new(env.rtt_bytes).aeolus();
+                cfg.resend_timeout = env.min_rto;
+                transports::install_homa(topo, &cfg);
+            }
+            Scheme::Ndp => transports::install_ndp(topo, env.min_rto),
+            Scheme::Hpcc => transports::install_hpcc(topo, &tcp),
+            Scheme::HpccPpt => transports::install_hpcc_ppt(topo, &tcp, &env.ppt_cfg()),
+            Scheme::Swift => transports::install_swift(topo, &tcp),
+            Scheme::SwiftPpt => transports::install_swift_ppt(topo, &tcp, &env.ppt_cfg()),
+            Scheme::Hypothetical(_) => {
+                panic!("Hypothetical needs the two-pass run_experiment()")
+            }
+        }
+    }
+}
+
+/// Which topology an experiment runs on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TopoKind {
+    /// `n` hosts on one switch.
+    Star { n: usize, rate_gbps: u64, delay_us: u64 },
+    /// The §6.1 testbed: 15 hosts, 10 G, ~80 µs RTT.
+    PaperTestbed,
+    /// The §6.2 oversubscribed fabric: 144 hosts, 40/100 G.
+    Oversubscribed,
+    /// Appendix E: 144 hosts, 10/40 G, 1:1.
+    NonOversubscribed,
+    /// §6.3.2: 144 hosts, 100/400 G.
+    HighSpeed,
+    /// A k-ary fat-tree (k³/4 hosts) — beyond the paper's two-tier
+    /// fabrics, for scale-out studies.
+    FatTree { k: usize, edge_gbps: u64 },
+}
+
+impl TopoKind {
+    /// Build the topology with the given per-port switch config.
+    pub fn build(&self, cfg: SwitchConfig) -> Topology<Proto> {
+        match *self {
+            TopoKind::Star { n, rate_gbps, delay_us } => netsim::star(
+                n,
+                Rate::gbps(rate_gbps),
+                SimDuration::from_micros(delay_us),
+                cfg,
+            ),
+            TopoKind::PaperTestbed => netsim::topology::paper_testbed(cfg),
+            TopoKind::Oversubscribed => netsim::topology::paper_oversubscribed(cfg),
+            TopoKind::NonOversubscribed => netsim::topology::paper_nonoversubscribed(cfg),
+            TopoKind::HighSpeed => netsim::topology::paper_100_400g(cfg),
+            TopoKind::FatTree { k, edge_gbps } => netsim::fat_tree(
+                &netsim::FatTreeParams {
+                    k,
+                    edge_rate: Rate::gbps(edge_gbps),
+                    aggregate_rate: Rate::gbps(edge_gbps * 4),
+                    core_rate: Rate::gbps(edge_gbps * 4),
+                    link_delay: SimDuration::from_micros(1),
+                },
+                cfg,
+            ),
+        }
+    }
+
+    /// Edge rate of the topology (for load calculations).
+    pub fn edge_rate(&self) -> Rate {
+        match *self {
+            TopoKind::Star { rate_gbps, .. } => Rate::gbps(rate_gbps),
+            TopoKind::PaperTestbed => Rate::gbps(10),
+            TopoKind::Oversubscribed => Rate::gbps(40),
+            TopoKind::NonOversubscribed => Rate::gbps(10),
+            TopoKind::HighSpeed => Rate::gbps(100),
+            TopoKind::FatTree { edge_gbps, .. } => Rate::gbps(edge_gbps),
+        }
+    }
+
+    /// Host count.
+    pub fn hosts(&self) -> usize {
+        match *self {
+            TopoKind::Star { n, .. } => n,
+            TopoKind::PaperTestbed => 15,
+            TopoKind::FatTree { k, .. } => k * k * k / 4,
+            _ => 144,
+        }
+    }
+
+    /// Base RTT of the topology.
+    pub fn base_rtt(&self) -> SimDuration {
+        match *self {
+            TopoKind::Star { delay_us, .. } => SimDuration::from_micros(delay_us) * 4,
+            TopoKind::PaperTestbed => SimDuration::from_micros(80),
+            TopoKind::FatTree { .. } => SimDuration::from_micros(10),
+            _ => SimDuration::from_micros(12),
+        }
+    }
+
+    /// A `SchemeEnv` with the paper's parameters for this topology.
+    pub fn env(&self) -> SchemeEnv {
+        match self {
+            TopoKind::PaperTestbed | TopoKind::Star { .. } => {
+                let mut env = SchemeEnv::paper_testbed();
+                env.edge_rate = self.edge_rate();
+                env.base_rtt = self.base_rtt();
+                env
+            }
+            _ => SchemeEnv::paper_sim(self.edge_rate(), self.base_rtt()),
+        }
+    }
+}
+
+/// A fully-described experiment.
+#[derive(Clone, Debug)]
+pub struct Experiment {
+    pub topo: TopoKind,
+    pub scheme: Scheme,
+    pub env: SchemeEnv,
+    pub flows: Vec<FlowSpec>,
+    /// Wall stop (simulated); generous defaults cover stragglers.
+    pub max_time: SimTime,
+    pub max_events: u64,
+}
+
+impl Experiment {
+    /// New experiment with the topology's default environment.
+    pub fn new(topo: TopoKind, scheme: Scheme, flows: Vec<FlowSpec>) -> Self {
+        Experiment {
+            env: topo.env(),
+            topo,
+            scheme,
+            flows,
+            max_time: SimTime(30_000_000_000), // 30s simulated
+            max_events: 4_000_000_000,
+        }
+    }
+}
+
+/// What an experiment run produced.
+pub struct Outcome {
+    /// Per-flow FCTs of completed flows.
+    pub fct: FctStats,
+    /// Fraction of flows that completed.
+    pub completion_ratio: f64,
+    /// Aggregate switch counters (drops, marks, trims).
+    pub counters: netsim::PortCounters,
+    /// The simulator (for post-hoc inspection: samplers, links).
+    pub sim: netsim::Simulator<Proto>,
+    /// Engine report.
+    pub report: netsim::RunReport,
+}
+
+/// Run an experiment end to end. `Hypothetical` schemes automatically run
+/// the plain-DCTCP recording pass on an identical topology + workload
+/// first (the §2.3 construction).
+pub fn run_experiment(exp: &Experiment) -> Outcome {
+    run_experiment_with(exp, |_| {})
+}
+
+/// [`run_experiment`] with a pre-run hook for installing samplers.
+pub fn run_experiment_with<F>(exp: &Experiment, pre_run: F) -> Outcome
+where
+    F: FnOnce(&mut Topology<Proto>),
+{
+    let oracle: Option<MwRecorder> = match exp.scheme {
+        Scheme::Hypothetical(_) => {
+            // Recording pass: plain DCTCP on the same topology & flows.
+            let rec: MwRecorder = std::rc::Rc::new(std::cell::RefCell::new(
+                std::collections::HashMap::new(),
+            ));
+            let mut topo = exp.topo.build(Scheme::Dctcp.switch_config(&exp.env));
+            let tcp = exp.env.tcp_cfg();
+            for &h in &topo.hosts.clone() {
+                topo.sim.set_transport(
+                    h,
+                    Box::new(
+                        transports::DctcpTransport::new(tcp.clone()).with_mw_recorder(rec.clone()),
+                    ),
+                );
+            }
+            workloads::install_flows(&mut topo.sim, &topo.hosts, &exp.flows);
+            topo.sim.run(RunLimits { max_time: exp.max_time, max_events: exp.max_events });
+            Some(rec)
+        }
+        _ => None,
+    };
+
+    let mut topo = exp.topo.build(exp.scheme.switch_config(&exp.env));
+    match (&exp.scheme, &oracle) {
+        (Scheme::Hypothetical(frac), Some(rec)) => {
+            transports::install_hypothetical(&mut topo, &exp.env.tcp_cfg(), rec, *frac);
+        }
+        _ => exp.scheme.install(&mut topo, &exp.env),
+    }
+    workloads::install_flows(&mut topo.sim, &topo.hosts, &exp.flows);
+    pre_run(&mut topo);
+    let report = topo.sim.run(RunLimits { max_time: exp.max_time, max_events: exp.max_events });
+    let fct = FctStats::from_sim(&topo.sim);
+    let completion_ratio = FctStats::completion_ratio(&topo.sim);
+    let counters = topo.sim.total_counters();
+    Outcome { fct, completion_ratio, counters, sim: topo.sim, report }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_schemes() -> Vec<Scheme> {
+        vec![
+            Scheme::Dctcp,
+            Scheme::Tcp10,
+            Scheme::Halfback,
+            Scheme::ExpressPass,
+            Scheme::Ppt,
+            Scheme::PptNoLcpEcn,
+            Scheme::PptNoEwd,
+            Scheme::PptNoScheduling,
+            Scheme::PptNoIdentification,
+            Scheme::PptFill(0.75),
+            Scheme::Rc3,
+            Scheme::Rc3BufferCap(0.5),
+            Scheme::Pias,
+            Scheme::Homa,
+            Scheme::Aeolus,
+            Scheme::Ndp,
+            Scheme::Hpcc,
+            Scheme::HpccPpt,
+            Scheme::Swift,
+            Scheme::SwiftPpt,
+            Scheme::Hypothetical(1.0),
+        ]
+    }
+
+    #[test]
+    fn scheme_names_are_unique() {
+        let names: Vec<String> = all_schemes().iter().map(|s| s.name()).collect();
+        let mut dedup = names.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), names.len(), "duplicate scheme names");
+    }
+
+    #[test]
+    fn switch_configs_are_well_formed() {
+        let env = SchemeEnv::paper_sim(Rate::gbps(40), SimDuration::from_micros(12));
+        for scheme in all_schemes() {
+            let cfg = scheme.switch_config(&env);
+            assert!(cfg.port_buffer_bytes > 0, "{}: zero buffer", scheme.name());
+            for rule in cfg.ecn.iter().flatten() {
+                assert!(rule.threshold_bytes <= cfg.port_buffer_bytes,
+                        "{}: K above the buffer", scheme.name());
+            }
+            for cap in &cfg.range_caps {
+                assert!(cap.lo < cap.hi && cap.hi as usize <= netsim::NUM_PRIORITIES);
+            }
+        }
+    }
+
+    #[test]
+    fn topo_kinds_build_consistently() {
+        for kind in [
+            TopoKind::Star { n: 3, rate_gbps: 10, delay_us: 5 },
+            TopoKind::PaperTestbed,
+            TopoKind::Oversubscribed,
+            TopoKind::NonOversubscribed,
+            TopoKind::HighSpeed,
+        ] {
+            let topo = kind.build(SwitchConfig::basic(1 << 20));
+            assert_eq!(topo.hosts.len(), kind.hosts(), "{kind:?}: host count");
+            assert_eq!(topo.edge_rate, kind.edge_rate(), "{kind:?}: edge rate");
+            assert_eq!(topo.base_rtt, kind.base_rtt(), "{kind:?}: base rtt");
+        }
+    }
+
+    #[test]
+    fn envs_follow_the_paper_tables() {
+        let tb = SchemeEnv::paper_testbed();
+        assert_eq!(tb.k_high, 100_000);
+        assert_eq!(tb.k_low, 80_000);
+        assert_eq!(tb.rtt_bytes, 50_000);
+        assert_eq!(tb.min_rto, SimDuration::from_millis(10));
+
+        let sim = SchemeEnv::paper_sim(Rate::gbps(40), SimDuration::from_micros(12));
+        assert_eq!(sim.port_buffer, 120_000);
+        assert_eq!(sim.k_high, 96_000);
+        assert_eq!(sim.k_low, 86_000);
+        assert_eq!(sim.rtt_bytes, 45_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "two-pass")]
+    fn hypothetical_requires_two_pass_runner() {
+        let mut topo = TopoKind::Star { n: 2, rate_gbps: 10, delay_us: 5 }
+            .build(SwitchConfig::basic(1 << 20));
+        let env = SchemeEnv::new(Rate::gbps(10), SimDuration::from_micros(20));
+        Scheme::Hypothetical(1.0).install(&mut topo, &env);
+    }
+}

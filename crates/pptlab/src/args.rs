@@ -1,0 +1,70 @@
+//! Minimal `--key value` argument parsing (no external dependencies).
+
+use std::collections::HashMap;
+use std::str::FromStr;
+
+/// Parsed `--key value` pairs.
+pub struct Args {
+    values: HashMap<String, String>,
+}
+
+impl Args {
+    /// Parse a `--key value --key2 value2 …` list; rejects bare tokens
+    /// and dangling keys.
+    pub fn parse(argv: &[String]) -> Result<Args, String> {
+        let mut values = HashMap::new();
+        let mut it = argv.iter();
+        while let Some(tok) = it.next() {
+            let key = tok
+                .strip_prefix("--")
+                .ok_or_else(|| format!("expected --option, got '{tok}'"))?;
+            let val = it
+                .next()
+                .ok_or_else(|| format!("--{key} needs a value"))?;
+            values.insert(key.to_string(), val.clone());
+        }
+        Ok(Args { values })
+    }
+
+    /// Raw value of `--key`.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.values.get(key).map(|s| s.as_str())
+    }
+
+    /// Parse `--key` as `T`, defaulting when absent.
+    pub fn parse_or<T: FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("--{key}: cannot parse '{v}'")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sv(v: &[&str]) -> Vec<String> {
+        v.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_pairs() {
+        let a = Args::parse(&sv(&["--load", "0.7", "--flows", "100"])).unwrap();
+        assert_eq!(a.get("load"), Some("0.7"));
+        assert_eq!(a.parse_or::<usize>("flows", 0).unwrap(), 100);
+        assert_eq!(a.parse_or::<u64>("seed", 42).unwrap(), 42);
+    }
+
+    #[test]
+    fn rejects_bare_tokens_and_dangling_keys() {
+        assert!(Args::parse(&sv(&["load"])).is_err());
+        assert!(Args::parse(&sv(&["--load"])).is_err());
+    }
+
+    #[test]
+    fn bad_parse_is_an_error_not_a_default() {
+        let a = Args::parse(&sv(&["--flows", "abc"])).unwrap();
+        assert!(a.parse_or::<usize>("flows", 1).is_err());
+    }
+}

@@ -1,0 +1,269 @@
+//! pptlab — run any scheme/topology/workload combination from the shell.
+//!
+//! ```text
+//! pptlab compare --schemes ppt,dctcp,homa --topo testbed --workload websearch \
+//!                --load 0.5 --flows 600 --seed 42
+//! pptlab schemes            # list every scheme id
+//! pptlab topos              # list topology ids
+//! ```
+
+use std::process::ExitCode;
+
+use ppt::harness::{run_experiment, Experiment, Scheme, TopoKind};
+use ppt::workloads::{all_to_all, incast, SizeDistribution, WorkloadSpec};
+
+mod args;
+
+use args::Args;
+
+const USAGE: &str = "\
+pptlab — PPT reproduction laboratory
+
+USAGE:
+  pptlab compare [OPTIONS]     run schemes on one workload and print FCT rows
+  pptlab gen [OPTIONS] > t.csv generate a flow trace as CSV on stdout
+  pptlab schemes               list scheme ids
+  pptlab topos                 list topology ids
+  pptlab workloads             list workload ids
+
+OPTIONS (compare):
+  --schemes a,b,c   comma-separated scheme ids        [default: ppt,dctcp]
+  --topo ID         testbed | oversub | nonoversub | highspeed | star:<n>:<gbps>:<delay_us>
+                                                      [default: testbed]
+  --workload ID     websearch | datamining | memcached [default: websearch]
+  --load F          network load in (0,1]             [default: 0.5]
+  --flows N         number of flows                   [default: 400]
+  --seed N          workload seed                     [default: 42]
+  --incast N        N-to-1 incast with N senders instead of all-to-all
+  --trace FILE      replay a CSV flow trace instead of generating one
+                    (columns: src,dst,size_bytes,start_ns,first_write_bytes)
+";
+
+fn parse_scheme(id: &str) -> Option<Scheme> {
+    Some(match id {
+        "dctcp" => Scheme::Dctcp,
+        "tcp10" => Scheme::Tcp10,
+        "halfback" => Scheme::Halfback,
+        "expresspass" => Scheme::ExpressPass,
+        "ppt" => Scheme::Ppt,
+        "ppt-noecn" => Scheme::PptNoLcpEcn,
+        "ppt-noewd" => Scheme::PptNoEwd,
+        "ppt-nosched" => Scheme::PptNoScheduling,
+        "ppt-noident" => Scheme::PptNoIdentification,
+        "rc3" => Scheme::Rc3,
+        "pias" => Scheme::Pias,
+        "homa" => Scheme::Homa,
+        "aeolus" => Scheme::Aeolus,
+        "ndp" => Scheme::Ndp,
+        "hpcc" => Scheme::Hpcc,
+        "hpcc-ppt" => Scheme::HpccPpt,
+        "swift" => Scheme::Swift,
+        "swift-ppt" => Scheme::SwiftPpt,
+        "hypothetical" => Scheme::Hypothetical(1.0),
+        _ => {
+            if let Some(frac) = id.strip_prefix("ppt-fill:") {
+                return frac.parse().ok().map(Scheme::PptFill);
+            }
+            return None;
+        }
+    })
+}
+
+const SCHEME_IDS: &[&str] = &[
+    "dctcp", "tcp10", "halfback", "expresspass", "ppt", "ppt-noecn", "ppt-noewd",
+    "ppt-nosched", "ppt-noident", "ppt-fill:<f>", "rc3", "pias", "homa", "aeolus",
+    "ndp", "hpcc", "hpcc-ppt", "swift", "swift-ppt", "hypothetical",
+];
+
+fn parse_topo(id: &str) -> Option<TopoKind> {
+    Some(match id {
+        "testbed" => TopoKind::PaperTestbed,
+        "oversub" => TopoKind::Oversubscribed,
+        "nonoversub" => TopoKind::NonOversubscribed,
+        "highspeed" => TopoKind::HighSpeed,
+        _ => {
+            if let Some(rest) = id.strip_prefix("fattree:") {
+                let parts: Vec<&str> = rest.split(':').collect();
+                if parts.len() != 2 {
+                    return None;
+                }
+                return Some(TopoKind::FatTree {
+                    k: parts[0].parse().ok()?,
+                    edge_gbps: parts[1].parse().ok()?,
+                });
+            }
+            let rest = id.strip_prefix("star:")?;
+            let parts: Vec<&str> = rest.split(':').collect();
+            if parts.len() != 3 {
+                return None;
+            }
+            TopoKind::Star {
+                n: parts[0].parse().ok()?,
+                rate_gbps: parts[1].parse().ok()?,
+                delay_us: parts[2].parse().ok()?,
+            }
+        }
+    })
+}
+
+fn parse_workload(id: &str) -> Option<SizeDistribution> {
+    Some(match id {
+        "websearch" => SizeDistribution::web_search(),
+        "datamining" => SizeDistribution::data_mining(),
+        "memcached" => SizeDistribution::memcached_w1(),
+        _ => return None,
+    })
+}
+
+fn cmd_compare(args: &Args) -> Result<(), String> {
+    let scheme_list = args.get("schemes").unwrap_or("ppt,dctcp");
+    let schemes: Vec<Scheme> = scheme_list
+        .split(',')
+        .map(|s| parse_scheme(s.trim()).ok_or_else(|| format!("unknown scheme '{s}' (try `pptlab schemes`)")))
+        .collect::<Result<_, _>>()?;
+    let topo = parse_topo(args.get("topo").unwrap_or("testbed"))
+        .ok_or_else(|| "bad --topo (try `pptlab topos`)".to_string())?;
+    let dist = parse_workload(args.get("workload").unwrap_or("websearch"))
+        .ok_or_else(|| "bad --workload (try `pptlab workloads`)".to_string())?;
+    let load: f64 = args.parse_or("load", 0.5)?;
+    let flows: usize = args.parse_or("flows", 400)?;
+    let seed: u64 = args.parse_or("seed", 42)?;
+
+    let spec = WorkloadSpec::new(dist.clone(), load, topo.edge_rate(), flows, seed);
+    let flow_list = if let Some(path) = args.get("trace") {
+        let file = std::fs::File::open(path).map_err(|e| format!("--trace {path}: {e}"))?;
+        let flows = ppt::workloads::read_csv(std::io::BufReader::new(file))?;
+        if let Some(bad) = flows.iter().find(|f| f.src >= topo.hosts() || f.dst >= topo.hosts()) {
+            return Err(format!(
+                "trace references host {} but topo has {}",
+                bad.src.max(bad.dst),
+                topo.hosts()
+            ));
+        }
+        flows
+    } else {
+        match args.get("incast") {
+            Some(n) => {
+                let n: usize = n.parse().map_err(|_| "--incast expects a count".to_string())?;
+                if n + 1 > topo.hosts() {
+                    return Err(format!("--incast {n} needs {} hosts, topo has {}", n + 1, topo.hosts()));
+                }
+                incast(n, &spec)
+            }
+            None => all_to_all(topo.hosts(), &spec),
+        }
+    };
+
+    println!(
+        "topo={:?} workload={} load={} flows={} seed={}\n",
+        topo,
+        dist.name(),
+        load,
+        flows,
+        seed
+    );
+    println!(
+        "{:<24} {:>12} {:>12} {:>12} {:>12} {:>8} {:>10}",
+        "scheme", "overall(us)", "small avg", "small p99", "large avg", "done%", "drops"
+    );
+    for scheme in schemes {
+        let name = scheme.name();
+        let outcome = run_experiment(&Experiment::new(topo, scheme, flow_list.clone()));
+        let s = outcome.fct.summary();
+        println!(
+            "{:<24} {:>12.1} {:>12.1} {:>12.1} {:>12.1} {:>8.1} {:>10}",
+            name,
+            s.overall_avg_us,
+            s.small_avg_us,
+            s.small_p99_us,
+            s.large_avg_us,
+            outcome.completion_ratio * 100.0,
+            outcome.counters.dropped
+        );
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = argv.first() else {
+        eprint!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    match cmd.as_str() {
+        "compare" => {
+            let args = match Args::parse(&argv[1..]) {
+                Ok(a) => a,
+                Err(e) => {
+                    eprintln!("error: {e}\n\n{USAGE}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            if let Err(e) = cmd_compare(&args) {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+            ExitCode::SUCCESS
+        }
+        "gen" => {
+            let args = match Args::parse(&argv[1..]) {
+                Ok(a) => a,
+                Err(e) => {
+                    eprintln!("error: {e}\n\n{USAGE}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let run = || -> Result<(), String> {
+                let topo = parse_topo(args.get("topo").unwrap_or("testbed"))
+                    .ok_or_else(|| "bad --topo".to_string())?;
+                let dist = parse_workload(args.get("workload").unwrap_or("websearch"))
+                    .ok_or_else(|| "bad --workload".to_string())?;
+                let load: f64 = args.parse_or("load", 0.5)?;
+                let flows: usize = args.parse_or("flows", 400)?;
+                let seed: u64 = args.parse_or("seed", 42)?;
+                let spec = WorkloadSpec::new(dist, load, topo.edge_rate(), flows, seed);
+                let list = all_to_all(topo.hosts(), &spec);
+                ppt::workloads::write_csv(std::io::stdout().lock(), &list)
+                    .map_err(|e| e.to_string())
+            };
+            if let Err(e) = run() {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+            ExitCode::SUCCESS
+        }
+        "schemes" => {
+            for id in SCHEME_IDS {
+                println!("{id}");
+            }
+            ExitCode::SUCCESS
+        }
+        "topos" => {
+            println!("testbed            15 hosts, 10G, 80us RTT (paper §6.1)");
+            println!("oversub            144 hosts, 40/100G, 1.4:1 (paper §6.2)");
+            println!("nonoversub         144 hosts, 10/40G, 1:1 (appendix E)");
+            println!("highspeed          144 hosts, 100/400G (§6.3.2)");
+            println!("star:<n>:<gbps>:<delay_us>   custom single switch");
+            println!("fattree:<k>:<edge_gbps>      k-ary fat-tree (k^3/4 hosts)");
+            ExitCode::SUCCESS
+        }
+        "workloads" => {
+            for (id, d) in [
+                ("websearch", SizeDistribution::web_search()),
+                ("datamining", SizeDistribution::data_mining()),
+                ("memcached", SizeDistribution::memcached_w1()),
+            ] {
+                println!("{id:<12} mean {:>10.0} B, {:>5.1}% <=100KB", d.mean_bytes(), d.cdf(100_000) * 100.0);
+            }
+            ExitCode::SUCCESS
+        }
+        "--help" | "-h" | "help" => {
+            print!("{USAGE}");
+            ExitCode::SUCCESS
+        }
+        other => {
+            eprintln!("unknown command '{other}'\n\n{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}

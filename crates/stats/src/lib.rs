@@ -1,0 +1,13 @@
+//! # dcn-stats — flow-completion-time and network statistics
+//!
+//! Small, allocation-light helpers that turn raw simulator output
+//! (completions, link samples, port counters) into the numbers the paper
+//! reports: overall average FCT, average/99th-percentile FCT of small
+//! flows, average FCT of large flows, normalized link utilization, buffer
+//! occupancy shares and transfer efficiency.
+
+pub mod fct;
+pub mod series;
+
+pub use fct::{FctRecord, FctStats, FctSummary, SMALL_FLOW_MAX_BYTES};
+pub use series::{jain_index, mean_utilization, occupancy_split, utilization_series, OccupancySplit, UtilizationPoint};

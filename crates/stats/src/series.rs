@@ -1,0 +1,161 @@
+//! Time-series post-processing: link utilization and queue occupancy.
+
+use netsim::{Rate, Sample};
+
+/// One normalized utilization observation for a sampling interval.
+#[derive(Clone, Copy, Debug)]
+pub struct UtilizationPoint {
+    /// End of the interval, nanoseconds.
+    pub at_ns: u64,
+    /// Fraction of the link capacity used during the interval (0..=1).
+    pub utilization: f64,
+}
+
+/// Convert cumulative tx-byte samples of a link into per-interval
+/// normalized utilization (Fig 1 / Fig 20 post-processing).
+pub fn utilization_series(samples: &[Sample], rate: Rate) -> Vec<UtilizationPoint> {
+    samples
+        .windows(2)
+        .map(|w| {
+            let dt_ns = w[1].at.as_nanos() - w[0].at.as_nanos();
+            let dbytes = w[1].value - w[0].value;
+            let capacity_bytes = rate.bytes_per_sec() as f64 * dt_ns as f64 / 1e9;
+            UtilizationPoint {
+                at_ns: w[1].at.as_nanos(),
+                utilization: if capacity_bytes > 0.0 {
+                    (dbytes as f64 / capacity_bytes).min(1.0)
+                } else {
+                    0.0
+                },
+            }
+        })
+        .collect()
+}
+
+/// Mean of a utilization series.
+pub fn mean_utilization(points: &[UtilizationPoint]) -> f64 {
+    if points.is_empty() {
+        return f64::NAN;
+    }
+    points.iter().map(|p| p.utilization).sum::<f64>() / points.len() as f64
+}
+
+/// Average queue occupancy split into a high-priority group (P0–P3) and a
+/// low-priority group (P4–P7) from port samples (Fig 28 post-processing).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct OccupancySplit {
+    /// Mean bytes queued at priorities 0..4.
+    pub high_avg_bytes: f64,
+    /// Mean bytes queued at priorities 4..8.
+    pub low_avg_bytes: f64,
+    /// Mean total backlog.
+    pub total_avg_bytes: f64,
+}
+
+/// Compute mean occupancy shares from port samples.
+pub fn occupancy_split(samples: &[Sample]) -> OccupancySplit {
+    if samples.is_empty() {
+        return OccupancySplit::default();
+    }
+    let n = samples.len() as f64;
+    let mut high = 0.0;
+    let mut low = 0.0;
+    let mut total = 0.0;
+    for s in samples {
+        let h: u64 = s.per_priority[..4].iter().sum();
+        let l: u64 = s.per_priority[4..].iter().sum();
+        high += h as f64;
+        low += l as f64;
+        total += s.value as f64;
+    }
+    OccupancySplit {
+        high_avg_bytes: high / n,
+        low_avg_bytes: low / n,
+        total_avg_bytes: total / n,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim::SimTime;
+
+    fn sample(at_ns: u64, value: u64) -> Sample {
+        Sample { at: SimTime(at_ns), value, per_priority: [0; 8] }
+    }
+
+    #[test]
+    fn utilization_from_cumulative_counter() {
+        // 10Gbps link: 1.25 GB/s. 100us interval capacity = 125000 bytes.
+        let samples = vec![sample(0, 0), sample(100_000, 62_500), sample(200_000, 187_500)];
+        let u = utilization_series(&samples, Rate::gbps(10));
+        assert_eq!(u.len(), 2);
+        assert!((u[0].utilization - 0.5).abs() < 1e-9);
+        assert!((u[1].utilization - 1.0).abs() < 1e-9);
+        assert!((mean_utilization(&u) - 0.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn utilization_clamps_at_one() {
+        let samples = vec![sample(0, 0), sample(1, u64::MAX / 2)];
+        let u = utilization_series(&samples, Rate::mbps(1));
+        assert_eq!(u[0].utilization, 1.0);
+    }
+
+    #[test]
+    fn empty_series_is_nan_mean() {
+        assert!(mean_utilization(&[]).is_nan());
+        assert!(utilization_series(&[sample(0, 0)], Rate::gbps(1)).is_empty());
+    }
+
+    #[test]
+    fn occupancy_split_groups_priorities() {
+        let mut s1 = sample(0, 100);
+        s1.per_priority = [10, 10, 10, 10, 15, 15, 15, 15];
+        s1.value = 100;
+        let mut s2 = sample(1, 200);
+        s2.per_priority = [50, 0, 0, 0, 150, 0, 0, 0];
+        s2.value = 200;
+        let split = occupancy_split(&[s1, s2]);
+        assert_eq!(split.high_avg_bytes, (40.0 + 50.0) / 2.0);
+        assert_eq!(split.low_avg_bytes, (60.0 + 150.0) / 2.0);
+        assert_eq!(split.total_avg_bytes, 150.0);
+    }
+}
+
+/// Jain's fairness index over a set of allocations: (Σx)² / (n·Σx²).
+/// 1.0 = perfectly fair; 1/n = one flow gets everything.
+pub fn jain_index(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return f64::NAN;
+    }
+    let sum: f64 = values.iter().sum();
+    let sq: f64 = values.iter().map(|x| x * x).sum();
+    if sq == 0.0 {
+        return f64::NAN;
+    }
+    sum * sum / (values.len() as f64 * sq)
+}
+
+#[cfg(test)]
+mod jain_tests {
+    use super::jain_index;
+
+    #[test]
+    fn equal_allocations_are_perfectly_fair() {
+        assert!((jain_index(&[5.0, 5.0, 5.0, 5.0]) - 1.0).abs() < 1e-12);
+        assert!((jain_index(&[1.0]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_hog_approaches_one_over_n() {
+        let idx = jain_index(&[100.0, 0.0, 0.0, 0.0]);
+        assert!((idx - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_inputs_are_nan() {
+        assert!(jain_index(&[]).is_nan());
+        assert!(jain_index(&[0.0, 0.0]).is_nan());
+    }
+}

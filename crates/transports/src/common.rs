@@ -1,0 +1,309 @@
+//! Shared transport machinery: byte-interval bookkeeping and timer tokens.
+
+use std::collections::BTreeMap;
+
+/// A set of disjoint, coalesced half-open byte ranges `[start, end)`.
+///
+/// Used for receiver reassembly (which bytes arrived), sender scoreboards
+/// (which bytes were SACKed) and the dual-loop "claimed" set (which bytes
+/// either loop has transmitted at least once).
+#[derive(Clone, Debug, Default)]
+pub struct IntervalSet {
+    // start -> end, non-overlapping, non-adjacent.
+    ranges: BTreeMap<u64, u64>,
+    covered: u64,
+}
+
+impl IntervalSet {
+    /// Empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Insert `[start, end)`, merging with neighbours. Returns how many
+    /// previously-uncovered bytes became covered.
+    pub fn insert(&mut self, start: u64, end: u64) -> u64 {
+        if start >= end {
+            return 0;
+        }
+        let mut new_start = start;
+        let mut new_end = end;
+        // Absorb any range that overlaps or touches [start, end).
+        // Candidates begin at the last range starting at or before `end`.
+        let mut absorbed: Vec<u64> = Vec::new();
+        let mut absorbed_bytes = 0u64;
+        for (&s, &e) in self.ranges.range(..=end) {
+            if e < start {
+                continue;
+            }
+            // Touching or overlapping.
+            new_start = new_start.min(s);
+            new_end = new_end.max(e);
+            absorbed.push(s);
+            absorbed_bytes += e - s;
+        }
+        for s in absorbed {
+            self.ranges.remove(&s);
+        }
+        self.ranges.insert(new_start, new_end);
+        let gained = (new_end - new_start) - absorbed_bytes;
+        self.covered += gained;
+        gained
+    }
+
+    /// Total covered bytes.
+    pub fn covered_bytes(&self) -> u64 {
+        self.covered
+    }
+
+    /// Length of the contiguous covered prefix starting at 0.
+    pub fn contiguous_prefix(&self) -> u64 {
+        match self.ranges.first_key_value() {
+            Some((&0, &e)) => e,
+            _ => 0,
+        }
+    }
+
+    /// True when `[0, size)` is fully covered.
+    pub fn covers(&self, size: u64) -> bool {
+        self.contiguous_prefix() >= size
+    }
+
+    /// Is `offset` covered?
+    pub fn contains(&self, offset: u64) -> bool {
+        self.ranges
+            .range(..=offset)
+            .next_back()
+            .is_some_and(|(&s, &e)| s <= offset && offset < e)
+    }
+
+    /// The lowest uncovered range within `[from, limit)`, if any.
+    pub fn first_gap(&self, from: u64, limit: u64) -> Option<(u64, u64)> {
+        if from >= limit {
+            return None;
+        }
+        let mut cursor = from;
+        // Extend cursor through any range covering it.
+        if let Some((&s, &e)) = self.ranges.range(..=cursor).next_back() {
+            if s <= cursor && cursor < e {
+                cursor = e;
+            }
+        }
+        while cursor < limit {
+            match self.ranges.range(cursor..).next() {
+                Some((&s, &e)) => {
+                    if s > cursor {
+                        return Some((cursor, s.min(limit)));
+                    }
+                    cursor = e;
+                }
+                None => return Some((cursor, limit)),
+            }
+        }
+        None
+    }
+
+    /// The highest uncovered range within `[0, limit)`, if any.
+    pub fn last_gap(&self, limit: u64) -> Option<(u64, u64)> {
+        if limit == 0 {
+            return None;
+        }
+        let mut cursor = limit;
+        // Walk ranges from the top down.
+        for (&s, &e) in self.ranges.range(..limit).rev() {
+            if e >= cursor {
+                // Range covers up to (or beyond) the cursor: skip below it.
+                cursor = s;
+                if cursor == 0 {
+                    return None;
+                }
+                continue;
+            }
+            return Some((e, cursor));
+        }
+        if cursor > 0 {
+            Some((0, cursor))
+        } else {
+            None
+        }
+    }
+
+    /// Iterate covered ranges in order.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.ranges.iter().map(|(&s, &e)| (s, e))
+    }
+
+    /// Number of disjoint ranges (diagnostics).
+    pub fn range_count(&self) -> usize {
+        self.ranges.len()
+    }
+}
+
+/// Timer token encoding: `[kind: 8][generation: 16][flow: 40]`.
+///
+/// Transports key timers by flow and kind; the generation implements lazy
+/// cancellation (bump it and stale timers no longer match).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Token {
+    pub kind: u8,
+    pub generation: u16,
+    pub flow: u64,
+}
+
+impl Token {
+    /// Pack into the u64 the engine carries.
+    pub fn encode(self) -> u64 {
+        debug_assert!(self.flow < (1 << 40), "flow id exceeds 40 bits");
+        ((self.kind as u64) << 56) | ((self.generation as u64) << 40) | self.flow
+    }
+
+    /// Unpack.
+    pub fn decode(raw: u64) -> Self {
+        Token {
+            kind: (raw >> 56) as u8,
+            generation: ((raw >> 40) & 0xFFFF) as u16,
+            flow: raw & ((1 << 40) - 1),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn insert_and_coalesce() {
+        let mut s = IntervalSet::new();
+        assert_eq!(s.insert(0, 10), 10);
+        assert_eq!(s.insert(20, 30), 10);
+        assert_eq!(s.range_count(), 2);
+        // Bridge the gap: coalesces to one range.
+        assert_eq!(s.insert(10, 20), 10);
+        assert_eq!(s.range_count(), 1);
+        assert_eq!(s.contiguous_prefix(), 30);
+        assert_eq!(s.covered_bytes(), 30);
+    }
+
+    #[test]
+    fn overlapping_insert_counts_only_new_bytes() {
+        let mut s = IntervalSet::new();
+        s.insert(0, 100);
+        assert_eq!(s.insert(50, 150), 50);
+        assert_eq!(s.insert(0, 150), 0);
+        assert_eq!(s.covered_bytes(), 150);
+    }
+
+    #[test]
+    fn adjacent_ranges_merge() {
+        let mut s = IntervalSet::new();
+        s.insert(10, 20);
+        s.insert(20, 30);
+        assert_eq!(s.range_count(), 1);
+        assert!(s.contains(10) && s.contains(29) && !s.contains(30) && !s.contains(9));
+    }
+
+    #[test]
+    fn first_gap_walks_holes() {
+        let mut s = IntervalSet::new();
+        s.insert(10, 20);
+        s.insert(30, 40);
+        assert_eq!(s.first_gap(0, 100), Some((0, 10)));
+        assert_eq!(s.first_gap(10, 100), Some((20, 30)));
+        assert_eq!(s.first_gap(35, 100), Some((40, 100)));
+        assert_eq!(s.first_gap(15, 18), None);
+        s.insert(0, 10);
+        assert_eq!(s.first_gap(0, 100), Some((20, 30)));
+    }
+
+    #[test]
+    fn first_gap_respects_limit() {
+        let mut s = IntervalSet::new();
+        s.insert(0, 10);
+        assert_eq!(s.first_gap(0, 10), None);
+        assert_eq!(s.first_gap(0, 15), Some((10, 15)));
+    }
+
+    #[test]
+    fn last_gap_finds_highest_hole() {
+        let mut s = IntervalSet::new();
+        assert_eq!(s.last_gap(100), Some((0, 100)));
+        s.insert(90, 100);
+        assert_eq!(s.last_gap(100), Some((0, 90)));
+        s.insert(50, 60);
+        assert_eq!(s.last_gap(100), Some((60, 90)));
+        s.insert(60, 90);
+        assert_eq!(s.last_gap(100), Some((0, 50)));
+        s.insert(0, 50);
+        assert_eq!(s.last_gap(100), None);
+    }
+
+    #[test]
+    fn last_gap_with_range_straddling_limit() {
+        let mut s = IntervalSet::new();
+        s.insert(40, 200);
+        assert_eq!(s.last_gap(100), Some((0, 40)));
+        assert_eq!(s.last_gap(40), Some((0, 40)));
+        assert_eq!(s.last_gap(30), Some((0, 30)));
+    }
+
+    #[test]
+    fn covers_needs_contiguity_from_zero() {
+        let mut s = IntervalSet::new();
+        s.insert(1, 100);
+        assert!(!s.covers(100));
+        s.insert(0, 1);
+        assert!(s.covers(100));
+    }
+
+    #[test]
+    fn token_roundtrip() {
+        let t = Token { kind: 3, generation: 65535, flow: (1 << 40) - 1 };
+        assert_eq!(Token::decode(t.encode()), t);
+        let z = Token { kind: 0, generation: 0, flow: 0 };
+        assert_eq!(Token::decode(z.encode()), z);
+    }
+
+    proptest! {
+        /// Covered bytes always equals the brute-force union size, and
+        /// gaps returned never overlap covered ranges.
+        #[test]
+        fn interval_set_matches_brute_force(ops in proptest::collection::vec((0u64..200, 1u64..50), 0..40)) {
+            let mut s = IntervalSet::new();
+            let mut brute = vec![false; 300];
+            for (start, len) in ops {
+                let end = start + len;
+                s.insert(start, end);
+                for slot in brute.iter_mut().take(end as usize).skip(start as usize) {
+                    *slot = true;
+                }
+            }
+            let expect = brute.iter().filter(|&&b| b).count() as u64;
+            prop_assert_eq!(s.covered_bytes(), expect);
+            let prefix = brute.iter().take_while(|&&b| b).count() as u64;
+            prop_assert_eq!(s.contiguous_prefix(), prefix);
+            // first_gap over the whole domain agrees with brute force.
+            let gap = s.first_gap(0, 300);
+            let brute_gap_start = brute.iter().position(|&b| !b).map(|i| i as u64);
+            prop_assert_eq!(gap.map(|g| g.0), brute_gap_start);
+            // last_gap end agrees with brute force.
+            let lgap = s.last_gap(300);
+            let brute_lgap_end = brute.iter().rposition(|&b| !b).map(|i| i as u64 + 1);
+            prop_assert_eq!(lgap.map(|g| g.1), brute_lgap_end);
+        }
+
+        /// contains() agrees with brute force at every point.
+        #[test]
+        fn contains_matches_brute_force(ops in proptest::collection::vec((0u64..100, 1u64..20), 0..20), probe in 0u64..120) {
+            let mut s = IntervalSet::new();
+            let mut brute = vec![false; 130];
+            for (start, len) in ops {
+                s.insert(start, start + len);
+                for slot in brute.iter_mut().take((start + len) as usize).skip(start as usize) {
+                    *slot = true;
+                }
+            }
+            prop_assert_eq!(s.contains(probe), brute[probe as usize]);
+        }
+    }
+}

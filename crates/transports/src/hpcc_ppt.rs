@@ -1,0 +1,374 @@
+//! PPT over HPCC — the appendix-B integration sketch, implemented.
+//!
+//! The paper (appendix B) suggests PPT's design can serve as a building
+//! block for INT-based transports: "one may open a PPT LCP loop to send
+//! low-priority opportunistic packets whenever HPCC's estimated in-flight
+//! bytes are smaller than BDP and use PPT's buffer-aware scheduling to
+//! prioritize small flows over large ones". This module does exactly
+//! that: the HCP loop is the HPCC window law over the shared reliability
+//! engine; the LCP trigger is U < `u_open_threshold` (estimated inflight
+//! below the link's capacity-delay product); everything else — EWD, loop
+//! expiry, ECN protection, mirror tagging — is PPT's.
+
+use std::collections::HashMap;
+
+use netsim::{Ctx, Ecn, FlowDesc, FlowId, Packet, SimDuration, Transport};
+use ppt_core::{FlowIdentifier, LcpAction, LcpLoop, LoopTrigger, MirrorTagger, PptConfig};
+
+use crate::common::Token;
+use crate::dctcp::TIMER_RTO;
+use crate::ppt::{TIMER_LCP_EXPIRY, TIMER_LCP_PACE};
+use crate::proto::{DataHdr, Proto};
+use crate::rx::TcpRx;
+use crate::tcp_base::{CcMode, DctcpFlowTx, HpccCc, TcpCfg};
+
+/// Open the LCP loop when HPCC's inflight estimate falls below this
+/// fraction of capacity (the appendix's "in-flight bytes smaller than
+/// BDP" condition, with a little hysteresis).
+pub const DEFAULT_U_OPEN_THRESHOLD: f64 = 0.90;
+
+struct HpccPptFlow {
+    hcp: DctcpFlowTx,
+    identified_large: bool,
+    lcp: Option<LcpLoop>,
+    lcp_gen: u16,
+    pace_remaining: u64,
+    pace_interval: SimDuration,
+}
+
+/// The PPT-over-HPCC endpoint.
+pub struct HpccPptTransport {
+    tcp: TcpCfg,
+    cfg: PptConfig,
+    bdp_bytes: u64,
+    u_open_threshold: f64,
+    identifier: FlowIdentifier,
+    tagger: MirrorTagger,
+    tx: HashMap<FlowId, HpccPptFlow>,
+    rx: HashMap<FlowId, TcpRx>,
+}
+
+impl HpccPptTransport {
+    /// New endpoint; `bdp_bytes` sizes HPCC's line-rate initial window.
+    pub fn new(tcp: TcpCfg, cfg: PptConfig, bdp_bytes: u64) -> Self {
+        HpccPptTransport {
+            identifier: FlowIdentifier { threshold_bytes: cfg.ident_threshold_bytes },
+            tagger: MirrorTagger::new(cfg.demotion_thresholds.clone()),
+            tcp,
+            cfg,
+            bdp_bytes,
+            u_open_threshold: DEFAULT_U_OPEN_THRESHOLD,
+            tx: HashMap::new(),
+            rx: HashMap::new(),
+        }
+    }
+
+    fn pump_hcp(&mut self, id: FlowId, ctx: &mut Ctx<'_, Proto>) {
+        let now = ctx.now();
+        let Some(f) = self.tx.get_mut(&id) else { return };
+        let prio = self.tagger.hcp_priority(f.identified_large, f.hcp.bytes_sent);
+        let (src, dst, size) = (f.hcp.src, f.hcp.dst, f.hcp.size);
+        while let Some(seg) = f.hcp.next_segment(now) {
+            let hdr = DataHdr {
+                offset: seg.offset,
+                len: seg.len,
+                msg_size: size,
+                lcp: false,
+                retx: seg.retx,
+                sent_at: now,
+                int: Some(Vec::new()),
+            };
+            let mut pkt =
+                Packet::data(id, src, dst, seg.len, Proto::Data(hdr)).with_priority(prio);
+            pkt.ecn = Ecn::not_capable(); // HPCC's HCP uses INT, not ECN
+            ctx.send(pkt);
+        }
+        if !f.hcp.is_done() {
+            ctx.timer_at(
+                f.hcp.rto_deadline(),
+                Token { kind: TIMER_RTO, generation: 0, flow: id.0 }.encode(),
+            );
+        }
+    }
+
+    fn send_lcp_segment(&mut self, id: FlowId, ctx: &mut Ctx<'_, Proto>) -> bool {
+        let mss = self.tcp.mss as u64;
+        let send_buffer = self.cfg.send_buffer_bytes;
+        let Some(f) = self.tx.get_mut(&id) else { return false };
+        if f.hcp.is_done() {
+            return false;
+        }
+        let buffer_end = f.hcp.size.min(f.hcp.cum_acked().saturating_add(send_buffer));
+        let Some((gap_start, gap_end)) = f.hcp.claimed().last_gap(buffer_end) else {
+            return false;
+        };
+        let start = gap_end.saturating_sub(mss).max(gap_start);
+        let len = (gap_end - start) as u32;
+        f.hcp.claimed_mut().insert(start, gap_end);
+        f.hcp.add_sent_bytes(len as u64);
+        let prio = self.tagger.lcp_priority(f.identified_large, f.hcp.bytes_sent);
+        let hdr = DataHdr {
+            offset: start,
+            len,
+            msg_size: f.hcp.size,
+            lcp: true,
+            retx: false,
+            sent_at: ctx.now(),
+            int: None,
+        };
+        let mut pkt =
+            Packet::data(id, f.hcp.src, f.hcp.dst, len, Proto::Data(hdr)).with_priority(prio);
+        // The LCP loop keeps PPT's ECN protection.
+        pkt.ecn = Ecn::capable();
+        ctx.send(pkt);
+        true
+    }
+
+    fn open_lcp(&mut self, id: FlowId, init_bytes: u64, ctx: &mut Ctx<'_, Proto>) {
+        let mss = self.tcp.mss as u64;
+        let rtt = self.cfg.base_rtt;
+        {
+            let Some(f) = self.tx.get_mut(&id) else { return };
+            if f.lcp.is_some() || init_bytes < mss || f.hcp.is_done() {
+                return;
+            }
+            f.lcp = Some(LcpLoop::open(LoopTrigger::FlowStart, init_bytes, ctx.now()));
+            f.pace_remaining = init_bytes;
+            let interval_ns = (rtt.as_nanos() as u128 * mss as u128 / init_bytes as u128) as u64;
+            f.pace_interval = SimDuration::from_nanos(interval_ns.max(1));
+        }
+        let gen = self.tx[&id].lcp_gen;
+        if self.send_lcp_segment(id, ctx) {
+            if let Some(f) = self.tx.get_mut(&id) {
+                f.pace_remaining = f.pace_remaining.saturating_sub(mss);
+            }
+            let interval = self.tx[&id].pace_interval;
+            ctx.timer_after(interval, Token { kind: TIMER_LCP_PACE, generation: gen, flow: id.0 }.encode());
+        }
+        ctx.timer_after(rtt, Token { kind: TIMER_LCP_EXPIRY, generation: gen, flow: id.0 }.encode());
+    }
+
+    fn close_lcp(f: &mut HpccPptFlow) {
+        f.lcp = None;
+        f.lcp_gen = f.lcp_gen.wrapping_add(1);
+        f.pace_remaining = 0;
+    }
+}
+
+impl Transport<Proto> for HpccPptTransport {
+    fn on_flow_start(&mut self, flow: &FlowDesc, ctx: &mut Ctx<'_, Proto>) {
+        let first_write = flow.first_write_bytes.min(self.cfg.send_buffer_bytes);
+        let identified_large = self.identifier.is_large_at_start(first_write);
+        let mut tcp = self.tcp.clone();
+        tcp.init_cwnd_bytes = tcp.init_cwnd_bytes.max(self.bdp_bytes);
+        let cc = HpccCc::new(tcp.base_rtt, tcp.init_cwnd_bytes).with_high_band_only();
+        let hcp = DctcpFlowTx::new(flow.id, flow.src, flow.dst, flow.size_bytes, tcp)
+            .with_cc_mode(CcMode::Hpcc(cc));
+        self.tx.insert(
+            flow.id,
+            HpccPptFlow {
+                hcp,
+                identified_large,
+                lcp: None,
+                lcp_gen: 0,
+                pace_remaining: 0,
+                pace_interval: SimDuration::ZERO,
+            },
+        );
+        self.pump_hcp(flow.id, ctx);
+        // HPCC already starts at line rate (IW = BDP), so there is no
+        // case-1 startup gap; the LCP loop opens from the U-trigger below.
+    }
+
+    fn on_packet(&mut self, pkt: Packet<Proto>, ctx: &mut Ctx<'_, Proto>) {
+        match &pkt.payload {
+            Proto::Data(hdr) => {
+                let rx = self
+                    .rx
+                    .entry(pkt.flow)
+                    .or_insert_with(|| TcpRx::new(pkt.flow, pkt.src, hdr.msg_size, 2));
+                let hdr = hdr.clone();
+                if hdr.lcp {
+                    rx.on_data(&pkt, &hdr, ctx);
+                } else {
+                    rx.on_data_with_int(&pkt, &hdr, ctx);
+                }
+            }
+            Proto::Ack(ack) if ack.lcp => {
+                let ack = ack.clone();
+                let now = ctx.now();
+                let send = {
+                    let Some(f) = self.tx.get_mut(&pkt.flow) else { return };
+                    f.hcp.on_lcp_ack(&ack, now);
+                    if f.hcp.is_done() {
+                        Self::close_lcp(f);
+                        false
+                    } else if let Some(lcp) = f.lcp.as_mut() {
+                        lcp.on_low_priority_ack(ack.ece, now) == LcpAction::SendOne
+                    } else {
+                        false
+                    }
+                };
+                if send {
+                    self.send_lcp_segment(pkt.flow, ctx);
+                }
+            }
+            Proto::Ack(ack) => {
+                let ack = ack.clone();
+                let now = ctx.now();
+                let (done, open_with) = {
+                    let Some(f) = self.tx.get_mut(&pkt.flow) else { return };
+                    f.hcp.on_ack(&ack, now);
+                    let done = f.hcp.is_done();
+                    if done {
+                        Self::close_lcp(f);
+                    }
+                    // Appendix-B trigger: HPCC's inflight estimate says the
+                    // path has headroom.
+                    let open = if !done && f.lcp.is_none() {
+                        match f.hcp.cc_mode() {
+                            CcMode::Hpcc(h) if h.last_u > 0.0 && h.last_u < self.u_open_threshold => {
+                                Some(self.bdp_bytes.saturating_sub(f.hcp.inflight_bytes()))
+                            }
+                            _ => None,
+                        }
+                    } else {
+                        None
+                    };
+                    (done, open)
+                };
+                if !done {
+                    self.pump_hcp(pkt.flow, ctx);
+                    if let Some(init) = open_with {
+                        self.open_lcp(pkt.flow, init, ctx);
+                    }
+                }
+            }
+            _ => unreachable!("HPCC-PPT endpoint received a non-TCP packet"),
+        }
+    }
+
+    fn on_timer(&mut self, token: u64, ctx: &mut Ctx<'_, Proto>) {
+        let token = Token::decode(token);
+        let id = FlowId(token.flow);
+        match token.kind {
+            TIMER_RTO => {
+                let Some(f) = self.tx.get_mut(&id) else { return };
+                if f.hcp.is_done() {
+                    return;
+                }
+                let now = ctx.now();
+                if now < f.hcp.rto_deadline() {
+                    ctx.timer_at(
+                        f.hcp.rto_deadline(),
+                        Token { kind: TIMER_RTO, generation: 0, flow: id.0 }.encode(),
+                    );
+                    return;
+                }
+                f.hcp.on_rto(now);
+                self.pump_hcp(id, ctx);
+            }
+            TIMER_LCP_PACE => {
+                let mss = self.tcp.mss as u64;
+                let proceed = {
+                    let Some(f) = self.tx.get_mut(&id) else { return };
+                    f.lcp.is_some() && f.lcp_gen == token.generation && f.pace_remaining > 0
+                };
+                if proceed && self.send_lcp_segment(id, ctx) {
+                    let f = self.tx.get_mut(&id).expect("flow exists");
+                    f.pace_remaining = f.pace_remaining.saturating_sub(mss);
+                    if f.pace_remaining > 0 {
+                        let interval = f.pace_interval;
+                        ctx.timer_after(
+                            interval,
+                            Token { kind: TIMER_LCP_PACE, generation: token.generation, flow: id.0 }.encode(),
+                        );
+                    }
+                }
+            }
+            TIMER_LCP_EXPIRY => {
+                let rtt = self.cfg.base_rtt;
+                let Some(f) = self.tx.get_mut(&id) else { return };
+                if f.lcp_gen != token.generation {
+                    return;
+                }
+                let Some(lcp) = f.lcp.as_ref() else { return };
+                if lcp.is_expired(ctx.now(), rtt) || f.hcp.is_done() {
+                    Self::close_lcp(f);
+                } else {
+                    ctx.timer_after(
+                        rtt,
+                        Token { kind: TIMER_LCP_EXPIRY, generation: token.generation, flow: id.0 }.encode(),
+                    );
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Install PPT-over-HPCC on every host.
+pub fn install_hpcc_ppt(topo: &mut netsim::Topology<Proto>, tcp: &TcpCfg, cfg: &PptConfig) {
+    let bdp = netsim::bdp_bytes(topo.edge_rate, topo.base_rtt);
+    for &h in &topo.hosts.clone() {
+        topo.sim
+            .set_transport(h, Box::new(HpccPptTransport::new(tcp.clone(), cfg.clone(), bdp)));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim::{star, EcnRule, MarkScope, Rate, RunLimits, SimTime, SwitchConfig};
+
+    /// Switch for PPT-over-HPCC: no ECN for the INT-driven HCP band, PPT's
+    /// low threshold for the LCP band, push-out protection.
+    fn hpcc_ppt_switch(buffer: u64, k_low: u64) -> SwitchConfig {
+        let mut cfg = SwitchConfig::basic(buffer).with_push_out(true);
+        for p in 4..8 {
+            cfg.ecn[p] = Some(EcnRule { threshold_bytes: k_low, scope: MarkScope::Port });
+        }
+        cfg
+    }
+
+    #[test]
+    fn flows_complete_and_lcp_band_is_used() {
+        let rate = Rate::gbps(10);
+        let mut topo = star::<Proto>(3, rate, netsim::SimDuration::from_micros(20), hpcc_ppt_switch(200_000, 40_000));
+        let cfg = PptConfig::new(rate, topo.base_rtt);
+        let tcp = TcpCfg::new(topo.base_rtt);
+        install_hpcc_ppt(&mut topo, &tcp, &cfg);
+        topo.sim.add_flow(topo.hosts[0], topo.hosts[2], 2 << 20, SimTime::ZERO, 2 << 20);
+        topo.sim.add_flow(topo.hosts[1], topo.hosts[2], 100_000, SimTime(300_000), 100_000);
+        let report = topo.sim.run(RunLimits { max_time: SimTime(60_000_000_000), max_events: 2_000_000_000 });
+        assert_eq!(report.flows_completed, 2);
+    }
+
+    #[test]
+    fn beats_plain_hpcc_under_mixed_load() {
+        // A workload with idle gaps: the LCP loop should pick up slack.
+        let rate = Rate::gbps(10);
+        let size = 4u64 << 20;
+
+        let mut a = star::<Proto>(2, rate, netsim::SimDuration::from_micros(20), hpcc_ppt_switch(200_000, 40_000));
+        let cfg = PptConfig::new(rate, a.base_rtt);
+        let tcp = TcpCfg::new(a.base_rtt);
+        install_hpcc_ppt(&mut a, &tcp, &cfg);
+        let f = a.sim.add_flow(a.hosts[0], a.hosts[1], size, SimTime::ZERO, size);
+        a.sim.run(RunLimits { max_time: SimTime(60_000_000_000), max_events: 2_000_000_000 });
+        let ppt_fct = a.sim.completion(f).expect("hpcc-ppt done");
+
+        let mut b = star::<Proto>(2, rate, netsim::SimDuration::from_micros(20), SwitchConfig::basic(200_000));
+        crate::hpcc::install_hpcc(&mut b, &tcp);
+        let g = b.sim.add_flow(b.hosts[0], b.hosts[1], size, SimTime::ZERO, size);
+        b.sim.run(RunLimits { max_time: SimTime(60_000_000_000), max_events: 2_000_000_000 });
+        let hpcc_fct = b.sim.completion(g).expect("hpcc done");
+
+        // HPCC already starts at line rate, so gains are modest — but the
+        // variant must never be slower than ~5% of plain HPCC.
+        assert!(
+            ppt_fct.as_nanos() as f64 <= hpcc_fct.as_nanos() as f64 * 1.05,
+            "hpcc-ppt {ppt_fct} vs hpcc {hpcc_fct}"
+        );
+    }
+}

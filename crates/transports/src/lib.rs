@@ -1,0 +1,51 @@
+//! # transports — protocol implementations on the netsim substrate
+//!
+//! Every transport the PPT paper evaluates, implemented from scratch:
+//!
+//! | module | scheme | role in the paper |
+//! |---|---|---|
+//! | [`dctcp`] | DCTCP | reactive baseline; PPT's HCP loop |
+//! | [`ppt`] | **PPT** | the paper's contribution (dual-loop + scheduling) |
+//! | [`rc3`] | RC3 | prior dual-loop reactive baseline |
+//! | [`pias`] | PIAS | information-agnostic scheduling baseline |
+//! | [`homa`] | Homa | proactive receiver-driven baseline |
+//! | [`homa`] (Aeolus mode) | Aeolus | proactive pre-credit baseline (Homa + selective drop) |
+//! | [`ndp`] | NDP | proactive trimming baseline |
+//! | [`hpcc`] | HPCC | INT-based reactive baseline |
+//! | [`swift`] | Swift-like delay CC and the PPT-over-Swift variant (Fig 14) |
+//! | [`hypothetical`] | hypothetical DCTCP | the MW-oracle gap filler (§2.3) |
+//!
+//! All share one packet header type, [`proto::Proto`], so any scheme runs
+//! on `Simulator<Proto>`.
+
+pub mod common;
+pub mod dctcp;
+pub mod expresspass;
+pub mod homa;
+pub mod hpcc;
+pub mod hpcc_ppt;
+pub mod hypothetical;
+pub mod ndp;
+pub mod pias;
+pub mod ppt;
+pub mod proto;
+pub mod rc3;
+pub mod rx;
+pub mod swift;
+pub mod tcp_base;
+
+pub use common::{IntervalSet, Token};
+pub use dctcp::{install_dctcp, DctcpTransport, MwRecorder};
+pub use expresspass::{install_expresspass, ExpressPassCfg, ExpressPassTransport};
+pub use homa::{homa_switch_config, install_homa, HomaCfg, HomaTransport};
+pub use hpcc::{install_hpcc, HpccTransport};
+pub use hpcc_ppt::{install_hpcc_ppt, HpccPptTransport};
+pub use hypothetical::{install_hypothetical, HypotheticalTransport};
+pub use ndp::{install_ndp, NdpCfg, NdpTransport};
+pub use pias::{install_pias, PiasCfg, PiasTransport};
+pub use ppt::{install_ppt, PptTransport};
+pub use rc3::{install_rc3, Rc3Cfg, Rc3Transport};
+pub use proto::{AckHdr, DataHdr, HomaHdr, IntHop, NdpHdr, Proto};
+pub use rx::TcpRx;
+pub use swift::{install_swift, install_swift_ppt, SwiftPptTransport, SwiftTransport};
+pub use tcp_base::{AckOutcome, CcMode, CcState, DctcpFlowTx, HpccCc, SegOut, SwiftCc, TcpCfg};

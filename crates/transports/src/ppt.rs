@@ -1,0 +1,578 @@
+//! **PPT** — the paper's pragmatic transport.
+//!
+//! Composition of the two components of §2.3:
+//!
+//! * **Dual-loop rate control (§3).** The HCP loop *is* DCTCP
+//!   ([`DctcpFlowTx`], untouched). The LCP loop sends opportunistic
+//!   packets from the tail of the send buffer: it opens intermittently
+//!   (case 1 at flow start — delayed one RTT for identified-large flows —
+//!   and case 2 whenever α hits its windowed minimum, Eq. 2), paces its
+//!   initial window over one RTT, then decays exponentially under the EWD
+//!   ACK clock, ignores ECE-marked low-priority ACKs, and expires after
+//!   two silent RTTs.
+//! * **Buffer-aware flow scheduling (§4).** Flows whose first syscall
+//!   exceeds the identification threshold are tagged large from byte 0;
+//!   everyone else starts at the top priority and ages down. HCP packets
+//!   use P0–P3, LCP packets mirror at P4–P7.
+//!
+//! The ablation switches in [`PptConfig`] disable individual pieces to
+//! reproduce Figs 15–18.
+
+use std::collections::HashMap;
+
+use netsim::{Ctx, Ecn, FlowDesc, FlowId, Packet, SimDuration, Transport};
+use ppt_core::{
+    initial_window_case1, initial_window_case2, FlowIdentifier, LcpAction, LcpLoop, LoopTrigger,
+    MinTracker, MirrorTagger, PptConfig,
+};
+
+use crate::common::Token;
+use crate::dctcp::TIMER_RTO;
+use crate::proto::{DataHdr, Proto};
+use crate::rx::TcpRx;
+use crate::tcp_base::{DctcpFlowTx, TcpCfg};
+
+/// LCP initial-burst pacing tick.
+pub const TIMER_LCP_PACE: u8 = 2;
+/// LCP liveness check (expiry after 2 silent RTTs).
+pub const TIMER_LCP_EXPIRY: u8 = 3;
+/// Delayed case-1 open for identified-large flows (2nd RTT).
+pub const TIMER_LCP_DELAYED_OPEN: u8 = 4;
+
+struct PptFlowTx {
+    hcp: DctcpFlowTx,
+    identified_large: bool,
+    lcp: Option<LcpLoop>,
+    /// Bumped whenever a loop closes; stale pace/expiry timers no-op.
+    lcp_gen: u16,
+    min_tracker: MinTracker,
+    /// Remaining bytes of the paced initial burst.
+    pace_remaining: u64,
+    pace_interval: SimDuration,
+}
+
+/// The PPT endpoint (sender + receiver roles).
+pub struct PptTransport {
+    tcp: TcpCfg,
+    cfg: PptConfig,
+    identifier: FlowIdentifier,
+    tagger: MirrorTagger,
+    tx: HashMap<FlowId, PptFlowTx>,
+    rx: HashMap<FlowId, TcpRx>,
+}
+
+impl PptTransport {
+    /// Build an endpoint from the PPT configuration; TCP mechanics (MSS,
+    /// RTO, initial window) come from `tcp`.
+    pub fn new(tcp: TcpCfg, cfg: PptConfig) -> Self {
+        PptTransport {
+            identifier: FlowIdentifier { threshold_bytes: cfg.ident_threshold_bytes },
+            tagger: MirrorTagger::new(cfg.demotion_thresholds.clone()),
+            tcp,
+            cfg,
+            tx: HashMap::new(),
+            rx: HashMap::new(),
+        }
+    }
+
+    /// Transmit HCP segments while the window allows, then keep the RTO
+    /// timer armed.
+    fn pump_hcp(&mut self, id: FlowId, ctx: &mut Ctx<'_, Proto>) {
+        let now = ctx.now();
+        let Some(f) = self.tx.get_mut(&id) else { return };
+        let mut outgoing = Vec::new();
+        while let Some(seg) = f.hcp.next_segment(now) {
+            outgoing.push(seg);
+        }
+        let prio = if self.cfg.scheduling_enabled {
+            self.tagger.hcp_priority(f.identified_large, f.hcp.bytes_sent)
+        } else {
+            0
+        };
+        let (src, dst, size) = (f.hcp.src, f.hcp.dst, f.hcp.size);
+        for seg in outgoing {
+            let hdr = DataHdr {
+                offset: seg.offset,
+                len: seg.len,
+                msg_size: size,
+                lcp: false,
+                retx: seg.retx,
+                sent_at: now,
+                int: None,
+            };
+            ctx.send(
+                Packet::data(id, src, dst, seg.len, Proto::Data(hdr)).with_priority(prio),
+            );
+        }
+        if !f.hcp.is_done() {
+            ctx.timer_at(
+                f.hcp.rto_deadline(),
+                Token { kind: TIMER_RTO, generation: 0, flow: id.0 }.encode(),
+            );
+        }
+    }
+
+    /// Send one opportunistic packet from the tail of the send buffer.
+    /// Returns false when there is nothing left to claim (loops crossed).
+    fn send_lcp_segment(&mut self, id: FlowId, ctx: &mut Ctx<'_, Proto>) -> bool {
+        let lcp_ecn = self.cfg.lcp_ecn_enabled;
+        let send_buffer = self.cfg.send_buffer_bytes;
+        let sched = self.cfg.scheduling_enabled;
+        let mss = self.tcp.mss as u64;
+        let Some(f) = self.tx.get_mut(&id) else { return false };
+        if f.hcp.is_done() {
+            return false;
+        }
+        // The LCP reads the TCP write queue from its tail: only bytes
+        // currently buffered are reachable (§5.1). The buffered window is
+        // [cum_acked, cum_acked + send_buffer).
+        let buffer_end = f.hcp.size.min(f.hcp.cum_acked().saturating_add(send_buffer));
+        let Some((gap_start, gap_end)) = f.hcp.claimed().last_gap(buffer_end) else {
+            return false;
+        };
+        let start = gap_end.saturating_sub(mss).max(gap_start);
+        let len = (gap_end - start) as u32;
+        f.hcp.claimed_mut().insert(start, gap_end);
+        f.hcp.add_sent_bytes(len as u64);
+        let prio = if sched {
+            self.tagger.lcp_priority(f.identified_large, f.hcp.bytes_sent)
+        } else {
+            4
+        };
+        let hdr = DataHdr {
+            offset: start,
+            len,
+            msg_size: f.hcp.size,
+            lcp: true,
+            retx: false,
+            sent_at: ctx.now(),
+            int: None,
+        };
+        let mut pkt =
+            Packet::data(id, f.hcp.src, f.hcp.dst, len, Proto::Data(hdr)).with_priority(prio);
+        pkt.ecn = if lcp_ecn { Ecn::capable() } else { Ecn::not_capable() };
+        ctx.send(pkt);
+        true
+    }
+
+    /// Open an LCP loop with initial window `init_bytes` (no-op when the
+    /// window is under one segment or a loop is already running).
+    fn open_lcp(&mut self, id: FlowId, trigger: LoopTrigger, init_bytes: u64, ctx: &mut Ctx<'_, Proto>) {
+        let mss = self.tcp.mss as u64;
+        let rtt = self.cfg.base_rtt;
+        let ewd = self.cfg.ewd_enabled;
+        {
+            let Some(f) = self.tx.get_mut(&id) else { return };
+            if f.lcp.is_some() || init_bytes < mss || f.hcp.is_done() {
+                return;
+            }
+            f.lcp = Some(LcpLoop::open(trigger, init_bytes, ctx.now()));
+            f.pace_remaining = init_bytes;
+            // Pace the initial window at I/RTT: one MSS every mss·RTT/I.
+            let interval_ns = (rtt.as_nanos() as u128 * mss as u128 / init_bytes as u128) as u64;
+            f.pace_interval = SimDuration::from_nanos(interval_ns.max(1));
+        }
+        let gen = self.tx[&id].lcp_gen;
+        if ewd {
+            // First paced packet goes out immediately; the timer drives the
+            // rest of the burst.
+            if self.send_lcp_segment(id, ctx) {
+                if let Some(f) = self.tx.get_mut(&id) {
+                    f.pace_remaining = f.pace_remaining.saturating_sub(mss);
+                }
+                let interval = self.tx[&id].pace_interval;
+                ctx.timer_after(interval, Token { kind: TIMER_LCP_PACE, generation: gen, flow: id.0 }.encode());
+            }
+        } else {
+            // Ablation (Fig 16): no EWD — blast the whole initial window
+            // at line rate.
+            let packets = init_bytes.div_ceil(mss);
+            for _ in 0..packets {
+                if !self.send_lcp_segment(id, ctx) {
+                    break;
+                }
+            }
+            if let Some(f) = self.tx.get_mut(&id) {
+                f.pace_remaining = 0;
+            }
+        }
+        // Liveness check every RTT.
+        ctx.timer_after(rtt, Token { kind: TIMER_LCP_EXPIRY, generation: gen, flow: id.0 }.encode());
+    }
+
+    fn close_lcp(f: &mut PptFlowTx) {
+        f.lcp = None;
+        f.lcp_gen = f.lcp_gen.wrapping_add(1);
+        f.pace_remaining = 0;
+    }
+}
+
+impl Transport<Proto> for PptTransport {
+    fn on_flow_start(&mut self, flow: &FlowDesc, ctx: &mut Ctx<'_, Proto>) {
+        // Identification sees what actually lands in the send buffer.
+        let first_write = flow.first_write_bytes.min(self.cfg.send_buffer_bytes);
+        let identified_large =
+            self.cfg.identification_enabled && self.identifier.is_large_at_start(first_write);
+        let hcp = DctcpFlowTx::new(flow.id, flow.src, flow.dst, flow.size_bytes, self.tcp.clone());
+        let f = PptFlowTx {
+            hcp,
+            identified_large,
+            lcp: None,
+            lcp_gen: 0,
+            min_tracker: MinTracker::new(self.cfg.alpha_min_window),
+            pace_remaining: 0,
+            pace_interval: SimDuration::ZERO,
+        };
+        self.tx.insert(flow.id, f);
+        self.pump_hcp(flow.id, ctx);
+
+        // Case 1: open the LCP loop in the 1st RTT for normal flows,
+        // in the 2nd RTT for identified-large flows (§3.1).
+        let iw = self.tcp.init_cwnd_bytes;
+        let init = initial_window_case1(self.cfg.bdp_bytes(), iw);
+        if identified_large {
+            ctx.timer_after(
+                self.cfg.base_rtt,
+                Token { kind: TIMER_LCP_DELAYED_OPEN, generation: 0, flow: flow.id.0 }.encode(),
+            );
+        } else {
+            self.open_lcp(flow.id, LoopTrigger::FlowStart, init, ctx);
+        }
+    }
+
+    fn on_packet(&mut self, pkt: Packet<Proto>, ctx: &mut Ctx<'_, Proto>) {
+        match &pkt.payload {
+            Proto::Data(hdr) => {
+                let rx = self
+                    .rx
+                    .entry(pkt.flow)
+                    .or_insert_with(|| TcpRx::new(pkt.flow, pkt.src, hdr.msg_size, 2));
+                let hdr = hdr.clone();
+                rx.on_data(&pkt, &hdr, ctx);
+            }
+            Proto::Ack(ack) if ack.lcp => {
+                let ack = ack.clone();
+                let now = ctx.now();
+                let (send_count, open_more) = {
+                    let Some(f) = self.tx.get_mut(&pkt.flow) else { return };
+                    f.hcp.on_lcp_ack(&ack, now);
+                    if f.hcp.is_done() {
+                        Self::close_lcp(f);
+                        (0, false)
+                    } else if let Some(lcp) = f.lcp.as_mut() {
+                        match lcp.on_low_priority_ack(ack.ece, now) {
+                            LcpAction::SendOne => {
+                                // With EWD, one ACK clocks one packet; the
+                                // no-EWD ablation clocks two (rate holds
+                                // instead of halving).
+                                (if self.cfg.ewd_enabled { 1 } else { 2 }, false)
+                            }
+                            LcpAction::Ignore => (0, false),
+                        }
+                    } else {
+                        (0, false)
+                    }
+                };
+                let _ = open_more;
+                for _ in 0..send_count {
+                    if !self.send_lcp_segment(pkt.flow, ctx) {
+                        break;
+                    }
+                }
+            }
+            Proto::Ack(ack) => {
+                let ack = ack.clone();
+                let now = ctx.now();
+                let round_alpha;
+                let done;
+                {
+                    let Some(f) = self.tx.get_mut(&pkt.flow) else { return };
+                    let out = f.hcp.on_ack(&ack, now);
+                    round_alpha = out.round_alpha;
+                    done = f.hcp.is_done();
+                    if done {
+                        Self::close_lcp(f);
+                    }
+                }
+                if !done {
+                    self.pump_hcp(pkt.flow, ctx);
+                    // Case 2: α closed a round at its windowed minimum →
+                    // spare bandwidth is likely; open a loop per Eq. 2.
+                    if let Some(alpha) = round_alpha {
+                        let open = {
+                            let f = self.tx.get_mut(&pkt.flow).expect("flow exists");
+                            let is_min = f.min_tracker.push(alpha);
+                            if is_min && f.lcp.is_none() && f.hcp.wmax.past_slow_start() {
+                                f.hcp.wmax.w_max_bytes().map(|w| {
+                                    let target =
+                                        (w as f64 * self.cfg.fill_fraction) as u64;
+                                    let i = initial_window_case2(alpha, target);
+                                    // §3: LCP + HCP must not exceed the
+                                    // (scaled) MW.
+                                    i.min(target.saturating_sub(f.hcp.cwnd_bytes()))
+                                })
+                            } else {
+                                None
+                            }
+                        };
+                        if let Some(init) = open {
+                            self.open_lcp(pkt.flow, LoopTrigger::AlphaMinimum, init, ctx);
+                        }
+                    }
+                }
+            }
+            _ => unreachable!("PPT endpoint received a non-TCP packet"),
+        }
+    }
+
+    fn on_timer(&mut self, token: u64, ctx: &mut Ctx<'_, Proto>) {
+        let token = Token::decode(token);
+        let id = FlowId(token.flow);
+        match token.kind {
+            TIMER_RTO => {
+                let Some(f) = self.tx.get_mut(&id) else { return };
+                if f.hcp.is_done() {
+                    return;
+                }
+                let now = ctx.now();
+                if now < f.hcp.rto_deadline() {
+                    ctx.timer_at(
+                        f.hcp.rto_deadline(),
+                        Token { kind: TIMER_RTO, generation: 0, flow: id.0 }.encode(),
+                    );
+                    return;
+                }
+                f.hcp.on_rto(now);
+                self.pump_hcp(id, ctx);
+            }
+            TIMER_LCP_PACE => {
+                let mss = self.tcp.mss as u64;
+                let proceed = {
+                    let Some(f) = self.tx.get_mut(&id) else { return };
+                    f.lcp.is_some() && f.lcp_gen == token.generation && f.pace_remaining > 0
+                };
+                if !proceed {
+                    return;
+                }
+                if self.send_lcp_segment(id, ctx) {
+                    let f = self.tx.get_mut(&id).expect("flow exists");
+                    f.pace_remaining = f.pace_remaining.saturating_sub(mss);
+                    if f.pace_remaining > 0 {
+                        let interval = f.pace_interval;
+                        ctx.timer_after(
+                            interval,
+                            Token { kind: TIMER_LCP_PACE, generation: token.generation, flow: id.0 }.encode(),
+                        );
+                    }
+                }
+            }
+            TIMER_LCP_EXPIRY => {
+                let rtt = self.cfg.base_rtt;
+                let Some(f) = self.tx.get_mut(&id) else { return };
+                if f.lcp_gen != token.generation {
+                    return;
+                }
+                let Some(lcp) = f.lcp.as_ref() else { return };
+                if lcp.is_expired(ctx.now(), rtt) || f.hcp.is_done() {
+                    Self::close_lcp(f);
+                } else {
+                    ctx.timer_after(
+                        rtt,
+                        Token { kind: TIMER_LCP_EXPIRY, generation: token.generation, flow: id.0 }.encode(),
+                    );
+                }
+            }
+            TIMER_LCP_DELAYED_OPEN => {
+                // 2nd-RTT case-1 open for identified-large flows: the
+                // spare window is the BDP minus what HCP now occupies.
+                let init = {
+                    let Some(f) = self.tx.get_mut(&id) else { return };
+                    if f.hcp.is_done() || f.lcp.is_some() {
+                        return;
+                    }
+                    initial_window_case1(self.cfg.bdp_bytes(), f.hcp.cwnd_bytes())
+                };
+                self.open_lcp(id, LoopTrigger::FlowStart, init, ctx);
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Install PPT on every host of a topology.
+pub fn install_ppt(topo: &mut netsim::Topology<Proto>, tcp: &TcpCfg, cfg: &PptConfig) {
+    for &h in &topo.hosts.clone() {
+        topo.sim.set_transport(h, Box::new(PptTransport::new(tcp.clone(), cfg.clone())));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim::SimTime;
+    use netsim::{star, Rate, RunLimits, SwitchConfig};
+
+    fn ppt_testbed(n: usize) -> (netsim::Topology<Proto>, TcpCfg, PptConfig) {
+        let rate = Rate::gbps(10);
+        let delay = SimDuration::from_micros(20);
+        let base_rtt = delay * 4;
+        let cfg = PptConfig::new(rate, base_rtt);
+        let (k_hi, k_lo) = cfg.ecn_thresholds();
+        let topo = star::<Proto>(n, rate, delay, SwitchConfig::ppt(200_000, k_hi, k_lo));
+        let tcp = TcpCfg::new(base_rtt);
+        (topo, tcp, cfg)
+    }
+
+    fn run_flows(
+        topo: &mut netsim::Topology<Proto>,
+        max_time_ms: u64,
+    ) -> netsim::RunReport {
+        topo.sim.run(RunLimits {
+            max_time: SimTime(max_time_ms * 1_000_000),
+            max_events: 2_000_000_000,
+        })
+    }
+
+    #[test]
+    fn single_small_flow_completes_in_one_rtt_ish() {
+        let (mut topo, tcp, cfg) = ppt_testbed(2);
+        install_ppt(&mut topo, &tcp, &cfg);
+        let f = topo.sim.add_flow(topo.hosts[0], topo.hosts[1], 5_000, SimTime::ZERO, 5_000);
+        let report = run_flows(&mut topo, 100);
+        assert_eq!(report.flows_completed, 1);
+        let fct = topo.sim.completion(f).unwrap();
+        assert!(fct.as_nanos() < 200_000, "small flow fct={fct}");
+    }
+
+    #[test]
+    fn large_flow_completes_faster_than_dctcp() {
+        // One 4MB flow on an idle network: PPT's LCP fills the pipe during
+        // slow start, so it must beat plain DCTCP.
+        let size = 4 << 20;
+
+        let (mut ppt_topo, tcp, cfg) = ppt_testbed(2);
+        install_ppt(&mut ppt_topo, &tcp, &cfg);
+        let f = ppt_topo.sim.add_flow(ppt_topo.hosts[0], ppt_topo.hosts[1], size, SimTime::ZERO, size);
+        run_flows(&mut ppt_topo, 1000);
+        let ppt_fct = ppt_topo.sim.completion(f).expect("ppt flow done");
+
+        let rate = Rate::gbps(10);
+        let delay = SimDuration::from_micros(20);
+        let mut dctcp_topo = star::<Proto>(2, rate, delay, SwitchConfig::dctcp(200_000, 17_000));
+        crate::dctcp::install_dctcp(&mut dctcp_topo, &tcp);
+        let g = dctcp_topo.sim.add_flow(dctcp_topo.hosts[0], dctcp_topo.hosts[1], size, SimTime::ZERO, size);
+        dctcp_topo.sim.run(RunLimits::default());
+        let dctcp_fct = dctcp_topo.sim.completion(g).expect("dctcp flow done");
+
+        assert!(
+            ppt_fct < dctcp_fct,
+            "PPT ({ppt_fct}) must beat DCTCP ({dctcp_fct}) on an idle pipe"
+        );
+    }
+
+    #[test]
+    fn lcp_packets_use_low_priority_band() {
+        // Two senders onto one downlink so the egress queue actually
+        // builds (on an idle path nothing ever sits in a queue and the
+        // sampler would see zeros).
+        let (mut topo, tcp, cfg) = ppt_testbed(3);
+        install_ppt(&mut topo, &tcp, &cfg);
+        let size = 2 << 20;
+        topo.sim.add_flow(topo.hosts[0], topo.hosts[2], size, SimTime::ZERO, size);
+        topo.sim.add_flow(topo.hosts[1], topo.hosts[2], size, SimTime::ZERO, size);
+        // Sample the switch egress port toward the receiver.
+        let port = topo
+            .sim
+            .switch_port_towards(topo.leaves[0], netsim::NodeId::Host(topo.hosts[2]))
+            .unwrap();
+        let sampler = topo.sim.sample_port(
+            topo.leaves[0],
+            port,
+            SimDuration::from_micros(5),
+            SimTime(3_000_000),
+        );
+        run_flows(&mut topo, 1000);
+        let samples = topo.sim.samples(sampler);
+        let low_band_bytes: u64 = samples.iter().map(|s| s.per_priority[4..].iter().sum::<u64>()).sum();
+        assert!(low_band_bytes > 0, "LCP traffic must appear in P4-P7");
+    }
+
+    #[test]
+    fn many_to_one_all_complete_without_collapse() {
+        let (mut topo, tcp, cfg) = ppt_testbed(8);
+        install_ppt(&mut topo, &tcp, &cfg);
+        for i in 0..7 {
+            topo.sim.add_flow(topo.hosts[i], topo.hosts[7], 500_000, SimTime(i as u64 * 1000), 500_000);
+        }
+        let report = run_flows(&mut topo, 5_000);
+        assert_eq!(report.flows_completed, 7, "incast flows must all finish");
+    }
+
+    #[test]
+    fn small_flows_beat_large_flows_under_contention() {
+        let (mut topo, tcp, cfg) = ppt_testbed(4);
+        install_ppt(&mut topo, &tcp, &cfg);
+        // Two large identified flows hog the path to h3...
+        topo.sim.add_flow(topo.hosts[0], topo.hosts[3], 8 << 20, SimTime::ZERO, 8 << 20);
+        topo.sim.add_flow(topo.hosts[1], topo.hosts[3], 8 << 20, SimTime::ZERO, 8 << 20);
+        // ...then a burst of small flows arrives mid-transfer.
+        let mut smalls = Vec::new();
+        for i in 0..10u64 {
+            smalls.push(topo.sim.add_flow(
+                topo.hosts[2],
+                topo.hosts[3],
+                4_000,
+                SimTime(2_000_000 + i * 10_000),
+                4_000,
+            ));
+        }
+        let report = run_flows(&mut topo, 60_000);
+        assert_eq!(report.flows_completed, 12);
+        for s in smalls {
+            let start = topo.sim.flows()[s.0 as usize].start;
+            let fct = topo.sim.completion(s).unwrap() - start;
+            assert!(
+                fct.as_nanos() < 1_000_000,
+                "small flow should cut the line, fct={}us",
+                fct.as_micros_f64()
+            );
+        }
+    }
+
+    #[test]
+    fn ablations_run_to_completion() {
+        for (ecn, ewd, sched, ident) in [
+            (false, true, true, true),
+            (true, false, true, true),
+            (true, true, false, true),
+            (true, true, true, false),
+        ] {
+            let (mut topo, tcp, mut cfg) = ppt_testbed(3);
+            cfg.lcp_ecn_enabled = ecn;
+            cfg.ewd_enabled = ewd;
+            cfg.scheduling_enabled = sched;
+            cfg.identification_enabled = ident;
+            install_ppt(&mut topo, &tcp, &cfg);
+            topo.sim.add_flow(topo.hosts[0], topo.hosts[2], 1 << 20, SimTime::ZERO, 1 << 20);
+            topo.sim.add_flow(topo.hosts[1], topo.hosts[2], 50_000, SimTime(100_000), 50_000);
+            let report = run_flows(&mut topo, 10_000);
+            assert_eq!(
+                report.flows_completed, 2,
+                "ablation (ecn={ecn},ewd={ewd},sched={sched},ident={ident}) must still complete"
+            );
+        }
+    }
+
+    #[test]
+    fn fill_fraction_sweep_runs() {
+        for frac in [0.5, 1.0, 1.5] {
+            let (mut topo, tcp, mut cfg) = ppt_testbed(3);
+            cfg.fill_fraction = frac;
+            install_ppt(&mut topo, &tcp, &cfg);
+            topo.sim.add_flow(topo.hosts[0], topo.hosts[2], 2 << 20, SimTime::ZERO, 2 << 20);
+            topo.sim.add_flow(topo.hosts[1], topo.hosts[2], 2 << 20, SimTime::ZERO, 2 << 20);
+            let report = run_flows(&mut topo, 30_000);
+            assert_eq!(report.flows_completed, 2, "fill fraction {frac}");
+        }
+    }
+}

@@ -1,0 +1,248 @@
+//! The shared TCP-family receiver.
+//!
+//! Reassembles arbitrary-order HCP (head) and LCP (tail) data into one
+//! interval set, generates per-packet ACKs with exact SACK information,
+//! applies the EWD two-for-one ACK coalescing to low-priority packets,
+//! and reports flow completion the moment every byte is present.
+
+use netsim::{Ctx, FlowId, HostId, Packet, SimTime};
+use ppt_core::LcpAckClock;
+
+use crate::common::IntervalSet;
+use crate::proto::{AckHdr, DataHdr, Proto};
+
+/// Per-flow receiver state.
+#[derive(Debug)]
+pub struct TcpRx {
+    flow: FlowId,
+    /// The data sender (ACK destination).
+    peer: HostId,
+    size: u64,
+    received: IntervalSet,
+    completed: bool,
+    lcp_clock: LcpAckClock,
+    /// Pending SACK ranges for the next coalesced LCP ACK.
+    lcp_pending: Vec<(u64, u64)>,
+    /// 1 = ACK every LCP packet (RC3-style), 2 = EWD two-for-one.
+    lcp_coalesce: u32,
+}
+
+impl TcpRx {
+    /// New receiver state, learning the size from the first data packet.
+    pub fn new(flow: FlowId, peer: HostId, size: u64, lcp_coalesce: u32) -> Self {
+        assert!(lcp_coalesce >= 1);
+        TcpRx {
+            flow,
+            peer,
+            size,
+            received: IntervalSet::new(),
+            completed: false,
+            lcp_clock: LcpAckClock::new(),
+            lcp_pending: Vec::new(),
+            lcp_coalesce,
+        }
+    }
+
+    /// All bytes present?
+    pub fn is_complete(&self) -> bool {
+        self.completed
+    }
+
+    /// Bytes received so far (deduplicated).
+    pub fn received_bytes(&self) -> u64 {
+        self.received.covered_bytes()
+    }
+
+    /// Handle a data packet addressed to this flow; emits ACK(s) and the
+    /// completion notification through `ctx`.
+    pub fn on_data(&mut self, pkt: &Packet<Proto>, hdr: &DataHdr, ctx: &mut Ctx<'_, Proto>) {
+        let start = hdr.offset;
+        let end = hdr.offset + hdr.len as u64;
+        self.received.insert(start, end);
+
+        let just_completed = !self.completed && self.received.covers(self.size);
+        if just_completed {
+            self.completed = true;
+            ctx.flow_completed(self.flow);
+        }
+
+        if hdr.lcp && self.lcp_coalesce > 1 && !just_completed {
+            // EWD: one low-priority ACK per two opportunistic packets.
+            self.lcp_pending.push((start, end));
+            if let Some(ece) = self.lcp_clock.on_data(pkt.ecn.ce) {
+                let sacks = std::mem::take(&mut self.lcp_pending);
+                self.send_ack(sacks, ece, true, pkt.priority, hdr.sent_at, ctx);
+            }
+        } else {
+            // Per-packet ACK (HCP always; LCP when coalescing is off; and
+            // the completing packet regardless, so the sender can finish).
+            let mut sacks = vec![(start, end)];
+            if hdr.lcp {
+                sacks.extend(self.lcp_pending.drain(..));
+            }
+            self.send_ack(sacks, pkt.ecn.ce, hdr.lcp, pkt.priority, hdr.sent_at, ctx);
+        }
+    }
+
+    fn send_ack(
+        &self,
+        sacks: Vec<(u64, u64)>,
+        ece: bool,
+        lcp: bool,
+        data_prio: u8,
+        ts_echo: SimTime,
+        ctx: &mut Ctx<'_, Proto>,
+    ) {
+        // HCP ACKs ride the control (highest) priority; LCP ACKs stay in
+        // the low-priority band of their data (§3.2: "one low-priority
+        // ACK"), so they cannot perturb normal traffic.
+        let prio = if lcp { data_prio.max(4) } else { 0 };
+        let ack = AckHdr {
+            cum: self.received.contiguous_prefix(),
+            sacks,
+            ece,
+            lcp,
+            ts_echo,
+            int_echo: None,
+        };
+        let pkt = Packet::ctrl(self.flow, ctx.host(), self.peer, Proto::Ack(ack)).with_priority(prio);
+        ctx.send(pkt);
+    }
+
+    /// Variant of [`Self::on_data`] that also echoes the INT stack (HPCC).
+    pub fn on_data_with_int(
+        &mut self,
+        pkt: &Packet<Proto>,
+        hdr: &DataHdr,
+        ctx: &mut Ctx<'_, Proto>,
+    ) {
+        let start = hdr.offset;
+        let end = hdr.offset + hdr.len as u64;
+        self.received.insert(start, end);
+        if !self.completed && self.received.covers(self.size) {
+            self.completed = true;
+            ctx.flow_completed(self.flow);
+        }
+        let ack = AckHdr {
+            cum: self.received.contiguous_prefix(),
+            sacks: vec![(start, end)],
+            ece: pkt.ecn.ce,
+            lcp: false,
+            ts_echo: hdr.sent_at,
+            int_echo: hdr.int.clone(),
+        };
+        let pkt = Packet::ctrl(self.flow, ctx.host(), self.peer, Proto::Ack(ack)).with_priority(0);
+        ctx.send(pkt);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim::host::Effects;
+    use netsim::{Ecn, HostId};
+
+    fn data_pkt(flow: FlowId, offset: u64, len: u32, size: u64, lcp: bool, ce: bool) -> (Packet<Proto>, DataHdr) {
+        let hdr = DataHdr {
+            offset,
+            len,
+            msg_size: size,
+            lcp,
+            retx: false,
+            sent_at: SimTime(5),
+            int: None,
+        };
+        let mut pkt = Packet::data(flow, HostId(0), HostId(1), len, Proto::Data(hdr.clone()))
+            .with_priority(if lcp { 4 } else { 0 });
+        pkt.ecn = Ecn { capable: true, ce };
+        (pkt, hdr)
+    }
+
+    /// Drive the receiver with a scratch Ctx and collect emitted ACKs.
+    fn drive(rx: &mut TcpRx, packets: Vec<(Packet<Proto>, DataHdr)>) -> (Vec<AckHdr>, Vec<u8>, bool) {
+        let mut acks = Vec::new();
+        let mut prios = Vec::new();
+        let mut completed = false;
+        for (pkt, hdr) in packets {
+            let mut effects = Effects::default();
+            let mut ctx = Ctx::new(SimTime(10), HostId(1), &mut effects);
+            rx.on_data(&pkt, &hdr, &mut ctx);
+            let (pkts, _timers, done) = effects.into_parts();
+            completed |= !done.is_empty();
+            for p in pkts {
+                prios.push(p.priority);
+                if let Proto::Ack(a) = p.payload {
+                    acks.push(a);
+                }
+            }
+        }
+        (acks, prios, completed)
+    }
+
+    #[test]
+    fn hcp_packets_acked_individually_with_exact_sacks() {
+        let flow = FlowId(1);
+        let mut rx = TcpRx::new(flow, HostId(0), 4000, 2);
+        let (acks, prios, done) = drive(
+            &mut rx,
+            vec![
+                data_pkt(flow, 0, 1000, 4000, false, false),
+                data_pkt(flow, 2000, 1000, 4000, false, true),
+            ],
+        );
+        assert_eq!(acks.len(), 2);
+        assert_eq!(acks[0].cum, 1000);
+        assert_eq!(acks[0].sacks, vec![(0, 1000)]);
+        assert!(!acks[0].ece);
+        assert_eq!(acks[1].cum, 1000, "hole keeps cum at 1000");
+        assert_eq!(acks[1].sacks, vec![(2000, 3000)]);
+        assert!(acks[1].ece, "CE must echo as ECE");
+        assert!(prios.iter().all(|&p| p == 0), "HCP ACKs ride P0");
+        assert!(!done);
+    }
+
+    #[test]
+    fn lcp_packets_coalesce_two_to_one_with_both_sacks() {
+        let flow = FlowId(2);
+        let mut rx = TcpRx::new(flow, HostId(0), 100_000, 2);
+        let (acks, prios, _) = drive(
+            &mut rx,
+            vec![
+                data_pkt(flow, 98_000, 1000, 100_000, true, false),
+                data_pkt(flow, 99_000, 1000, 100_000, true, true),
+                data_pkt(flow, 97_000, 1000, 100_000, true, false),
+            ],
+        );
+        // 3 LCP packets => exactly one ACK (for the first pair).
+        assert_eq!(acks.len(), 1);
+        assert!(acks[0].lcp);
+        assert!(acks[0].ece, "CE on either packet of the pair sets ECE");
+        assert_eq!(acks[0].sacks.len(), 2);
+        assert!(prios.iter().all(|&p| p >= 4), "LCP ACKs stay low priority");
+    }
+
+    #[test]
+    fn completing_packet_always_acks_even_if_lcp_odd() {
+        let flow = FlowId(3);
+        let mut rx = TcpRx::new(flow, HostId(0), 2000, 2);
+        let (_, _, done1) = drive(&mut rx, vec![data_pkt(flow, 0, 1000, 2000, false, false)]);
+        assert!(!done1);
+        // The final byte arrives as a single (odd) LCP packet: the
+        // completion must be reported immediately, not after a pair.
+        let (_, _, done2) = drive(&mut rx, vec![data_pkt(flow, 1000, 1000, 2000, true, false)]);
+        assert!(done2, "completion must not wait for the EWD pair");
+        assert!(rx.is_complete());
+        assert_eq!(rx.received_bytes(), 2000);
+    }
+
+    #[test]
+    fn duplicate_data_does_not_double_count() {
+        let flow = FlowId(4);
+        let mut rx = TcpRx::new(flow, HostId(0), 3000, 1);
+        drive(&mut rx, vec![
+            data_pkt(flow, 0, 1000, 3000, false, false),
+            data_pkt(flow, 0, 1000, 3000, false, false),
+        ]);
+        assert_eq!(rx.received_bytes(), 1000);
+    }
+}

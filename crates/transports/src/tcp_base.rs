@@ -1,0 +1,859 @@
+//! The shared TCP-family engine: a DCTCP sender flow and a common
+//! receiver.
+//!
+//! `DctcpFlowTx` implements everything a window-based ECN sender needs —
+//! segmentation, SACK scoreboarding, fast retransmit, RTO, slow start /
+//! congestion avoidance, and the DCTCP α-based window cut. PPT, RC3 and
+//! PIAS compose it; Swift and HPCC reuse the reliability plumbing with
+//! their own window update.
+
+use std::collections::BTreeMap;
+
+use netsim::{FlowId, HostId, SimDuration, SimTime};
+use ppt_core::{AlphaEstimator, WmaxTracker};
+
+use crate::common::IntervalSet;
+use crate::proto::AckHdr;
+
+/// TCP-family configuration.
+#[derive(Clone, Debug)]
+pub struct TcpCfg {
+    /// Maximum segment size (payload bytes per packet).
+    pub mss: u32,
+    /// Initial congestion window, bytes (TCP-10-era default: 10 MSS).
+    pub init_cwnd_bytes: u64,
+    /// Base round-trip time (pacing & α round bookkeeping fallback).
+    pub base_rtt: SimDuration,
+    /// Minimum retransmission timeout.
+    pub min_rto: SimDuration,
+    /// DCTCP EWMA gain.
+    pub g: f64,
+    /// Hard congestion-window cap, bytes.
+    pub max_cwnd_bytes: u64,
+    /// Duplicate-SACK threshold for fast retransmit.
+    pub dupack_threshold: u8,
+}
+
+impl TcpCfg {
+    /// Sensible defaults for a given base RTT (IW = 10 MSS, RTOmin 10 ms —
+    /// the paper's testbed setting).
+    pub fn new(base_rtt: SimDuration) -> Self {
+        TcpCfg {
+            mss: netsim::MSS_BYTES,
+            init_cwnd_bytes: 10 * netsim::MSS_BYTES as u64,
+            base_rtt,
+            min_rto: SimDuration::from_millis(10),
+            g: ppt_core::DEFAULT_G,
+            max_cwnd_bytes: 16 << 20,
+            dupack_threshold: 3,
+        }
+    }
+}
+
+/// Congestion-control phase.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CcState {
+    SlowStart,
+    CongestionAvoidance,
+}
+
+/// Swift-style delay-based congestion control state (Fig 14's
+/// "conceptually equivalent to Swift" variant: the window reacts to the
+/// fabric delay only).
+#[derive(Clone, Copy, Debug)]
+pub struct SwiftCc {
+    /// Target one-way+return fabric delay.
+    pub target: SimDuration,
+    /// Multiplicative-decrease gain β.
+    pub beta: f64,
+    /// Maximum fraction the window may lose per decrease.
+    pub max_mdf: f64,
+    /// Last multiplicative decrease (rate-limited to once per RTT).
+    pub last_decrease: SimTime,
+}
+
+impl SwiftCc {
+    /// Swift defaults for a given base RTT: target = 1.5 × base RTT.
+    pub fn new(base_rtt: SimDuration) -> Self {
+        SwiftCc {
+            target: SimDuration::from_nanos(base_rtt.as_nanos() * 3 / 2),
+            beta: 0.8,
+            max_mdf: 0.5,
+            last_decrease: SimTime::ZERO,
+        }
+    }
+}
+
+/// HPCC congestion-control state (per the HPCC paper's per-ACK window
+/// update driven by INT telemetry).
+#[derive(Clone, Debug)]
+pub struct HpccCc {
+    /// Utilization target η.
+    pub eta: f64,
+    /// Additive increase per update, bytes.
+    pub w_ai: f64,
+    /// Max additive-increase stages before a multiplicative step.
+    pub max_stage: u32,
+    /// Base RTT (the T in qlen/(B·T)).
+    pub base_rtt: SimDuration,
+    /// Reference window W_c.
+    pub wc: f64,
+    pub inc_stage: u32,
+    pub last_update_seq: u64,
+    /// Previous INT observation per hop, keyed by hop index.
+    pub prev_int: Vec<crate::proto::IntHop>,
+    /// Most recent inflight estimate U (the appendix-B PPT-over-HPCC
+    /// variant opens its LCP loop when this drops below 1).
+    pub last_u: f64,
+    /// Priority-aware INT: measure only the high-priority band (P0–P3).
+    /// Required when an LCP loop shares the path — otherwise HPCC counts
+    /// the opportunistic traffic as congestion, yields window, and the
+    /// LCP loop absorbs the yield in a spiral.
+    pub high_band_only: bool,
+}
+
+impl HpccCc {
+    /// HPCC defaults: η = 0.95, maxStage = 5, W_AI = one MSS.
+    pub fn new(base_rtt: SimDuration, init_cwnd: u64) -> Self {
+        HpccCc {
+            eta: 0.95,
+            w_ai: netsim::MSS_BYTES as f64,
+            max_stage: 5,
+            base_rtt,
+            wc: init_cwnd as f64,
+            inc_stage: 0,
+            last_update_seq: 0,
+            prev_int: Vec::new(),
+            last_u: 0.0,
+            high_band_only: false,
+        }
+    }
+
+    /// Switch to priority-aware INT (see `high_band_only`).
+    pub fn with_high_band_only(mut self) -> Self {
+        self.high_band_only = true;
+        self
+    }
+
+    /// The normalized max per-hop inflight estimate U from an echoed INT
+    /// stack, updating the per-hop history.
+    pub fn measure_u(&mut self, int: &[crate::proto::IntHop]) -> f64 {
+        let mut u_max: f64 = 0.0;
+        for (i, hop) in int.iter().enumerate() {
+            let b_bytes_per_sec = hop.rate_bps as f64 / 8.0;
+            let t = self.base_rtt.as_secs_f64();
+            let qlen = if self.high_band_only { hop.qlen_high_bytes } else { hop.qlen_bytes };
+            let mut u = qlen as f64 / (b_bytes_per_sec * t);
+            if let Some(prev) = self.prev_int.get(i) {
+                let dt_ns = hop.ts.as_nanos().saturating_sub(prev.ts.as_nanos());
+                if dt_ns > 0 {
+                    let (now_tx, prev_tx) = if self.high_band_only {
+                        (hop.tx_high_bytes, prev.tx_high_bytes)
+                    } else {
+                        (hop.tx_bytes, prev.tx_bytes)
+                    };
+                    let dbytes = now_tx.saturating_sub(prev_tx) as f64;
+                    let tx_rate = dbytes / (dt_ns as f64 / 1e9);
+                    u += tx_rate / b_bytes_per_sec;
+                }
+            }
+            u_max = u_max.max(u);
+        }
+        // Update history.
+        self.prev_int = int.to_vec();
+        self.last_u = u_max;
+        u_max
+    }
+}
+
+/// Which window-update law the flow runs. The reliability machinery
+/// (segmentation, SACK, RTO) is identical across all of them.
+#[derive(Clone, Debug)]
+pub enum CcMode {
+    /// ECN-fraction-based DCTCP (the default).
+    Dctcp,
+    /// Delay-based Swift-like control.
+    Swift(SwiftCc),
+    /// INT-based HPCC control.
+    Hpcc(HpccCc),
+}
+
+/// A segment the transport should put on the wire.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SegOut {
+    pub offset: u64,
+    pub len: u32,
+    pub retx: bool,
+}
+
+/// Everything the caller needs to react to an ACK.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct AckOutcome {
+    /// Bytes newly covered by this ACK.
+    pub newly_acked: u64,
+    /// An α round closed with this ACK; carries the fresh α.
+    pub round_alpha: Option<f64>,
+    /// The flow is fully acknowledged.
+    pub done: bool,
+    /// An RTT sample measured from the echoed timestamp.
+    pub rtt_sample: Option<SimDuration>,
+    /// Swift mode: the per-ACK delay sample (now − ts_echo).
+    pub delay_sample: Option<SimDuration>,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct InflightSeg {
+    len: u32,
+    sent_at: SimTime,
+    /// SACK-hole counter: number of ACK arrivals that SACKed data above
+    /// this segment while it remained unacked.
+    dup_hits: u8,
+    retx: bool,
+}
+
+/// A DCTCP sender flow.
+#[derive(Debug)]
+pub struct DctcpFlowTx {
+    pub id: FlowId,
+    pub src: HostId,
+    pub dst: HostId,
+    pub size: u64,
+    cfg: TcpCfg,
+
+    cwnd: f64,
+    ssthresh: f64,
+    state: CcState,
+
+    /// Bytes transmitted at least once by *any* loop (HCP or LCP).
+    /// The LCP tail loop consults this so it never duplicates in-flight
+    /// opportunistic data; the HCP loop does NOT skip unacked claimed
+    /// bytes — like the kernel, it resends anything not yet acknowledged
+    /// when it reaches it (receivers discard duplicates).
+    claimed: IntervalSet,
+    /// HCP new-data pointer: the next in-order byte the primary loop will
+    /// transmit. Jumps over ACKed (possibly LCP-delivered) ranges.
+    hcp_next: u64,
+    /// Bytes known delivered (cum + SACK).
+    acked: IntervalSet,
+    /// Outstanding HCP segments by offset.
+    inflight: BTreeMap<u64, InflightSeg>,
+    inflight_bytes: u64,
+    /// Highest offset+len ever transmitted (α round bookkeeping).
+    snd_hi: u64,
+    /// HCP retransmission queue.
+    retx_queue: Vec<(u64, u32)>,
+    highest_sacked: u64,
+
+    alpha: AlphaEstimator,
+    round_end: u64,
+    ce_in_round: bool,
+    /// Maximum congestion-avoidance window (PPT's MW).
+    pub wmax: WmaxTracker,
+
+    /// RTO state.
+    rto_deadline: SimTime,
+    rto_backoff: u32,
+    /// Bytes the flow has pushed (for priority aging).
+    pub bytes_sent: u64,
+    /// Which window-update law runs (DCTCP / Swift / HPCC).
+    cc_mode: CcMode,
+    done: bool,
+}
+
+impl DctcpFlowTx {
+    /// New sender flow.
+    pub fn new(id: FlowId, src: HostId, dst: HostId, size: u64, cfg: TcpCfg) -> Self {
+        let init = cfg.init_cwnd_bytes as f64;
+        DctcpFlowTx {
+            id,
+            src,
+            dst,
+            size,
+            alpha: AlphaEstimator::new(cfg.g),
+            cfg,
+            cwnd: init,
+            ssthresh: f64::INFINITY,
+            state: CcState::SlowStart,
+            claimed: IntervalSet::new(),
+            hcp_next: 0,
+            acked: IntervalSet::new(),
+            inflight: BTreeMap::new(),
+            inflight_bytes: 0,
+            snd_hi: 0,
+            retx_queue: Vec::new(),
+            highest_sacked: 0,
+            round_end: 0,
+            ce_in_round: false,
+            wmax: WmaxTracker::new(),
+            rto_deadline: SimTime::MAX,
+            rto_backoff: 0,
+            bytes_sent: 0,
+            cc_mode: CcMode::Dctcp,
+            done: false,
+        }
+    }
+
+    /// Switch the window-update law (builder-style). The reliability
+    /// machinery is shared; only the reaction to feedback changes.
+    pub fn with_cc_mode(mut self, mode: CcMode) -> Self {
+        self.cc_mode = mode;
+        self
+    }
+
+    /// Read the current CC mode (e.g. Swift target inspection).
+    pub fn cc_mode(&self) -> &CcMode {
+        &self.cc_mode
+    }
+
+    /// Current congestion window, bytes.
+    pub fn cwnd_bytes(&self) -> u64 {
+        self.cwnd as u64
+    }
+
+    /// Current phase.
+    pub fn state(&self) -> CcState {
+        self.state
+    }
+
+    /// Current α.
+    pub fn alpha(&self) -> f64 {
+        self.alpha.alpha()
+    }
+
+    /// Bytes in flight on the primary loop.
+    pub fn inflight_bytes(&self) -> u64 {
+        self.inflight_bytes
+    }
+
+    /// All bytes the flow has claimed (sent at least once by any loop).
+    pub fn claimed(&self) -> &IntervalSet {
+        &self.claimed
+    }
+
+    /// Mutable access for co-located loops (LCP marks tail bytes claimed).
+    pub fn claimed_mut(&mut self) -> &mut IntervalSet {
+        &mut self.claimed
+    }
+
+    /// Bytes known delivered.
+    pub fn acked(&self) -> &IntervalSet {
+        &self.acked
+    }
+
+    /// True once every byte is acknowledged.
+    pub fn is_done(&self) -> bool {
+        self.done
+    }
+
+    /// Fully acknowledged prefix.
+    pub fn cum_acked(&self) -> u64 {
+        self.acked.contiguous_prefix()
+    }
+
+    /// The next HCP segment to transmit, honouring the window. Claims the
+    /// bytes and tracks the segment; returns `None` when the window is
+    /// full or there is nothing (new or lost) to send.
+    pub fn next_segment(&mut self, now: SimTime) -> Option<SegOut> {
+        if self.done {
+            return None;
+        }
+        if self.inflight_bytes + self.cfg.mss as u64 > self.cwnd_bytes().max(self.cfg.mss as u64) {
+            return None;
+        }
+        // Retransmissions first.
+        while let Some((offset, len)) = self.retx_queue.pop() {
+            if self.acked.contains(offset) {
+                continue; // acked in the meantime
+            }
+            self.track_sent(offset, len, now, true);
+            return Some(SegOut { offset, len, retx: true });
+        }
+        // New data: the next in-order byte that is not yet acknowledged.
+        // LCP-delivered (acked) tail ranges are jumped over — the paper's
+        // "advancing snd_nxt" on crossing; LCP-sent-but-unacked bytes are
+        // NOT skipped, so a lost opportunistic packet is repaired by the
+        // primary loop in order rather than waiting out an RTO.
+        let (gap_start, gap_end) = self.acked.first_gap(self.hcp_next, self.size)?;
+        let len = ((gap_end - gap_start).min(self.cfg.mss as u64)) as u32;
+        self.claimed.insert(gap_start, gap_start + len as u64);
+        self.hcp_next = gap_start + len as u64;
+        self.track_sent(gap_start, len, now, false);
+        Some(SegOut { offset: gap_start, len, retx: false })
+    }
+
+    fn track_sent(&mut self, offset: u64, len: u32, now: SimTime, retx: bool) {
+        self.inflight.insert(offset, InflightSeg { len, sent_at: now, dup_hits: 0, retx });
+        self.inflight_bytes += len as u64;
+        self.snd_hi = self.snd_hi.max(offset + len as u64);
+        self.bytes_sent += len as u64;
+        if self.round_end == 0 {
+            self.round_end = self.snd_hi;
+        }
+        self.arm_rto(now);
+    }
+
+    /// Process an ACK (cumulative + SACK ranges + ECN echo).
+    pub fn on_ack(&mut self, ack: &AckHdr, now: SimTime) -> AckOutcome {
+        let mut out = AckOutcome::default();
+        if self.done {
+            return out;
+        }
+        let mut newly = self.acked.insert(0, ack.cum);
+        for &(s, e) in &ack.sacks {
+            newly += self.acked.insert(s, e);
+            self.highest_sacked = self.highest_sacked.max(e);
+        }
+        self.highest_sacked = self.highest_sacked.max(ack.cum);
+        out.newly_acked = newly;
+
+        // Clear acked segments from the in-flight table.
+        let acked_offsets: Vec<u64> = self
+            .inflight
+            .iter()
+            .filter(|(&off, seg)| {
+                off + seg.len as u64 <= ack.cum
+                    || ack.sacks.iter().any(|&(s, e)| s <= off && off + seg.len as u64 <= e)
+            })
+            .map(|(&off, _)| off)
+            .collect();
+        for off in &acked_offsets {
+            if let Some(seg) = self.inflight.remove(off) {
+                self.inflight_bytes -= seg.len as u64;
+                if out.rtt_sample.is_none() && !seg.retx {
+                    out.rtt_sample = Some(now.saturating_since(seg.sent_at));
+                }
+            }
+        }
+
+        // Congestion-control window update (mode-specific).
+        let mut mode = std::mem::replace(&mut self.cc_mode, CcMode::Dctcp);
+        match &mut mode {
+            CcMode::Dctcp => {
+                // ECN + α bookkeeping (HCP ACKs only; callers filter LCP ACKs).
+                self.alpha.on_ack(newly.max(1), if ack.ece { newly.max(1) } else { 0 });
+                if ack.ece {
+                    self.ce_in_round = true;
+                }
+                if newly > 0 {
+                    match self.state {
+                        CcState::SlowStart => {
+                            self.cwnd += newly as f64;
+                            if self.cwnd >= self.ssthresh {
+                                self.enter_ca();
+                            }
+                        }
+                        CcState::CongestionAvoidance => {
+                            self.cwnd += self.cfg.mss as f64 * newly as f64 / self.cwnd;
+                        }
+                    }
+                    self.cwnd = self.cwnd.min(self.cfg.max_cwnd_bytes as f64);
+                    self.wmax.observe(self.cwnd as u64);
+                    self.rto_backoff = 0;
+                }
+                // α round boundary: one window of data acknowledged.
+                if self.cum_high_water() >= self.round_end && self.round_end > 0 {
+                    let alpha = self.alpha.end_of_round();
+                    // One multiplicative cut per round at most: ce_in_round
+                    // is consumed here and only re-arms on fresh ECE.
+                    if self.ce_in_round {
+                        self.cwnd = (self.cwnd * self.alpha.cut_factor()).max(self.cfg.mss as f64);
+                        self.ssthresh = self.cwnd;
+                        self.enter_ca();
+                    }
+                    self.ce_in_round = false;
+                    self.round_end = self.snd_hi.max(self.cum_high_water());
+                    out.round_alpha = Some(alpha);
+                }
+            }
+            CcMode::Swift(sw) => {
+                if newly > 0 {
+                    let delay = now.saturating_since(ack.ts_echo);
+                    out.delay_sample = Some(delay);
+                    if delay < sw.target {
+                        match self.state {
+                            CcState::SlowStart => {
+                                self.cwnd += newly as f64;
+                                if self.cwnd >= self.ssthresh {
+                                    self.enter_ca();
+                                }
+                            }
+                            CcState::CongestionAvoidance => {
+                                self.cwnd += self.cfg.mss as f64 * newly as f64 / self.cwnd;
+                            }
+                        }
+                    } else if now.saturating_since(sw.last_decrease) >= self.cfg.base_rtt {
+                        let over = (delay.as_nanos() - sw.target.as_nanos()) as f64
+                            / delay.as_nanos().max(1) as f64;
+                        let factor = (1.0 - sw.beta * over).max(1.0 - sw.max_mdf);
+                        self.cwnd = (self.cwnd * factor).max(self.cfg.mss as f64);
+                        self.ssthresh = self.cwnd;
+                        sw.last_decrease = now;
+                        self.enter_ca();
+                    }
+                    self.cwnd = self.cwnd.min(self.cfg.max_cwnd_bytes as f64);
+                    self.wmax.observe(self.cwnd as u64);
+                    self.rto_backoff = 0;
+                }
+            }
+            CcMode::Hpcc(h) => {
+                if let Some(int) = &ack.int_echo {
+                    let u = h.measure_u(int);
+                    if ack.cum > h.last_update_seq {
+                        h.wc = self.cwnd;
+                        h.inc_stage = 0;
+                        h.last_update_seq = self.snd_hi;
+                    }
+                    if u >= h.eta || h.inc_stage >= h.max_stage {
+                        self.cwnd = (h.wc / (u / h.eta).max(1e-3) + h.w_ai)
+                            .clamp(self.cfg.mss as f64, self.cfg.max_cwnd_bytes as f64);
+                    } else {
+                        self.cwnd = (h.wc + h.w_ai).min(self.cfg.max_cwnd_bytes as f64);
+                        h.inc_stage += 1;
+                    }
+                    self.wmax.observe(self.cwnd as u64);
+                }
+                if newly > 0 {
+                    self.rto_backoff = 0;
+                }
+            }
+        }
+        self.cc_mode = mode;
+
+        // Fast retransmit: segments with enough SACKed data above them.
+        let threshold = self.cfg.dupack_threshold;
+        let mut lost: Vec<(u64, u32)> = Vec::new();
+        for (&off, seg) in self.inflight.iter_mut() {
+            if off + (seg.len as u64) <= self.highest_sacked {
+                seg.dup_hits = seg.dup_hits.saturating_add(1);
+                if seg.dup_hits == threshold {
+                    lost.push((off, seg.len));
+                }
+            }
+        }
+        if !lost.is_empty() {
+            for &(off, len) in &lost {
+                self.inflight.remove(&off);
+                self.inflight_bytes -= len as u64;
+                self.retx_queue.push((off, len));
+            }
+            // One multiplicative cut per loss event.
+            self.ssthresh = (self.cwnd / 2.0).max(2.0 * self.cfg.mss as f64);
+            self.cwnd = self.ssthresh;
+            self.enter_ca();
+        }
+
+        if self.acked.covers(self.size) {
+            self.done = true;
+            self.inflight.clear();
+            self.inflight_bytes = 0;
+            self.rto_deadline = SimTime::MAX;
+        } else {
+            self.arm_rto(now);
+        }
+        out.done = self.done;
+        out
+    }
+
+    /// Process a *low-priority* (LCP) ACK: records delivered tail bytes
+    /// without feeding congestion control — opportunistic packets must not
+    /// inflate α, grow the window, or trigger HCP loss recovery.
+    /// Returns the bytes newly covered.
+    pub fn on_lcp_ack(&mut self, ack: &AckHdr, _now: SimTime) -> u64 {
+        if self.done {
+            return 0;
+        }
+        let mut newly = self.acked.insert(0, ack.cum);
+        for &(s, e) in &ack.sacks {
+            newly += self.acked.insert(s, e);
+        }
+        // Drop any HCP in-flight segment the LCP ACK happens to cover
+        // (possible after crossing) so window accounting stays truthful.
+        let covered: Vec<u64> = self
+            .inflight
+            .iter()
+            .filter(|(&off, seg)| {
+                ack.sacks.iter().any(|&(s, e)| s <= off && off + seg.len as u64 <= e)
+                    || off + seg.len as u64 <= ack.cum
+            })
+            .map(|(&off, _)| off)
+            .collect();
+        for off in covered {
+            if let Some(seg) = self.inflight.remove(&off) {
+                self.inflight_bytes -= seg.len as u64;
+            }
+        }
+        if self.acked.covers(self.size) {
+            self.done = true;
+            self.inflight.clear();
+            self.inflight_bytes = 0;
+            self.rto_deadline = SimTime::MAX;
+        }
+        newly
+    }
+
+    /// Count opportunistic bytes toward the flow's total for priority
+    /// aging (§4.2 demotes by bytes sent across both loops).
+    pub fn add_sent_bytes(&mut self, bytes: u64) {
+        self.bytes_sent += bytes;
+    }
+
+    /// Highest fully-acked watermark used for round accounting: the
+    /// contiguous prefix plus SACKed ranges beyond it count toward the
+    /// round because DCTCP rounds are about feedback coverage, not order.
+    fn cum_high_water(&self) -> u64 {
+        self.highest_sacked.max(self.cum_acked())
+    }
+
+    fn enter_ca(&mut self) {
+        self.state = CcState::CongestionAvoidance;
+        self.wmax.enter_congestion_avoidance();
+        self.wmax.observe(self.cwnd as u64);
+    }
+
+    // ------------------------------------------------------------
+    // RTO
+    // ------------------------------------------------------------
+
+    fn rto(&self) -> SimDuration {
+        let base = self.cfg.min_rto.as_nanos();
+        SimDuration::from_nanos(base << self.rto_backoff.min(6))
+    }
+
+    fn arm_rto(&mut self, now: SimTime) {
+        self.rto_deadline = now + self.rto();
+    }
+
+    /// Current RTO deadline (`SimTime::MAX` when idle/done).
+    pub fn rto_deadline(&self) -> SimTime {
+        self.rto_deadline
+    }
+
+    /// Handle an expired RTO timer. Returns true when a timeout action was
+    /// taken (caller should then pump the flow and re-arm its timer).
+    pub fn on_rto(&mut self, now: SimTime) -> bool {
+        if self.done || now < self.rto_deadline {
+            return false;
+        }
+        // Retransmit the first unacked claimed range; collapse the window.
+        let gap = self.acked.first_gap(0, self.size);
+        let Some((start, end)) = gap else {
+            return false;
+        };
+        // Only retransmit bytes we have actually sent before.
+        if !self.claimed.contains(start) {
+            // Nothing outstanding — stall was send-side; just re-arm.
+            self.arm_rto(now);
+            return false;
+        }
+        let len = (end - start).min(self.cfg.mss as u64) as u32;
+        self.retx_queue.push((start, len));
+        self.inflight.clear();
+        self.inflight_bytes = 0;
+        self.ssthresh = (self.cwnd / 2.0).max(2.0 * self.cfg.mss as f64);
+        self.cwnd = self.cfg.mss as f64;
+        self.state = CcState::SlowStart;
+        self.rto_backoff += 1;
+        self.arm_rto(now);
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> TcpCfg {
+        TcpCfg::new(SimDuration::from_micros(80))
+    }
+
+    fn flow(size: u64) -> DctcpFlowTx {
+        DctcpFlowTx::new(FlowId(0), HostId(0), HostId(1), size, cfg())
+    }
+
+    fn ack(cum: u64, sacks: Vec<(u64, u64)>, ece: bool) -> AckHdr {
+        AckHdr { cum, sacks, ece, lcp: false, ts_echo: SimTime::ZERO, int_echo: None }
+    }
+
+    #[test]
+    fn initial_window_limits_burst() {
+        let mut f = flow(1 << 20);
+        let mut sent = 0u64;
+        while let Some(seg) = f.next_segment(SimTime::ZERO) {
+            sent += seg.len as u64;
+        }
+        assert_eq!(sent, cfg().init_cwnd_bytes);
+        assert_eq!(f.inflight_bytes(), sent);
+    }
+
+    #[test]
+    fn slow_start_doubles_per_round() {
+        let mut f = flow(10 << 20);
+        let mut t = SimTime::ZERO;
+        // Round 1: send IW, ack it all.
+        let mut offs = Vec::new();
+        while let Some(seg) = f.next_segment(t) {
+            offs.push((seg.offset, seg.len));
+        }
+        let w0 = f.cwnd_bytes();
+        t = SimTime(80_000);
+        for (o, l) in offs {
+            f.on_ack(&ack(o + l as u64, vec![(o, o + l as u64)], false), t);
+        }
+        // cwnd grew by the acked bytes (exponential growth).
+        assert_eq!(f.cwnd_bytes(), 2 * w0);
+        assert_eq!(f.state(), CcState::SlowStart);
+    }
+
+    #[test]
+    fn ecn_marks_cut_window_once_per_round() {
+        let mut f = flow(10 << 20);
+        let mut t = SimTime::ZERO;
+        let mut offs = Vec::new();
+        while let Some(seg) = f.next_segment(t) {
+            offs.push((seg.offset, seg.len));
+        }
+        t = SimTime(80_000);
+        // All ACKs carry ECE: α stays 1 → cut to half at round end.
+        let before = f.cwnd_bytes() + cfg().init_cwnd_bytes; // after growth
+        for (o, l) in offs {
+            f.on_ack(&ack(o + l as u64, vec![(o, o + l as u64)], true), t);
+        }
+        // After the round: slow-start growth happened then the cut applied.
+        assert!(f.cwnd_bytes() < before, "cwnd must be cut");
+        assert_eq!(f.state(), CcState::CongestionAvoidance);
+        assert!(f.alpha() > 0.9, "all-marked round drives α up");
+    }
+
+    #[test]
+    fn sack_holes_trigger_fast_retransmit() {
+        let mut f = flow(1 << 20);
+        let mut segs = Vec::new();
+        while let Some(seg) = f.next_segment(SimTime::ZERO) {
+            segs.push(seg);
+        }
+        assert!(segs.len() >= 5);
+        // Lose segment 0: SACK segments 1..=4 (4 dup events > threshold 3).
+        let t = SimTime(80_000);
+        for seg in segs.iter().skip(1).take(4) {
+            f.on_ack(&ack(0, vec![(seg.offset, seg.offset + seg.len as u64)], false), t);
+        }
+        // Segment 0 must now be queued for retransmission.
+        let next = f.next_segment(SimTime(90_000)).expect("retx segment");
+        assert!(next.retx);
+        assert_eq!(next.offset, segs[0].offset);
+    }
+
+    #[test]
+    fn rto_collapses_window_and_retransmits_head() {
+        let mut f = flow(1 << 20);
+        while f.next_segment(SimTime::ZERO).is_some() {}
+        let deadline = f.rto_deadline();
+        assert!(deadline > SimTime::ZERO && deadline < SimTime::MAX);
+        assert!(f.on_rto(deadline));
+        assert_eq!(f.cwnd_bytes(), cfg().mss as u64);
+        let seg = f.next_segment(deadline).expect("head retransmit");
+        assert!(seg.retx);
+        assert_eq!(seg.offset, 0);
+        // Backoff doubles the next deadline distance.
+        let d2 = f.rto_deadline();
+        assert_eq!(
+            d2.saturating_since(deadline).as_nanos(),
+            2 * cfg().min_rto.as_nanos()
+        );
+    }
+
+    #[test]
+    fn completion_after_all_bytes_acked() {
+        let size = 3 * netsim::MSS_BYTES as u64;
+        let mut f = flow(size);
+        let mut segs = Vec::new();
+        while let Some(s) = f.next_segment(SimTime::ZERO) {
+            segs.push(s);
+        }
+        let out = f.on_ack(&ack(size, vec![], false), SimTime(1));
+        assert!(out.done);
+        assert!(f.is_done());
+        assert_eq!(f.rto_deadline(), SimTime::MAX);
+        assert!(f.next_segment(SimTime(2)).is_none());
+    }
+
+    #[test]
+    fn lcp_acked_tail_is_skipped_by_hcp() {
+        // Simulate the PPT crossing: the tail was delivered by LCP and the
+        // low-priority ACK arrived — HCP must jump over it.
+        let size = 10 * netsim::MSS_BYTES as u64;
+        let mut f = flow(size);
+        let tail_start = size - 2 * netsim::MSS_BYTES as u64;
+        f.claimed_mut().insert(tail_start, size);
+        let lcp_ack = AckHdr {
+            cum: 0,
+            sacks: vec![(tail_start, size)],
+            ece: false,
+            lcp: true,
+            ts_echo: SimTime::ZERO,
+            int_echo: None,
+        };
+        f.on_lcp_ack(&lcp_ack, SimTime::ZERO);
+        let mut max_off = 0;
+        while let Some(seg) = f.next_segment(SimTime::ZERO) {
+            max_off = max_off.max(seg.offset + seg.len as u64);
+            assert!(
+                seg.offset + seg.len as u64 <= tail_start,
+                "HCP must not resend the LCP-acked tail"
+            );
+        }
+        assert_eq!(max_off, tail_start);
+    }
+
+    #[test]
+    fn lcp_unacked_claimed_bytes_are_resent_by_hcp_in_order() {
+        // A lost opportunistic packet: claimed but never acked. The
+        // primary loop must transmit it when it reaches that offset —
+        // never strand it behind an RTO.
+        let size = 5 * netsim::MSS_BYTES as u64;
+        let mut f = flow(size);
+        let tail_start = size - netsim::MSS_BYTES as u64;
+        f.claimed_mut().insert(tail_start, size); // LCP sent it; ack lost
+        let mut offsets = Vec::new();
+        while let Some(seg) = f.next_segment(SimTime::ZERO) {
+            offsets.push(seg.offset);
+        }
+        assert!(
+            offsets.contains(&tail_start),
+            "HCP must cover the unacked tail: {offsets:?}"
+        );
+    }
+
+    #[test]
+    fn round_alpha_reported_at_boundary() {
+        let mut f = flow(1 << 20);
+        let mut segs = Vec::new();
+        while let Some(s) = f.next_segment(SimTime::ZERO) {
+            segs.push(s);
+        }
+        let last = segs.last().unwrap();
+        let out = f.on_ack(&ack(last.offset + last.len as u64, vec![], false), SimTime(80_000));
+        assert!(out.round_alpha.is_some(), "full-window ACK closes the round");
+        assert!(out.round_alpha.unwrap() < 1.0);
+    }
+
+    #[test]
+    fn window_cap_is_respected() {
+        let mut c = cfg();
+        c.max_cwnd_bytes = 20 * c.mss as u64;
+        let mut f = DctcpFlowTx::new(FlowId(0), HostId(0), HostId(1), 100 << 20, c.clone());
+        let mut t = 0u64;
+        for _ in 0..30 {
+            let mut segs = Vec::new();
+            while let Some(s) = f.next_segment(SimTime(t)) {
+                segs.push(s);
+            }
+            t += 80_000;
+            for s in segs {
+                f.on_ack(&ack(s.offset + s.len as u64, vec![(s.offset, s.offset + s.len as u64)], false), SimTime(t));
+            }
+            assert!(f.cwnd_bytes() <= c.max_cwnd_bytes);
+        }
+        assert_eq!(f.cwnd_bytes(), c.max_cwnd_bytes);
+    }
+}

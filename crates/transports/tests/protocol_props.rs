@@ -1,0 +1,168 @@
+//! Property and failure-injection tests across the transport family.
+
+use proptest::prelude::*;
+
+use netsim::{star, Rate, RunLimits, SimDuration, SimTime, SwitchConfig};
+use ppt_core::PptConfig;
+use transports::{
+    install_dctcp, install_homa, install_ndp, install_ppt, HomaCfg, Proto, TcpCfg,
+};
+
+fn tcp(base_rtt: SimDuration) -> TcpCfg {
+    TcpCfg::new(base_rtt)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// DCTCP delivers any mix of flow sizes losslessly over an ECN fabric.
+    #[test]
+    fn dctcp_random_workload_completes(
+        sizes in proptest::collection::vec(1u64..3_000_000, 1..10),
+    ) {
+        let mut topo = star::<Proto>(4, Rate::gbps(10), SimDuration::from_micros(20), SwitchConfig::dctcp(500_000, 60_000));
+        let t = tcp(topo.base_rtt);
+    install_dctcp(&mut topo, &t);
+        for (i, &size) in sizes.iter().enumerate() {
+            topo.sim.add_flow(topo.hosts[i % 3], topo.hosts[3], size, SimTime(i as u64 * 30_000), size);
+        }
+        let report = topo.sim.run(RunLimits { max_time: SimTime(120_000_000_000), max_events: 2_000_000_000 });
+        prop_assert_eq!(report.flows_completed, sizes.len());
+    }
+
+    /// PPT delivers any mix of flow sizes and first-write patterns.
+    #[test]
+    fn ppt_random_workload_completes(
+        flows in proptest::collection::vec((1u64..3_000_000, 1u64..3_000_000), 1..10),
+    ) {
+        let rate = Rate::gbps(10);
+        let mut topo = star::<Proto>(4, rate, SimDuration::from_micros(20), SwitchConfig::ppt(500_000, 60_000, 40_000));
+        let cfg = PptConfig::new(rate, topo.base_rtt);
+        let t = tcp(topo.base_rtt);
+    install_ppt(&mut topo, &t, &cfg);
+        for (i, &(size, fw)) in flows.iter().enumerate() {
+            let first_write = fw.min(size);
+            topo.sim.add_flow(topo.hosts[i % 3], topo.hosts[3], size, SimTime(i as u64 * 30_000), first_write);
+        }
+        let report = topo.sim.run(RunLimits { max_time: SimTime(120_000_000_000), max_events: 2_000_000_000 });
+        prop_assert_eq!(report.flows_completed, flows.len());
+    }
+
+    /// Homa delivers any mix of message sizes (grants + timeout recovery).
+    #[test]
+    fn homa_random_workload_completes(
+        sizes in proptest::collection::vec(1u64..2_000_000, 1..8),
+    ) {
+        let mut topo = star::<Proto>(4, Rate::gbps(10), SimDuration::from_micros(20), SwitchConfig::basic(500_000));
+        install_homa(&mut topo, &HomaCfg::new(50_000));
+        for (i, &size) in sizes.iter().enumerate() {
+            topo.sim.add_flow(topo.hosts[i % 3], topo.hosts[3], size, SimTime(i as u64 * 40_000), size);
+        }
+        let report = topo.sim.run(RunLimits { max_time: SimTime(120_000_000_000), max_events: 2_000_000_000 });
+        prop_assert_eq!(report.flows_completed, sizes.len());
+    }
+
+    /// NDP delivers any mix of message sizes through the trim/pull path.
+    #[test]
+    fn ndp_random_workload_completes(
+        sizes in proptest::collection::vec(1u64..2_000_000, 1..8),
+    ) {
+        let mut topo = star::<Proto>(4, Rate::gbps(10), SimDuration::from_micros(20), SwitchConfig::ndp(120_000, 12_000));
+        install_ndp(&mut topo, SimDuration::from_millis(1));
+        for (i, &size) in sizes.iter().enumerate() {
+            topo.sim.add_flow(topo.hosts[i % 3], topo.hosts[3], size, SimTime(i as u64 * 40_000), size);
+        }
+        let report = topo.sim.run(RunLimits { max_time: SimTime(120_000_000_000), max_events: 2_000_000_000 });
+        prop_assert_eq!(report.flows_completed, sizes.len());
+    }
+}
+
+/// Failure injection: a brutally small switch buffer (4 packets) with no
+/// ECN — heavy loss on every path. All TCP-family schemes must still
+/// complete via SACK/RTO recovery.
+#[test]
+fn dctcp_survives_a_four_packet_buffer() {
+    let mut topo = star::<Proto>(
+        3,
+        Rate::gbps(10),
+        SimDuration::from_micros(20),
+        SwitchConfig::basic(4 * 1500),
+    );
+    let t = tcp(topo.base_rtt);
+    install_dctcp(&mut topo, &t);
+    topo.sim.add_flow(topo.hosts[0], topo.hosts[2], 1_000_000, SimTime::ZERO, 1);
+    topo.sim.add_flow(topo.hosts[1], topo.hosts[2], 1_000_000, SimTime::ZERO, 1);
+    let report = topo.sim.run(RunLimits { max_time: SimTime(300_000_000_000), max_events: 2_000_000_000 });
+    assert_eq!(report.flows_completed, 2);
+    assert!(topo.sim.total_counters().dropped > 0);
+}
+
+/// Failure injection: PPT under the same starved buffer.
+#[test]
+fn ppt_survives_a_four_packet_buffer() {
+    let rate = Rate::gbps(10);
+    let mut topo = star::<Proto>(
+        3,
+        rate,
+        SimDuration::from_micros(20),
+        SwitchConfig::ppt(4 * 1500, 3_000, 1_500),
+    );
+    let cfg = PptConfig::new(rate, topo.base_rtt);
+    let t = tcp(topo.base_rtt);
+    install_ppt(&mut topo, &t, &cfg);
+    topo.sim.add_flow(topo.hosts[0], topo.hosts[2], 1_000_000, SimTime::ZERO, 1_000_000);
+    topo.sim.add_flow(topo.hosts[1], topo.hosts[2], 1_000_000, SimTime::ZERO, 1_000_000);
+    let report = topo.sim.run(RunLimits { max_time: SimTime(300_000_000_000), max_events: 2_000_000_000 });
+    assert_eq!(report.flows_completed, 2);
+}
+
+/// One-byte flows: the degenerate minimum for every scheme.
+#[test]
+fn one_byte_flows_work_everywhere() {
+    // TCP family.
+    let rate = Rate::gbps(10);
+    let mut topo = star::<Proto>(2, rate, SimDuration::from_micros(20), SwitchConfig::ppt(200_000, 60_000, 40_000));
+    let cfg = PptConfig::new(rate, topo.base_rtt);
+    let t = tcp(topo.base_rtt);
+    install_ppt(&mut topo, &t, &cfg);
+    let f = topo.sim.add_flow(topo.hosts[0], topo.hosts[1], 1, SimTime::ZERO, 1);
+    topo.sim.run(RunLimits::default());
+    assert!(topo.sim.completion(f).is_some());
+
+    // Homa.
+    let mut topo = star::<Proto>(2, rate, SimDuration::from_micros(20), SwitchConfig::basic(200_000));
+    install_homa(&mut topo, &HomaCfg::new(50_000));
+    let f = topo.sim.add_flow(topo.hosts[0], topo.hosts[1], 1, SimTime::ZERO, 1);
+    topo.sim.run(RunLimits::default());
+    assert!(topo.sim.completion(f).is_some());
+
+    // NDP.
+    let mut topo = star::<Proto>(2, rate, SimDuration::from_micros(20), SwitchConfig::ndp(200_000, 12_000));
+    install_ndp(&mut topo, SimDuration::from_millis(1));
+    let f = topo.sim.add_flow(topo.hosts[0], topo.hosts[1], 1, SimTime::ZERO, 1);
+    topo.sim.run(RunLimits::default());
+    assert!(topo.sim.completion(f).is_some());
+}
+
+/// A 50MB elephant through PPT (exercises deep interval sets, repeated
+/// α rounds, many LCP loop generations).
+#[test]
+fn fifty_megabyte_elephant_completes() {
+    let rate = Rate::gbps(10);
+    let mut topo = star::<Proto>(2, rate, SimDuration::from_micros(20), SwitchConfig::ppt(200_000, 60_000, 40_000));
+    let cfg = PptConfig::new(rate, topo.base_rtt);
+    let t = tcp(topo.base_rtt);
+    install_ppt(&mut topo, &t, &cfg);
+    let size = 50 << 20;
+    let f = topo.sim.add_flow(topo.hosts[0], topo.hosts[1], size, SimTime::ZERO, size);
+    let report = topo.sim.run(RunLimits { max_time: SimTime(300_000_000_000), max_events: 2_000_000_000 });
+    assert_eq!(report.flows_completed, 1);
+    let fct = topo.sim.completion(f).unwrap();
+    let ideal = Rate::gbps(10).serialization_time(size).as_nanos();
+    assert!(
+        fct.as_nanos() < 2 * ideal,
+        "elephant too slow: {}ms vs ideal {}ms",
+        fct.as_millis_f64(),
+        ideal / 1_000_000
+    );
+}

@@ -1,0 +1,256 @@
+//! Empirical flow-size distributions.
+//!
+//! Sizes are drawn by inverse-transform sampling from piecewise-linear
+//! CDFs. The three shipped distributions are the ones the paper evaluates
+//! on (Table 2 and §6.3.2):
+//!
+//! * **Web Search** (the DCTCP production trace): heavy-tailed, 62 % of
+//!   flows ≤ 100 KB, ~1.6 MB average size.
+//! * **Data Mining** (the VL2 trace): polarized, 83 % ≤ 100 KB (half of all
+//!   flows are a single packet) with a multi-hundred-MB tail, ~7.4 MB
+//!   average size.
+//! * **Memcached W1** (Facebook's ETC pool, Homa's W1): >70 % of flows
+//!   under 1 000 B and *every* flow ≤ 100 KB.
+
+use rand::Rng;
+
+/// A piecewise-linear CDF over flow sizes in bytes.
+///
+/// Invariants (checked at construction): x strictly increasing, F
+/// nondecreasing, final F = 1. A first point with F > 0 puts an atom of
+/// probability at the minimum size (common in these traces: e.g. half of
+/// all Data Mining flows are exactly one packet).
+#[derive(Clone, Debug)]
+pub struct SizeDistribution {
+    name: &'static str,
+    points: Vec<(u64, f64)>,
+}
+
+impl SizeDistribution {
+    /// Build from CDF points. Panics on malformed input.
+    pub fn from_cdf(name: &'static str, points: &[(u64, f64)]) -> Self {
+        assert!(points.len() >= 2, "need at least two CDF points");
+        for w in points.windows(2) {
+            assert!(w[0].0 < w[1].0, "{name}: x must be strictly increasing");
+            assert!(w[0].1 <= w[1].1, "{name}: F must be nondecreasing");
+        }
+        let last = points.last().unwrap();
+        assert!((last.1 - 1.0).abs() < 1e-9, "{name}: final F must be 1.0");
+        assert!(points[0].1 >= 0.0);
+        SizeDistribution { name, points: points.to_vec() }
+    }
+
+    /// Human-readable name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// The Web Search workload (from the DCTCP paper's trace), calibrated to Table 2
+    /// (62 % ≤ 100 KB, mean ≈ 1.6 MB).
+    pub fn web_search() -> Self {
+        Self::from_cdf(
+            "WebSearch",
+            &[
+                (500, 0.0),
+                (1_000, 0.10),
+                (2_000, 0.18),
+                (5_000, 0.30),
+                (10_000, 0.40),
+                (30_000, 0.50),
+                (60_000, 0.56),
+                (100_000, 0.62),
+                (300_000, 0.70),
+                (1_000_000, 0.80),
+                (3_000_000, 0.90),
+                (10_000_000, 0.96),
+                (36_000_000, 1.0),
+            ],
+        )
+    }
+
+    /// The Data Mining workload (from the VL2 paper's trace), the standard pFabric CDF in bytes
+    /// (83 % ≤ 100 KB, mean ≈ 7.4 MB, 1-packet atom of 50 %).
+    pub fn data_mining() -> Self {
+        Self::from_cdf(
+            "DataMining",
+            &[
+                (1_460, 0.50),
+                (2_920, 0.60),
+                (4_380, 0.70),
+                (10_220, 0.80),
+                (389_820, 0.90),
+                (3_076_220, 0.95),
+                (97_333_820, 0.99),
+                (973_333_820, 1.0),
+            ],
+        )
+    }
+
+    /// Facebook's Memcached workload (Homa's W1): >70 % of flows under
+    /// 1 000 B, all flows ≤ 100 KB.
+    pub fn memcached_w1() -> Self {
+        Self::from_cdf(
+            "MemcachedW1",
+            &[
+                (50, 0.0),
+                (100, 0.30),
+                (200, 0.50),
+                (512, 0.65),
+                (1_000, 0.78),
+                (5_000, 0.90),
+                (20_000, 0.97),
+                (100_000, 1.0),
+            ],
+        )
+    }
+
+    /// Draw one flow size.
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> u64 {
+        let u: f64 = rng.gen::<f64>();
+        self.inverse(u)
+    }
+
+    /// Inverse CDF with linear interpolation (exposed for exact tests).
+    pub fn inverse(&self, u: f64) -> u64 {
+        let first = self.points[0];
+        if u <= first.1 {
+            return first.0;
+        }
+        for w in self.points.windows(2) {
+            let (x0, f0) = w[0];
+            let (x1, f1) = w[1];
+            if u <= f1 {
+                if f1 == f0 {
+                    return x1;
+                }
+                let t = (u - f0) / (f1 - f0);
+                return (x0 as f64 + t * (x1 - x0) as f64).round() as u64;
+            }
+        }
+        self.points.last().unwrap().0
+    }
+
+    /// CDF value at `x` (linear interpolation).
+    pub fn cdf(&self, x: u64) -> f64 {
+        let first = self.points[0];
+        if x <= first.0 {
+            return if x == first.0 { first.1 } else { 0.0 };
+        }
+        for w in self.points.windows(2) {
+            let (x0, f0) = w[0];
+            let (x1, f1) = w[1];
+            if x <= x1 {
+                let t = (x - x0) as f64 / (x1 - x0) as f64;
+                return f0 + t * (f1 - f0);
+            }
+        }
+        1.0
+    }
+
+    /// Analytic mean of the piecewise-linear distribution, bytes.
+    pub fn mean_bytes(&self) -> f64 {
+        let first = self.points[0];
+        let mut mean = first.1 * first.0 as f64; // atom at the minimum
+        for w in self.points.windows(2) {
+            let (x0, f0) = w[0];
+            let (x1, f1) = w[1];
+            mean += (f1 - f0) * (x0 + x1) as f64 / 2.0;
+        }
+        mean
+    }
+
+    /// Largest size with nonzero probability.
+    pub fn max_bytes(&self) -> u64 {
+        self.points.last().unwrap().0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn web_search_matches_table2() {
+        let d = SizeDistribution::web_search();
+        // Table 2: 62% short (0-100KB), mean 1.6MB.
+        assert!((d.cdf(100_000) - 0.62).abs() < 1e-9);
+        let mean = d.mean_bytes();
+        assert!((1.5e6..1.7e6).contains(&mean), "mean={mean}");
+    }
+
+    #[test]
+    fn data_mining_matches_table2() {
+        let d = SizeDistribution::data_mining();
+        // Table 2: 83% short, mean 7.41MB.
+        let short = d.cdf(100_000);
+        assert!((0.80..0.86).contains(&short), "short frac={short}");
+        let mean = d.mean_bytes();
+        assert!((7.0e6..7.8e6).contains(&mean), "mean={mean}");
+    }
+
+    #[test]
+    fn memcached_is_all_small() {
+        let d = SizeDistribution::memcached_w1();
+        assert!(d.cdf(1_000) > 0.70, "paper: >70% of flows under 1000B");
+        assert_eq!(d.max_bytes(), 100_000);
+        assert_eq!(d.cdf(100_000), 1.0);
+    }
+
+    #[test]
+    fn inverse_is_monotone_and_bounded() {
+        for d in [
+            SizeDistribution::web_search(),
+            SizeDistribution::data_mining(),
+            SizeDistribution::memcached_w1(),
+        ] {
+            let mut prev = 0;
+            for i in 0..=1000 {
+                let u = i as f64 / 1000.0;
+                let x = d.inverse(u);
+                assert!(x >= prev, "{}: inverse not monotone at u={u}", d.name());
+                assert!(x <= d.max_bytes());
+                prev = x;
+            }
+            assert_eq!(d.inverse(1.0), d.max_bytes());
+        }
+    }
+
+    #[test]
+    fn atom_at_minimum_is_respected() {
+        let d = SizeDistribution::data_mining();
+        // 50% of draws must be exactly one packet (1460B).
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 20_000;
+        let ones = (0..n).filter(|_| d.sample(&mut rng) == 1_460).count();
+        let frac = ones as f64 / n as f64;
+        assert!((0.48..0.52).contains(&frac), "atom frac={frac}");
+    }
+
+    #[test]
+    fn empirical_mean_tracks_analytic_mean() {
+        let d = SizeDistribution::web_search();
+        let mut rng = StdRng::seed_from_u64(42);
+        let n = 200_000;
+        let sum: u64 = (0..n).map(|_| d.sample(&mut rng)).sum();
+        let emp = sum as f64 / n as f64;
+        let ana = d.mean_bytes();
+        assert!(
+            (emp - ana).abs() / ana < 0.05,
+            "empirical {emp} vs analytic {ana}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn malformed_cdf_rejected() {
+        SizeDistribution::from_cdf("bad", &[(10, 0.0), (10, 1.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "final F must be 1.0")]
+    fn incomplete_cdf_rejected() {
+        SizeDistribution::from_cdf("bad", &[(10, 0.0), (20, 0.9)]);
+    }
+}

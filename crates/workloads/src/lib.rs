@@ -1,0 +1,43 @@
+//! # workloads — datacenter traffic generation
+//!
+//! Deterministic (seeded) workload generators reproducing the traffic the
+//! PPT paper evaluates on: the Web Search, Data Mining and Memcached W1
+//! flow-size distributions, Poisson arrivals tuned to a target network
+//! load, and the paper's traffic patterns (all-to-all, N-to-1 incast,
+//! permutation).
+//!
+//! ```
+//! use workloads::{SizeDistribution, WorkloadSpec, all_to_all};
+//! use netsim::Rate;
+//!
+//! let spec = WorkloadSpec::new(SizeDistribution::web_search(), 0.5, Rate::gbps(40), 1000, 42);
+//! let flows = all_to_all(144, &spec);
+//! assert_eq!(flows.len(), 1000);
+//! ```
+
+pub mod dist;
+pub mod pattern;
+pub mod trace;
+pub mod write_model;
+
+pub use dist::SizeDistribution;
+pub use pattern::{all_to_all, incast, incast_burst, permutation, FlowSpec, WorkloadSpec};
+pub use trace::{read_csv, write_csv};
+pub use write_model::{AppWriteModel, DEFAULT_CHUNK_BYTES, DEFAULT_FULL_WRITE_PROB};
+
+use netsim::{FlowId, Payload, Simulator};
+
+/// Register a list of generated flows on a simulator, mapping pattern host
+/// indices through `hosts`. Returns the assigned flow ids in order.
+pub fn install_flows<P: Payload>(
+    sim: &mut Simulator<P>,
+    hosts: &[netsim::HostId],
+    flows: &[FlowSpec],
+) -> Vec<FlowId> {
+    flows
+        .iter()
+        .map(|f| {
+            sim.add_flow(hosts[f.src], hosts[f.dst], f.size_bytes, f.start, f.first_write_bytes)
+        })
+        .collect()
+}

@@ -1,0 +1,221 @@
+//! Traffic pattern generators.
+//!
+//! Each generator produces a deterministic (seeded) list of [`FlowSpec`]s:
+//! Poisson arrivals whose rate is derived from the target network load,
+//! sizes drawn from a [`SizeDistribution`], and endpoints per the pattern.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use netsim::{Rate, SimTime};
+
+use crate::dist::SizeDistribution;
+use crate::write_model::AppWriteModel;
+
+/// One flow to inject into a simulation.
+#[derive(Clone, Copy, Debug)]
+pub struct FlowSpec {
+    /// Index of the sending host in the experiment's host list.
+    pub src: usize,
+    /// Index of the receiving host.
+    pub dst: usize,
+    /// Flow size, bytes.
+    pub size_bytes: u64,
+    /// Arrival time.
+    pub start: SimTime,
+    /// Bytes copied by the application's first send() syscall.
+    pub first_write_bytes: u64,
+}
+
+/// Workload generation parameters shared by all patterns.
+#[derive(Clone, Debug)]
+pub struct WorkloadSpec {
+    /// Flow-size distribution.
+    pub dist: SizeDistribution,
+    /// Target load ρ in (0, 1], defined against the aggregate receive
+    /// capacity the pattern stresses (per-host edge rate for all-to-all,
+    /// the single downlink for incast).
+    pub load: f64,
+    /// Edge (host NIC) rate used to convert load into an arrival rate.
+    pub edge_rate: Rate,
+    /// Number of flows to generate.
+    pub n_flows: usize,
+    /// RNG seed; same seed ⇒ identical workload.
+    pub seed: u64,
+    /// Application write model (determines `first_write_bytes`).
+    pub write_model: AppWriteModel,
+}
+
+impl WorkloadSpec {
+    /// A ready-to-edit spec with the common defaults.
+    pub fn new(dist: SizeDistribution, load: f64, edge_rate: Rate, n_flows: usize, seed: u64) -> Self {
+        assert!(load > 0.0 && load <= 1.0, "load must be in (0,1]");
+        WorkloadSpec { dist, load, edge_rate, n_flows, seed, write_model: AppWriteModel::default() }
+    }
+
+    /// Mean inter-arrival time (ns) that makes `n_active_sinks` receive
+    /// links carry `load` on average.
+    fn mean_interarrival_ns(&self, n_active_sinks: usize) -> f64 {
+        let per_sink_bytes_per_sec = self.edge_rate.bytes_per_sec() as f64 * self.load;
+        let total_bytes_per_sec = per_sink_bytes_per_sec * n_active_sinks as f64;
+        let flows_per_sec = total_bytes_per_sec / self.dist.mean_bytes();
+        1e9 / flows_per_sec
+    }
+}
+
+fn exp_sample(rng: &mut StdRng, mean_ns: f64) -> u64 {
+    let u: f64 = rng.gen::<f64>();
+    // Inverse transform; clamp u away from 1.0 to avoid ln(0).
+    let u = u.min(1.0 - 1e-12);
+    (-(1.0 - u).ln() * mean_ns).round() as u64
+}
+
+/// All-to-all: every flow picks a uniform random (src, dst) pair with
+/// src ≠ dst. The aggregate arrival rate loads every host's receive link
+/// at ρ in expectation. This is the paper's 15-to-15 testbed pattern and
+/// its large-scale all-to-all pattern.
+pub fn all_to_all(hosts: usize, spec: &WorkloadSpec) -> Vec<FlowSpec> {
+    assert!(hosts >= 2);
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let mean_gap = spec.mean_interarrival_ns(hosts);
+    let mut t = 0u64;
+    let mut flows = Vec::with_capacity(spec.n_flows);
+    for _ in 0..spec.n_flows {
+        t += exp_sample(&mut rng, mean_gap);
+        let src = rng.gen_range(0..hosts);
+        let dst = loop {
+            let d = rng.gen_range(0..hosts);
+            if d != src {
+                break d;
+            }
+        };
+        let size = spec.dist.sample(&mut rng);
+        let first_write = spec.write_model.first_write(size, &mut rng);
+        flows.push(FlowSpec { src, dst, size_bytes: size, start: SimTime(t), first_write_bytes: first_write });
+    }
+    flows
+}
+
+/// N-to-1 incast: `senders` hosts (indices `0..senders`) send to one sink
+/// (index `senders`). Load is defined against the sink's downlink. This is
+/// the paper's 14-to-1 testbed pattern and the §6.3.2 N-to-1 sweep.
+pub fn incast(senders: usize, spec: &WorkloadSpec) -> Vec<FlowSpec> {
+    assert!(senders >= 1);
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let mean_gap = spec.mean_interarrival_ns(1);
+    let mut t = 0u64;
+    let mut flows = Vec::with_capacity(spec.n_flows);
+    for _ in 0..spec.n_flows {
+        t += exp_sample(&mut rng, mean_gap);
+        let src = rng.gen_range(0..senders);
+        let size = spec.dist.sample(&mut rng);
+        let first_write = spec.write_model.first_write(size, &mut rng);
+        flows.push(FlowSpec { src, dst: senders, size_bytes: size, start: SimTime(t), first_write_bytes: first_write });
+    }
+    flows
+}
+
+/// Synchronized incast burst: every sender starts one `size_bytes` flow to
+/// the sink at t = 0 (plus a tiny stagger to keep the event order honest).
+/// Used for the heavy-incast robustness sweep (Fig 23 uses Poisson traffic;
+/// this gives the worst case).
+pub fn incast_burst(senders: usize, size_bytes: u64, stagger_ns: u64) -> Vec<FlowSpec> {
+    (0..senders)
+        .map(|s| FlowSpec {
+            src: s,
+            dst: senders,
+            size_bytes,
+            start: SimTime(s as u64 * stagger_ns),
+            first_write_bytes: size_bytes,
+        })
+        .collect()
+}
+
+/// Permutation: host i sends to host (i + 1) mod n, one flow each, all at
+/// t = 0. A clean fabric-stress pattern for tests.
+pub fn permutation(hosts: usize, size_bytes: u64) -> Vec<FlowSpec> {
+    (0..hosts)
+        .map(|s| FlowSpec {
+            src: s,
+            dst: (s + 1) % hosts,
+            size_bytes,
+            start: SimTime::ZERO,
+            first_write_bytes: size_bytes,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(n: usize, seed: u64) -> WorkloadSpec {
+        WorkloadSpec::new(SizeDistribution::web_search(), 0.5, Rate::gbps(10), n, seed)
+    }
+
+    #[test]
+    fn all_to_all_is_deterministic_per_seed() {
+        let a = all_to_all(16, &spec(500, 1));
+        let b = all_to_all(16, &spec(500, 1));
+        let c = all_to_all(16, &spec(500, 2));
+        assert_eq!(a.len(), 500);
+        assert!(a.iter().zip(&b).all(|(x, y)| x.start == y.start && x.size_bytes == y.size_bytes));
+        assert!(a.iter().zip(&c).any(|(x, y)| x.start != y.start || x.size_bytes != y.size_bytes));
+    }
+
+    #[test]
+    fn all_to_all_never_self_sends_and_arrivals_are_sorted() {
+        let flows = all_to_all(4, &spec(2000, 3));
+        for f in &flows {
+            assert_ne!(f.src, f.dst);
+            assert!(f.src < 4 && f.dst < 4);
+        }
+        for w in flows.windows(2) {
+            assert!(w[0].start <= w[1].start);
+        }
+    }
+
+    #[test]
+    fn offered_load_close_to_target() {
+        // With n hosts and load 0.5, total bytes / duration should be about
+        // 0.5 * n * edge capacity.
+        let hosts = 8;
+        let s = spec(20_000, 9);
+        let flows = all_to_all(hosts, &s);
+        let total_bytes: u64 = flows.iter().map(|f| f.size_bytes).sum();
+        let duration_s = flows.last().unwrap().start.as_nanos() as f64 / 1e9;
+        let offered = total_bytes as f64 / duration_s;
+        let target = 0.5 * hosts as f64 * Rate::gbps(10).bytes_per_sec() as f64;
+        let ratio = offered / target;
+        assert!((0.85..1.15).contains(&ratio), "offered/target = {ratio}");
+    }
+
+    #[test]
+    fn incast_targets_single_sink() {
+        let flows = incast(14, &spec(1000, 5));
+        assert!(flows.iter().all(|f| f.dst == 14 && f.src < 14));
+    }
+
+    #[test]
+    fn incast_burst_synchronized() {
+        let flows = incast_burst(32, 64_000, 10);
+        assert_eq!(flows.len(), 32);
+        assert_eq!(flows[0].start, SimTime::ZERO);
+        assert_eq!(flows[31].start, SimTime(310));
+        assert!(flows.iter().all(|f| f.size_bytes == 64_000 && f.dst == 32));
+    }
+
+    #[test]
+    fn permutation_covers_all_hosts() {
+        let flows = permutation(5, 1000);
+        let mut dsts: Vec<usize> = flows.iter().map(|f| f.dst).collect();
+        dsts.sort();
+        assert_eq!(dsts, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "load must be in (0,1]")]
+    fn zero_load_rejected() {
+        WorkloadSpec::new(SizeDistribution::web_search(), 0.0, Rate::gbps(10), 1, 0);
+    }
+}

@@ -1,0 +1,33 @@
+//! Incast storm: N synchronized senders hit one receiver (the classic
+//! partition-aggregate pattern). Reproduces the §6.3.2 robustness story:
+//! PPT falls back to DCTCP-like behaviour when there is no spare
+//! bandwidth, while Homa's line-rate bursts pay for packet losses.
+//!
+//! ```sh
+//! cargo run --release --example incast_storm
+//! ```
+
+use ppt::harness::{run_experiment, Experiment, Scheme, TopoKind};
+use ppt::workloads::incast_burst;
+
+fn main() {
+    println!("Synchronized incast: N senders x 64KB each into one 10G host\n");
+    println!("{:<10} {:>6} {:>14} {:>12} {:>10}", "scheme", "N", "avg FCT (us)", "drops", "trims");
+    for &n in &[8usize, 16, 32] {
+        let topo = TopoKind::Star { n: n + 1, rate_gbps: 10, delay_us: 20 };
+        let flows = incast_burst(n, 64_000, 100);
+        for scheme in [Scheme::Ppt, Scheme::Dctcp, Scheme::Homa, Scheme::Ndp] {
+            let name = scheme.name();
+            let outcome = run_experiment(&Experiment::new(topo, scheme, flows.clone()));
+            println!(
+                "{:<10} {:>6} {:>14.1} {:>12} {:>10}",
+                name,
+                n,
+                outcome.fct.overall_avg_us(),
+                outcome.counters.dropped,
+                outcome.counters.trimmed,
+            );
+        }
+        println!();
+    }
+}

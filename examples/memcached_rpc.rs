@@ -1,0 +1,38 @@
+//! A Memcached-style RPC workload (Facebook's W1 from the Homa paper):
+//! every flow is under 100 KB and >70 % are under 1 000 B. The paper's
+//! §6.3.2 shows PPT beating both reactive and proactive transports here,
+//! because Homa/Aeolus blast line-rate bursts that collide, NDP wastes the
+//! first RTT, and DCTCP/RC3 can't use priorities.
+//!
+//! ```sh
+//! cargo run --release --example memcached_rpc
+//! ```
+
+use ppt::harness::{run_experiment, Experiment, Scheme, TopoKind};
+use ppt::workloads::{all_to_all, SizeDistribution, WorkloadSpec};
+
+fn main() {
+    let topo = TopoKind::Star { n: 12, rate_gbps: 10, delay_us: 20 };
+    let spec = WorkloadSpec::new(
+        SizeDistribution::memcached_w1(),
+        0.5,
+        topo.edge_rate(),
+        2_000,
+        23,
+    );
+    let flows = all_to_all(topo.hosts(), &spec);
+
+    println!("Memcached W1 (all flows <=100KB, >70% <1KB), 12 hosts, load 0.5\n");
+    println!("{:<12} {:>12} {:>12} {:>12}", "scheme", "avg FCT(us)", "p99 FCT(us)", "completed");
+    for scheme in [Scheme::Ppt, Scheme::Dctcp, Scheme::Rc3, Scheme::Homa, Scheme::Aeolus, Scheme::Ndp] {
+        let name = scheme.name();
+        let outcome = run_experiment(&Experiment::new(topo, scheme, flows.clone()));
+        println!(
+            "{:<12} {:>12.1} {:>12.1} {:>11.1}%",
+            name,
+            outcome.fct.small_avg_us(),
+            outcome.fct.small_p99_us(),
+            outcome.completion_ratio * 100.0
+        );
+    }
+}

@@ -1,0 +1,18 @@
+#!/usr/bin/env python3
+"""Append every results/*.txt verbatim under the MEASURED-RESULTS marker."""
+import glob, re
+
+with open("EXPERIMENTS.md") as f:
+    doc = f.read()
+marker = "<!-- MEASURED-RESULTS -->"
+head = doc.split(marker)[0] + marker + "\n\n"
+parts = []
+for path in sorted(glob.glob("results/*.txt")):
+    with open(path) as f:
+        body = f.read().rstrip()
+    if not body:
+        continue
+    parts.append(f"### `{path}`\n\n```text\n{body}\n```\n")
+with open("EXPERIMENTS.md", "w") as f:
+    f.write(head + "\n".join(parts))
+print(f"inlined {len(parts)} result files")

@@ -1,0 +1,16 @@
+#!/bin/bash
+# Regenerate every table and figure; outputs land in results/.
+# Set SKIP_EXISTING=1 to keep already-present results.
+set -u
+BINS=$(ls crates/bench/src/bin | sed 's/\.rs$//')
+cargo build --release -q -p bench
+for b in $BINS; do
+  if [ "${SKIP_EXISTING:-0}" = "1" ] && [ -s "results/$b.txt" ]; then
+    echo "=== skipping $b (exists) ==="
+    continue
+  fi
+  echo "=== running $b ==="
+  timeout 1500 "target/release/$b" > "results/$b.txt" 2>&1
+  echo "    exit=$?"
+done
+echo ALL DONE

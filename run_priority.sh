@@ -1,0 +1,10 @@
+#!/bin/bash
+set -u
+ORDER="fig12_13_largescale fig21_memcached fig15_ablation fig16_ablation fig17_ablation fig18_ablation fig14_delay_based fig20_ppt_util fig19_cpu_overhead fig25_pias_hpcc fig26_nonoversub fig23_incast fig24_rc3_buffer fig27_sendbuf fig22_100_400g fig10_11_testbed_14to1 fig08_09_testbed_15to15 fig28_buffer_occupancy fig29_transfer_efficiency table1_comparison table2_workloads table3_params table4_5_loc"
+for b in $ORDER; do
+  if [ -s "results/$b.txt" ]; then echo "=== skip $b ==="; continue; fi
+  echo "=== running $b ==="
+  timeout 1200 "target/release/$b" > "results/$b.txt" 2>&1
+  echo "    exit=$?"
+done
+echo ALL DONE

@@ -1,0 +1,55 @@
+//! Reproducibility: identical seeds must give bit-identical results, and
+//! different seeds must actually differ. Every number in EXPERIMENTS.md
+//! rests on this property.
+
+use ppt::harness::{run_experiment, Experiment, Scheme, TopoKind};
+use ppt::workloads::{all_to_all, SizeDistribution, WorkloadSpec};
+
+fn fcts(scheme: Scheme, seed: u64) -> Vec<(u64, u64)> {
+    let topo = TopoKind::Star { n: 5, rate_gbps: 10, delay_us: 20 };
+    let spec = WorkloadSpec::new(
+        SizeDistribution::web_search(),
+        0.5,
+        topo.edge_rate(),
+        50,
+        seed,
+    );
+    let flows = all_to_all(topo.hosts(), &spec);
+    let outcome = run_experiment(&Experiment::new(topo, scheme, flows));
+    outcome
+        .fct
+        .records()
+        .iter()
+        .map(|r| (r.size_bytes, r.fct.as_nanos()))
+        .collect()
+}
+
+#[test]
+fn same_seed_same_fcts_for_ppt() {
+    assert_eq!(fcts(Scheme::Ppt, 42), fcts(Scheme::Ppt, 42));
+}
+
+#[test]
+fn same_seed_same_fcts_for_every_family() {
+    for scheme in [Scheme::Dctcp, Scheme::Rc3, Scheme::Homa, Scheme::Ndp, Scheme::Hpcc] {
+        let name = scheme.name();
+        assert_eq!(
+            fcts(scheme.clone(), 7),
+            fcts(scheme, 7),
+            "{name} is nondeterministic"
+        );
+    }
+}
+
+#[test]
+fn different_seed_different_workload() {
+    assert_ne!(fcts(Scheme::Ppt, 1), fcts(Scheme::Ppt, 2));
+}
+
+#[test]
+fn two_pass_hypothetical_is_deterministic() {
+    assert_eq!(
+        fcts(Scheme::Hypothetical(1.0), 5),
+        fcts(Scheme::Hypothetical(1.0), 5)
+    );
+}
