@@ -1,132 +1,121 @@
-//! Criterion micro-benchmarks of the hot paths: the simulator engine,
-//! switch admission, the PPT state machines, and small end-to-end runs
-//! of DCTCP vs PPT (the per-packet cost the paper's Fig 19 worries
-//! about).
+//! Micro-benchmarks of the hot paths: the simulator engine, switch
+//! admission, the PPT state machines, and small end-to-end runs of
+//! DCTCP vs PPT (the per-packet cost the paper's Fig 19 worries about).
+//!
+//! Zero-dependency harness (`harness = false`): measures wall time with
+//! `std::time::Instant` and prints `name  ns/iter`. Timing output is
+//! informational only — nothing here gates on absolute numbers, so the
+//! harness stays robust on loaded CI machines. Run with
+//! `cargo bench -p bench`.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use std::hint::black_box;
+use std::time::Instant;
 
 use ppt::core::{AlphaEstimator, LcpAckClock, MinTracker, MirrorTagger};
 use ppt::harness::{run_experiment, Experiment, Scheme, TopoKind};
-use ppt::netsim::{
-    switch::enqueue_policy, FlowId, HostId, Packet, PortCounters, SwitchConfig,
-};
+use ppt::netsim::{switch::enqueue_policy, FlowId, HostId, Packet, PortCounters, SwitchConfig};
 use ppt::transports::IntervalSet;
 use ppt::workloads::{all_to_all, SizeDistribution, WorkloadSpec};
 
-fn bench_interval_set(c: &mut Criterion) {
-    c.bench_function("interval_set/insert_coalesce_1k", |b| {
-        b.iter(|| {
-            let mut s = IntervalSet::new();
-            // Out-of-order MSS-grain inserts over a 1.5MB flow.
-            for i in 0..1000u64 {
-                let off = (i * 7919) % 1000 * 1460;
-                s.insert(off, off + 1460);
-            }
-            black_box(s.covered_bytes())
-        })
-    });
-    c.bench_function("interval_set/first_gap_scan", |b| {
+/// Time `f` over `iters` iterations (after `warmup` unmeasured ones) and
+/// report nanoseconds per iteration.
+fn bench<T>(name: &str, warmup: u64, iters: u64, mut f: impl FnMut() -> T) {
+    for _ in 0..warmup {
+        black_box(f());
+    }
+    let start = Instant::now();
+    for _ in 0..iters {
+        black_box(f());
+    }
+    let elapsed = start.elapsed();
+    let per_iter = elapsed.as_nanos() / iters.max(1) as u128;
+    println!("{name:<44} {per_iter:>12} ns/iter   ({iters} iters)");
+}
+
+fn bench_interval_set() {
+    bench("interval_set/insert_coalesce_1k", 3, 200, || {
         let mut s = IntervalSet::new();
-        for i in (0..2000u64).step_by(2) {
-            s.insert(i * 1460, (i + 1) * 1460);
+        // Out-of-order MSS-grain inserts over a 1.5MB flow.
+        for i in 0..1000u64 {
+            let off = (i * 7919) % 1000 * 1460;
+            s.insert(off, off + 1460);
         }
-        b.iter(|| black_box(s.first_gap(black_box(0), 2000 * 1460)));
+        s.covered_bytes()
+    });
+    let mut s = IntervalSet::new();
+    for i in (0..2000u64).step_by(2) {
+        s.insert(i * 1460, (i + 1) * 1460);
+    }
+    bench("interval_set/first_gap_scan", 10, 10_000, || s.first_gap(black_box(0), 2000 * 1460));
+}
+
+fn bench_switch() {
+    let cfg = SwitchConfig::ppt(120_000, 96_000, 86_000);
+    bench("switch/enqueue_policy_ecn", 10, 2_000, || {
+        let mut q = ppt::netsim::queue::PrioQueues::new();
+        let mut ctr = PortCounters::default();
+        for i in 0..64u64 {
+            let pkt = Packet::data(
+                FlowId(i),
+                HostId(0),
+                HostId(1),
+                1460,
+                ppt::transports::Proto::Data(ppt::transports::DataHdr {
+                    offset: 0,
+                    len: 1460,
+                    msg_size: 1460,
+                    lcp: i % 2 == 0,
+                    retx: false,
+                    sent_at: ppt::netsim::SimTime::ZERO,
+                    int: None,
+                }),
+            )
+            .with_priority((i % 8) as u8);
+            black_box(enqueue_policy(&cfg, &mut q, &mut ctr, pkt));
+        }
+        (q, ctr)
     });
 }
 
-fn bench_switch(c: &mut Criterion) {
-    c.bench_function("switch/enqueue_policy_ecn", |b| {
-        let cfg = SwitchConfig::ppt(120_000, 96_000, 86_000);
-        b.iter_batched(
-            || (ppt::netsim::queue::PrioQueues::new(), PortCounters::default()),
-            |(mut q, mut ctr)| {
-                for i in 0..64u64 {
-                    let pkt = Packet::data(
-                        FlowId(i),
-                        HostId(0),
-                        HostId(1),
-                        1460,
-                        ppt::transports::Proto::Data(ppt::transports::DataHdr {
-                            offset: 0,
-                            len: 1460,
-                            msg_size: 1460,
-                            lcp: i % 2 == 0,
-                            retx: false,
-                            sent_at: ppt::netsim::SimTime::ZERO,
-                            int: None,
-                        }),
-                    )
-                    .with_priority((i % 8) as u8);
-                    black_box(enqueue_policy(&cfg, &mut q, &mut ctr, pkt));
-                }
-                (q, ctr)
-            },
-            BatchSize::SmallInput,
-        )
+fn bench_core_state_machines() {
+    let mut a = AlphaEstimator::default();
+    bench("core/alpha_round", 100, 1_000_000, || {
+        a.on_ack(black_box(1460), black_box(0));
+        a.end_of_round()
+    });
+    let mut m = MinTracker::new(16);
+    let mut x = 0.5f64;
+    bench("core/min_tracker_push", 100, 1_000_000, || {
+        x = (x * 1.01) % 1.0;
+        m.push(x)
+    });
+    let mut clock = LcpAckClock::new();
+    bench("core/ewd_ack_clock", 100, 1_000_000, || clock.on_data(black_box(false)));
+    let t = MirrorTagger::default();
+    let mut sent = 0u64;
+    bench("core/mirror_tagger", 100, 1_000_000, || {
+        sent = (sent + 50_000) % 5_000_000;
+        t.hcp_priority(black_box(false), sent)
     });
 }
 
-fn bench_core_state_machines(c: &mut Criterion) {
-    c.bench_function("core/alpha_round", |b| {
-        let mut a = AlphaEstimator::default();
-        b.iter(|| {
-            a.on_ack(black_box(1460), black_box(0));
-            black_box(a.end_of_round())
-        })
-    });
-    c.bench_function("core/min_tracker_push", |b| {
-        let mut m = MinTracker::new(16);
-        let mut x = 0.5f64;
-        b.iter(|| {
-            x = (x * 1.01) % 1.0;
-            black_box(m.push(x))
-        })
-    });
-    c.bench_function("core/ewd_ack_clock", |b| {
-        let mut clock = LcpAckClock::new();
-        b.iter(|| black_box(clock.on_data(black_box(false))))
-    });
-    c.bench_function("core/mirror_tagger", |b| {
-        let t = MirrorTagger::default();
-        let mut sent = 0u64;
-        b.iter(|| {
-            sent = (sent + 50_000) % 5_000_000;
-            black_box(t.hcp_priority(black_box(false), sent))
-        })
-    });
-}
-
-fn bench_end_to_end(c: &mut Criterion) {
-    let mut g = c.benchmark_group("end_to_end");
-    g.sample_size(10);
+fn bench_end_to_end() {
     for scheme in [Scheme::Dctcp, Scheme::Ppt] {
         let name = scheme.name();
-        g.bench_function(format!("websearch_50flows/{name}"), |b| {
-            let topo = TopoKind::Star { n: 4, rate_gbps: 10, delay_us: 20 };
-            let spec = WorkloadSpec::new(
-                SizeDistribution::web_search(),
-                0.5,
-                topo.edge_rate(),
-                50,
-                7,
-            );
-            let flows = all_to_all(topo.hosts(), &spec);
-            b.iter(|| {
-                let outcome =
-                    run_experiment(&Experiment::new(topo, scheme.clone(), flows.clone()));
-                black_box(outcome.fct.overall_avg_us())
-            })
+        let topo = TopoKind::Star { n: 4, rate_gbps: 10, delay_us: 20 };
+        let spec = WorkloadSpec::new(SizeDistribution::web_search(), 0.5, topo.edge_rate(), 50, 7);
+        let flows = all_to_all(topo.hosts(), &spec);
+        bench(&format!("end_to_end/websearch_50flows/{name}"), 1, 10, || {
+            let outcome = run_experiment(&Experiment::new(topo, scheme.clone(), flows.clone()));
+            outcome.fct.overall_avg_us()
         });
     }
-    g.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_interval_set,
-    bench_switch,
-    bench_core_state_machines,
-    bench_end_to_end
-);
-criterion_main!(benches);
+fn main() {
+    println!("microbench (zero-dep harness; informational timings)");
+    bench_interval_set();
+    bench_switch();
+    bench_core_state_machines();
+    bench_end_to_end();
+}

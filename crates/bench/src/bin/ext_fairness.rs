@@ -30,7 +30,8 @@ fn main() {
     for scheme in [Scheme::Dctcp, Scheme::Ppt, Scheme::Homa] {
         let name = scheme.name();
         let outcome = run_experiment(&Experiment::new(topo, scheme, flows.clone()));
-        let fcts: Vec<f64> = outcome.fct.records().iter().map(|r| r.fct.as_nanos() as f64).collect();
+        let fcts: Vec<f64> =
+            outcome.fct.records().iter().map(|r| r.fct.as_nanos() as f64).collect();
         let throughputs: Vec<f64> = fcts.iter().map(|f| size as f64 / f).collect();
         let max = fcts.iter().cloned().fold(0.0, f64::max);
         let min = fcts.iter().cloned().fold(f64::MAX, f64::min);

@@ -14,7 +14,8 @@ fn main() {
         "15-host testbed, Web Search, load 0.5",
     );
     let topo = TopoKind::PaperTestbed;
-    let flows = bench::workload_all_to_all(topo, SizeDistribution::web_search(), 0.5, bench::n_flows(500));
+    let flows =
+        bench::workload_all_to_all(topo, SizeDistribution::web_search(), 0.5, bench::n_flows(500));
     bench::fct_header();
     for scheme in [
         Scheme::Tcp10,

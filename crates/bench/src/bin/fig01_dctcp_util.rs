@@ -50,7 +50,13 @@ fn main() {
     let mut sorted = busy.clone();
     sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
     let pct = |q: f64| sorted[((q * sorted.len() as f64) as usize).min(sorted.len() - 1)];
-    println!("busy-period utilization p10/p25/p50/p90: {:.3}/{:.3}/{:.3}/{:.3}", pct(0.1), pct(0.25), pct(0.5), pct(0.9));
+    println!(
+        "busy-period utilization p10/p25/p50/p90: {:.3}/{:.3}/{:.3}/{:.3}",
+        pct(0.1),
+        pct(0.25),
+        pct(0.5),
+        pct(0.9)
+    );
     println!("busy-period mean: {:.3}", busy.iter().sum::<f64>() / busy.len() as f64);
     let mean = mean_utilization(&series);
     println!("overall mean utilization: {mean:.3} (offered load 0.5)");

@@ -12,7 +12,8 @@ fn main() {
         "144-host leaf-spine 40/100G, Web Search, all-to-all, load 0.5",
     );
     let topo = TopoKind::Oversubscribed;
-    let flows = bench::workload_all_to_all(topo, SizeDistribution::web_search(), 0.5, bench::n_flows(1500));
+    let flows =
+        bench::workload_all_to_all(topo, SizeDistribution::web_search(), 0.5, bench::n_flows(1500));
     bench::fct_header();
     let mut rows = Vec::new();
     for scheme in [Scheme::Dctcp, Scheme::Ndp, Scheme::Homa, Scheme::Hypothetical(1.0)] {

@@ -11,7 +11,8 @@ fn main() {
         "144-host leaf-spine 40/100G, Data Mining, all-to-all, load 0.6",
     );
     let topo = TopoKind::Oversubscribed;
-    let flows = bench::workload_all_to_all(topo, SizeDistribution::data_mining(), 0.6, bench::n_flows(250));
+    let flows =
+        bench::workload_all_to_all(topo, SizeDistribution::data_mining(), 0.6, bench::n_flows(250));
     bench::fct_header();
     let mut best = (f64::MAX, 0.0);
     for frac in [0.5, 1.0, 1.5] {

@@ -17,7 +17,8 @@ fn main() {
         );
         for &load in &[0.3, 0.5, 0.7] {
             println!("\n-- load {load} --");
-            let flows = bench::workload_all_to_all(topo, dist.clone(), load, bench::n_flows(default_flows));
+            let flows =
+                bench::workload_all_to_all(topo, dist.clone(), load, bench::n_flows(default_flows));
             bench::fct_header();
             for scheme in bench::testbed_schemes() {
                 bench::run_and_print(topo, scheme, &flows);

@@ -15,7 +15,8 @@ fn main() {
             &format!("[Testbed] 14-to-1 incast, {} workload", dist.name()),
             "15 hosts, 10G, 80us RTT, load 0.5 on the sink downlink",
         );
-        let flows = bench::workload_incast(topo, dist.clone(), 0.5, bench::n_flows(default_flows), 14);
+        let flows =
+            bench::workload_incast(topo, dist.clone(), 0.5, bench::n_flows(default_flows), 14);
         bench::fct_header();
         for scheme in bench::testbed_schemes() {
             bench::run_and_print(topo, scheme, &flows);

@@ -15,7 +15,8 @@ fn main() {
             &format!("[Simulation] large-scale, {} workload", dist.name()),
             "144 hosts, 9 leaves, 4 spines, 40/100G, all-to-all, load 0.5",
         );
-        let flows = bench::workload_all_to_all(topo, dist.clone(), 0.5, bench::n_flows(default_flows));
+        let flows =
+            bench::workload_all_to_all(topo, dist.clone(), 0.5, bench::n_flows(default_flows));
         bench::fct_header();
         for scheme in bench::large_scale_schemes() {
             bench::run_and_print(topo, scheme, &flows);

@@ -10,7 +10,8 @@ fn main() {
         "144-host leaf-spine 40/100G, Web Search, load 0.5",
     );
     let topo = TopoKind::Oversubscribed;
-    let flows = bench::workload_all_to_all(topo, SizeDistribution::web_search(), 0.5, bench::n_flows(1200));
+    let flows =
+        bench::workload_all_to_all(topo, SizeDistribution::web_search(), 0.5, bench::n_flows(1200));
     bench::fct_header();
     let full = bench::run_and_print(topo, Scheme::Ppt, &flows);
     let ablated = bench::run_and_print(topo, Scheme::PptNoLcpEcn, &flows);

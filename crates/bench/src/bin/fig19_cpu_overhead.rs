@@ -17,9 +17,17 @@ fn main() {
         "15-host testbed, Web Search; wall-clock ns per transport event (CPU substitute)",
     );
     let topo = TopoKind::PaperTestbed;
-    println!("{:<8} {:<8} {:>16} {:>16} {:>12}", "load", "scheme", "cpu-ns total", "events", "ns/event");
+    println!(
+        "{:<8} {:<8} {:>16} {:>16} {:>12}",
+        "load", "scheme", "cpu-ns total", "events", "ns/event"
+    );
     for &load in &[0.3, 0.5, 0.7] {
-        let flows = bench::workload_all_to_all(topo, SizeDistribution::web_search(), load, bench::n_flows(400));
+        let flows = bench::workload_all_to_all(
+            topo,
+            SizeDistribution::web_search(),
+            load,
+            bench::n_flows(400),
+        );
         let mut per_scheme = Vec::new();
         for scheme in [Scheme::Dctcp, Scheme::Ppt] {
             let name = scheme.name();
@@ -35,7 +43,14 @@ fn main() {
                 .iter()
                 .map(|&h| t.sim.cpu_account(h))
                 .fold((0, 0), |(a, b), (c, d)| (a + c, b + d));
-            println!("{:<8} {:<8} {:>16} {:>16} {:>12.1}", load, name, ns, calls, ns as f64 / calls as f64);
+            println!(
+                "{:<8} {:<8} {:>16} {:>16} {:>12.1}",
+                load,
+                name,
+                ns,
+                calls,
+                ns as f64 / calls as f64
+            );
             per_scheme.push(ns as f64 / calls as f64);
         }
         println!(

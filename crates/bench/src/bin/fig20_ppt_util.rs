@@ -32,7 +32,8 @@ fn main() {
         let outcome = run_experiment_with(&exp, |t| {
             let port = t.sim.switch_port_towards(t.leaves[0], NodeId::Host(t.hosts[2])).unwrap();
             let link = t.sim.switch_port_link(t.leaves[0], port);
-            sampler = Some(t.sim.sample_link(link, SimDuration::from_micros(100), SimTime(60_000_000)));
+            sampler =
+                Some(t.sim.sample_link(link, SimDuration::from_micros(100), SimTime(60_000_000)));
         });
         let series = utilization_series(outcome.sim.samples(sampler.unwrap()), topo.edge_rate());
         // Busy-period statistics (see fig01 for why: Poisson idle gaps
@@ -46,7 +47,13 @@ fn main() {
         sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
         let p25 = sorted[sorted.len() / 4];
         let busy_mean = busy.iter().sum::<f64>() / busy.len().max(1) as f64;
-        println!("{:<28} {:>10.3} {:>10.3} {:>10.3}", name, mean_utilization(&series), busy_mean, p25);
+        println!(
+            "{:<28} {:>10.3} {:>10.3} {:>10.3}",
+            name,
+            mean_utilization(&series),
+            busy_mean,
+            p25
+        );
     }
     println!("\npaper: PPT ≈ hypothetical ≈ 0.5; DCTCP dips to 0.25 (1.8x lower)");
 }

@@ -11,11 +11,20 @@ fn main() {
         "144-host leaf-spine 40/100G, all-to-all, load 0.5",
     );
     let topo = TopoKind::Oversubscribed;
-    let flows = bench::workload_all_to_all(topo, SizeDistribution::memcached_w1(), 0.5, bench::n_flows(4000));
+    let flows = bench::workload_all_to_all(
+        topo,
+        SizeDistribution::memcached_w1(),
+        0.5,
+        bench::n_flows(4000),
+    );
     println!("{:<24} {:>12} {:>12} {:>8}", "scheme", "avg FCT(us)", "p99 FCT(us)", "done%");
     for scheme in bench::large_scale_schemes() {
         let name = scheme.name();
-        let outcome = ppt::harness::run_experiment(&ppt::harness::Experiment::new(topo, scheme, flows.clone()));
+        let outcome = ppt::harness::run_experiment(&ppt::harness::Experiment::new(
+            topo,
+            scheme,
+            flows.clone(),
+        ));
         println!(
             "{:<24} {:>12.1} {:>12.1} {:>8.1}",
             name,

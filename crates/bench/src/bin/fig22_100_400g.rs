@@ -11,7 +11,8 @@ fn main() {
         "144 hosts, 9 leaves, 4 spines, 100G edge / 400G core",
     );
     let topo = TopoKind::HighSpeed;
-    let flows = bench::workload_all_to_all(topo, SizeDistribution::web_search(), 0.5, bench::n_flows(1500));
+    let flows =
+        bench::workload_all_to_all(topo, SizeDistribution::web_search(), 0.5, bench::n_flows(1500));
     bench::fct_header();
     for scheme in bench::large_scale_schemes() {
         bench::run_and_print(topo, scheme, &flows);

@@ -14,10 +14,20 @@ fn main() {
     let topo = TopoKind::Oversubscribed;
     println!("{:<12} {:>6} {:>14} {:>8}", "scheme", "N", "overall(us)", "done%");
     for &n in &[32usize, 64, 128] {
-        let flows = bench::workload_incast(topo, SizeDistribution::web_search(), 0.6, bench::n_flows(400), n);
+        let flows = bench::workload_incast(
+            topo,
+            SizeDistribution::web_search(),
+            0.6,
+            bench::n_flows(400),
+            n,
+        );
         for scheme in [Scheme::Ndp, Scheme::Aeolus, Scheme::Homa, Scheme::Dctcp, Scheme::Ppt] {
             let name = scheme.name();
-            let outcome = ppt::harness::run_experiment(&ppt::harness::Experiment::new(topo, scheme, flows.clone()));
+            let outcome = ppt::harness::run_experiment(&ppt::harness::Experiment::new(
+                topo,
+                scheme,
+                flows.clone(),
+            ));
             println!(
                 "{:<12} {:>6} {:>14.1} {:>8.1}",
                 name,

@@ -11,7 +11,8 @@ fn main() {
         "144-host oversubscribed fabric, Web Search, load 0.5",
     );
     let topo = TopoKind::Oversubscribed;
-    let flows = bench::workload_all_to_all(topo, SizeDistribution::web_search(), 0.5, bench::n_flows(1200));
+    let flows =
+        bench::workload_all_to_all(topo, SizeDistribution::web_search(), 0.5, bench::n_flows(1200));
     bench::fct_header();
     bench::run_and_print(topo, Scheme::Ppt, &flows);
     for frac in [0.2, 0.4, 0.6, 0.8] {

@@ -10,7 +10,8 @@ fn main() {
         "144-host oversubscribed fabric, Web Search, load 0.5",
     );
     let topo = TopoKind::Oversubscribed;
-    let flows = bench::workload_all_to_all(topo, SizeDistribution::web_search(), 0.5, bench::n_flows(1200));
+    let flows =
+        bench::workload_all_to_all(topo, SizeDistribution::web_search(), 0.5, bench::n_flows(1200));
     bench::fct_header();
     for scheme in [Scheme::Pias, Scheme::Hpcc, Scheme::Ppt] {
         bench::run_and_print(topo, scheme, &flows);

@@ -11,7 +11,8 @@ fn main() {
         "144 hosts, 10G edge / 40G core, 1:1 bisection",
     );
     let topo = TopoKind::NonOversubscribed;
-    let flows = bench::workload_all_to_all(topo, SizeDistribution::web_search(), 0.5, bench::n_flows(1000));
+    let flows =
+        bench::workload_all_to_all(topo, SizeDistribution::web_search(), 0.5, bench::n_flows(1000));
     bench::fct_header();
     for scheme in bench::large_scale_schemes() {
         bench::run_and_print(topo, scheme, &flows);

@@ -11,13 +11,22 @@ fn main() {
         "144-host oversubscribed fabric, Web Search, load 0.5",
     );
     let topo = TopoKind::Oversubscribed;
-    let flows = bench::workload_all_to_all(topo, SizeDistribution::web_search(), 0.5, bench::n_flows(1200));
+    let flows =
+        bench::workload_all_to_all(topo, SizeDistribution::web_search(), 0.5, bench::n_flows(1200));
     bench::fct_header();
-    for (label, bytes) in [("128KB", 128u64 << 10), ("2MB", 2 << 20), ("4MB", 4 << 20), ("2GB", 2 << 30)] {
+    for (label, bytes) in
+        [("128KB", 128u64 << 10), ("2MB", 2 << 20), ("4MB", 4 << 20), ("2GB", 2 << 30)]
+    {
         let mut exp = Experiment::new(topo, Scheme::Ppt, flows.clone());
         exp.env.send_buffer = bytes;
         let outcome = run_experiment(&exp);
-        bench::fct_row(&format!("PPT sndbuf={label}"), &outcome.fct.summary(), outcome.completion_ratio);
+        bench::fct_row(
+            &format!("PPT sndbuf={label}"),
+            &outcome.fct.summary(),
+            outcome.completion_ratio,
+        );
     }
-    println!("\npaper: 128KB hurts overall/large FCT; >=2MB suffices (avg WebSearch flow is 1.6MB)");
+    println!(
+        "\npaper: 128KB hurts overall/large FCT; >=2MB suffices (avg WebSearch flow is 1.6MB)"
+    );
 }

@@ -36,11 +36,21 @@ fn main() {
             exp.env.k_low = k;
             let mut sampler = None;
             let outcome = run_experiment_with(&exp, |t| {
-                let port = t.sim.switch_port_towards(t.leaves[0], NodeId::Host(t.hosts[2])).unwrap();
-                sampler = Some(t.sim.sample_port(t.leaves[0], port, SimDuration::from_micros(20), SimTime(60_000_000)));
+                let port =
+                    t.sim.switch_port_towards(t.leaves[0], NodeId::Host(t.hosts[2])).unwrap();
+                sampler = Some(t.sim.sample_port(
+                    t.leaves[0],
+                    port,
+                    SimDuration::from_micros(20),
+                    SimTime(60_000_000),
+                ));
             });
             let split = occupancy_split(outcome.sim.samples(sampler.unwrap()));
-            let share = if split.total_avg_bytes > 0.0 { split.low_avg_bytes / split.total_avg_bytes } else { 0.0 };
+            let share = if split.total_avg_bytes > 0.0 {
+                split.low_avg_bytes / split.total_avg_bytes
+            } else {
+                0.0
+            };
             println!(
                 "{:<10.0} {:<10} {:>12.0} {:>12.0} {:>12.0} {:>9.1}%",
                 frac * 100.0,

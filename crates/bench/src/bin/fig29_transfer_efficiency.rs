@@ -19,7 +19,10 @@ fn main() {
         bench::seed(),
     );
     let flows = incast(2, &spec);
-    println!("{:<10} {:<10} {:>14} {:>14} {:>12}", "K(%buf)", "scheme", "sent pkts", "dropped pkts", "efficiency");
+    println!(
+        "{:<10} {:<10} {:>14} {:>14} {:>12}",
+        "K(%buf)", "scheme", "sent pkts", "dropped pkts", "efficiency"
+    );
     for frac in [0.6, 0.8] {
         let k = (120_000.0 * frac) as u64;
         for scheme in [Scheme::Dctcp, Scheme::Rc3, Scheme::Ppt] {
@@ -42,5 +45,7 @@ fn main() {
         }
         println!();
     }
-    println!("paper: PPT ~= DCTCP; RC3 14.6-18.4% lower (low-priority loop loses ~50% of its sends)");
+    println!(
+        "paper: PPT ~= DCTCP; RC3 14.6-18.4% lower (low-priority loop loses ~50% of its sends)"
+    );
 }

@@ -24,7 +24,10 @@ fn main() {
         "Buffer-aware identification accuracy at flow start",
         "first-syscall write model vs identification threshold",
     );
-    println!("{:<14} {:>12} {:>12} {:>12} {:>10}", "workload", "threshold", "large flows", "identified", "accuracy");
+    println!(
+        "{:<14} {:>12} {:>12} {:>12} {:>10}",
+        "workload", "threshold", "large flows", "identified", "accuracy"
+    );
     for (dist, threshold, paper) in [
         (SizeDistribution::memcached_w1(), 1_000u64, "86.7%"),
         (SizeDistribution::web_search(), 10_000, "84.3%"),
@@ -42,5 +45,7 @@ fn main() {
             paper
         );
     }
-    println!("\nUnidentified large flows fall back to PIAS-style aging (Fig 18 isolates the benefit).");
+    println!(
+        "\nUnidentified large flows fall back to PIAS-style aging (Fig 18 isolates the benefit)."
+    );
 }

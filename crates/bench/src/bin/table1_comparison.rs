@@ -3,16 +3,39 @@
 use ppt::table1::{SchemeRow, TABLE1};
 
 fn yn(b: bool) -> &'static str {
-    if b { "Yes" } else { "No" }
+    if b {
+        "Yes"
+    } else {
+        "No"
+    }
 }
 
 fn main() {
-    bench::banner("Table 1", "Summary of prior transports and comparison to PPT", "static capability metadata");
+    bench::banner(
+        "Table 1",
+        "Summary of prior transports and comparison to PPT",
+        "static capability metadata",
+    );
     println!(
         "{:<10} {:<12} {:<28} {:<24} {:<10} {:<8} {:<8}",
-        "family", "scheme", "spare bandwidth pattern", "sched w/o flow size", "commodity", "TCP/IP", "no-app"
+        "family",
+        "scheme",
+        "spare bandwidth pattern",
+        "sched w/o flow size",
+        "commodity",
+        "TCP/IP",
+        "no-app"
     );
-    for SchemeRow { family, name, spare, scheduling, commodity_switches, tcpip_compatible, app_non_intrusive } in TABLE1 {
+    for SchemeRow {
+        family,
+        name,
+        spare,
+        scheduling,
+        commodity_switches,
+        tcpip_compatible,
+        app_non_intrusive,
+    } in TABLE1
+    {
         println!(
             "{:<10} {:<12} {:<28} {:<24} {:<10} {:<8} {:<8}",
             family,

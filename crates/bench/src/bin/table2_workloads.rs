@@ -3,12 +3,20 @@
 use ppt::workloads::SizeDistribution;
 
 fn main() {
-    bench::banner("Table 2", "Flow size distributions of realistic workloads", "analytic CDF statistics");
+    bench::banner(
+        "Table 2",
+        "Flow size distributions of realistic workloads",
+        "analytic CDF statistics",
+    );
     println!(
         "{:<14} {:>20} {:>20} {:>16}",
         "workload", "short flows (0-100KB)", "large flows (>100KB)", "avg size"
     );
-    for dist in [SizeDistribution::web_search(), SizeDistribution::data_mining(), SizeDistribution::memcached_w1()] {
+    for dist in [
+        SizeDistribution::web_search(),
+        SizeDistribution::data_mining(),
+        SizeDistribution::memcached_w1(),
+    ] {
         let short = dist.cdf(100_000);
         println!(
             "{:<14} {:>20.1}% {:>19.1}% {:>13.2}MB",

@@ -6,10 +6,10 @@ fn main() {
     bench::banner("Table 3", "Testbed parameters", "SchemeEnv::paper_testbed()");
     let env = SchemeEnv::paper_testbed();
     let topo = TopoKind::PaperTestbed;
-    println!("{:<34} {}", "Switch buffer size (per port)", format!("{} KB", env.port_buffer / 1000));
+    println!("{:<34} {} KB", "Switch buffer size (per port)", env.port_buffer / 1000);
     println!("{:<34} {}", "Hosts", topo.hosts());
-    println!("{:<34} {}", "Link rate", "10 Gbps");
-    println!("{:<34} {}", "RTT", "80 us");
+    println!("{:<34} 10 Gbps", "Link rate");
+    println!("{:<34} 80 us", "RTT");
     println!("{:<34} {:?}", "RTO_min", env.min_rto);
     println!("{:<34} {} KB", "RTTbytes for Homa", env.rtt_bytes / 1000);
     println!("{:<34} {}", "Overcommitment degree for Homa", 2);

@@ -5,7 +5,11 @@
 //! line counts of this reproduction.
 
 fn main() {
-    bench::banner("Tables 4 & 5", "Deployability: lines-of-code accounting", "static data from the paper + this repo");
+    bench::banner(
+        "Tables 4 & 5",
+        "Deployability: lines-of-code accounting",
+        "static data from the paper + this repo",
+    );
     println!("Table 4: Homa/Linux stack modules (paper appendix C)");
     println!("{:<26} {:>8} {:>8}", "module", "LoC", "share");
     for (m, loc, pct) in [

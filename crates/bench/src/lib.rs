@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! Shared support for the experiment binaries that regenerate the paper's
 //! tables and figures.
 //!
@@ -13,10 +14,7 @@ use ppt::workloads::{all_to_all, incast, FlowSpec, SizeDistribution, WorkloadSpe
 
 /// Flows per experiment point (env-overridable).
 pub fn n_flows(default: usize) -> usize {
-    std::env::var("PPT_FLOWS")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(default)
+    std::env::var("PPT_FLOWS").ok().and_then(|v| v.parse().ok()).unwrap_or(default)
 }
 
 /// Workload seed (env-overridable).
@@ -87,14 +85,7 @@ pub fn run_and_print(topo: TopoKind, scheme: Scheme, flows: &[FlowSpec]) -> FctS
 
 /// The standard six-scheme comparison of the large-scale figures.
 pub fn large_scale_schemes() -> Vec<Scheme> {
-    vec![
-        Scheme::Ndp,
-        Scheme::Aeolus,
-        Scheme::Homa,
-        Scheme::Rc3,
-        Scheme::Dctcp,
-        Scheme::Ppt,
-    ]
+    vec![Scheme::Ndp, Scheme::Aeolus, Scheme::Homa, Scheme::Rc3, Scheme::Dctcp, Scheme::Ppt]
 }
 
 /// The testbed comparison set (§6.1).

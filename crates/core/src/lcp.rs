@@ -219,7 +219,7 @@ mod tests {
         let mut l = LcpLoop::open(LoopTrigger::AlphaMinimum, 10_000, SimTime::ZERO);
         assert!(!l.is_expired(SimTime(100_000), rtt)); // 100us < 160us
         assert!(l.is_expired(SimTime(160_000), rtt)); // exactly 2 RTTs
-        // An ACK resets the expiry clock.
+                                                      // An ACK resets the expiry clock.
         l.on_low_priority_ack(false, SimTime(150_000));
         assert!(!l.is_expired(SimTime(200_000), rtt));
         assert!(l.is_expired(SimTime(310_000), rtt));

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # ppt-core — the PPT paper's algorithms as a pure library
 //!
 //! This crate implements the primary contribution of *PPT: A Pragmatic

@@ -83,11 +83,7 @@ impl MirrorTagger {
         if identified_large {
             return 3;
         }
-        let level = self
-            .demotion_thresholds
-            .iter()
-            .take_while(|&&t| bytes_sent >= t)
-            .count() as u8;
+        let level = self.demotion_thresholds.iter().take_while(|&&t| bytes_sent >= t).count() as u8;
         level.min(3)
     }
 

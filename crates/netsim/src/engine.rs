@@ -67,7 +67,12 @@ struct PortState<P> {
 
 impl<P> PortState<P> {
     fn new(link: LinkId) -> Self {
-        PortState { link, queues: PrioQueues::new(), busy: false, counters: PortCounters::default() }
+        PortState {
+            link,
+            queues: PrioQueues::new(),
+            busy: false,
+            counters: PortCounters::default(),
+        }
     }
 }
 
@@ -280,9 +285,7 @@ impl<P: Payload> Simulator<P> {
         while let Some(node) = frontier.pop_front() {
             let d = dist[self.node_index(node)];
             let neighbor_links: Vec<LinkId> = match node {
-                NodeId::Host(h) => {
-                    self.hosts[h.0 as usize].nic.iter().map(|p| p.link).collect()
-                }
+                NodeId::Host(h) => self.hosts[h.0 as usize].nic.iter().map(|p| p.link).collect(),
                 NodeId::Switch(s) => {
                     self.switches[s.0 as usize].ports.iter().map(|p| p.link).collect()
                 }
@@ -342,10 +345,7 @@ impl<P: Payload> Simulator<P> {
 
     /// (flow, completion) pairs for all finished flows.
     pub fn completions(&self) -> impl Iterator<Item = (&FlowDesc, SimTime)> {
-        self.flows
-            .iter()
-            .zip(self.completions.iter())
-            .filter_map(|(f, c)| c.map(|t| (f, t)))
+        self.flows.iter().zip(self.completions.iter()).filter_map(|(f, c)| c.map(|t| (f, t)))
     }
 
     // ---------------------------------------------------------------
@@ -354,7 +354,12 @@ impl<P: Payload> Simulator<P> {
 
     /// Sample a link's cumulative tx byte counter every `interval` until
     /// `until`. The first sample fires at `interval`.
-    pub fn sample_link(&mut self, link: LinkId, interval: SimDuration, until: SimTime) -> SamplerId {
+    pub fn sample_link(
+        &mut self,
+        link: LinkId,
+        interval: SimDuration,
+        until: SimTime,
+    ) -> SamplerId {
         self.add_sampler(SampleTarget::Link(link), interval, until)
     }
 
@@ -369,7 +374,12 @@ impl<P: Payload> Simulator<P> {
         self.add_sampler(SampleTarget::Port(switch, port), interval, until)
     }
 
-    fn add_sampler(&mut self, target: SampleTarget, interval: SimDuration, until: SimTime) -> SamplerId {
+    fn add_sampler(
+        &mut self,
+        target: SampleTarget,
+        interval: SimDuration,
+        until: SimTime,
+    ) -> SamplerId {
         let id = SamplerId(self.samplers.len() as u32);
         self.samplers.push(SamplerState { target, interval, until, samples: Vec::new() });
         self.schedule(self.now + interval, Ev::Sample(id.0));
@@ -383,7 +393,7 @@ impl<P: Payload> Simulator<P> {
 
     /// The link id a host's NIC transmits on (for sampling utilization).
     pub fn host_uplink(&self, host: HostId) -> LinkId {
-        self.hosts[host.0 as usize].nic.as_ref().expect("host not cabled").link
+        self.hosts[host.0 as usize].nic.as_ref().expect("host not cabled").link // simlint: allow(panic_hygiene)
     }
 
     /// The link a given switch port transmits on.
@@ -515,10 +525,10 @@ impl<P: Payload> Simulator<P> {
             let transport = slot
                 .transport
                 .as_deref_mut()
-                .unwrap_or_else(|| panic!("no transport installed on {host:?}"));
+                .unwrap_or_else(|| panic!("no transport installed on {host:?}")); // simlint: allow(panic_hygiene)
             let mut ctx = Ctx::new(now, host, &mut effects);
             if self.measure_cpu {
-                let t0 = std::time::Instant::now();
+                let t0 = std::time::Instant::now(); // simlint: allow(determinism)
                 f(transport, &mut ctx);
                 slot.cpu_ns += t0.elapsed().as_nanos() as u64;
                 slot.cpu_calls += 1;
@@ -547,7 +557,7 @@ impl<P: Payload> Simulator<P> {
 
     /// Enqueue a packet at a host NIC and kick the transmitter if idle.
     fn host_enqueue(&mut self, host: HostId, pkt: Packet<P>) {
-        let slot = self.hosts[host.0 as usize].nic.as_mut().expect("host not cabled");
+        let slot = self.hosts[host.0 as usize].nic.as_mut().expect("host not cabled"); // simlint: allow(panic_hygiene)
         slot.queues.push(pkt);
         if !slot.busy {
             self.start_tx_host(host);
@@ -605,7 +615,7 @@ impl<P: Payload> Simulator<P> {
 
     /// Begin serializing the head-of-line packet at a host NIC.
     fn start_tx_host(&mut self, host: HostId) {
-        let slot = self.hosts[host.0 as usize].nic.as_mut().expect("host not cabled");
+        let slot = self.hosts[host.0 as usize].nic.as_mut().expect("host not cabled"); // simlint: allow(panic_hygiene)
         let Some(pkt) = slot.queues.pop() else { return };
         slot.busy = true;
         let link_id = slot.link;
@@ -637,7 +647,7 @@ impl<P: Payload> Simulator<P> {
     fn tx_done(&mut self, node: NodeId, port: u16) {
         match node {
             NodeId::Host(h) => {
-                let slot = self.hosts[h.0 as usize].nic.as_mut().expect("host not cabled");
+                let slot = self.hosts[h.0 as usize].nic.as_mut().expect("host not cabled"); // simlint: allow(panic_hygiene)
                 slot.busy = false;
                 if !slot.queues.is_empty() {
                     self.start_tx_host(h);
@@ -660,11 +670,9 @@ impl<P: Payload> Simulator<P> {
             (s.interval, s.until, s.target)
         };
         let sample = match target {
-            SampleTarget::Link(l) => Sample {
-                at: now,
-                value: self.links[l.0 as usize].tx_bytes,
-                per_priority: [0; 8],
-            },
+            SampleTarget::Link(l) => {
+                Sample { at: now, value: self.links[l.0 as usize].tx_bytes, per_priority: [0; 8] }
+            }
             SampleTarget::Port(sw, p) => {
                 let q = &self.switches[sw.0 as usize].ports[p as usize].queues;
                 let mut per = [0u64; 8];

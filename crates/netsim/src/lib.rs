@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # netsim — a deterministic packet-level datacenter network simulator
 //!
 //! This crate is the substrate for the PPT reproduction: a discrete-event,
@@ -36,6 +37,7 @@ pub mod ids;
 pub mod link;
 pub mod packet;
 pub mod queue;
+pub mod rng;
 pub mod switch;
 pub mod time;
 pub mod topology;
@@ -48,6 +50,7 @@ pub use packet::{
     Ecn, HopTelemetry, NoPayload, Packet, Payload, CTRL_BYTES, HEADER_BYTES, MSS_BYTES, MTU_BYTES,
     NUM_PRIORITIES, TRIMMED_BYTES,
 };
+pub use rng::Pcg32;
 pub use switch::{EcnRule, EnqueueOutcome, MarkScope, PortCounters, RangeCap, SwitchConfig};
 pub use time::{SimDuration, SimTime};
 pub use topology::{fat_tree, leaf_spine, star, FatTreeParams, LeafSpineParams, Topology};
@@ -105,7 +108,12 @@ mod engine_tests {
     #[test]
     fn single_packet_end_to_end_latency_is_exact() {
         // 2 hosts on one switch, 10Gbps, 20us per-link delay.
-        let mut topo = topology::star::<BlastHdr>(2, Rate::gbps(10), SimDuration::from_micros(20), SwitchConfig::basic(1 << 20));
+        let mut topo = topology::star::<BlastHdr>(
+            2,
+            Rate::gbps(10),
+            SimDuration::from_micros(20),
+            SwitchConfig::basic(1 << 20),
+        );
         for &h in &topo.hosts {
             topo.sim.set_transport(h, blast());
         }
@@ -120,7 +128,12 @@ mod engine_tests {
 
     #[test]
     fn multi_segment_flow_completes_with_pipelining() {
-        let mut topo = topology::star::<BlastHdr>(2, Rate::gbps(10), SimDuration::from_micros(1), SwitchConfig::basic(10 << 20));
+        let mut topo = topology::star::<BlastHdr>(
+            2,
+            Rate::gbps(10),
+            SimDuration::from_micros(1),
+            SwitchConfig::basic(10 << 20),
+        );
         for &h in &topo.hosts {
             topo.sim.set_transport(h, blast());
         }
@@ -139,7 +152,12 @@ mod engine_tests {
     fn two_senders_share_bottleneck_fairly_in_time() {
         // Both flows arrive at t=0 towards the same receiver; total service
         // time is the sum of both transfers on the shared downlink.
-        let mut topo = topology::star::<BlastHdr>(3, Rate::gbps(10), SimDuration::from_micros(1), SwitchConfig::basic(64 << 20));
+        let mut topo = topology::star::<BlastHdr>(
+            3,
+            Rate::gbps(10),
+            SimDuration::from_micros(1),
+            SwitchConfig::basic(64 << 20),
+        );
         for &h in &topo.hosts {
             topo.sim.set_transport(h, blast());
         }
@@ -190,8 +208,14 @@ mod engine_tests {
                 let prio = if flow.size_bytes > 10_000 { 7 } else { 0 };
                 for (_, len) in segment(flow.size_bytes) {
                     ctx.send(
-                        Packet::data(flow.id, flow.src, flow.dst, len, BlastHdr { is_data: true, size: flow.size_bytes })
-                            .with_priority(prio),
+                        Packet::data(
+                            flow.id,
+                            flow.src,
+                            flow.dst,
+                            len,
+                            BlastHdr { is_data: true, size: flow.size_bytes },
+                        )
+                        .with_priority(prio),
                     );
                 }
             }
@@ -204,11 +228,22 @@ mod engine_tests {
             }
             fn on_timer(&mut self, _: u64, _: &mut Ctx<'_, BlastHdr>) {}
         }
-        let mut topo = topology::star::<BlastHdr>(3, Rate::gbps(10), SimDuration::from_micros(1), SwitchConfig::basic(64 << 20));
+        let mut topo = topology::star::<BlastHdr>(
+            3,
+            Rate::gbps(10),
+            SimDuration::from_micros(1),
+            SwitchConfig::basic(64 << 20),
+        );
         for &h in &topo.hosts {
             topo.sim.set_transport(h, Box::new(Prio { rx: std::collections::HashMap::new() }));
         }
-        let big = topo.sim.add_flow(topo.hosts[0], topo.hosts[2], 50 * MSS_BYTES as u64, SimTime::ZERO, 1);
+        let big = topo.sim.add_flow(
+            topo.hosts[0],
+            topo.hosts[2],
+            50 * MSS_BYTES as u64,
+            SimTime::ZERO,
+            1,
+        );
         // The small flow starts later, once the big flow's backlog is
         // already queued at the switch.
         let small = topo.sim.add_flow(topo.hosts[1], topo.hosts[2], 1000, SimTime(10_000), 1);
@@ -252,7 +287,12 @@ mod engine_tests {
 
     #[test]
     fn sampler_records_time_series() {
-        let mut topo = topology::star::<BlastHdr>(2, Rate::gbps(10), SimDuration::from_micros(1), SwitchConfig::basic(1 << 20));
+        let mut topo = topology::star::<BlastHdr>(
+            2,
+            Rate::gbps(10),
+            SimDuration::from_micros(1),
+            SwitchConfig::basic(1 << 20),
+        );
         for &h in &topo.hosts {
             topo.sim.set_transport(h, blast());
         }
@@ -272,7 +312,12 @@ mod engine_tests {
 
     #[test]
     fn run_limits_stop_the_clock() {
-        let mut topo = topology::star::<BlastHdr>(2, Rate::gbps(10), SimDuration::from_micros(1), SwitchConfig::basic(1 << 20));
+        let mut topo = topology::star::<BlastHdr>(
+            2,
+            Rate::gbps(10),
+            SimDuration::from_micros(1),
+            SwitchConfig::basic(1 << 20),
+        );
         for &h in &topo.hosts {
             topo.sim.set_transport(h, blast());
         }
@@ -289,7 +334,12 @@ mod engine_tests {
     fn drops_are_counted_at_the_switch() {
         // Tiny 5KB port buffer and two simultaneous 100-packet bursts into
         // one receiver: the 2:1 bottleneck must shed packets.
-        let mut topo = topology::star::<BlastHdr>(3, Rate::gbps(10), SimDuration::from_micros(1), SwitchConfig::basic(5_000));
+        let mut topo = topology::star::<BlastHdr>(
+            3,
+            Rate::gbps(10),
+            SimDuration::from_micros(1),
+            SwitchConfig::basic(5_000),
+        );
         for &h in &topo.hosts {
             topo.sim.set_transport(h, blast());
         }

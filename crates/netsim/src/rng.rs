@@ -1,0 +1,145 @@
+//! A small deterministic pseudo-random number generator (PCG-XSH-RR
+//! 64/32, O'Neill 2014) for seeded workload generation and tests.
+//!
+//! The engine itself never draws randomness; this type exists so that
+//! *inputs* to the engine (workloads, test cases) can be generated
+//! reproducibly without any external crate. Same seed ⇒ same stream on
+//! every platform, forever — the stream is part of the repo's
+//! determinism contract (see DESIGN.md).
+
+/// PCG32: 64-bit state, 32-bit output, period 2^64 per stream.
+#[derive(Clone, Debug)]
+pub struct Pcg32 {
+    state: u64,
+    inc: u64,
+}
+
+const PCG_MULT: u64 = 6_364_136_223_846_793_005;
+
+impl Pcg32 {
+    /// Seed with SplitMix64 expansion of `seed` (so small consecutive
+    /// seeds give well-separated streams, like `rand`'s `seed_from_u64`).
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let mut next = || {
+            sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        let state = next();
+        let inc = next() | 1; // stream selector must be odd
+        let mut rng = Pcg32 { state: 0, inc };
+        // Standard PCG initialization: advance once, add the seed state,
+        // advance again so the first output already mixes both.
+        rng.next_u32();
+        rng.state = rng.state.wrapping_add(state);
+        rng.next_u32();
+        rng
+    }
+
+    /// Next 32 uniform bits.
+    pub fn next_u32(&mut self) -> u32 {
+        let old = self.state;
+        self.state = old.wrapping_mul(PCG_MULT).wrapping_add(self.inc);
+        let xorshifted = (((old >> 18) ^ old) >> 27) as u32;
+        let rot = (old >> 59) as u32;
+        xorshifted.rotate_right(rot)
+    }
+
+    /// Next 64 uniform bits (two draws, high word first).
+    pub fn next_u64(&mut self) -> u64 {
+        let hi = self.next_u32() as u64;
+        let lo = self.next_u32() as u64;
+        (hi << 32) | lo
+    }
+
+    /// Uniform in [0, 1) with 53 bits of precision.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform integer in [0, n). Panics if n == 0. Uses rejection
+    /// sampling (Lemire's method) so the distribution is exact.
+    pub fn gen_range(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "gen_range(0) is meaningless");
+        // Widening-multiply rejection: unbiased for every n.
+        let threshold = n.wrapping_neg() % n;
+        loop {
+            let x = self.next_u64();
+            let m = (x as u128) * (n as u128);
+            if (m as u64) >= threshold {
+                return (m >> 64) as u64;
+            }
+        }
+    }
+
+    /// Uniform usize in [0, n) — convenience for indexing.
+    pub fn gen_index(&mut self, n: usize) -> usize {
+        self.gen_range(n as u64) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = Pcg32::seed_from_u64(42);
+        let mut b = Pcg32::seed_from_u64(42);
+        for _ in 0..1000 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = Pcg32::seed_from_u64(1);
+        let mut b = Pcg32::seed_from_u64(2);
+        let same = (0..64).filter(|_| a.next_u32() == b.next_u32()).count();
+        assert!(same < 4, "{same} collisions in 64 draws");
+    }
+
+    #[test]
+    fn stream_is_pinned_forever() {
+        // The exact values are part of the determinism contract: changing
+        // the generator invalidates every recorded experiment seed.
+        let mut r = Pcg32::seed_from_u64(0);
+        let first: Vec<u32> = (0..4).map(|_| r.next_u32()).collect();
+        assert_eq!(first, vec![2_321_410_640, 2_338_699_057, 2_751_032_930, 3_277_089_664]);
+    }
+
+    #[test]
+    fn f64_in_unit_interval_and_well_spread() {
+        let mut r = Pcg32::seed_from_u64(7);
+        let n = 10_000;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let x = r.next_f64();
+            assert!((0.0..1.0).contains(&x));
+            sum += x;
+        }
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean={mean}");
+    }
+
+    #[test]
+    fn gen_range_is_bounded_and_covers() {
+        let mut r = Pcg32::seed_from_u64(3);
+        let mut seen = [false; 7];
+        for _ in 0..1000 {
+            let x = r.gen_range(7);
+            assert!(x < 7);
+            seen[x as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    #[should_panic(expected = "meaningless")]
+    fn empty_range_rejected() {
+        Pcg32::seed_from_u64(0).gen_range(0);
+    }
+}

@@ -99,11 +99,11 @@ impl SwitchConfig {
     /// opportunistic backlog must never cost normal packets their buffer.
     pub fn ppt(port_buffer_bytes: u64, k_high: u64, k_low: u64) -> Self {
         let mut ecn = [None; NUM_PRIORITIES];
-        for p in 0..4 {
-            ecn[p] = Some(EcnRule { threshold_bytes: k_high, scope: MarkScope::Range(0, 4) });
+        for rule in ecn.iter_mut().take(4) {
+            *rule = Some(EcnRule { threshold_bytes: k_high, scope: MarkScope::Range(0, 4) });
         }
-        for p in 4..8 {
-            ecn[p] = Some(EcnRule { threshold_bytes: k_low, scope: MarkScope::Port });
+        for rule in ecn.iter_mut().skip(4) {
+            *rule = Some(EcnRule { threshold_bytes: k_low, scope: MarkScope::Port });
         }
         SwitchConfig {
             port_buffer_bytes,
@@ -195,10 +195,7 @@ pub fn enqueue_policy<P: Payload>(
     let fits = backlog + pkt.wire_bytes as u64 <= cfg.port_buffer_bytes;
 
     // NDP-style trimming: engage at the trim threshold or on overflow.
-    let over_trim = cfg
-        .trim_threshold_bytes
-        .map(|t| backlog >= t)
-        .unwrap_or(false);
+    let over_trim = cfg.trim_threshold_bytes.map(|t| backlog >= t).unwrap_or(false);
     if pkt.trimmable && !pkt.trimmed && (over_trim || !fits) && cfg.trim_threshold_bytes.is_some() {
         pkt.trimmed = true;
         pkt.wire_bytes = TRIMMED_BYTES;
@@ -325,7 +322,10 @@ mod tests {
         let mut q = PrioQueues::new();
         let mut c = PortCounters::default();
         let pkt = data(0, 100).without_ecn();
-        assert_eq!(enqueue_policy(&cfg, &mut q, &mut c, pkt), EnqueueOutcome::Queued { marked: false });
+        assert_eq!(
+            enqueue_policy(&cfg, &mut q, &mut c, pkt),
+            EnqueueOutcome::Queued { marked: false }
+        );
     }
 
     #[test]

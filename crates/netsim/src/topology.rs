@@ -36,7 +36,12 @@ pub struct LeafSpineParams {
 
 /// Build a star: `n` hosts on one switch. Used for the testbed experiments
 /// (15-to-15, 14-to-1) and the 2-sender microbenchmarks (Figs 1, 28, 29).
-pub fn star<P: Payload>(n_hosts: usize, link_rate: Rate, link_delay: SimDuration, cfg: SwitchConfig) -> Topology<P> {
+pub fn star<P: Payload>(
+    n_hosts: usize,
+    link_rate: Rate,
+    link_delay: SimDuration,
+    cfg: SwitchConfig,
+) -> Topology<P> {
     let mut sim = Simulator::new();
     let sw = sim.add_switch(cfg);
     let hosts: Vec<HostId> = (0..n_hosts)
@@ -159,7 +164,7 @@ pub struct FatTreeParams {
 /// (k/2)² cores, k³/4 hosts. `leaves` holds the edge switches and
 /// `spines` the aggregation plus core switches (aggregation first).
 pub fn fat_tree<P: Payload>(p: &FatTreeParams, cfg: SwitchConfig) -> Topology<P> {
-    assert!(p.k >= 2 && p.k % 2 == 0, "fat-tree k must be even");
+    assert!(p.k >= 2 && p.k.is_multiple_of(2), "fat-tree k must be even");
     let half = p.k / 2;
     let mut sim = Simulator::new();
 
@@ -188,7 +193,12 @@ pub fn fat_tree<P: Payload>(p: &FatTreeParams, cfg: SwitchConfig) -> Topology<P>
             // Edge <-> every aggregation switch in the pod.
             for a in 0..half {
                 let agg = aggs[pod * half + a];
-                sim.connect(NodeId::Switch(edge), NodeId::Switch(agg), p.aggregate_rate, p.link_delay);
+                sim.connect(
+                    NodeId::Switch(edge),
+                    NodeId::Switch(agg),
+                    p.aggregate_rate,
+                    p.link_delay,
+                );
             }
         }
         // Aggregation <-> cores: agg `a` of each pod connects to cores
@@ -237,7 +247,7 @@ mod fat_tree_tests {
 
     #[test]
     #[should_panic(expected = "must be even")]
-    fn odd_k_is_rejected()  {
+    fn odd_k_is_rejected() {
         let p = FatTreeParams {
             k: 3,
             edge_rate: Rate::gbps(10),

@@ -1,12 +1,16 @@
-//! Property tests of the simulation engine: conservation, determinism
-//! and ordering invariants under randomized topologies and workloads.
-
-use proptest::prelude::*;
+//! Engine invariants: conservation, determinism and ordering under
+//! randomized topologies and workloads.
+//!
+//! Two tiers share the generators below:
+//! * deterministic seeded sweeps (always on — they are the offline tier-1
+//!   coverage, driven by the in-tree [`Pcg32`]);
+//! * the original `proptest` suite behind the `proptest` feature, which
+//!   needs the `proptest` dev-dependency restored (registry access).
 
 use netsim::host::{Ctx, FlowDesc, Transport};
 use netsim::packet::segment;
 use netsim::{
-    star, FlowId, LeafSpineParams, Packet, Payload, Rate, RunLimits, SimDuration, SimTime,
+    star, FlowId, LeafSpineParams, Packet, Payload, Pcg32, Rate, RunLimits, SimDuration, SimTime,
     SwitchConfig, Topology,
 };
 
@@ -19,7 +23,7 @@ impl Payload for Hdr {}
 /// Blast sender + byte-counting receiver (no congestion control): on a
 /// big-buffer fabric nothing may be lost.
 struct Blast {
-    rx: std::collections::HashMap<FlowId, (u64, u64)>,
+    rx: std::collections::BTreeMap<FlowId, (u64, u64)>,
 }
 
 impl Transport<Hdr> for Blast {
@@ -40,29 +44,29 @@ impl Transport<Hdr> for Blast {
 }
 
 fn build_star(n: usize) -> Topology<Hdr> {
-    let mut topo = star::<Hdr>(
-        n,
-        Rate::gbps(10),
-        SimDuration::from_micros(5),
-        SwitchConfig::basic(1 << 30),
-    );
+    let mut topo =
+        star::<Hdr>(n, Rate::gbps(10), SimDuration::from_micros(5), SwitchConfig::basic(1 << 30));
     for &h in &topo.hosts.clone() {
-        topo.sim
-            .set_transport(h, Box::new(Blast { rx: std::collections::HashMap::new() }));
+        topo.sim.set_transport(h, Box::new(Blast { rx: std::collections::BTreeMap::new() }));
     }
     topo
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+/// Random (size, start_ns) pairs, mirroring the proptest strategy
+/// `vec((1..2_000_000, 0..1_000_000), 1..20)`.
+fn random_flows(rng: &mut Pcg32, max_n: usize, max_size: u64, max_start: u64) -> Vec<(u64, u64)> {
+    let n = 1 + rng.gen_index(max_n);
+    (0..n).map(|_| (1 + rng.gen_range(max_size - 1), rng.gen_range(max_start))).collect()
+}
 
-    /// Every flow completes on an over-provisioned star, regardless of
-    /// sizes and arrival times, and FCT >= the physical lower bound.
-    #[test]
-    fn all_flows_complete_and_respect_physics(
-        flows in proptest::collection::vec((1u64..2_000_000, 0u64..1_000_000), 1..20),
-        n in 2usize..6,
-    ) {
+/// Every flow completes on an over-provisioned star, regardless of sizes
+/// and arrival times, and FCT >= the physical lower bound.
+#[test]
+fn all_flows_complete_and_respect_physics_seeded() {
+    for seed in 0..24u64 {
+        let mut rng = Pcg32::seed_from_u64(seed);
+        let flows = random_flows(&mut rng, 19, 2_000_000, 1_000_000);
+        let n = 2 + rng.gen_index(4);
         let mut topo = build_star(n);
         let mut ids = Vec::new();
         for (i, &(size, start_ns)) in flows.iter().enumerate() {
@@ -77,56 +81,69 @@ proptest! {
             ));
         }
         let report = topo.sim.run(RunLimits::default());
-        prop_assert_eq!(report.flows_completed, flows.len());
+        assert_eq!(report.flows_completed, flows.len(), "seed {seed}");
         for (id, &(size, start_ns)) in ids.iter().zip(flows.iter()) {
-            let done = topo.sim.completion(*id).unwrap();
+            let done = topo.sim.completion(*id).expect("completed flow has a completion time");
             let fct = done.saturating_since(SimTime(start_ns));
             // Lower bound: last byte serialized once at 10G + 2 hops prop.
             let min = Rate::gbps(10).serialization_time(size).as_nanos() / 2 + 10_000;
-            prop_assert!(fct.as_nanos() >= min.min(20_000), "fct {fct:?} too fast for size {size}");
+            assert!(
+                fct.as_nanos() >= min.min(20_000),
+                "seed {seed}: fct {fct:?} too fast for size {size}"
+            );
         }
     }
+}
 
-    /// Bit-identical reruns: equal inputs give equal completion times and
-    /// equal event counts.
-    #[test]
-    fn engine_is_deterministic(
-        flows in proptest::collection::vec((1u64..500_000, 0u64..200_000), 1..12),
-    ) {
+/// Bit-identical reruns: equal inputs give equal completion times and
+/// equal event counts.
+#[test]
+fn engine_is_deterministic_seeded() {
+    for seed in 0..8u64 {
+        let mut rng = Pcg32::seed_from_u64(seed);
+        let flows = random_flows(&mut rng, 11, 500_000, 200_000);
         let run = || {
             let mut topo = build_star(4);
             let ids: Vec<FlowId> = flows
                 .iter()
                 .enumerate()
                 .map(|(i, &(size, t))| {
-                    topo.sim.add_flow(topo.hosts[i % 4], topo.hosts[(i + 1) % 4], size, SimTime(t), size)
+                    topo.sim.add_flow(
+                        topo.hosts[i % 4],
+                        topo.hosts[(i + 1) % 4],
+                        size,
+                        SimTime(t),
+                        size,
+                    )
                 })
                 .collect();
             let report = topo.sim.run(RunLimits::default());
             let times: Vec<_> = ids.iter().map(|&id| topo.sim.completion(id)).collect();
             (report.events, times)
         };
-        prop_assert_eq!(run(), run());
+        assert_eq!(run(), run(), "seed {seed}");
     }
+}
 
-    /// Byte conservation at the switch: enqueued = delivered + dropped
-    /// (every admitted packet eventually leaves on a link).
-    #[test]
-    fn switch_counters_conserve_packets(
-        flows in proptest::collection::vec(1u64..300_000, 1..10),
-    ) {
+/// Byte conservation at the switch: enqueued = delivered + dropped
+/// (every admitted packet eventually leaves on a link).
+#[test]
+fn switch_counters_conserve_packets_seeded() {
+    for seed in 0..12u64 {
+        let mut rng = Pcg32::seed_from_u64(seed);
+        let n_flows = 1 + rng.gen_index(9);
+        let sizes: Vec<u64> = (0..n_flows).map(|_| 1 + rng.gen_range(300_000 - 1)).collect();
         let mut topo = build_star(3);
-        for (i, &size) in flows.iter().enumerate() {
+        for (i, &size) in sizes.iter().enumerate() {
             topo.sim.add_flow(topo.hosts[i % 2], topo.hosts[2], size, SimTime::ZERO, size);
         }
         topo.sim.run(RunLimits::default());
         let c = topo.sim.total_counters();
-        prop_assert_eq!(c.dropped, 0, "no drops on a 1GB buffer");
+        assert_eq!(c.dropped, 0, "seed {seed}: no drops on a 1GB buffer");
         // Every data packet sent by hosts crossed exactly one switch.
-        let host_tx: u64 = (0..3)
-            .map(|i| topo.sim.link(topo.sim.host_uplink(topo.hosts[i])).tx_packets)
-            .sum();
-        prop_assert_eq!(c.enqueued, host_tx);
+        let host_tx: u64 =
+            (0..3).map(|i| topo.sim.link(topo.sim.host_uplink(topo.hosts[i])).tx_packets).sum();
+        assert_eq!(c.enqueued, host_tx, "seed {seed}");
     }
 }
 
@@ -145,7 +162,7 @@ fn ecmp_is_flow_consistent() {
     };
     let mut topo = netsim::leaf_spine::<Hdr>(&params, SwitchConfig::basic(1 << 30));
     for &h in &topo.hosts.clone() {
-        topo.sim.set_transport(h, Box::new(Blast { rx: std::collections::HashMap::new() }));
+        topo.sim.set_transport(h, Box::new(Blast { rx: std::collections::BTreeMap::new() }));
     }
     // One multi-packet cross-rack flow: all packets must take one path,
     // so exactly one leaf->spine link sees them.
@@ -161,4 +178,87 @@ fn ecmp_is_flow_consistent() {
         }
     }
     assert_eq!(used_links, 1, "a single flow must stay on one ECMP path");
+}
+
+/// The original property-based suite. Requires the `proptest` feature
+/// *and* the `proptest` dev-dependency restored in Cargo.toml.
+#[cfg(feature = "proptest")]
+mod property_based {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        /// Every flow completes on an over-provisioned star, regardless of
+        /// sizes and arrival times, and FCT >= the physical lower bound.
+        #[test]
+        fn all_flows_complete_and_respect_physics(
+            flows in proptest::collection::vec((1u64..2_000_000, 0u64..1_000_000), 1..20),
+            n in 2usize..6,
+        ) {
+            let mut topo = build_star(n);
+            let mut ids = Vec::new();
+            for (i, &(size, start_ns)) in flows.iter().enumerate() {
+                let src = i % n;
+                let dst = (i + 1) % n;
+                ids.push(topo.sim.add_flow(
+                    topo.hosts[src],
+                    topo.hosts[dst],
+                    size,
+                    SimTime(start_ns),
+                    size,
+                ));
+            }
+            let report = topo.sim.run(RunLimits::default());
+            prop_assert_eq!(report.flows_completed, flows.len());
+            for (id, &(size, start_ns)) in ids.iter().zip(flows.iter()) {
+                let done = topo.sim.completion(*id).unwrap();
+                let fct = done.saturating_since(SimTime(start_ns));
+                let min = Rate::gbps(10).serialization_time(size).as_nanos() / 2 + 10_000;
+                prop_assert!(fct.as_nanos() >= min.min(20_000), "fct {fct:?} too fast for size {size}");
+            }
+        }
+
+        /// Bit-identical reruns: equal inputs give equal completion times
+        /// and equal event counts.
+        #[test]
+        fn engine_is_deterministic(
+            flows in proptest::collection::vec((1u64..500_000, 0u64..200_000), 1..12),
+        ) {
+            let run = || {
+                let mut topo = build_star(4);
+                let ids: Vec<FlowId> = flows
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &(size, t))| {
+                        topo.sim.add_flow(topo.hosts[i % 4], topo.hosts[(i + 1) % 4], size, SimTime(t), size)
+                    })
+                    .collect();
+                let report = topo.sim.run(RunLimits::default());
+                let times: Vec<_> = ids.iter().map(|&id| topo.sim.completion(id)).collect();
+                (report.events, times)
+            };
+            prop_assert_eq!(run(), run());
+        }
+
+        /// Byte conservation at the switch: enqueued = delivered + dropped
+        /// (every admitted packet eventually leaves on a link).
+        #[test]
+        fn switch_counters_conserve_packets(
+            flows in proptest::collection::vec(1u64..300_000, 1..10),
+        ) {
+            let mut topo = build_star(3);
+            for (i, &size) in flows.iter().enumerate() {
+                topo.sim.add_flow(topo.hosts[i % 2], topo.hosts[2], size, SimTime::ZERO, size);
+            }
+            topo.sim.run(RunLimits::default());
+            let c = topo.sim.total_counters();
+            prop_assert_eq!(c.dropped, 0, "no drops on a 1GB buffer");
+            let host_tx: u64 = (0..3)
+                .map(|i| topo.sim.link(topo.sim.host_uplink(topo.hosts[i])).tx_packets)
+                .sum();
+            prop_assert_eq!(c.enqueued, host_tx);
+        }
+    }
 }

@@ -39,12 +39,8 @@ impl Transport<Hdr> for Blast {
 }
 
 fn topo_with(spin: u32) -> netsim::Topology<Hdr> {
-    let mut t = star::<Hdr>(
-        3,
-        Rate::gbps(10),
-        SimDuration::from_micros(5),
-        SwitchConfig::basic(1 << 24),
-    );
+    let mut t =
+        star::<Hdr>(3, Rate::gbps(10), SimDuration::from_micros(5), SwitchConfig::basic(1 << 24));
     for &h in &t.hosts.clone() {
         t.sim.set_transport(h, Box::new(Blast { rx: Default::default(), spin }));
     }
@@ -122,7 +118,7 @@ fn link_counters_track_bytes_and_packets() {
     let link = topo.sim.link(topo.sim.host_uplink(topo.hosts[0]));
     assert_eq!(link.tx_packets, 10);
     assert_eq!(link.tx_bytes, size + 10 * 40); // payload + headers
-    // All at priority 0 => the high-band counter matches.
+                                               // All at priority 0 => the high-band counter matches.
     assert_eq!(link.tx_high_bytes, link.tx_bytes);
 }
 

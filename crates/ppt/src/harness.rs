@@ -173,13 +173,8 @@ impl Scheme {
             | Scheme::SwiftPpt
             | Scheme::Hypothetical(_) => SwitchConfig::ppt(env.port_buffer, env.k_high, env.k_low),
             Scheme::Rc3 => SwitchConfig::ppt(env.port_buffer, env.k_high, env.k_low),
-            Scheme::Rc3BufferCap(frac) => {
-                SwitchConfig::ppt(env.port_buffer, env.k_high, env.k_low).with_range_cap(
-                    4,
-                    8,
-                    (env.port_buffer as f64 * frac) as u64,
-                )
-            }
+            Scheme::Rc3BufferCap(frac) => SwitchConfig::ppt(env.port_buffer, env.k_high, env.k_low)
+                .with_range_cap(4, 8, (env.port_buffer as f64 * frac) as u64),
             Scheme::Homa => transports::homa_switch_config(env.port_buffer, false),
             Scheme::Aeolus => transports::homa_switch_config(env.port_buffer, true),
             Scheme::Ndp => SwitchConfig::ndp(env.port_buffer, env.trim_threshold),
@@ -207,12 +202,16 @@ impl Scheme {
             Scheme::Dctcp => transports::install_dctcp(topo, &tcp),
             Scheme::Tcp10 => {
                 for &h in &topo.hosts.clone() {
-                    topo.sim.set_transport(h, Box::new(transports::DctcpTransport::tcp10(tcp.clone())));
+                    topo.sim
+                        .set_transport(h, Box::new(transports::DctcpTransport::tcp10(tcp.clone())));
                 }
             }
             Scheme::Halfback => {
                 for &h in &topo.hosts.clone() {
-                    topo.sim.set_transport(h, Box::new(transports::DctcpTransport::halfback(tcp.clone())));
+                    topo.sim.set_transport(
+                        h,
+                        Box::new(transports::DctcpTransport::halfback(tcp.clone())),
+                    );
                 }
             }
             Scheme::ExpressPass => transports::install_expresspass(topo, env.min_rto),
@@ -266,7 +265,7 @@ impl Scheme {
             Scheme::Swift => transports::install_swift(topo, &tcp),
             Scheme::SwiftPpt => transports::install_swift_ppt(topo, &tcp, &env.ppt_cfg()),
             Scheme::Hypothetical(_) => {
-                panic!("Hypothetical needs the two-pass run_experiment()")
+                panic!("Hypothetical needs the two-pass run_experiment()") // simlint: allow(panic_hygiene)
             }
         }
     }
@@ -294,12 +293,9 @@ impl TopoKind {
     /// Build the topology with the given per-port switch config.
     pub fn build(&self, cfg: SwitchConfig) -> Topology<Proto> {
         match *self {
-            TopoKind::Star { n, rate_gbps, delay_us } => netsim::star(
-                n,
-                Rate::gbps(rate_gbps),
-                SimDuration::from_micros(delay_us),
-                cfg,
-            ),
+            TopoKind::Star { n, rate_gbps, delay_us } => {
+                netsim::star(n, Rate::gbps(rate_gbps), SimDuration::from_micros(delay_us), cfg)
+            }
             TopoKind::PaperTestbed => netsim::topology::paper_testbed(cfg),
             TopoKind::Oversubscribed => netsim::topology::paper_oversubscribed(cfg),
             TopoKind::NonOversubscribed => netsim::topology::paper_nonoversubscribed(cfg),
@@ -418,9 +414,8 @@ where
     let oracle: Option<MwRecorder> = match exp.scheme {
         Scheme::Hypothetical(_) => {
             // Recording pass: plain DCTCP on the same topology & flows.
-            let rec: MwRecorder = std::rc::Rc::new(std::cell::RefCell::new(
-                std::collections::HashMap::new(),
-            ));
+            let rec: MwRecorder =
+                std::rc::Rc::new(std::cell::RefCell::new(std::collections::BTreeMap::new()));
             let mut topo = exp.topo.build(Scheme::Dctcp.switch_config(&exp.env));
             let tcp = exp.env.tcp_cfg();
             for &h in &topo.hosts.clone() {
@@ -500,8 +495,11 @@ mod tests {
             let cfg = scheme.switch_config(&env);
             assert!(cfg.port_buffer_bytes > 0, "{}: zero buffer", scheme.name());
             for rule in cfg.ecn.iter().flatten() {
-                assert!(rule.threshold_bytes <= cfg.port_buffer_bytes,
-                        "{}: K above the buffer", scheme.name());
+                assert!(
+                    rule.threshold_bytes <= cfg.port_buffer_bytes,
+                    "{}: K above the buffer",
+                    scheme.name()
+                );
             }
             for cap in &cfg.range_caps {
                 assert!(cap.lo < cap.hi && cap.hi as usize <= netsim::NUM_PRIORITIES);
@@ -543,8 +541,8 @@ mod tests {
     #[test]
     #[should_panic(expected = "two-pass")]
     fn hypothetical_requires_two_pass_runner() {
-        let mut topo = TopoKind::Star { n: 2, rate_gbps: 10, delay_us: 5 }
-            .build(SwitchConfig::basic(1 << 20));
+        let mut topo =
+            TopoKind::Star { n: 2, rate_gbps: 10, delay_us: 5 }.build(SwitchConfig::basic(1 << 20));
         let env = SchemeEnv::new(Rate::gbps(10), SimDuration::from_micros(20));
         Scheme::Hypothetical(1.0).install(&mut topo, &env);
     }

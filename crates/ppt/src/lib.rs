@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # ppt — PPT: A Pragmatic Transport for Datacenters
 //!
 //! A from-scratch Rust reproduction of *PPT: A Pragmatic Transport for
@@ -44,4 +45,6 @@ pub use ppt_core as core;
 pub use transports;
 pub use workloads;
 
-pub use harness::{run_experiment, run_experiment_with, Experiment, Outcome, Scheme, SchemeEnv, TopoKind};
+pub use harness::{
+    run_experiment, run_experiment_with, Experiment, Outcome, Scheme, SchemeEnv, TopoKind,
+};

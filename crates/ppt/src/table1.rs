@@ -60,17 +60,105 @@ pub struct SchemeRow {
 
 /// The full table, in the paper's row order.
 pub const TABLE1: &[SchemeRow] = &[
-    SchemeRow { family: "Reactive", name: "DCTCP", spare: SparePattern::Passive, scheduling: SchedulingCol::RateControlOnly, commodity_switches: true, tcpip_compatible: true, app_non_intrusive: true },
-    SchemeRow { family: "Reactive", name: "TCP-10", spare: SparePattern::Passive, scheduling: SchedulingCol::RateControlOnly, commodity_switches: true, tcpip_compatible: true, app_non_intrusive: true },
-    SchemeRow { family: "Reactive", name: "Halfback", spare: SparePattern::Passive, scheduling: SchedulingCol::RateControlOnly, commodity_switches: true, tcpip_compatible: true, app_non_intrusive: true },
-    SchemeRow { family: "Reactive", name: "RC3", spare: SparePattern::Aggressive, scheduling: SchedulingCol::RateControlOnly, commodity_switches: true, tcpip_compatible: true, app_non_intrusive: true },
-    SchemeRow { family: "Reactive", name: "PIAS", spare: SparePattern::Passive, scheduling: SchedulingCol::Yes, commodity_switches: true, tcpip_compatible: true, app_non_intrusive: true },
-    SchemeRow { family: "Reactive", name: "HPCC", spare: SparePattern::GracefulIntRequired, scheduling: SchedulingCol::RateControlOnly, commodity_switches: false, tcpip_compatible: false, app_non_intrusive: true },
-    SchemeRow { family: "Proactive", name: "Homa", spare: SparePattern::Aggressive, scheduling: SchedulingCol::NeedsFlowSize, commodity_switches: true, tcpip_compatible: false, app_non_intrusive: false },
-    SchemeRow { family: "Proactive", name: "Aeolus", spare: SparePattern::Aggressive, scheduling: SchedulingCol::NeedsFlowSize, commodity_switches: true, tcpip_compatible: false, app_non_intrusive: false },
-    SchemeRow { family: "Proactive", name: "ExpressPass", spare: SparePattern::PassiveFirstRttWasted, scheduling: SchedulingCol::RateControlOnly, commodity_switches: true, tcpip_compatible: false, app_non_intrusive: false },
-    SchemeRow { family: "Proactive", name: "NDP", spare: SparePattern::PassiveFirstRttWasted, scheduling: SchedulingCol::RateControlOnly, commodity_switches: false, tcpip_compatible: false, app_non_intrusive: false },
-    SchemeRow { family: "", name: "PPT", spare: SparePattern::Graceful, scheduling: SchedulingCol::Yes, commodity_switches: true, tcpip_compatible: true, app_non_intrusive: true },
+    SchemeRow {
+        family: "Reactive",
+        name: "DCTCP",
+        spare: SparePattern::Passive,
+        scheduling: SchedulingCol::RateControlOnly,
+        commodity_switches: true,
+        tcpip_compatible: true,
+        app_non_intrusive: true,
+    },
+    SchemeRow {
+        family: "Reactive",
+        name: "TCP-10",
+        spare: SparePattern::Passive,
+        scheduling: SchedulingCol::RateControlOnly,
+        commodity_switches: true,
+        tcpip_compatible: true,
+        app_non_intrusive: true,
+    },
+    SchemeRow {
+        family: "Reactive",
+        name: "Halfback",
+        spare: SparePattern::Passive,
+        scheduling: SchedulingCol::RateControlOnly,
+        commodity_switches: true,
+        tcpip_compatible: true,
+        app_non_intrusive: true,
+    },
+    SchemeRow {
+        family: "Reactive",
+        name: "RC3",
+        spare: SparePattern::Aggressive,
+        scheduling: SchedulingCol::RateControlOnly,
+        commodity_switches: true,
+        tcpip_compatible: true,
+        app_non_intrusive: true,
+    },
+    SchemeRow {
+        family: "Reactive",
+        name: "PIAS",
+        spare: SparePattern::Passive,
+        scheduling: SchedulingCol::Yes,
+        commodity_switches: true,
+        tcpip_compatible: true,
+        app_non_intrusive: true,
+    },
+    SchemeRow {
+        family: "Reactive",
+        name: "HPCC",
+        spare: SparePattern::GracefulIntRequired,
+        scheduling: SchedulingCol::RateControlOnly,
+        commodity_switches: false,
+        tcpip_compatible: false,
+        app_non_intrusive: true,
+    },
+    SchemeRow {
+        family: "Proactive",
+        name: "Homa",
+        spare: SparePattern::Aggressive,
+        scheduling: SchedulingCol::NeedsFlowSize,
+        commodity_switches: true,
+        tcpip_compatible: false,
+        app_non_intrusive: false,
+    },
+    SchemeRow {
+        family: "Proactive",
+        name: "Aeolus",
+        spare: SparePattern::Aggressive,
+        scheduling: SchedulingCol::NeedsFlowSize,
+        commodity_switches: true,
+        tcpip_compatible: false,
+        app_non_intrusive: false,
+    },
+    SchemeRow {
+        family: "Proactive",
+        name: "ExpressPass",
+        spare: SparePattern::PassiveFirstRttWasted,
+        scheduling: SchedulingCol::RateControlOnly,
+        commodity_switches: true,
+        tcpip_compatible: false,
+        app_non_intrusive: false,
+    },
+    SchemeRow {
+        family: "Proactive",
+        name: "NDP",
+        spare: SparePattern::PassiveFirstRttWasted,
+        scheduling: SchedulingCol::RateControlOnly,
+        commodity_switches: false,
+        tcpip_compatible: false,
+        app_non_intrusive: false,
+    },
+    SchemeRow {
+        family: "",
+        name: "PPT",
+        spare: SparePattern::Graceful,
+        scheduling: SchedulingCol::Yes,
+        commodity_switches: true,
+        tcpip_compatible: true,
+        app_non_intrusive: true,
+    },
 ];
 
 #[cfg(test)]

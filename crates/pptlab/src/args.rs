@@ -15,12 +15,9 @@ impl Args {
         let mut values = HashMap::new();
         let mut it = argv.iter();
         while let Some(tok) = it.next() {
-            let key = tok
-                .strip_prefix("--")
-                .ok_or_else(|| format!("expected --option, got '{tok}'"))?;
-            let val = it
-                .next()
-                .ok_or_else(|| format!("--{key} needs a value"))?;
+            let key =
+                tok.strip_prefix("--").ok_or_else(|| format!("expected --option, got '{tok}'"))?;
+            let val = it.next().ok_or_else(|| format!("--{key} needs a value"))?;
             values.insert(key.to_string(), val.clone());
         }
         Ok(Args { values })

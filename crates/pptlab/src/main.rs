@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! pptlab — run any scheme/topology/workload combination from the shell.
 //!
 //! ```text
@@ -70,9 +71,26 @@ fn parse_scheme(id: &str) -> Option<Scheme> {
 }
 
 const SCHEME_IDS: &[&str] = &[
-    "dctcp", "tcp10", "halfback", "expresspass", "ppt", "ppt-noecn", "ppt-noewd",
-    "ppt-nosched", "ppt-noident", "ppt-fill:<f>", "rc3", "pias", "homa", "aeolus",
-    "ndp", "hpcc", "hpcc-ppt", "swift", "swift-ppt", "hypothetical",
+    "dctcp",
+    "tcp10",
+    "halfback",
+    "expresspass",
+    "ppt",
+    "ppt-noecn",
+    "ppt-noewd",
+    "ppt-nosched",
+    "ppt-noident",
+    "ppt-fill:<f>",
+    "rc3",
+    "pias",
+    "homa",
+    "aeolus",
+    "ndp",
+    "hpcc",
+    "hpcc-ppt",
+    "swift",
+    "swift-ppt",
+    "hypothetical",
 ];
 
 fn parse_topo(id: &str) -> Option<TopoKind> {
@@ -119,7 +137,10 @@ fn cmd_compare(args: &Args) -> Result<(), String> {
     let scheme_list = args.get("schemes").unwrap_or("ppt,dctcp");
     let schemes: Vec<Scheme> = scheme_list
         .split(',')
-        .map(|s| parse_scheme(s.trim()).ok_or_else(|| format!("unknown scheme '{s}' (try `pptlab schemes`)")))
+        .map(|s| {
+            parse_scheme(s.trim())
+                .ok_or_else(|| format!("unknown scheme '{s}' (try `pptlab schemes`)"))
+        })
         .collect::<Result<_, _>>()?;
     let topo = parse_topo(args.get("topo").unwrap_or("testbed"))
         .ok_or_else(|| "bad --topo (try `pptlab topos`)".to_string())?;
@@ -146,7 +167,11 @@ fn cmd_compare(args: &Args) -> Result<(), String> {
             Some(n) => {
                 let n: usize = n.parse().map_err(|_| "--incast expects a count".to_string())?;
                 if n + 1 > topo.hosts() {
-                    return Err(format!("--incast {n} needs {} hosts, topo has {}", n + 1, topo.hosts()));
+                    return Err(format!(
+                        "--incast {n} needs {} hosts, topo has {}",
+                        n + 1,
+                        topo.hosts()
+                    ));
                 }
                 incast(n, &spec)
             }
@@ -253,7 +278,11 @@ fn main() -> ExitCode {
                 ("datamining", SizeDistribution::data_mining()),
                 ("memcached", SizeDistribution::memcached_w1()),
             ] {
-                println!("{id:<12} mean {:>10.0} B, {:>5.1}% <=100KB", d.mean_bytes(), d.cdf(100_000) * 100.0);
+                println!(
+                    "{id:<12} mean {:>10.0} B, {:>5.1}% <=100KB",
+                    d.mean_bytes(),
+                    d.cdf(100_000) * 100.0
+                );
             }
             ExitCode::SUCCESS
         }

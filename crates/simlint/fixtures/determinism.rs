@@ -1,0 +1,24 @@
+// Fixture: determinism violations in an engine-path library file.
+use std::collections::HashMap;
+use std::time::Instant;
+
+pub fn bad_clock() -> Instant {
+    Instant::now()
+}
+
+pub fn bad_table() -> HashMap<u64, u64> {
+    HashMap::new()
+}
+
+pub fn allowed_table() -> std::collections::HashMap<u64, u64> { // simlint: allow(determinism)
+    std::collections::HashMap::new() // simlint: allow(determinism)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_may_use_wall_clock() {
+        let _ = std::time::Instant::now();
+        let _ = std::collections::HashSet::<u32>::new();
+    }
+}

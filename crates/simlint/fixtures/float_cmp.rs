@@ -1,0 +1,20 @@
+// Fixture: float comparison violations.
+pub fn bad_eq(x: f64) -> bool {
+    x == 1.0
+}
+
+pub fn bad_ne(x: f64) -> bool {
+    0.17 != x
+}
+
+pub fn allowed_eq(x: f64) -> bool {
+    x == 0.0 // simlint: allow(float_cmp)
+}
+
+pub fn integers_are_fine(n: u64) -> bool {
+    n == 100 && n != 7
+}
+
+pub fn orderings_are_fine(x: f64) -> bool {
+    x <= 1.0 && x >= 0.5
+}

@@ -1,0 +1,30 @@
+// Fixture: panic-hygiene violations in a library file.
+pub fn bad_unwrap(v: Option<u32>) -> u32 {
+    v.unwrap()
+}
+
+pub fn bad_expect(v: Option<u32>) -> u32 {
+    v.expect("always present")
+}
+
+pub fn bad_panic() {
+    panic!("boom");
+}
+
+pub fn allowed_panic() {
+    // The two-pass API contract makes this unreachable for callers.
+    panic!("unreachable by contract"); // simlint: allow(panic_hygiene)
+}
+
+pub fn combinators_are_fine(v: Option<u32>) -> u32 {
+    v.unwrap_or(0).max(v.unwrap_or_default())
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_unwrap() {
+        let v: Option<u32> = Some(3);
+        assert_eq!(v.unwrap(), 3);
+    }
+}

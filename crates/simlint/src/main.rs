@@ -1,0 +1,39 @@
+#![forbid(unsafe_code)]
+//! `simlint` binary: lint the workspace, print violations, exit non-zero
+//! if any are found. Usage: `cargo run -p simlint [-- <workspace-root>]`.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let root = match std::env::args().nth(1) {
+        Some(arg) => PathBuf::from(arg),
+        None => {
+            let cwd = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+            match simlint::find_workspace_root(&cwd) {
+                Some(r) => r,
+                None => {
+                    eprintln!("simlint: no workspace root found above {}", cwd.display());
+                    return ExitCode::from(2);
+                }
+            }
+        }
+    };
+    match simlint::lint_workspace(&root) {
+        Ok(violations) if violations.is_empty() => {
+            println!("simlint: workspace clean");
+            ExitCode::SUCCESS
+        }
+        Ok(violations) => {
+            for v in &violations {
+                println!("{v}");
+            }
+            println!("simlint: {} violation(s)", violations.len());
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("simlint: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

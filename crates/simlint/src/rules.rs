@@ -1,0 +1,379 @@
+//! The rule set. Each rule is a token-level check over masked source
+//! (comments and literal bodies blanked — see [`crate::source`]).
+
+use std::path::Path;
+
+use crate::source::MaskedSource;
+use crate::{FileClass, Violation};
+
+/// Identifier of a lint rule.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Rule {
+    /// Wall-clock / entropy / unordered containers in engine-path crates.
+    Determinism,
+    /// `unwrap()` / `expect(` / `panic!` in library code.
+    PanicHygiene,
+    /// `==` / `!=` against a float literal.
+    FloatCmp,
+    /// Crate roots must carry `#![forbid(unsafe_code)]`.
+    ForbidUnsafe,
+    /// Paper constants must match DESIGN.md (checked workspace-wide).
+    PaperConstants,
+}
+
+/// Every per-file rule, in reporting order.
+pub const ALL_RULES: &[Rule] =
+    &[Rule::Determinism, Rule::PanicHygiene, Rule::FloatCmp, Rule::ForbidUnsafe];
+
+impl Rule {
+    /// Stable rule id used in output and `allow(...)` pragmas.
+    pub fn id(self) -> &'static str {
+        match self {
+            Rule::Determinism => "determinism",
+            Rule::PanicHygiene => "panic_hygiene",
+            Rule::FloatCmp => "float_cmp",
+            Rule::ForbidUnsafe => "forbid_unsafe",
+            Rule::PaperConstants => "paper_constants",
+        }
+    }
+
+    /// Run this rule over one masked file.
+    pub fn check(
+        self,
+        rel_path: &str,
+        class: FileClass,
+        src: &MaskedSource,
+        out: &mut Vec<Violation>,
+    ) {
+        match self {
+            Rule::Determinism => check_determinism(rel_path, class, src, out),
+            Rule::PanicHygiene => check_panic_hygiene(rel_path, class, src, out),
+            Rule::FloatCmp => check_float_cmp(rel_path, class, src, out),
+            Rule::ForbidUnsafe => check_forbid_unsafe(rel_path, class, src, out),
+            Rule::PaperConstants => {}
+        }
+    }
+}
+
+fn is_ident_char(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Find `needle` in `line` at identifier boundaries (the char before the
+/// match and the char after must not be identifier characters).
+fn token_positions(line: &str, needle: &str) -> Vec<usize> {
+    let mut found = Vec::new();
+    let mut from = 0;
+    while let Some(pos) = line[from..].find(needle) {
+        let at = from + pos;
+        let before_ok = line[..at].chars().next_back().is_none_or(|c| !is_ident_char(c));
+        let after_ok = line[at + needle.len()..].chars().next().is_none_or(|c| !is_ident_char(c));
+        if before_ok && after_ok {
+            found.push(at);
+        }
+        from = at + needle.len();
+    }
+    found
+}
+
+/// Is there an identifier `name` immediately followed (modulo spaces) by
+/// `next_ch` on this line? Used for `unwrap(` / `expect(` / `panic!`.
+fn ident_followed_by(line: &str, name: &str, next_ch: char) -> bool {
+    let mut from = 0;
+    while let Some(pos) = line[from..].find(name) {
+        let at = from + pos;
+        let before_ok = line[..at].chars().next_back().is_none_or(|c| !is_ident_char(c));
+        let rest = &line[at + name.len()..];
+        let follows = rest.trim_start().starts_with(next_ch);
+        let boundary = rest.chars().next().is_none_or(|c| !is_ident_char(c));
+        if before_ok && boundary && follows {
+            return true;
+        }
+        from = at + name.len();
+    }
+    false
+}
+
+fn push(
+    out: &mut Vec<Violation>,
+    src: &MaskedSource,
+    rel_path: &str,
+    line_no: usize,
+    rule: Rule,
+    message: String,
+) {
+    if src.has_allow(line_no, rule.id()) {
+        return;
+    }
+    out.push(Violation { file: rel_path.to_owned(), line: line_no, rule, message });
+}
+
+/// Tokens that leak wall-clock time or process entropy into results,
+/// plus the unordered containers whose iteration order is per-process.
+const NONDETERMINISM_TOKENS: &[(&str, &str)] = &[
+    ("Instant", "std::time::Instant reads the wall clock"),
+    ("SystemTime", "std::time::SystemTime reads the wall clock"),
+    ("thread_rng", "thread_rng draws process entropy"),
+    ("from_entropy", "from_entropy draws process entropy"),
+    ("HashMap", "HashMap iteration order is per-process; use BTreeMap"),
+    ("HashSet", "HashSet iteration order is per-process; use BTreeSet"),
+];
+
+fn check_determinism(
+    rel_path: &str,
+    class: FileClass,
+    src: &MaskedSource,
+    out: &mut Vec<Violation>,
+) {
+    if !class.in_determinism_scope {
+        return;
+    }
+    for (idx, line) in src.lines.iter().enumerate() {
+        let line_no = idx + 1;
+        if src.is_test(line_no) {
+            continue;
+        }
+        for &(tok, why) in NONDETERMINISM_TOKENS {
+            if !token_positions(line, tok).is_empty() {
+                push(out, src, rel_path, line_no, Rule::Determinism, format!("`{tok}`: {why}"));
+            }
+        }
+    }
+}
+
+fn check_panic_hygiene(
+    rel_path: &str,
+    class: FileClass,
+    src: &MaskedSource,
+    out: &mut Vec<Violation>,
+) {
+    if !class.is_library {
+        return;
+    }
+    for (idx, line) in src.lines.iter().enumerate() {
+        let line_no = idx + 1;
+        if src.is_test(line_no) {
+            continue;
+        }
+        if ident_followed_by(line, "unwrap", '(') {
+            push(
+                out,
+                src,
+                rel_path,
+                line_no,
+                Rule::PanicHygiene,
+                "unwrap() in library code; handle the None/Err or annotate why it cannot occur"
+                    .into(),
+            );
+        }
+        if ident_followed_by(line, "expect", '(') {
+            push(
+                out,
+                src,
+                rel_path,
+                line_no,
+                Rule::PanicHygiene,
+                "expect() in library code; handle the None/Err or annotate why it cannot occur"
+                    .into(),
+            );
+        }
+        if ident_followed_by(line, "panic", '!') {
+            push(
+                out,
+                src,
+                rel_path,
+                line_no,
+                Rule::PanicHygiene,
+                "panic! in library code; return an error or annotate the invariant".into(),
+            );
+        }
+    }
+}
+
+/// A float literal token: starts with a digit, contains a `.` between
+/// digits (`1.0`, `0.17`, `1_000.5`) or carries an f32/f64 suffix.
+fn is_float_literal(tok: &str) -> bool {
+    if tok.is_empty() || !tok.starts_with(|c: char| c.is_ascii_digit()) {
+        return false;
+    }
+    let has_dot = tok.contains('.');
+    let has_suffix = tok.ends_with("f32") || tok.ends_with("f64");
+    let body: String =
+        tok.trim_end_matches("f32").trim_end_matches("f64").chars().filter(|&c| c != '_').collect();
+    if !(has_dot || has_suffix) {
+        return false;
+    }
+    body.chars().all(|c| c.is_ascii_digit() || c == '.' || c == 'e' || c == '-')
+}
+
+/// The token just right of byte position `at` in `line`.
+fn token_right(line: &str, at: usize) -> String {
+    line[at..].trim_start().chars().take_while(|&c| is_ident_char(c) || c == '.').collect()
+}
+
+/// The token just left of byte position `at` in `line`.
+fn token_left(line: &str, at: usize) -> String {
+    let left = line[..at].trim_end();
+    let rev: String = left.chars().rev().take_while(|&c| is_ident_char(c) || c == '.').collect();
+    rev.chars().rev().collect()
+}
+
+fn check_float_cmp(rel_path: &str, class: FileClass, src: &MaskedSource, out: &mut Vec<Violation>) {
+    if !class.is_library {
+        return;
+    }
+    for (idx, line) in src.lines.iter().enumerate() {
+        let line_no = idx + 1;
+        if src.is_test(line_no) {
+            continue;
+        }
+        let bytes = line.as_bytes();
+        for i in 0..bytes.len().saturating_sub(1) {
+            let two = &line[i..(i + 2).min(line.len())];
+            let is_eq = two == "==" || two == "!=";
+            if !is_eq {
+                continue;
+            }
+            // Exclude <=, >=, ===, =>, pattern arms and compound ops.
+            let prev = line[..i].chars().next_back();
+            let next = line[i + 2..].chars().next();
+            if matches!(
+                prev,
+                Some('<' | '>' | '=' | '!' | '+' | '-' | '*' | '/' | '%' | '&' | '|' | '^')
+            ) || matches!(next, Some('='))
+            {
+                continue;
+            }
+            let lhs = token_left(line, i);
+            let rhs = token_right(line, i + 2);
+            if is_float_literal(&lhs) || is_float_literal(&rhs) {
+                push(
+                    out,
+                    src,
+                    rel_path,
+                    line_no,
+                    Rule::FloatCmp,
+                    format!(
+                        "float compared with `{two}` (`{}` {two} `{}`); use an epsilon or integer representation",
+                        if lhs.is_empty() { "…" } else { &lhs },
+                        if rhs.is_empty() { "…" } else { &rhs },
+                    ),
+                );
+            }
+        }
+    }
+}
+
+fn check_forbid_unsafe(
+    rel_path: &str,
+    class: FileClass,
+    src: &MaskedSource,
+    out: &mut Vec<Violation>,
+) {
+    if !class.is_crate_root {
+        return;
+    }
+    let compact: String = src.masked.chars().filter(|c| !c.is_whitespace()).collect();
+    if !compact.contains("#![forbid(unsafe_code)]") {
+        push(
+            out,
+            src,
+            rel_path,
+            1,
+            Rule::ForbidUnsafe,
+            "crate root is missing `#![forbid(unsafe_code)]`".into(),
+        );
+    }
+}
+
+/// Parse `pub const NAME: ty = value;` out of masked-free raw text.
+fn const_value(text: &str, name: &str) -> Option<f64> {
+    let pos = text.find(&format!("const {name}:"))?;
+    let rest = &text[pos..];
+    let eq = rest.find('=')?;
+    let semi = rest.find(';')?;
+    if semi <= eq {
+        return None;
+    }
+    let value_text: String =
+        rest[eq + 1..semi].chars().filter(|&c| c.is_ascii_digit() || c == '.').collect();
+    value_text.parse().ok()
+}
+
+/// Rule `paper_constants`: λ_LCP = 0.1 < λ_HCP = 0.17 (Eq. 3 of the
+/// paper, encoded in `crates/core/src/ecn.rs`) and the EWD receiver's
+/// 1-low-priority-ACK-per-2-LCP-packets constant
+/// (`LCP_PACKETS_PER_ACK = 2` in `crates/core/src/lcp.rs`), both of
+/// which DESIGN.md documents as normative.
+pub fn check_paper_constants(root: &Path, out: &mut Vec<Violation>) {
+    let ecn_path = "crates/core/src/ecn.rs";
+    let lcp_path = "crates/core/src/lcp.rs";
+    let mut fail = |file: &str, message: String| {
+        out.push(Violation { file: file.to_owned(), line: 1, rule: Rule::PaperConstants, message });
+    };
+
+    match std::fs::read_to_string(root.join(ecn_path)) {
+        Ok(text) => {
+            let hi = const_value(&text, "LAMBDA_HIGH");
+            let lo = const_value(&text, "LAMBDA_LOW");
+            match (hi, lo) {
+                (Some(hi), Some(lo)) => {
+                    // Integer-scaled comparison: the float_cmp rule applies
+                    // to us too.
+                    let (hi_m, lo_m) = ((hi * 1000.0) as i64, (lo * 1000.0) as i64);
+                    if hi_m != 170 {
+                        fail(ecn_path, format!("LAMBDA_HIGH = {hi}, paper Eq. 3 requires 0.17"));
+                    }
+                    if lo_m != 100 {
+                        fail(ecn_path, format!("LAMBDA_LOW = {lo}, paper Eq. 3 requires 0.1"));
+                    }
+                    if lo_m >= hi_m {
+                        fail(
+                            ecn_path,
+                            format!("LAMBDA_LOW ({lo}) must stay below LAMBDA_HIGH ({hi})"),
+                        );
+                    }
+                }
+                _ => fail(ecn_path, "LAMBDA_HIGH / LAMBDA_LOW constants not found".into()),
+            }
+        }
+        Err(e) => fail(ecn_path, format!("unreadable: {e}")),
+    }
+
+    match std::fs::read_to_string(root.join(lcp_path)) {
+        Ok(text) => match const_value(&text, "LCP_PACKETS_PER_ACK") {
+            Some(v) => {
+                if v as i64 != 2 {
+                    fail(
+                        lcp_path,
+                        format!("LCP_PACKETS_PER_ACK = {v}, EWD requires 1 ACK per 2 LCP packets"),
+                    );
+                }
+            }
+            None => fail(lcp_path, "LCP_PACKETS_PER_ACK constant not found".into()),
+        },
+        Err(e) => fail(lcp_path, format!("unreadable: {e}")),
+    }
+
+    // PptConfig's defaults must be wired to the named ecn constants, not
+    // re-encoded as literals that could drift independently.
+    let cfg_path = "crates/core/src/config.rs";
+    match std::fs::read_to_string(root.join(cfg_path)) {
+        Ok(text) => {
+            let masked = MaskedSource::new(&text);
+            for name in ["LAMBDA_HIGH", "LAMBDA_LOW"] {
+                let referenced =
+                    masked.lines.iter().enumerate().any(|(i, l)| {
+                        !masked.is_test(i + 1) && !token_positions(l, name).is_empty()
+                    });
+                if !referenced {
+                    fail(
+                        cfg_path,
+                        format!("PptConfig must derive its lambda defaults from ecn::{name}"),
+                    );
+                }
+            }
+        }
+        Err(e) => fail(cfg_path, format!("unreadable: {e}")),
+    }
+}

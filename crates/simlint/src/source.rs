@@ -1,0 +1,335 @@
+//! Comment/literal stripping and `#[cfg(test)]` span detection.
+//!
+//! The masker replaces the *bodies* of comments, string literals and
+//! char literals with spaces while preserving line structure, so rule
+//! checks can do plain substring/token scans without being fooled by
+//! text inside literals or docs. Raw strings (`r"…"`, `r#"…"#`, byte
+//! and raw-byte forms) and nested block comments are handled; lifetimes
+//! are distinguished from char literals.
+
+/// A source file after masking, with pre-computed line offsets, raw
+/// lines (for pragma lookup) and `#[cfg(test)]` line spans.
+pub struct MaskedSource {
+    /// Masked text, same length/line structure as the original.
+    pub masked: String,
+    /// Raw lines of the original source (for pragma scanning).
+    pub raw_lines: Vec<String>,
+    /// Masked lines.
+    pub lines: Vec<String>,
+    /// `is_test_line[i]` == line i+1 sits inside a `#[cfg(test)]` module.
+    pub is_test_line: Vec<bool>,
+}
+
+impl MaskedSource {
+    /// Mask `src` and compute spans.
+    pub fn new(src: &str) -> Self {
+        let masked = mask(src);
+        let raw_lines: Vec<String> = src.lines().map(str::to_owned).collect();
+        let lines: Vec<String> = masked.lines().map(str::to_owned).collect();
+        let is_test_line = test_spans(&lines);
+        MaskedSource { masked, raw_lines, lines, is_test_line }
+    }
+
+    /// Does `line` (1-based) carry a `// simlint: allow(<rule>)` pragma
+    /// for `rule_id`?
+    pub fn has_allow(&self, line: usize, rule_id: &str) -> bool {
+        let Some(raw) = self.raw_lines.get(line.wrapping_sub(1)) else {
+            return false;
+        };
+        let Some(pos) = raw.find("simlint: allow(") else {
+            return false;
+        };
+        let rest = &raw[pos + "simlint: allow(".len()..];
+        rest.split(')').next().is_some_and(|inner| inner.split(',').any(|r| r.trim() == rule_id))
+    }
+
+    /// Is the (1-based) line inside a `#[cfg(test)]` module?
+    pub fn is_test(&self, line: usize) -> bool {
+        self.is_test_line.get(line.wrapping_sub(1)).copied().unwrap_or(false)
+    }
+}
+
+fn is_ident_char(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Replace comment and literal bodies with spaces (newlines preserved).
+fn mask(src: &str) -> String {
+    let chars: Vec<char> = src.chars().collect();
+    let n = chars.len();
+    let mut out = String::with_capacity(src.len());
+    let mut i = 0;
+
+    let keep = |c: char| if c == '\n' { '\n' } else { ' ' };
+
+    while i < n {
+        let c = chars[i];
+        // Line comment.
+        if c == '/' && i + 1 < n && chars[i + 1] == '/' {
+            // Keep the comment text: pragmas are read from raw lines, and
+            // masking it would not change rule behaviour — but masking is
+            // still required so `// x == 1.0` in prose can't fire rules.
+            while i < n && chars[i] != '\n' {
+                out.push(' ');
+                i += 1;
+            }
+            continue;
+        }
+        // Block comment (nested).
+        if c == '/' && i + 1 < n && chars[i + 1] == '*' {
+            let mut depth = 0usize;
+            while i < n {
+                if chars[i] == '/' && i + 1 < n && chars[i + 1] == '*' {
+                    depth += 1;
+                    out.push(' ');
+                    out.push(' ');
+                    i += 2;
+                } else if chars[i] == '*' && i + 1 < n && chars[i + 1] == '/' {
+                    depth -= 1;
+                    out.push(' ');
+                    out.push(' ');
+                    i += 2;
+                    if depth == 0 {
+                        break;
+                    }
+                } else {
+                    out.push(keep(chars[i]));
+                    i += 1;
+                }
+            }
+            continue;
+        }
+        // Raw / byte string prefixes: r"…", r#"…"#, b"…", br#"…"#.
+        if (c == 'r' || c == 'b') && (i == 0 || !is_ident_char(chars[i - 1])) {
+            let mut j = i + 1;
+            if c == 'b' && j < n && chars[j] == 'r' {
+                j += 1;
+            }
+            let raw = c == 'r' || (j > i + 1);
+            let mut hashes = 0;
+            while raw && j < n && chars[j] == '#' {
+                hashes += 1;
+                j += 1;
+            }
+            if j < n && chars[j] == '"' && (raw || c == 'b') {
+                // Emit the prefix verbatim, then mask to the terminator.
+                for &p in &chars[i..=j] {
+                    out.push(p);
+                }
+                i = j + 1;
+                'scan: while i < n {
+                    if !raw && chars[i] == '\\' && i + 1 < n {
+                        out.push(' ');
+                        out.push(' ');
+                        i += 2;
+                        continue;
+                    }
+                    if chars[i] == '"' {
+                        let mut k = 0;
+                        while k < hashes && i + 1 + k < n && chars[i + 1 + k] == '#' {
+                            k += 1;
+                        }
+                        if k == hashes {
+                            out.push('"');
+                            for _ in 0..hashes {
+                                out.push('#');
+                            }
+                            i += 1 + hashes;
+                            break 'scan;
+                        }
+                    }
+                    out.push(keep(chars[i]));
+                    i += 1;
+                }
+                continue;
+            }
+            // Not a literal prefix: plain identifier character.
+            out.push(c);
+            i += 1;
+            continue;
+        }
+        // Plain string.
+        if c == '"' {
+            out.push('"');
+            i += 1;
+            while i < n {
+                if chars[i] == '\\' && i + 1 < n {
+                    out.push(' ');
+                    out.push(' ');
+                    i += 2;
+                    continue;
+                }
+                if chars[i] == '"' {
+                    out.push('"');
+                    i += 1;
+                    break;
+                }
+                out.push(keep(chars[i]));
+                i += 1;
+            }
+            continue;
+        }
+        // Char literal vs lifetime.
+        if c == '\'' {
+            let next = chars.get(i + 1).copied();
+            let is_char_lit = match next {
+                Some('\\') => true,
+                Some(x) if x != '\'' => chars.get(i + 2) == Some(&'\''),
+                _ => false,
+            };
+            if is_char_lit {
+                out.push('\'');
+                i += 1;
+                while i < n {
+                    if chars[i] == '\\' && i + 1 < n {
+                        out.push(' ');
+                        out.push(' ');
+                        i += 2;
+                        continue;
+                    }
+                    if chars[i] == '\'' {
+                        out.push('\'');
+                        i += 1;
+                        break;
+                    }
+                    out.push(keep(chars[i]));
+                    i += 1;
+                }
+                continue;
+            }
+            // Lifetime: emit as-is.
+            out.push('\'');
+            i += 1;
+            continue;
+        }
+        out.push(c);
+        i += 1;
+    }
+    out
+}
+
+/// Mark every line that falls inside a `#[cfg(test)] mod … { … }` span
+/// (attribute line through the matching closing brace).
+fn test_spans(masked_lines: &[String]) -> Vec<bool> {
+    let mut flags = vec![false; masked_lines.len()];
+    let mut li = 0;
+    while li < masked_lines.len() {
+        let compact: String = masked_lines[li].chars().filter(|c| !c.is_whitespace()).collect();
+        if !compact.contains("#[cfg(test)]") {
+            li += 1;
+            continue;
+        }
+        // Find the opening brace of the annotated item (skipping further
+        // attribute lines), then brace-match to the close.
+        let start = li;
+        let mut depth = 0usize;
+        let mut opened = false;
+        let mut lj = li;
+        'outer: while lj < masked_lines.len() {
+            for ch in masked_lines[lj].chars() {
+                match ch {
+                    '{' => {
+                        depth += 1;
+                        opened = true;
+                    }
+                    '}' => {
+                        depth = depth.saturating_sub(1);
+                        if opened && depth == 0 {
+                            break 'outer;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            if opened && depth == 0 {
+                break;
+            }
+            lj += 1;
+        }
+        let end = lj.min(masked_lines.len().saturating_sub(1));
+        for flag in flags.iter_mut().take(end + 1).skip(start) {
+            *flag = true;
+        }
+        li = end + 1;
+    }
+    flags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strings_and_comments_are_blanked() {
+        let m = MaskedSource::new("let x = \"HashMap\"; // HashMap\nlet y = 1;\n");
+        assert!(!m.lines[0].contains("HashMap"));
+        assert!(m.lines[1].contains("let y = 1;"));
+    }
+
+    #[test]
+    fn raw_strings_are_blanked() {
+        let m = MaskedSource::new("let x = r#\"panic! unwrap()\"#;\n");
+        assert!(!m.masked.contains("panic"));
+        assert!(!m.masked.contains("unwrap"));
+    }
+
+    #[test]
+    fn lifetimes_survive_char_literals_dont_confuse() {
+        let m = MaskedSource::new("fn f<'a>(x: &'a str) -> char { 'x' }\n");
+        assert!(m.masked.contains("fn f<'a>(x: &'a str)"));
+        assert!(!m.masked.contains("'x'") || m.masked.contains("' '"));
+    }
+
+    #[test]
+    fn escaped_quote_in_char_literal() {
+        let m = MaskedSource::new("let q = '\\''; let h = HashMap::new();\n");
+        assert!(m.masked.contains("HashMap"));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let m = MaskedSource::new("/* outer /* inner */ still comment */ let z = 1;\n");
+        assert!(!m.masked.contains("outer"));
+        assert!(m.masked.contains("let z = 1;"));
+    }
+
+    #[test]
+    fn newlines_inside_literals_keep_line_numbers() {
+        let src = "let s = \"a\nb\nc\";\nlet t = 9;\n";
+        let m = MaskedSource::new(src);
+        assert_eq!(m.lines.len(), 4);
+        assert!(m.lines[3].contains("let t = 9;"));
+    }
+
+    #[test]
+    fn cfg_test_span_detection() {
+        let src = "\
+fn lib_code() {}
+#[cfg(test)]
+mod tests {
+    fn helper() {}
+}
+fn more_lib() {}
+";
+        let m = MaskedSource::new(src);
+        assert!(!m.is_test(1));
+        assert!(m.is_test(2));
+        assert!(m.is_test(3));
+        assert!(m.is_test(4));
+        assert!(m.is_test(5));
+        assert!(!m.is_test(6));
+    }
+
+    #[test]
+    fn allow_pragma_parsing() {
+        let src = "let a = x.unwrap(); // simlint: allow(panic_hygiene)\n";
+        let m = MaskedSource::new(src);
+        assert!(m.has_allow(1, "panic_hygiene"));
+        assert!(!m.has_allow(1, "determinism"));
+        let multi = "bad(); // simlint: allow(determinism, float_cmp)\n";
+        let m2 = MaskedSource::new(multi);
+        assert!(m2.has_allow(1, "determinism"));
+        assert!(m2.has_allow(1, "float_cmp"));
+        assert!(!m2.has_allow(1, "panic_hygiene"));
+    }
+}

@@ -1,0 +1,159 @@
+//! Fixture-driven proof that each rule fires on a violation and is
+//! suppressed by its `// simlint: allow(<rule>)` pragma — plus the gate
+//! test that keeps the real workspace clean.
+
+use std::path::Path;
+
+use simlint::{classify, lint_source, lint_workspace, Rule};
+
+fn fixture(name: &str) -> String {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures").join(name);
+    std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("fixture {} unreadable: {e}", path.display()))
+}
+
+fn lines_for(violations: &[simlint::Violation], rule: Rule) -> Vec<usize> {
+    violations.iter().filter(|v| v.rule == rule).map(|v| v.line).collect()
+}
+
+#[test]
+fn determinism_rule_fires_and_respects_pragma() {
+    let src = fixture("determinism.rs");
+    // In scope: a library file of an engine-path crate.
+    let v = lint_source("crates/netsim/src/fixture.rs", &src);
+    let lines = lines_for(&v, Rule::Determinism);
+    // `use std::collections::HashMap`, `use std::time::Instant`, the two
+    // bad fn bodies and signatures fire; the pragma'd pair and the
+    // #[cfg(test)] block do not.
+    assert!(lines.contains(&2), "use HashMap must fire: {v:?}");
+    assert!(lines.contains(&3), "use Instant must fire: {v:?}");
+    assert!(lines.contains(&6), "Instant::now() must fire: {v:?}");
+    assert!(lines.contains(&10), "HashMap::new() must fire: {v:?}");
+    assert!(!lines.contains(&13), "pragma line must be suppressed: {v:?}");
+    assert!(!lines.contains(&14), "pragma line must be suppressed: {v:?}");
+    assert!(!lines.iter().any(|&l| l >= 17), "cfg(test) block is exempt: {v:?}");
+
+    // Out of scope: same content in a non-engine crate is clean.
+    let v = lint_source("crates/workloads/src/fixture.rs", &src);
+    assert!(lines_for(&v, Rule::Determinism).is_empty());
+}
+
+#[test]
+fn panic_hygiene_rule_fires_and_respects_pragma() {
+    let src = fixture("panic_hygiene.rs");
+    let v = lint_source("crates/stats/src/fixture.rs", &src);
+    let lines = lines_for(&v, Rule::PanicHygiene);
+    assert!(lines.contains(&3), "unwrap() must fire: {v:?}");
+    assert!(lines.contains(&7), "expect() must fire: {v:?}");
+    assert!(lines.contains(&11), "panic! must fire: {v:?}");
+    assert!(!lines.contains(&16), "pragma line must be suppressed: {v:?}");
+    assert!(!lines.contains(&20), "unwrap_or / unwrap_or_default are fine: {v:?}");
+    assert!(!lines.iter().any(|&l| l >= 23), "cfg(test) block is exempt: {v:?}");
+
+    // Binaries are exempt.
+    let v = lint_source("crates/pptlab/src/main.rs", &src);
+    assert!(lines_for(&v, Rule::PanicHygiene).is_empty());
+}
+
+#[test]
+fn float_cmp_rule_fires_and_respects_pragma() {
+    let src = fixture("float_cmp.rs");
+    let v = lint_source("crates/core/src/fixture.rs", &src);
+    let lines = lines_for(&v, Rule::FloatCmp);
+    assert!(lines.contains(&3), "x == 1.0 must fire: {v:?}");
+    assert!(lines.contains(&7), "0.17 != x must fire: {v:?}");
+    assert!(!lines.contains(&11), "pragma line must be suppressed: {v:?}");
+    assert!(!lines.contains(&15), "integer == is fine: {v:?}");
+    assert!(!lines.contains(&19), "<= and >= are fine: {v:?}");
+}
+
+#[test]
+fn forbid_unsafe_rule_checks_crate_roots_only() {
+    let bare = "pub fn f() {}\n";
+    let v = lint_source("crates/foo/src/lib.rs", bare);
+    assert!(
+        v.iter().any(|v| v.rule == Rule::ForbidUnsafe),
+        "crate root without the attribute must fire: {v:?}"
+    );
+
+    let good = "#![forbid(unsafe_code)]\npub fn f() {}\n";
+    let v = lint_source("crates/foo/src/lib.rs", good);
+    assert!(v.iter().all(|v| v.rule != Rule::ForbidUnsafe), "attribute satisfies: {v:?}");
+
+    // Non-root files don't need the attribute.
+    let v = lint_source("crates/foo/src/inner.rs", bare);
+    assert!(v.iter().all(|v| v.rule != Rule::ForbidUnsafe));
+}
+
+#[test]
+fn comments_and_strings_cannot_fire_rules() {
+    let src = "#![forbid(unsafe_code)]\n\
+               // HashMap::new() and Instant::now() and x.unwrap() in prose\n\
+               pub const DOC: &str = \"panic! == 1.0 HashMap\";\n";
+    let v = lint_source("crates/netsim/src/lib.rs", src);
+    assert!(v.is_empty(), "masked text must not fire: {v:?}");
+}
+
+#[test]
+fn classification_matches_layout() {
+    assert!(classify("crates/netsim/src/engine.rs").in_determinism_scope);
+    assert!(classify("crates/core/src/ecn.rs").in_determinism_scope);
+    assert!(!classify("crates/workloads/src/dist.rs").in_determinism_scope);
+    assert!(!classify("crates/netsim/tests/engine_props.rs").is_library);
+    assert!(!classify("crates/pptlab/src/main.rs").is_library);
+    assert!(classify("crates/pptlab/src/main.rs").is_crate_root);
+    assert!(classify("crates/netsim/src/lib.rs").is_crate_root);
+    assert!(!classify("crates/netsim/src/rng.rs").is_crate_root);
+}
+
+#[test]
+fn paper_constants_fire_on_drift() {
+    let tmp = std::env::temp_dir().join(format!("simlint-selftest-{}", std::process::id()));
+    let core_src = tmp.join("crates/core/src");
+    std::fs::create_dir_all(&core_src).expect("mkdir fixture tree");
+    std::fs::write(
+        core_src.join("ecn.rs"),
+        "pub const LAMBDA_HIGH: f64 = 0.20;\npub const LAMBDA_LOW: f64 = 0.1;\n",
+    )
+    .expect("write ecn fixture");
+    std::fs::write(core_src.join("lcp.rs"), "pub const LCP_PACKETS_PER_ACK: u32 = 3;\n")
+        .expect("write lcp fixture");
+    // Lambda defaults re-encoded as literals instead of the ecn constants.
+    std::fs::write(core_src.join("config.rs"), "pub fn lambda_high() -> f64 { 0.17 }\n")
+        .expect("write config fixture");
+
+    let mut out = Vec::new();
+    simlint::rules::check_paper_constants(&tmp, &mut out);
+    assert!(
+        out.iter().any(|v| v.rule == Rule::PaperConstants && v.message.contains("LAMBDA_HIGH")),
+        "drifted LAMBDA_HIGH must fire: {out:?}"
+    );
+    assert!(
+        out.iter()
+            .any(|v| v.rule == Rule::PaperConstants && v.message.contains("LCP_PACKETS_PER_ACK")),
+        "drifted LCP_PACKETS_PER_ACK must fire: {out:?}"
+    );
+    assert!(
+        out.iter()
+            .any(|v| v.rule == Rule::PaperConstants && v.message.contains("ecn::LAMBDA_HIGH")),
+        "config.rs not wired to ecn constants must fire: {out:?}"
+    );
+    std::fs::remove_dir_all(&tmp).ok();
+}
+
+/// THE gate: the real workspace must be violation-free. This is what
+/// wires simlint into plain `cargo test`.
+#[test]
+fn workspace_is_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("simlint lives at <root>/crates/simlint");
+    let violations = lint_workspace(root).expect("lint workspace");
+    assert!(
+        violations.is_empty(),
+        "simlint found {} violation(s):\n{}",
+        violations.len(),
+        violations.iter().map(|v| v.to_string()).collect::<Vec<_>>().join("\n")
+    );
+}

@@ -106,16 +106,12 @@ impl FctStats {
     /// `q`-quantile (0..=1) FCT in microseconds over records matching
     /// `pred`, using the nearest-rank method on the sorted sample.
     pub fn quantile_us_where<F: Fn(&FctRecord) -> bool>(&self, q: f64, pred: F) -> f64 {
-        let mut v: Vec<f64> = self
-            .records
-            .iter()
-            .filter(|r| pred(r))
-            .map(|r| r.fct.as_micros_f64())
-            .collect();
+        let mut v: Vec<f64> =
+            self.records.iter().filter(|r| pred(r)).map(|r| r.fct.as_micros_f64()).collect();
         if v.is_empty() {
             return f64::NAN;
         }
-        v.sort_by(|a, b| a.partial_cmp(b).expect("FCTs are finite"));
+        v.sort_by(f64::total_cmp);
         let rank = ((q * v.len() as f64).ceil() as usize).clamp(1, v.len());
         v[rank - 1]
     }
@@ -163,8 +159,7 @@ impl FctStats {
             .records
             .iter()
             .map(|r| {
-                let ideal =
-                    rate.serialization_time(r.size_bytes).as_nanos() + base_rtt.as_nanos();
+                let ideal = rate.serialization_time(r.size_bytes).as_nanos() + base_rtt.as_nanos();
                 r.fct.as_nanos() as f64 / ideal as f64
             })
             .sum();
@@ -176,18 +171,11 @@ impl FctStats {
     /// The empirical FCT CDF over records matching `pred`: sorted
     /// (fct_us, cumulative_fraction) points, ready for plotting.
     pub fn cdf_us_where<F: Fn(&FctRecord) -> bool>(&self, pred: F) -> Vec<(f64, f64)> {
-        let mut v: Vec<f64> = self
-            .records
-            .iter()
-            .filter(|r| pred(r))
-            .map(|r| r.fct.as_micros_f64())
-            .collect();
-        v.sort_by(|a, b| a.partial_cmp(b).expect("FCTs are finite"));
+        let mut v: Vec<f64> =
+            self.records.iter().filter(|r| pred(r)).map(|r| r.fct.as_micros_f64()).collect();
+        v.sort_by(f64::total_cmp);
         let n = v.len();
-        v.into_iter()
-            .enumerate()
-            .map(|(i, x)| (x, (i + 1) as f64 / n as f64))
-            .collect()
+        v.into_iter().enumerate().map(|(i, x)| (x, (i + 1) as f64 / n as f64)).collect()
     }
 }
 

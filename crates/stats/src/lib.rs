@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # dcn-stats — flow-completion-time and network statistics
 //!
 //! Small, allocation-light helpers that turn raw simulator output
@@ -10,4 +11,7 @@ pub mod fct;
 pub mod series;
 
 pub use fct::{FctRecord, FctStats, FctSummary, SMALL_FLOW_MAX_BYTES};
-pub use series::{jain_index, mean_utilization, occupancy_split, utilization_series, OccupancySplit, UtilizationPoint};
+pub use series::{
+    jain_index, mean_utilization, occupancy_split, utilization_series, OccupancySplit,
+    UtilizationPoint,
+};

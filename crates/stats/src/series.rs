@@ -68,11 +68,7 @@ pub fn occupancy_split(samples: &[Sample]) -> OccupancySplit {
         low += l as f64;
         total += s.value as f64;
     }
-    OccupancySplit {
-        high_avg_bytes: high / n,
-        low_avg_bytes: low / n,
-        total_avg_bytes: total / n,
-    }
+    OccupancySplit { high_avg_bytes: high / n, low_avg_bytes: low / n, total_avg_bytes: total / n }
 }
 
 #[cfg(test)]
@@ -131,7 +127,9 @@ pub fn jain_index(values: &[f64]) -> f64 {
     }
     let sum: f64 = values.iter().sum();
     let sq: f64 = values.iter().map(|x| x * x).sum();
-    if sq == 0.0 {
+    // Zero guard before the division below (sq is a sum of squares,
+    // so <= 0 means exactly zero).
+    if sq <= 0.0 {
         return f64::NAN;
     }
     sum * sum / (values.len() as f64 * sq)

@@ -71,10 +71,7 @@ impl IntervalSet {
 
     /// Is `offset` covered?
     pub fn contains(&self, offset: u64) -> bool {
-        self.ranges
-            .range(..=offset)
-            .next_back()
-            .is_some_and(|(&s, &e)| s <= offset && offset < e)
+        self.ranges.range(..=offset).next_back().is_some_and(|(&s, &e)| s <= offset && offset < e)
     }
 
     /// The lowest uncovered range within `[from, limit)`, if any.
@@ -170,7 +167,6 @@ impl Token {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
 
     #[test]
     fn insert_and_coalesce() {
@@ -264,14 +260,18 @@ mod tests {
         assert_eq!(Token::decode(z.encode()), z);
     }
 
-    proptest! {
-        /// Covered bytes always equals the brute-force union size, and
-        /// gaps returned never overlap covered ranges.
-        #[test]
-        fn interval_set_matches_brute_force(ops in proptest::collection::vec((0u64..200, 1u64..50), 0..40)) {
+    /// Covered bytes always equals the brute-force union size, and gaps
+    /// returned never overlap covered ranges. Deterministic seeded sweep
+    /// mirroring the proptest strategy below.
+    #[test]
+    fn interval_set_matches_brute_force_seeded() {
+        for seed in 0..32u64 {
+            let mut rng = netsim::Pcg32::seed_from_u64(seed);
             let mut s = IntervalSet::new();
             let mut brute = vec![false; 300];
-            for (start, len) in ops {
+            for _ in 0..rng.gen_index(40) {
+                let start = rng.gen_range(200);
+                let len = 1 + rng.gen_range(49);
                 let end = start + len;
                 s.insert(start, end);
                 for slot in brute.iter_mut().take(end as usize).skip(start as usize) {
@@ -279,31 +279,86 @@ mod tests {
                 }
             }
             let expect = brute.iter().filter(|&&b| b).count() as u64;
-            prop_assert_eq!(s.covered_bytes(), expect);
+            assert_eq!(s.covered_bytes(), expect, "seed {seed}");
             let prefix = brute.iter().take_while(|&&b| b).count() as u64;
-            prop_assert_eq!(s.contiguous_prefix(), prefix);
+            assert_eq!(s.contiguous_prefix(), prefix, "seed {seed}");
             // first_gap over the whole domain agrees with brute force.
             let gap = s.first_gap(0, 300);
             let brute_gap_start = brute.iter().position(|&b| !b).map(|i| i as u64);
-            prop_assert_eq!(gap.map(|g| g.0), brute_gap_start);
+            assert_eq!(gap.map(|g| g.0), brute_gap_start, "seed {seed}");
             // last_gap end agrees with brute force.
             let lgap = s.last_gap(300);
             let brute_lgap_end = brute.iter().rposition(|&b| !b).map(|i| i as u64 + 1);
-            prop_assert_eq!(lgap.map(|g| g.1), brute_lgap_end);
+            assert_eq!(lgap.map(|g| g.1), brute_lgap_end, "seed {seed}");
         }
+    }
 
-        /// contains() agrees with brute force at every point.
-        #[test]
-        fn contains_matches_brute_force(ops in proptest::collection::vec((0u64..100, 1u64..20), 0..20), probe in 0u64..120) {
+    /// contains() agrees with brute force at every point.
+    #[test]
+    fn contains_matches_brute_force_seeded() {
+        for seed in 0..32u64 {
+            let mut rng = netsim::Pcg32::seed_from_u64(seed);
             let mut s = IntervalSet::new();
-            let mut brute = vec![false; 130];
-            for (start, len) in ops {
+            let mut brute = [false; 130];
+            for _ in 0..rng.gen_index(20) {
+                let start = rng.gen_range(100);
+                let len = 1 + rng.gen_range(19);
                 s.insert(start, start + len);
                 for slot in brute.iter_mut().take((start + len) as usize).skip(start as usize) {
                     *slot = true;
                 }
             }
-            prop_assert_eq!(s.contains(probe), brute[probe as usize]);
+            let probe = rng.gen_range(120);
+            assert_eq!(s.contains(probe), brute[probe as usize], "seed {seed} probe {probe}");
+        }
+    }
+
+    /// The original property-based pair. Requires the `proptest` feature
+    /// *and* the `proptest` dev-dependency restored in Cargo.toml.
+    #[cfg(feature = "proptest")]
+    mod property_based {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            /// Covered bytes always equals the brute-force union size,
+            /// and gaps returned never overlap covered ranges.
+            #[test]
+            fn interval_set_matches_brute_force(ops in proptest::collection::vec((0u64..200, 1u64..50), 0..40)) {
+                let mut s = IntervalSet::new();
+                let mut brute = vec![false; 300];
+                for (start, len) in ops {
+                    let end = start + len;
+                    s.insert(start, end);
+                    for slot in brute.iter_mut().take(end as usize).skip(start as usize) {
+                        *slot = true;
+                    }
+                }
+                let expect = brute.iter().filter(|&&b| b).count() as u64;
+                prop_assert_eq!(s.covered_bytes(), expect);
+                let prefix = brute.iter().take_while(|&&b| b).count() as u64;
+                prop_assert_eq!(s.contiguous_prefix(), prefix);
+                let gap = s.first_gap(0, 300);
+                let brute_gap_start = brute.iter().position(|&b| !b).map(|i| i as u64);
+                prop_assert_eq!(gap.map(|g| g.0), brute_gap_start);
+                let lgap = s.last_gap(300);
+                let brute_lgap_end = brute.iter().rposition(|&b| !b).map(|i| i as u64 + 1);
+                prop_assert_eq!(lgap.map(|g| g.1), brute_lgap_end);
+            }
+
+            /// contains() agrees with brute force at every point.
+            #[test]
+            fn contains_matches_brute_force(ops in proptest::collection::vec((0u64..100, 1u64..20), 0..20), probe in 0u64..120) {
+                let mut s = IntervalSet::new();
+                let mut brute = vec![false; 130];
+                for (start, len) in ops {
+                    s.insert(start, start + len);
+                    for slot in brute.iter_mut().take((start + len) as usize).skip(start as usize) {
+                        *slot = true;
+                    }
+                }
+                prop_assert_eq!(s.contains(probe), brute[probe as usize]);
+            }
         }
     }
 }

@@ -2,7 +2,7 @@
 //! and PPT's HCP loop).
 
 use std::cell::RefCell;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::rc::Rc;
 
 use netsim::{Ctx, FlowDesc, FlowId, Packet, Transport};
@@ -17,7 +17,7 @@ pub const TIMER_RTO: u8 = 1;
 
 /// Shared map for recording each flow's maximum window — consumed by the
 /// "hypothetical DCTCP" oracle experiments (Fig 2/3/20).
-pub type MwRecorder = Rc<RefCell<HashMap<FlowId, u64>>>;
+pub type MwRecorder = Rc<RefCell<BTreeMap<FlowId, u64>>>;
 
 /// Plain DCTCP: all data at the highest priority, ECN-driven window.
 ///
@@ -27,8 +27,8 @@ pub type MwRecorder = Rc<RefCell<HashMap<FlowId, u64>>>;
 /// to 141 KB).
 pub struct DctcpTransport {
     cfg: TcpCfg,
-    tx: HashMap<FlowId, DctcpFlowTx>,
-    rx: HashMap<FlowId, TcpRx>,
+    tx: BTreeMap<FlowId, DctcpFlowTx>,
+    rx: BTreeMap<FlowId, TcpRx>,
     mw_recorder: Option<MwRecorder>,
     /// ECN participation (off for the TCP-10 / Halfback variants: they
     /// react to loss only).
@@ -43,8 +43,8 @@ impl DctcpTransport {
     pub fn new(cfg: TcpCfg) -> Self {
         DctcpTransport {
             cfg,
-            tx: HashMap::new(),
-            rx: HashMap::new(),
+            tx: BTreeMap::new(),
+            rx: BTreeMap::new(),
             mw_recorder: None,
             ecn_enabled: true,
             first_rtt_blast_cap: None,
@@ -93,7 +93,10 @@ impl DctcpTransport {
         }
         if !flow.is_done() {
             let deadline = flow.rto_deadline();
-            ctx.timer_at(deadline, Token { kind: TIMER_RTO, generation: 0, flow: flow.id.0 }.encode());
+            ctx.timer_at(
+                deadline,
+                Token { kind: TIMER_RTO, generation: 0, flow: flow.id.0 }.encode(),
+            );
         }
     }
 
@@ -156,7 +159,10 @@ impl Transport<Proto> for DctcpTransport {
         let now = ctx.now();
         if now < flow.rto_deadline() {
             // Deadline moved; sleep until the new one.
-            ctx.timer_at(flow.rto_deadline(), Token { kind: TIMER_RTO, generation: 0, flow: token.flow }.encode());
+            ctx.timer_at(
+                flow.rto_deadline(),
+                Token { kind: TIMER_RTO, generation: 0, flow: token.flow }.encode(),
+            );
             return;
         }
         flow.on_rto(now);
@@ -211,7 +217,8 @@ mod tests {
                 1,
             );
         }
-        let report = topo.sim.run(RunLimits { max_time: SimTime(5_000_000_000), max_events: 200_000_000 });
+        let report =
+            topo.sim.run(RunLimits { max_time: SimTime(5_000_000_000), max_events: 200_000_000 });
         assert_eq!(report.flows_completed, 20);
     }
 
@@ -225,7 +232,8 @@ mod tests {
         let size = 10 << 20;
         topo.sim.add_flow(topo.hosts[0], topo.hosts[2], size, SimTime::ZERO, size);
         topo.sim.add_flow(topo.hosts[1], topo.hosts[2], size, SimTime::ZERO, size);
-        let report = topo.sim.run(RunLimits { max_time: SimTime(10_000_000_000), max_events: 500_000_000 });
+        let report =
+            topo.sim.run(RunLimits { max_time: SimTime(10_000_000_000), max_events: 500_000_000 });
         assert_eq!(report.flows_completed, 2);
         let c = topo.sim.total_counters();
         assert_eq!(c.dropped, 0, "ECN should prevent drops: {c:?}");
@@ -246,7 +254,8 @@ mod tests {
         let size = 2 << 20;
         topo.sim.add_flow(topo.hosts[0], topo.hosts[2], size, SimTime::ZERO, size);
         topo.sim.add_flow(topo.hosts[1], topo.hosts[2], size, SimTime::ZERO, size);
-        let report = topo.sim.run(RunLimits { max_time: SimTime(30_000_000_000), max_events: 500_000_000 });
+        let report =
+            topo.sim.run(RunLimits { max_time: SimTime(30_000_000_000), max_events: 500_000_000 });
         let c = topo.sim.total_counters();
         assert!(c.dropped > 0, "expected drops with a 15KB buffer");
         assert_eq!(report.flows_completed, 2, "flows must survive losses");
@@ -256,7 +265,7 @@ mod tests {
     fn mw_recorder_captures_windows() {
         let mut topo = testbed(3, 30_000);
         let cfg = TcpCfg::new(topo.base_rtt);
-        let rec: MwRecorder = Rc::new(RefCell::new(HashMap::new()));
+        let rec: MwRecorder = Rc::new(RefCell::new(BTreeMap::new()));
         for &h in &topo.hosts.clone() {
             topo.sim.set_transport(
                 h,

@@ -16,7 +16,7 @@
 //! (every topology here bottlenecks at the receiver downlink or a host
 //! uplink) the two are equivalent in the steady state.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
 use netsim::{Ctx, FlowDesc, FlowId, HostId, Packet, Rate, SimDuration, SimTime, Transport};
 
@@ -70,8 +70,8 @@ struct EpRx {
 pub struct ExpressPassTransport {
     cfg: ExpressPassCfg,
     mss: u32,
-    tx: HashMap<FlowId, EpTx>,
-    rx: HashMap<FlowId, EpRx>,
+    tx: BTreeMap<FlowId, EpTx>,
+    rx: BTreeMap<FlowId, EpRx>,
     credit_queue: VecDeque<FlowId>,
     pacer_armed: bool,
 }
@@ -82,8 +82,8 @@ impl ExpressPassTransport {
         ExpressPassTransport {
             cfg,
             mss,
-            tx: HashMap::new(),
-            rx: HashMap::new(),
+            tx: BTreeMap::new(),
+            rx: BTreeMap::new(),
             credit_queue: VecDeque::new(),
             pacer_armed: false,
         }
@@ -201,7 +201,8 @@ impl Transport<Proto> for ExpressPassTransport {
                 let end = (offset + len as u64).min(tx.size);
                 while off < end {
                     let take = ((end - off).min(mss)) as u32;
-                    let hdr = NdpHdr::Data { offset: off, len: take, msg_size: tx.size, retx: true };
+                    let hdr =
+                        NdpHdr::Data { offset: off, len: take, msg_size: tx.size, retx: true };
                     let p = Packet::data(tx.id, tx.src, tx.dst, take, Proto::Ndp(hdr))
                         .with_priority(1)
                         .without_ecn();
@@ -262,7 +263,7 @@ impl Transport<Proto> for ExpressPassTransport {
                     // the range).
                     let host = ctx.host();
                     let (peer, gaps) = {
-                        let m = self.rx.get(&flow).expect("checked above");
+                        let m = self.rx.get(&flow).expect("checked above"); // simlint: allow(panic_hygiene)
                         let mut gaps = Vec::new();
                         let mut cursor = 0;
                         let upto = m.received.covered_bytes().max(m.credited).min(m.size);
@@ -273,7 +274,12 @@ impl Transport<Proto> for ExpressPassTransport {
                         (m.peer, gaps)
                     };
                     for (off, len) in gaps {
-                        ctx.send(Packet::ctrl(flow, host, peer, Proto::Ndp(NdpHdr::Nack { offset: off, len })));
+                        ctx.send(Packet::ctrl(
+                            flow,
+                            host,
+                            peer,
+                            Proto::Ndp(NdpHdr::Nack { offset: off, len }),
+                        ));
                     }
                     self.credit_queue.push_back(flow);
                     self.arm_pacer(ctx);
@@ -324,7 +330,9 @@ mod tests {
         for i in 0..8 {
             topo.sim.add_flow(topo.hosts[i], topo.hosts[8], 200_000, SimTime(i as u64 * 100), 1);
         }
-        let report = topo.sim.run(RunLimits { max_time: SimTime(60_000_000_000), max_events: 2_000_000_000 });
+        let report = topo
+            .sim
+            .run(RunLimits { max_time: SimTime(60_000_000_000), max_events: 2_000_000_000 });
         assert_eq!(report.flows_completed, 8);
         assert_eq!(topo.sim.total_counters().dropped, 0, "credit clocking must prevent drops");
     }
@@ -374,7 +382,8 @@ mod stress_tests {
             max_events: 2_000_000_000,
         });
         assert_eq!(
-            report.flows_completed, 40,
+            report.flows_completed,
+            40,
             "ExpressPass stalled {} flows",
             40 - report.flows_completed
         );

@@ -20,7 +20,7 @@
 //!   by the selective dropper, and lets the receiver request lost
 //!   unscheduled bytes immediately as scheduled retransmissions.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use netsim::{Ctx, FlowDesc, FlowId, HostId, Packet, SimDuration, SimTime, Transport};
 
@@ -124,14 +124,14 @@ struct HomaRx {
 pub struct HomaTransport {
     cfg: HomaCfg,
     mss: u32,
-    tx: HashMap<FlowId, HomaTx>,
-    rx: HashMap<FlowId, HomaRx>,
+    tx: BTreeMap<FlowId, HomaTx>,
+    rx: BTreeMap<FlowId, HomaRx>,
 }
 
 impl HomaTransport {
     /// New endpoint.
     pub fn new(cfg: HomaCfg, mss: u32) -> Self {
-        HomaTransport { cfg, mss, tx: HashMap::new(), rx: HashMap::new() }
+        HomaTransport { cfg, mss, tx: BTreeMap::new(), rx: BTreeMap::new() }
     }
 
     fn send_range(
@@ -183,7 +183,7 @@ impl HomaTransport {
         let host = ctx.host();
         for (rank, &(_, flow)) in active.iter().take(self.cfg.overcommit).enumerate() {
             let prio = self.cfg.sched_priority(rank);
-            let m = self.rx.get_mut(&flow).expect("rx exists");
+            let m = self.rx.get_mut(&flow).expect("rx exists"); // simlint: allow(panic_hygiene)
             let target = m.size.min(m.received.covered_bytes() + self.cfg.rtt_bytes);
             if target > m.granted {
                 m.granted = target;
@@ -246,7 +246,7 @@ impl Transport<Proto> for HomaTransport {
                     peer,
                     size: msg_size,
                     received: IntervalSet::new(),
-                    granted: msg_size.min(0),
+                    granted: 0,
                     completed: false,
                     last_data: now,
                     probe_expected: None,
@@ -355,7 +355,7 @@ pub fn install_homa(topo: &mut netsim::Topology<Proto>, cfg: &HomaCfg) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use netsim::{star, Rate, RunLimits, SimDuration, SwitchConfig};
+    use netsim::{star, Rate, RunLimits, SimDuration};
 
     fn setup(n: usize, aeolus: bool) -> (netsim::Topology<Proto>, HomaCfg) {
         let rate = Rate::gbps(10);
@@ -395,7 +395,9 @@ mod tests {
         install_homa(&mut topo, &cfg);
         let size = 2 << 20;
         let f = topo.sim.add_flow(topo.hosts[0], topo.hosts[1], size, SimTime::ZERO, size);
-        let report = topo.sim.run(RunLimits { max_time: SimTime(60_000_000_000), max_events: 2_000_000_000 });
+        let report = topo
+            .sim
+            .run(RunLimits { max_time: SimTime(60_000_000_000), max_events: 2_000_000_000 });
         assert_eq!(report.flows_completed, 1);
         let fct = topo.sim.completion(f).unwrap();
         let ideal = Rate::gbps(10).serialization_time(size).as_nanos();
@@ -410,7 +412,9 @@ mod tests {
         // must finish far sooner than the long one.
         let long = topo.sim.add_flow(topo.hosts[0], topo.hosts[2], 8 << 20, SimTime::ZERO, 1);
         let short = topo.sim.add_flow(topo.hosts[1], topo.hosts[2], 300_000, SimTime(1_000_000), 1);
-        let report = topo.sim.run(RunLimits { max_time: SimTime(60_000_000_000), max_events: 2_000_000_000 });
+        let report = topo
+            .sim
+            .run(RunLimits { max_time: SimTime(60_000_000_000), max_events: 2_000_000_000 });
         assert_eq!(report.flows_completed, 2);
         assert!(topo.sim.completion(short).unwrap() < topo.sim.completion(long).unwrap());
     }
@@ -425,7 +429,9 @@ mod tests {
         for i in 0..8 {
             topo.sim.add_flow(topo.hosts[i], topo.hosts[8], 100_000, SimTime(i as u64 * 100), 1);
         }
-        let report = topo.sim.run(RunLimits { max_time: SimTime(60_000_000_000), max_events: 2_000_000_000 });
+        let report = topo
+            .sim
+            .run(RunLimits { max_time: SimTime(60_000_000_000), max_events: 2_000_000_000 });
         assert_eq!(report.flows_completed, 8, "all incast messages must finish");
         assert!(topo.sim.total_counters().dropped > 0, "bursts should overflow the buffer");
     }
@@ -437,7 +443,9 @@ mod tests {
         for i in 0..8 {
             topo.sim.add_flow(topo.hosts[i], topo.hosts[8], 100_000, SimTime(i as u64 * 100), 1);
         }
-        let report = topo.sim.run(RunLimits { max_time: SimTime(60_000_000_000), max_events: 2_000_000_000 });
+        let report = topo
+            .sim
+            .run(RunLimits { max_time: SimTime(60_000_000_000), max_events: 2_000_000_000 });
         assert_eq!(report.flows_completed, 8);
         let c = topo.sim.total_counters();
         assert!(c.dropped > 0, "selective dropper must engage under incast");

@@ -7,7 +7,7 @@
 //! The paper compares against HPCC in appendix D (Fig 25): it utilizes
 //! spare bandwidth gracefully but has no in-network flow scheduling.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use netsim::{Ctx, Ecn, FlowDesc, FlowId, Packet, Transport};
 
@@ -22,15 +22,15 @@ pub struct HpccTransport {
     tcp: TcpCfg,
     /// Line-rate start: the initial window is one BDP.
     bdp_bytes: u64,
-    tx: HashMap<FlowId, DctcpFlowTx>,
-    rx: HashMap<FlowId, TcpRx>,
+    tx: BTreeMap<FlowId, DctcpFlowTx>,
+    rx: BTreeMap<FlowId, TcpRx>,
 }
 
 impl HpccTransport {
     /// New endpoint (η = 0.95, maxStage = 5, W_AI = 1 MSS); `bdp_bytes`
     /// sizes the line-rate initial window.
     pub fn new(tcp: TcpCfg, bdp_bytes: u64) -> Self {
-        HpccTransport { tcp, bdp_bytes, tx: HashMap::new(), rx: HashMap::new() }
+        HpccTransport { tcp, bdp_bytes, tx: BTreeMap::new(), rx: BTreeMap::new() }
     }
 
     fn pump(&mut self, id: FlowId, ctx: &mut Ctx<'_, Proto>) {
@@ -150,7 +150,9 @@ mod tests {
         install_hpcc(&mut topo, &tcp);
         topo.sim.add_flow(topo.hosts[0], topo.hosts[2], 2 << 20, SimTime::ZERO, 1);
         topo.sim.add_flow(topo.hosts[1], topo.hosts[2], 500_000, SimTime(100_000), 1);
-        let report = topo.sim.run(RunLimits { max_time: SimTime(60_000_000_000), max_events: 2_000_000_000 });
+        let report = topo
+            .sim
+            .run(RunLimits { max_time: SimTime(60_000_000_000), max_events: 2_000_000_000 });
         assert_eq!(report.flows_completed, 2);
     }
 
@@ -173,13 +175,16 @@ mod tests {
             SimDuration::from_micros(50),
             SimTime(12_000_000),
         );
-        let report = topo.sim.run(RunLimits { max_time: SimTime(60_000_000_000), max_events: 2_000_000_000 });
+        let report = topo
+            .sim
+            .run(RunLimits { max_time: SimTime(60_000_000_000), max_events: 2_000_000_000 });
         assert_eq!(report.flows_completed, 2);
         assert_eq!(topo.sim.total_counters().dropped, 0, "HPCC should not overflow a 200KB buffer");
         // Average backlog over the steady interval should be well under
         // the buffer (HPCC's near-zero-queue property, loosely checked).
         let samples = topo.sim.samples(sampler);
-        let avg: f64 = samples.iter().map(|s| s.value as f64).sum::<f64>() / samples.len().max(1) as f64;
+        let avg: f64 =
+            samples.iter().map(|s| s.value as f64).sum::<f64>() / samples.len().max(1) as f64;
         assert!(avg < 100_000.0, "avg queue {avg} too deep for HPCC");
     }
 }

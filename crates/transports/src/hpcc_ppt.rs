@@ -10,7 +10,7 @@
 //! below the link's capacity-delay product); everything else — EWD, loop
 //! expiry, ECN protection, mirror tagging — is PPT's.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use netsim::{Ctx, Ecn, FlowDesc, FlowId, Packet, SimDuration, Transport};
 use ppt_core::{FlowIdentifier, LcpAction, LcpLoop, LoopTrigger, MirrorTagger, PptConfig};
@@ -44,8 +44,8 @@ pub struct HpccPptTransport {
     u_open_threshold: f64,
     identifier: FlowIdentifier,
     tagger: MirrorTagger,
-    tx: HashMap<FlowId, HpccPptFlow>,
-    rx: HashMap<FlowId, TcpRx>,
+    tx: BTreeMap<FlowId, HpccPptFlow>,
+    rx: BTreeMap<FlowId, TcpRx>,
 }
 
 impl HpccPptTransport {
@@ -58,8 +58,8 @@ impl HpccPptTransport {
             cfg,
             bdp_bytes,
             u_open_threshold: DEFAULT_U_OPEN_THRESHOLD,
-            tx: HashMap::new(),
-            rx: HashMap::new(),
+            tx: BTreeMap::new(),
+            rx: BTreeMap::new(),
         }
     }
 
@@ -78,8 +78,7 @@ impl HpccPptTransport {
                 sent_at: now,
                 int: Some(Vec::new()),
             };
-            let mut pkt =
-                Packet::data(id, src, dst, seg.len, Proto::Data(hdr)).with_priority(prio);
+            let mut pkt = Packet::data(id, src, dst, seg.len, Proto::Data(hdr)).with_priority(prio);
             pkt.ecn = Ecn::not_capable(); // HPCC's HCP uses INT, not ECN
             ctx.send(pkt);
         }
@@ -143,9 +142,15 @@ impl HpccPptTransport {
                 f.pace_remaining = f.pace_remaining.saturating_sub(mss);
             }
             let interval = self.tx[&id].pace_interval;
-            ctx.timer_after(interval, Token { kind: TIMER_LCP_PACE, generation: gen, flow: id.0 }.encode());
+            ctx.timer_after(
+                interval,
+                Token { kind: TIMER_LCP_PACE, generation: gen, flow: id.0 }.encode(),
+            );
         }
-        ctx.timer_after(rtt, Token { kind: TIMER_LCP_EXPIRY, generation: gen, flow: id.0 }.encode());
+        ctx.timer_after(
+            rtt,
+            Token { kind: TIMER_LCP_EXPIRY, generation: gen, flow: id.0 }.encode(),
+        );
     }
 
     fn close_lcp(f: &mut HpccPptFlow) {
@@ -227,7 +232,9 @@ impl Transport<Proto> for HpccPptTransport {
                     // path has headroom.
                     let open = if !done && f.lcp.is_none() {
                         match f.hcp.cc_mode() {
-                            CcMode::Hpcc(h) if h.last_u > 0.0 && h.last_u < self.u_open_threshold => {
+                            CcMode::Hpcc(h)
+                                if h.last_u > 0.0 && h.last_u < self.u_open_threshold =>
+                            {
                                 Some(self.bdp_bytes.saturating_sub(f.hcp.inflight_bytes()))
                             }
                             _ => None,
@@ -275,13 +282,18 @@ impl Transport<Proto> for HpccPptTransport {
                     f.lcp.is_some() && f.lcp_gen == token.generation && f.pace_remaining > 0
                 };
                 if proceed && self.send_lcp_segment(id, ctx) {
-                    let f = self.tx.get_mut(&id).expect("flow exists");
+                    let f = self.tx.get_mut(&id).expect("flow exists"); // simlint: allow(panic_hygiene)
                     f.pace_remaining = f.pace_remaining.saturating_sub(mss);
                     if f.pace_remaining > 0 {
                         let interval = f.pace_interval;
                         ctx.timer_after(
                             interval,
-                            Token { kind: TIMER_LCP_PACE, generation: token.generation, flow: id.0 }.encode(),
+                            Token {
+                                kind: TIMER_LCP_PACE,
+                                generation: token.generation,
+                                flow: id.0,
+                            }
+                            .encode(),
                         );
                     }
                 }
@@ -298,7 +310,8 @@ impl Transport<Proto> for HpccPptTransport {
                 } else {
                     ctx.timer_after(
                         rtt,
-                        Token { kind: TIMER_LCP_EXPIRY, generation: token.generation, flow: id.0 }.encode(),
+                        Token { kind: TIMER_LCP_EXPIRY, generation: token.generation, flow: id.0 }
+                            .encode(),
                     );
                 }
             }
@@ -311,8 +324,7 @@ impl Transport<Proto> for HpccPptTransport {
 pub fn install_hpcc_ppt(topo: &mut netsim::Topology<Proto>, tcp: &TcpCfg, cfg: &PptConfig) {
     let bdp = netsim::bdp_bytes(topo.edge_rate, topo.base_rtt);
     for &h in &topo.hosts.clone() {
-        topo.sim
-            .set_transport(h, Box::new(HpccPptTransport::new(tcp.clone(), cfg.clone(), bdp)));
+        topo.sim.set_transport(h, Box::new(HpccPptTransport::new(tcp.clone(), cfg.clone(), bdp)));
     }
 }
 
@@ -334,13 +346,20 @@ mod tests {
     #[test]
     fn flows_complete_and_lcp_band_is_used() {
         let rate = Rate::gbps(10);
-        let mut topo = star::<Proto>(3, rate, netsim::SimDuration::from_micros(20), hpcc_ppt_switch(200_000, 40_000));
+        let mut topo = star::<Proto>(
+            3,
+            rate,
+            netsim::SimDuration::from_micros(20),
+            hpcc_ppt_switch(200_000, 40_000),
+        );
         let cfg = PptConfig::new(rate, topo.base_rtt);
         let tcp = TcpCfg::new(topo.base_rtt);
         install_hpcc_ppt(&mut topo, &tcp, &cfg);
         topo.sim.add_flow(topo.hosts[0], topo.hosts[2], 2 << 20, SimTime::ZERO, 2 << 20);
         topo.sim.add_flow(topo.hosts[1], topo.hosts[2], 100_000, SimTime(300_000), 100_000);
-        let report = topo.sim.run(RunLimits { max_time: SimTime(60_000_000_000), max_events: 2_000_000_000 });
+        let report = topo
+            .sim
+            .run(RunLimits { max_time: SimTime(60_000_000_000), max_events: 2_000_000_000 });
         assert_eq!(report.flows_completed, 2);
     }
 
@@ -350,7 +369,12 @@ mod tests {
         let rate = Rate::gbps(10);
         let size = 4u64 << 20;
 
-        let mut a = star::<Proto>(2, rate, netsim::SimDuration::from_micros(20), hpcc_ppt_switch(200_000, 40_000));
+        let mut a = star::<Proto>(
+            2,
+            rate,
+            netsim::SimDuration::from_micros(20),
+            hpcc_ppt_switch(200_000, 40_000),
+        );
         let cfg = PptConfig::new(rate, a.base_rtt);
         let tcp = TcpCfg::new(a.base_rtt);
         install_hpcc_ppt(&mut a, &tcp, &cfg);
@@ -358,7 +382,12 @@ mod tests {
         a.sim.run(RunLimits { max_time: SimTime(60_000_000_000), max_events: 2_000_000_000 });
         let ppt_fct = a.sim.completion(f).expect("hpcc-ppt done");
 
-        let mut b = star::<Proto>(2, rate, netsim::SimDuration::from_micros(20), SwitchConfig::basic(200_000));
+        let mut b = star::<Proto>(
+            2,
+            rate,
+            netsim::SimDuration::from_micros(20),
+            SwitchConfig::basic(200_000),
+        );
         crate::hpcc::install_hpcc(&mut b, &tcp);
         let g = b.sim.add_flow(b.hosts[0], b.hosts[1], size, SimTime::ZERO, size);
         b.sim.run(RunLimits { max_time: SimTime(60_000_000_000), max_events: 2_000_000_000 });

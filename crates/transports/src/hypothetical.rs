@@ -8,7 +8,7 @@
 //! fill_fraction = 1; Fig 3 sweeps 0.5–1.5 and shows both under- and
 //! over-filling lose.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use netsim::{Ctx, Ecn, FlowDesc, FlowId, Packet, Transport};
 
@@ -34,10 +34,10 @@ pub struct HypotheticalTransport {
     tcp: TcpCfg,
     /// MW oracle recorded from a prior plain-DCTCP run of the *same*
     /// workload (same seeds ⇒ same flow ids).
-    oracle: HashMap<FlowId, u64>,
+    oracle: BTreeMap<FlowId, u64>,
     fill_fraction: f64,
-    tx: HashMap<FlowId, HypoFlow>,
-    rx: HashMap<FlowId, TcpRx>,
+    tx: BTreeMap<FlowId, HypoFlow>,
+    rx: BTreeMap<FlowId, TcpRx>,
 }
 
 impl HypotheticalTransport {
@@ -47,8 +47,8 @@ impl HypotheticalTransport {
             tcp,
             oracle: oracle.borrow().clone(),
             fill_fraction,
-            tx: HashMap::new(),
-            rx: HashMap::new(),
+            tx: BTreeMap::new(),
+            rx: BTreeMap::new(),
         }
     }
 
@@ -223,8 +223,8 @@ pub fn install_hypothetical(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::dctcp::DctcpTransport;
     use netsim::SimTime;
-    use crate::dctcp::{install_dctcp, DctcpTransport};
     use netsim::{star, Rate, RunLimits, SimDuration, SwitchConfig};
     use std::cell::RefCell;
     use std::rc::Rc;
@@ -241,9 +241,12 @@ mod tests {
         // Pass 1: record.
         let mut a = mk();
         let tcp = TcpCfg::new(a.base_rtt);
-        let rec: MwRecorder = Rc::new(RefCell::new(HashMap::new()));
+        let rec: MwRecorder = Rc::new(RefCell::new(BTreeMap::new()));
         for &h in &a.hosts.clone() {
-            a.sim.set_transport(h, Box::new(DctcpTransport::new(tcp.clone()).with_mw_recorder(rec.clone())));
+            a.sim.set_transport(
+                h,
+                Box::new(DctcpTransport::new(tcp.clone()).with_mw_recorder(rec.clone())),
+            );
         }
         let f1 = a.sim.add_flow(a.hosts[0], a.hosts[2], size, SimTime::ZERO, size);
         let f2 = a.sim.add_flow(a.hosts[1], a.hosts[2], size, SimTime(40_000_000), size);
@@ -256,13 +259,11 @@ mod tests {
         install_hypothetical(&mut b, &tcp, &rec, 1.0);
         let g1 = b.sim.add_flow(b.hosts[0], b.hosts[2], size, SimTime::ZERO, size);
         b.sim.add_flow(b.hosts[1], b.hosts[2], size, SimTime(40_000_000), size);
-        let report = b.sim.run(RunLimits { max_time: SimTime(60_000_000_000), max_events: 2_000_000_000 });
+        let report =
+            b.sim.run(RunLimits { max_time: SimTime(60_000_000_000), max_events: 2_000_000_000 });
         assert_eq!(report.flows_completed, 2);
         let hypo1 = b.sim.completion(g1).unwrap();
-        assert!(
-            hypo1 < base1,
-            "oracle filler ({hypo1}) must beat plain DCTCP ({base1})"
-        );
+        assert!(hypo1 < base1, "oracle filler ({hypo1}) must beat plain DCTCP ({base1})");
     }
 
     #[test]
@@ -271,10 +272,12 @@ mod tests {
         let delay = SimDuration::from_micros(20);
         let mut topo = star::<Proto>(2, rate, delay, SwitchConfig::dctcp(200_000, 17_000));
         let tcp = TcpCfg::new(topo.base_rtt);
-        let rec: MwRecorder = Rc::new(RefCell::new(HashMap::new())); // empty oracle
+        let rec: MwRecorder = Rc::new(RefCell::new(BTreeMap::new())); // empty oracle
         install_hypothetical(&mut topo, &tcp, &rec, 1.0);
         let f = topo.sim.add_flow(topo.hosts[0], topo.hosts[1], 1 << 20, SimTime::ZERO, 1);
-        let report = topo.sim.run(RunLimits { max_time: SimTime(60_000_000_000), max_events: 2_000_000_000 });
+        let report = topo
+            .sim
+            .run(RunLimits { max_time: SimTime(60_000_000_000), max_events: 2_000_000_000 });
         assert_eq!(report.flows_completed, 1);
         assert!(topo.sim.completion(f).is_some());
     }

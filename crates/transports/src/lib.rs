@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # transports — protocol implementations on the netsim substrate
 //!
 //! Every transport the PPT paper evaluates, implemented from scratch:
@@ -44,8 +45,8 @@ pub use hypothetical::{install_hypothetical, HypotheticalTransport};
 pub use ndp::{install_ndp, NdpCfg, NdpTransport};
 pub use pias::{install_pias, PiasCfg, PiasTransport};
 pub use ppt::{install_ppt, PptTransport};
-pub use rc3::{install_rc3, Rc3Cfg, Rc3Transport};
 pub use proto::{AckHdr, DataHdr, HomaHdr, IntHop, NdpHdr, Proto};
+pub use rc3::{install_rc3, Rc3Cfg, Rc3Transport};
 pub use rx::TcpRx;
 pub use swift::{install_swift, install_swift_ppt, SwiftPptTransport, SwiftTransport};
 pub use tcp_base::{AckOutcome, CcMode, CcState, DctcpFlowTx, HpccCc, SegOut, SwiftCc, TcpCfg};

@@ -14,7 +14,7 @@
 //! (trimmed payloads waste the capacity they occupied) but graceful
 //! steady-state behaviour under incast.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
 use netsim::{Ctx, FlowDesc, FlowId, HostId, Packet, Rate, SimDuration, SimTime, Transport};
 
@@ -60,8 +60,8 @@ struct NdpRx {
 pub struct NdpTransport {
     cfg: NdpCfg,
     mss: u32,
-    tx: HashMap<FlowId, NdpTx>,
-    rx: HashMap<FlowId, NdpRx>,
+    tx: BTreeMap<FlowId, NdpTx>,
+    rx: BTreeMap<FlowId, NdpRx>,
     /// Receiver-side pull queue (one token per expected packet).
     pull_queue: VecDeque<FlowId>,
     pacer_armed: bool,
@@ -73,8 +73,8 @@ impl NdpTransport {
         NdpTransport {
             cfg,
             mss,
-            tx: HashMap::new(),
-            rx: HashMap::new(),
+            tx: BTreeMap::new(),
+            rx: BTreeMap::new(),
             pull_queue: VecDeque::new(),
             pacer_armed: false,
         }
@@ -166,7 +166,7 @@ impl Transport<Proto> for NdpTransport {
             ctx.send(pkt);
             off += len as u64;
         }
-        self.tx.get_mut(&flow.id).expect("flow exists").sent = first;
+        self.tx.get_mut(&flow.id).expect("flow exists").sent = first; // simlint: allow(panic_hygiene)
     }
 
     fn on_packet(&mut self, pkt: Packet<Proto>, ctx: &mut Ctx<'_, Proto>) {
@@ -199,7 +199,12 @@ impl Transport<Proto> for NdpTransport {
                     // Payload was cut: NACK so the sender requeues it, and
                     // pull it through the pacer like any other packet.
                     let host = ctx.host();
-                    ctx.send(Packet::ctrl(flow, host, peer, Proto::Ndp(NdpHdr::Nack { offset, len })));
+                    ctx.send(Packet::ctrl(
+                        flow,
+                        host,
+                        peer,
+                        Proto::Ndp(NdpHdr::Nack { offset, len }),
+                    ));
                     self.enqueue_pull(flow, ctx);
                     return;
                 }
@@ -287,7 +292,9 @@ mod tests {
         install_ndp(&mut topo, SimDuration::from_millis(1));
         let size = 1 << 20;
         let f = topo.sim.add_flow(topo.hosts[0], topo.hosts[1], size, SimTime::ZERO, size);
-        let report = topo.sim.run(RunLimits { max_time: SimTime(60_000_000_000), max_events: 2_000_000_000 });
+        let report = topo
+            .sim
+            .run(RunLimits { max_time: SimTime(60_000_000_000), max_events: 2_000_000_000 });
         assert_eq!(report.flows_completed, 1);
         let fct = topo.sim.completion(f).unwrap();
         let ideal = Rate::gbps(10).serialization_time(size).as_nanos();
@@ -301,7 +308,9 @@ mod tests {
         for i in 0..8 {
             topo.sim.add_flow(topo.hosts[i], topo.hosts[8], 200_000, SimTime(i as u64 * 100), 1);
         }
-        let report = topo.sim.run(RunLimits { max_time: SimTime(60_000_000_000), max_events: 2_000_000_000 });
+        let report = topo
+            .sim
+            .run(RunLimits { max_time: SimTime(60_000_000_000), max_events: 2_000_000_000 });
         assert_eq!(report.flows_completed, 8);
         let c = topo.sim.total_counters();
         assert!(c.trimmed > 0, "incast must engage the trimmer: {c:?}");

@@ -7,7 +7,7 @@
 //! has no spare-bandwidth filling and demotes large flows only *after*
 //! they have pushed a lot of bytes through the high-priority queues.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use netsim::{Ctx, FlowDesc, FlowId, Packet, Transport};
 
@@ -27,9 +27,7 @@ pub struct PiasCfg {
 
 impl Default for PiasCfg {
     fn default() -> Self {
-        PiasCfg {
-            thresholds: [10_000, 30_000, 80_000, 200_000, 600_000, 2_000_000, 10_000_000],
-        }
+        PiasCfg { thresholds: [10_000, 30_000, 80_000, 200_000, 600_000, 2_000_000, 10_000_000] }
     }
 }
 
@@ -44,14 +42,14 @@ impl PiasCfg {
 pub struct PiasTransport {
     tcp: TcpCfg,
     cfg: PiasCfg,
-    tx: HashMap<FlowId, DctcpFlowTx>,
-    rx: HashMap<FlowId, TcpRx>,
+    tx: BTreeMap<FlowId, DctcpFlowTx>,
+    rx: BTreeMap<FlowId, TcpRx>,
 }
 
 impl PiasTransport {
     /// New endpoint.
     pub fn new(tcp: TcpCfg, cfg: PiasCfg) -> Self {
-        PiasTransport { tcp, cfg, tx: HashMap::new(), rx: HashMap::new() }
+        PiasTransport { tcp, cfg, tx: BTreeMap::new(), rx: BTreeMap::new() }
     }
 
     fn pump(&mut self, id: FlowId, ctx: &mut Ctx<'_, Proto>) {
@@ -166,7 +164,9 @@ mod tests {
         install_pias(&mut topo, &tcp, &PiasCfg::default());
         let big = topo.sim.add_flow(topo.hosts[0], topo.hosts[2], 8 << 20, SimTime::ZERO, 1);
         let small = topo.sim.add_flow(topo.hosts[1], topo.hosts[2], 20_000, SimTime(1_000_000), 1);
-        let report = topo.sim.run(RunLimits { max_time: SimTime(60_000_000_000), max_events: 2_000_000_000 });
+        let report = topo
+            .sim
+            .run(RunLimits { max_time: SimTime(60_000_000_000), max_events: 2_000_000_000 });
         assert_eq!(report.flows_completed, 2);
         // The aged-down big flow must not block the young small flow.
         let small_fct = topo.sim.completion(small).unwrap() - SimTime(1_000_000);

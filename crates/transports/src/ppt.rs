@@ -18,7 +18,7 @@
 //! The ablation switches in [`PptConfig`] disable individual pieces to
 //! reproduce Figs 15–18.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use netsim::{Ctx, Ecn, FlowDesc, FlowId, Packet, SimDuration, Transport};
 use ppt_core::{
@@ -57,8 +57,8 @@ pub struct PptTransport {
     cfg: PptConfig,
     identifier: FlowIdentifier,
     tagger: MirrorTagger,
-    tx: HashMap<FlowId, PptFlowTx>,
-    rx: HashMap<FlowId, TcpRx>,
+    tx: BTreeMap<FlowId, PptFlowTx>,
+    rx: BTreeMap<FlowId, TcpRx>,
 }
 
 impl PptTransport {
@@ -70,8 +70,8 @@ impl PptTransport {
             tagger: MirrorTagger::new(cfg.demotion_thresholds.clone()),
             tcp,
             cfg,
-            tx: HashMap::new(),
-            rx: HashMap::new(),
+            tx: BTreeMap::new(),
+            rx: BTreeMap::new(),
         }
     }
 
@@ -100,9 +100,7 @@ impl PptTransport {
                 sent_at: now,
                 int: None,
             };
-            ctx.send(
-                Packet::data(id, src, dst, seg.len, Proto::Data(hdr)).with_priority(prio),
-            );
+            ctx.send(Packet::data(id, src, dst, seg.len, Proto::Data(hdr)).with_priority(prio));
         }
         if !f.hcp.is_done() {
             ctx.timer_at(
@@ -134,11 +132,8 @@ impl PptTransport {
         let len = (gap_end - start) as u32;
         f.hcp.claimed_mut().insert(start, gap_end);
         f.hcp.add_sent_bytes(len as u64);
-        let prio = if sched {
-            self.tagger.lcp_priority(f.identified_large, f.hcp.bytes_sent)
-        } else {
-            4
-        };
+        let prio =
+            if sched { self.tagger.lcp_priority(f.identified_large, f.hcp.bytes_sent) } else { 4 };
         let hdr = DataHdr {
             offset: start,
             len,
@@ -157,7 +152,13 @@ impl PptTransport {
 
     /// Open an LCP loop with initial window `init_bytes` (no-op when the
     /// window is under one segment or a loop is already running).
-    fn open_lcp(&mut self, id: FlowId, trigger: LoopTrigger, init_bytes: u64, ctx: &mut Ctx<'_, Proto>) {
+    fn open_lcp(
+        &mut self,
+        id: FlowId,
+        trigger: LoopTrigger,
+        init_bytes: u64,
+        ctx: &mut Ctx<'_, Proto>,
+    ) {
         let mss = self.tcp.mss as u64;
         let rtt = self.cfg.base_rtt;
         let ewd = self.cfg.ewd_enabled;
@@ -181,7 +182,10 @@ impl PptTransport {
                     f.pace_remaining = f.pace_remaining.saturating_sub(mss);
                 }
                 let interval = self.tx[&id].pace_interval;
-                ctx.timer_after(interval, Token { kind: TIMER_LCP_PACE, generation: gen, flow: id.0 }.encode());
+                ctx.timer_after(
+                    interval,
+                    Token { kind: TIMER_LCP_PACE, generation: gen, flow: id.0 }.encode(),
+                );
             }
         } else {
             // Ablation (Fig 16): no EWD — blast the whole initial window
@@ -197,7 +201,10 @@ impl PptTransport {
             }
         }
         // Liveness check every RTT.
-        ctx.timer_after(rtt, Token { kind: TIMER_LCP_EXPIRY, generation: gen, flow: id.0 }.encode());
+        ctx.timer_after(
+            rtt,
+            Token { kind: TIMER_LCP_EXPIRY, generation: gen, flow: id.0 }.encode(),
+        );
     }
 
     fn close_lcp(f: &mut PptFlowTx) {
@@ -300,12 +307,11 @@ impl Transport<Proto> for PptTransport {
                     // spare bandwidth is likely; open a loop per Eq. 2.
                     if let Some(alpha) = round_alpha {
                         let open = {
-                            let f = self.tx.get_mut(&pkt.flow).expect("flow exists");
+                            let f = self.tx.get_mut(&pkt.flow).expect("flow exists"); // simlint: allow(panic_hygiene)
                             let is_min = f.min_tracker.push(alpha);
                             if is_min && f.lcp.is_none() && f.hcp.wmax.past_slow_start() {
                                 f.hcp.wmax.w_max_bytes().map(|w| {
-                                    let target =
-                                        (w as f64 * self.cfg.fill_fraction) as u64;
+                                    let target = (w as f64 * self.cfg.fill_fraction) as u64;
                                     let i = initial_window_case2(alpha, target);
                                     // §3: LCP + HCP must not exceed the
                                     // (scaled) MW.
@@ -355,13 +361,18 @@ impl Transport<Proto> for PptTransport {
                     return;
                 }
                 if self.send_lcp_segment(id, ctx) {
-                    let f = self.tx.get_mut(&id).expect("flow exists");
+                    let f = self.tx.get_mut(&id).expect("flow exists"); // simlint: allow(panic_hygiene)
                     f.pace_remaining = f.pace_remaining.saturating_sub(mss);
                     if f.pace_remaining > 0 {
                         let interval = f.pace_interval;
                         ctx.timer_after(
                             interval,
-                            Token { kind: TIMER_LCP_PACE, generation: token.generation, flow: id.0 }.encode(),
+                            Token {
+                                kind: TIMER_LCP_PACE,
+                                generation: token.generation,
+                                flow: id.0,
+                            }
+                            .encode(),
                         );
                     }
                 }
@@ -378,7 +389,8 @@ impl Transport<Proto> for PptTransport {
                 } else {
                     ctx.timer_after(
                         rtt,
-                        Token { kind: TIMER_LCP_EXPIRY, generation: token.generation, flow: id.0 }.encode(),
+                        Token { kind: TIMER_LCP_EXPIRY, generation: token.generation, flow: id.0 }
+                            .encode(),
                     );
                 }
             }
@@ -423,10 +435,7 @@ mod tests {
         (topo, tcp, cfg)
     }
 
-    fn run_flows(
-        topo: &mut netsim::Topology<Proto>,
-        max_time_ms: u64,
-    ) -> netsim::RunReport {
+    fn run_flows(topo: &mut netsim::Topology<Proto>, max_time_ms: u64) -> netsim::RunReport {
         topo.sim.run(RunLimits {
             max_time: SimTime(max_time_ms * 1_000_000),
             max_events: 2_000_000_000,
@@ -452,7 +461,8 @@ mod tests {
 
         let (mut ppt_topo, tcp, cfg) = ppt_testbed(2);
         install_ppt(&mut ppt_topo, &tcp, &cfg);
-        let f = ppt_topo.sim.add_flow(ppt_topo.hosts[0], ppt_topo.hosts[1], size, SimTime::ZERO, size);
+        let f =
+            ppt_topo.sim.add_flow(ppt_topo.hosts[0], ppt_topo.hosts[1], size, SimTime::ZERO, size);
         run_flows(&mut ppt_topo, 1000);
         let ppt_fct = ppt_topo.sim.completion(f).expect("ppt flow done");
 
@@ -460,7 +470,13 @@ mod tests {
         let delay = SimDuration::from_micros(20);
         let mut dctcp_topo = star::<Proto>(2, rate, delay, SwitchConfig::dctcp(200_000, 17_000));
         crate::dctcp::install_dctcp(&mut dctcp_topo, &tcp);
-        let g = dctcp_topo.sim.add_flow(dctcp_topo.hosts[0], dctcp_topo.hosts[1], size, SimTime::ZERO, size);
+        let g = dctcp_topo.sim.add_flow(
+            dctcp_topo.hosts[0],
+            dctcp_topo.hosts[1],
+            size,
+            SimTime::ZERO,
+            size,
+        );
         dctcp_topo.sim.run(RunLimits::default());
         let dctcp_fct = dctcp_topo.sim.completion(g).expect("dctcp flow done");
 
@@ -493,7 +509,8 @@ mod tests {
         );
         run_flows(&mut topo, 1000);
         let samples = topo.sim.samples(sampler);
-        let low_band_bytes: u64 = samples.iter().map(|s| s.per_priority[4..].iter().sum::<u64>()).sum();
+        let low_band_bytes: u64 =
+            samples.iter().map(|s| s.per_priority[4..].iter().sum::<u64>()).sum();
         assert!(low_band_bytes > 0, "LCP traffic must appear in P4-P7");
     }
 
@@ -502,7 +519,13 @@ mod tests {
         let (mut topo, tcp, cfg) = ppt_testbed(8);
         install_ppt(&mut topo, &tcp, &cfg);
         for i in 0..7 {
-            topo.sim.add_flow(topo.hosts[i], topo.hosts[7], 500_000, SimTime(i as u64 * 1000), 500_000);
+            topo.sim.add_flow(
+                topo.hosts[i],
+                topo.hosts[7],
+                500_000,
+                SimTime(i as u64 * 1000),
+                500_000,
+            );
         }
         let report = run_flows(&mut topo, 5_000);
         assert_eq!(report.flows_completed, 7, "incast flows must all finish");

@@ -67,13 +67,7 @@ pub struct AckHdr {
 #[derive(Clone, Debug)]
 pub enum HomaHdr {
     /// Data (unscheduled in the first RTTbytes, scheduled afterwards).
-    Data {
-        offset: u64,
-        len: u32,
-        msg_size: u64,
-        unscheduled: bool,
-        retx: bool,
-    },
+    Data { offset: u64, len: u32, msg_size: u64, unscheduled: bool, retx: bool },
     /// Receiver grant: sender may transmit up to `granted_offset` at
     /// priority `prio`.
     Grant { granted_offset: u64, prio: u8 },

@@ -16,7 +16,7 @@
 //! flow ride P4, the next 400 ride P5, the next 4000 ride P6 and the rest
 //! P7, so across flows the scarcest tail bytes win ties.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use netsim::{Ctx, Ecn, FlowDesc, FlowId, Packet, Transport};
 
@@ -51,14 +51,14 @@ struct Rc3FlowTx {
 pub struct Rc3Transport {
     tcp: TcpCfg,
     cfg: Rc3Cfg,
-    tx: HashMap<FlowId, Rc3FlowTx>,
-    rx: HashMap<FlowId, TcpRx>,
+    tx: BTreeMap<FlowId, Rc3FlowTx>,
+    rx: BTreeMap<FlowId, TcpRx>,
 }
 
 impl Rc3Transport {
     /// New endpoint.
     pub fn new(tcp: TcpCfg, cfg: Rc3Cfg) -> Self {
-        Rc3Transport { tcp, cfg, tx: HashMap::new(), rx: HashMap::new() }
+        Rc3Transport { tcp, cfg, tx: BTreeMap::new(), rx: BTreeMap::new() }
     }
 
     /// RC3's recursive layer priority for a byte that sits `from_tail`
@@ -133,8 +133,7 @@ impl Rc3Transport {
                 sent_at: now,
                 int: None,
             };
-            let mut pkt =
-                Packet::data(id, src, dst, len, Proto::Data(hdr)).with_priority(prio);
+            let mut pkt = Packet::data(id, src, dst, len, Proto::Data(hdr)).with_priority(prio);
             // RC3's low loop ignores congestion signals entirely.
             pkt.ecn = Ecn::not_capable();
             ctx.send(pkt);
@@ -269,11 +268,16 @@ mod tests {
         let delay = SimDuration::from_micros(20);
         let mut topo = star::<Proto>(3, rate, delay, SwitchConfig::dctcp(200_000, 17_000));
         let tcp = TcpCfg::new(topo.base_rtt);
-        let cfg = Rc3Cfg { bdp_bytes: netsim::bdp_bytes(rate, topo.base_rtt), send_buffer_bytes: 2 << 30 };
+        let cfg = Rc3Cfg {
+            bdp_bytes: netsim::bdp_bytes(rate, topo.base_rtt),
+            send_buffer_bytes: 2 << 30,
+        };
         install_rc3(&mut topo, &tcp, &cfg);
         topo.sim.add_flow(topo.hosts[0], topo.hosts[2], 3 << 20, SimTime::ZERO, 3 << 20);
         topo.sim.add_flow(topo.hosts[1], topo.hosts[2], 200_000, SimTime(500_000), 200_000);
-        let report = topo.sim.run(RunLimits { max_time: SimTime(30_000_000_000), max_events: 2_000_000_000 });
+        let report = topo
+            .sim
+            .run(RunLimits { max_time: SimTime(30_000_000_000), max_events: 2_000_000_000 });
         assert_eq!(report.flows_completed, 2);
     }
 
@@ -287,7 +291,8 @@ mod tests {
 
         let mut a = star::<Proto>(2, rate, delay, SwitchConfig::dctcp(200_000, 17_000));
         let tcp = TcpCfg::new(a.base_rtt);
-        let cfg = Rc3Cfg { bdp_bytes: netsim::bdp_bytes(rate, a.base_rtt), send_buffer_bytes: 2 << 30 };
+        let cfg =
+            Rc3Cfg { bdp_bytes: netsim::bdp_bytes(rate, a.base_rtt), send_buffer_bytes: 2 << 30 };
         install_rc3(&mut a, &tcp, &cfg);
         let f = a.sim.add_flow(a.hosts[0], a.hosts[1], size, SimTime::ZERO, size);
         a.sim.run(RunLimits { max_time: SimTime(60_000_000_000), max_events: 2_000_000_000 });

@@ -78,7 +78,7 @@ impl TcpRx {
             // the completing packet regardless, so the sender can finish).
             let mut sacks = vec![(start, end)];
             if hdr.lcp {
-                sacks.extend(self.lcp_pending.drain(..));
+                sacks.append(&mut self.lcp_pending);
             }
             self.send_ack(sacks, pkt.ecn.ce, hdr.lcp, pkt.priority, hdr.sent_at, ctx);
         }
@@ -105,7 +105,8 @@ impl TcpRx {
             ts_echo,
             int_echo: None,
         };
-        let pkt = Packet::ctrl(self.flow, ctx.host(), self.peer, Proto::Ack(ack)).with_priority(prio);
+        let pkt =
+            Packet::ctrl(self.flow, ctx.host(), self.peer, Proto::Ack(ack)).with_priority(prio);
         ctx.send(pkt);
     }
 
@@ -142,7 +143,14 @@ mod tests {
     use netsim::host::Effects;
     use netsim::{Ecn, HostId};
 
-    fn data_pkt(flow: FlowId, offset: u64, len: u32, size: u64, lcp: bool, ce: bool) -> (Packet<Proto>, DataHdr) {
+    fn data_pkt(
+        flow: FlowId,
+        offset: u64,
+        len: u32,
+        size: u64,
+        lcp: bool,
+        ce: bool,
+    ) -> (Packet<Proto>, DataHdr) {
         let hdr = DataHdr {
             offset,
             len,
@@ -159,7 +167,10 @@ mod tests {
     }
 
     /// Drive the receiver with a scratch Ctx and collect emitted ACKs.
-    fn drive(rx: &mut TcpRx, packets: Vec<(Packet<Proto>, DataHdr)>) -> (Vec<AckHdr>, Vec<u8>, bool) {
+    fn drive(
+        rx: &mut TcpRx,
+        packets: Vec<(Packet<Proto>, DataHdr)>,
+    ) -> (Vec<AckHdr>, Vec<u8>, bool) {
         let mut acks = Vec::new();
         let mut prios = Vec::new();
         let mut completed = false;
@@ -239,10 +250,13 @@ mod tests {
     fn duplicate_data_does_not_double_count() {
         let flow = FlowId(4);
         let mut rx = TcpRx::new(flow, HostId(0), 3000, 1);
-        drive(&mut rx, vec![
-            data_pkt(flow, 0, 1000, 3000, false, false),
-            data_pkt(flow, 0, 1000, 3000, false, false),
-        ]);
+        drive(
+            &mut rx,
+            vec![
+                data_pkt(flow, 0, 1000, 3000, false, false),
+                data_pkt(flow, 0, 1000, 3000, false, false),
+            ],
+        );
         assert_eq!(rx.received_bytes(), 1000);
     }
 }

@@ -6,7 +6,7 @@
 //! target delay and closes it after two consecutive RTTs without
 //! low-priority ACKs, with the same mirror-symmetric flow scheduling.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use netsim::{Ctx, Ecn, FlowDesc, FlowId, Packet, SimDuration, Transport};
 use ppt_core::{FlowIdentifier, LcpAction, LcpLoop, LoopTrigger, MirrorTagger, PptConfig};
@@ -21,14 +21,14 @@ use crate::tcp_base::{CcMode, DctcpFlowTx, SwiftCc, TcpCfg};
 /// Plain Swift-like endpoint: delay-based window, single priority.
 pub struct SwiftTransport {
     tcp: TcpCfg,
-    tx: HashMap<FlowId, DctcpFlowTx>,
-    rx: HashMap<FlowId, TcpRx>,
+    tx: BTreeMap<FlowId, DctcpFlowTx>,
+    rx: BTreeMap<FlowId, TcpRx>,
 }
 
 impl SwiftTransport {
     /// New endpoint; the delay target defaults to 1.5 × base RTT.
     pub fn new(tcp: TcpCfg) -> Self {
-        SwiftTransport { tcp, tx: HashMap::new(), rx: HashMap::new() }
+        SwiftTransport { tcp, tx: BTreeMap::new(), rx: BTreeMap::new() }
     }
 
     fn pump(&mut self, id: FlowId, ctx: &mut Ctx<'_, Proto>) {
@@ -132,8 +132,8 @@ pub struct SwiftPptTransport {
     cfg: PptConfig,
     identifier: FlowIdentifier,
     tagger: MirrorTagger,
-    tx: HashMap<FlowId, SwiftPptFlow>,
-    rx: HashMap<FlowId, TcpRx>,
+    tx: BTreeMap<FlowId, SwiftPptFlow>,
+    rx: BTreeMap<FlowId, TcpRx>,
 }
 
 impl SwiftPptTransport {
@@ -144,8 +144,8 @@ impl SwiftPptTransport {
             tagger: MirrorTagger::new(cfg.demotion_thresholds.clone()),
             tcp,
             cfg,
-            tx: HashMap::new(),
-            rx: HashMap::new(),
+            tx: BTreeMap::new(),
+            rx: BTreeMap::new(),
         }
     }
 
@@ -164,8 +164,7 @@ impl SwiftPptTransport {
                 sent_at: now,
                 int: None,
             };
-            let mut pkt =
-                Packet::data(id, src, dst, seg.len, Proto::Data(hdr)).with_priority(prio);
+            let mut pkt = Packet::data(id, src, dst, seg.len, Proto::Data(hdr)).with_priority(prio);
             pkt.ecn = Ecn::not_capable();
             ctx.send(pkt);
         }
@@ -202,7 +201,8 @@ impl SwiftPptTransport {
             sent_at: ctx.now(),
             int: None,
         };
-        let mut pkt = Packet::data(id, f.hcp.src, f.hcp.dst, len, Proto::Data(hdr)).with_priority(prio);
+        let mut pkt =
+            Packet::data(id, f.hcp.src, f.hcp.dst, len, Proto::Data(hdr)).with_priority(prio);
         // The LCP loop keeps ECN (it protects HCP through it) even though
         // the delay-based HCP ignores marks.
         pkt.ecn = if self.cfg.lcp_ecn_enabled { Ecn::capable() } else { Ecn::not_capable() };
@@ -229,9 +229,15 @@ impl SwiftPptTransport {
                 f.pace_remaining = f.pace_remaining.saturating_sub(mss);
             }
             let interval = self.tx[&id].pace_interval;
-            ctx.timer_after(interval, Token { kind: TIMER_LCP_PACE, generation: gen, flow: id.0 }.encode());
+            ctx.timer_after(
+                interval,
+                Token { kind: TIMER_LCP_PACE, generation: gen, flow: id.0 }.encode(),
+            );
         }
-        ctx.timer_after(rtt, Token { kind: TIMER_LCP_EXPIRY, generation: gen, flow: id.0 }.encode());
+        ctx.timer_after(
+            rtt,
+            Token { kind: TIMER_LCP_EXPIRY, generation: gen, flow: id.0 }.encode(),
+        );
     }
 
     fn close_lcp(f: &mut SwiftPptFlow) {
@@ -310,11 +316,9 @@ impl Transport<Proto> for SwiftPptTransport {
                     // capacity ⇒ open a loop sized to the window gap.
                     let open = if !done && f.lcp.is_none() {
                         match (out.delay_sample, f.hcp.cc_mode()) {
-                            (Some(d), CcMode::Swift(sw)) if d < sw.target => Some(
-                                self.cfg
-                                    .bdp_bytes()
-                                    .saturating_sub(f.hcp.cwnd_bytes()),
-                            ),
+                            (Some(d), CcMode::Swift(sw)) if d < sw.target => {
+                                Some(self.cfg.bdp_bytes().saturating_sub(f.hcp.cwnd_bytes()))
+                            }
                             _ => None,
                         }
                     } else {
@@ -360,13 +364,18 @@ impl Transport<Proto> for SwiftPptTransport {
                     f.lcp.is_some() && f.lcp_gen == token.generation && f.pace_remaining > 0
                 };
                 if proceed && self.send_lcp_segment(id, ctx) {
-                    let f = self.tx.get_mut(&id).expect("flow exists");
+                    let f = self.tx.get_mut(&id).expect("flow exists"); // simlint: allow(panic_hygiene)
                     f.pace_remaining = f.pace_remaining.saturating_sub(mss);
                     if f.pace_remaining > 0 {
                         let interval = f.pace_interval;
                         ctx.timer_after(
                             interval,
-                            Token { kind: TIMER_LCP_PACE, generation: token.generation, flow: id.0 }.encode(),
+                            Token {
+                                kind: TIMER_LCP_PACE,
+                                generation: token.generation,
+                                flow: id.0,
+                            }
+                            .encode(),
                         );
                     }
                 }
@@ -383,7 +392,8 @@ impl Transport<Proto> for SwiftPptTransport {
                 } else {
                     ctx.timer_after(
                         rtt,
-                        Token { kind: TIMER_LCP_EXPIRY, generation: token.generation, flow: id.0 }.encode(),
+                        Token { kind: TIMER_LCP_EXPIRY, generation: token.generation, flow: id.0 }
+                            .encode(),
                     );
                 }
             }
@@ -427,7 +437,9 @@ mod tests {
         install_swift(&mut topo, &tcp);
         topo.sim.add_flow(topo.hosts[0], topo.hosts[2], 2 << 20, SimTime::ZERO, 1);
         topo.sim.add_flow(topo.hosts[1], topo.hosts[2], 100_000, SimTime(200_000), 1);
-        let report = topo.sim.run(RunLimits { max_time: SimTime(30_000_000_000), max_events: 2_000_000_000 });
+        let report = topo
+            .sim
+            .run(RunLimits { max_time: SimTime(30_000_000_000), max_events: 2_000_000_000 });
         assert_eq!(report.flows_completed, 2);
     }
 
@@ -438,7 +450,9 @@ mod tests {
         install_swift(&mut topo, &tcp);
         topo.sim.add_flow(topo.hosts[0], topo.hosts[2], 8 << 20, SimTime::ZERO, 1);
         topo.sim.add_flow(topo.hosts[1], topo.hosts[2], 8 << 20, SimTime::ZERO, 1);
-        let report = topo.sim.run(RunLimits { max_time: SimTime(60_000_000_000), max_events: 2_000_000_000 });
+        let report = topo
+            .sim
+            .run(RunLimits { max_time: SimTime(60_000_000_000), max_events: 2_000_000_000 });
         assert_eq!(report.flows_completed, 2);
         let c = topo.sim.total_counters();
         assert_eq!(c.marked, 0, "Swift packets must not be ECN-marked");
@@ -459,9 +473,6 @@ mod tests {
         b.sim.run(RunLimits { max_time: SimTime(60_000_000_000), max_events: 2_000_000_000 });
         let swift_fct = b.sim.completion(g).expect("swift done");
 
-        assert!(
-            ppt_fct < swift_fct,
-            "ppt-over-swift ({ppt_fct}) must beat swift ({swift_fct})"
-        );
+        assert!(ppt_fct < swift_fct, "ppt-over-swift ({ppt_fct}) must beat swift ({swift_fct})");
     }
 }

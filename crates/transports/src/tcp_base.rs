@@ -756,10 +756,7 @@ mod tests {
         assert_eq!(seg.offset, 0);
         // Backoff doubles the next deadline distance.
         let d2 = f.rto_deadline();
-        assert_eq!(
-            d2.saturating_since(deadline).as_nanos(),
-            2 * cfg().min_rto.as_nanos()
-        );
+        assert_eq!(d2.saturating_since(deadline).as_nanos(), 2 * cfg().min_rto.as_nanos());
     }
 
     #[test]
@@ -818,10 +815,7 @@ mod tests {
         while let Some(seg) = f.next_segment(SimTime::ZERO) {
             offsets.push(seg.offset);
         }
-        assert!(
-            offsets.contains(&tail_start),
-            "HCP must cover the unacked tail: {offsets:?}"
-        );
+        assert!(offsets.contains(&tail_start), "HCP must cover the unacked tail: {offsets:?}");
     }
 
     #[test]
@@ -850,7 +844,10 @@ mod tests {
             }
             t += 80_000;
             for s in segs {
-                f.on_ack(&ack(s.offset + s.len as u64, vec![(s.offset, s.offset + s.len as u64)], false), SimTime(t));
+                f.on_ack(
+                    &ack(s.offset + s.len as u64, vec![(s.offset, s.offset + s.len as u64)], false),
+                    SimTime(t),
+                );
             }
             assert!(f.cwnd_bytes() <= c.max_cwnd_bytes);
         }

@@ -1,79 +1,144 @@
-//! Property and failure-injection tests across the transport family.
+//! Randomized-workload and failure-injection tests across the transport
+//! family.
+//!
+//! Deterministic seeded sweeps (always on) plus the original `proptest`
+//! suite behind the `proptest` feature (needs the dev-dependency
+//! restored — see crates/netsim/Cargo.toml).
 
-use proptest::prelude::*;
-
-use netsim::{star, Rate, RunLimits, SimDuration, SimTime, SwitchConfig};
+use netsim::{star, Pcg32, Rate, RunLimits, SimDuration, SimTime, SwitchConfig};
 use ppt_core::PptConfig;
-use transports::{
-    install_dctcp, install_homa, install_ndp, install_ppt, HomaCfg, Proto, TcpCfg,
-};
+use transports::{install_dctcp, install_homa, install_ndp, install_ppt, HomaCfg, Proto, TcpCfg};
 
 fn tcp(base_rtt: SimDuration) -> TcpCfg {
     TcpCfg::new(base_rtt)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(12))]
+fn random_sizes(rng: &mut Pcg32, max_n: usize, max_size: u64) -> Vec<u64> {
+    let n = 1 + rng.gen_index(max_n);
+    (0..n).map(|_| 1 + rng.gen_range(max_size - 1)).collect()
+}
 
-    /// DCTCP delivers any mix of flow sizes losslessly over an ECN fabric.
-    #[test]
-    fn dctcp_random_workload_completes(
-        sizes in proptest::collection::vec(1u64..3_000_000, 1..10),
-    ) {
-        let mut topo = star::<Proto>(4, Rate::gbps(10), SimDuration::from_micros(20), SwitchConfig::dctcp(500_000, 60_000));
+/// DCTCP delivers any mix of flow sizes losslessly over an ECN fabric.
+#[test]
+fn dctcp_random_workload_completes_seeded() {
+    for seed in 0..6u64 {
+        let mut rng = Pcg32::seed_from_u64(seed);
+        let sizes = random_sizes(&mut rng, 9, 3_000_000);
+        let mut topo = star::<Proto>(
+            4,
+            Rate::gbps(10),
+            SimDuration::from_micros(20),
+            SwitchConfig::dctcp(500_000, 60_000),
+        );
         let t = tcp(topo.base_rtt);
-    install_dctcp(&mut topo, &t);
+        install_dctcp(&mut topo, &t);
         for (i, &size) in sizes.iter().enumerate() {
-            topo.sim.add_flow(topo.hosts[i % 3], topo.hosts[3], size, SimTime(i as u64 * 30_000), size);
+            topo.sim.add_flow(
+                topo.hosts[i % 3],
+                topo.hosts[3],
+                size,
+                SimTime(i as u64 * 30_000),
+                size,
+            );
         }
-        let report = topo.sim.run(RunLimits { max_time: SimTime(120_000_000_000), max_events: 2_000_000_000 });
-        prop_assert_eq!(report.flows_completed, sizes.len());
+        let report = topo
+            .sim
+            .run(RunLimits { max_time: SimTime(120_000_000_000), max_events: 2_000_000_000 });
+        assert_eq!(report.flows_completed, sizes.len(), "seed {seed}");
     }
+}
 
-    /// PPT delivers any mix of flow sizes and first-write patterns.
-    #[test]
-    fn ppt_random_workload_completes(
-        flows in proptest::collection::vec((1u64..3_000_000, 1u64..3_000_000), 1..10),
-    ) {
+/// PPT delivers any mix of flow sizes and first-write patterns.
+#[test]
+fn ppt_random_workload_completes_seeded() {
+    for seed in 0..6u64 {
+        let mut rng = Pcg32::seed_from_u64(seed);
+        let n = 1 + rng.gen_index(9);
+        let flows: Vec<(u64, u64)> = (0..n)
+            .map(|_| (1 + rng.gen_range(3_000_000 - 1), 1 + rng.gen_range(3_000_000 - 1)))
+            .collect();
         let rate = Rate::gbps(10);
-        let mut topo = star::<Proto>(4, rate, SimDuration::from_micros(20), SwitchConfig::ppt(500_000, 60_000, 40_000));
+        let mut topo = star::<Proto>(
+            4,
+            rate,
+            SimDuration::from_micros(20),
+            SwitchConfig::ppt(500_000, 60_000, 40_000),
+        );
         let cfg = PptConfig::new(rate, topo.base_rtt);
         let t = tcp(topo.base_rtt);
-    install_ppt(&mut topo, &t, &cfg);
+        install_ppt(&mut topo, &t, &cfg);
         for (i, &(size, fw)) in flows.iter().enumerate() {
             let first_write = fw.min(size);
-            topo.sim.add_flow(topo.hosts[i % 3], topo.hosts[3], size, SimTime(i as u64 * 30_000), first_write);
+            topo.sim.add_flow(
+                topo.hosts[i % 3],
+                topo.hosts[3],
+                size,
+                SimTime(i as u64 * 30_000),
+                first_write,
+            );
         }
-        let report = topo.sim.run(RunLimits { max_time: SimTime(120_000_000_000), max_events: 2_000_000_000 });
-        prop_assert_eq!(report.flows_completed, flows.len());
+        let report = topo
+            .sim
+            .run(RunLimits { max_time: SimTime(120_000_000_000), max_events: 2_000_000_000 });
+        assert_eq!(report.flows_completed, flows.len(), "seed {seed}");
     }
+}
 
-    /// Homa delivers any mix of message sizes (grants + timeout recovery).
-    #[test]
-    fn homa_random_workload_completes(
-        sizes in proptest::collection::vec(1u64..2_000_000, 1..8),
-    ) {
-        let mut topo = star::<Proto>(4, Rate::gbps(10), SimDuration::from_micros(20), SwitchConfig::basic(500_000));
+/// Homa delivers any mix of message sizes (grants + timeout recovery).
+#[test]
+fn homa_random_workload_completes_seeded() {
+    for seed in 0..6u64 {
+        let mut rng = Pcg32::seed_from_u64(seed);
+        let sizes = random_sizes(&mut rng, 7, 2_000_000);
+        let mut topo = star::<Proto>(
+            4,
+            Rate::gbps(10),
+            SimDuration::from_micros(20),
+            SwitchConfig::basic(500_000),
+        );
         install_homa(&mut topo, &HomaCfg::new(50_000));
         for (i, &size) in sizes.iter().enumerate() {
-            topo.sim.add_flow(topo.hosts[i % 3], topo.hosts[3], size, SimTime(i as u64 * 40_000), size);
+            topo.sim.add_flow(
+                topo.hosts[i % 3],
+                topo.hosts[3],
+                size,
+                SimTime(i as u64 * 40_000),
+                size,
+            );
         }
-        let report = topo.sim.run(RunLimits { max_time: SimTime(120_000_000_000), max_events: 2_000_000_000 });
-        prop_assert_eq!(report.flows_completed, sizes.len());
+        let report = topo
+            .sim
+            .run(RunLimits { max_time: SimTime(120_000_000_000), max_events: 2_000_000_000 });
+        assert_eq!(report.flows_completed, sizes.len(), "seed {seed}");
     }
+}
 
-    /// NDP delivers any mix of message sizes through the trim/pull path.
-    #[test]
-    fn ndp_random_workload_completes(
-        sizes in proptest::collection::vec(1u64..2_000_000, 1..8),
-    ) {
-        let mut topo = star::<Proto>(4, Rate::gbps(10), SimDuration::from_micros(20), SwitchConfig::ndp(120_000, 12_000));
+/// NDP delivers any mix of message sizes through the trim/pull path.
+#[test]
+fn ndp_random_workload_completes_seeded() {
+    for seed in 0..6u64 {
+        let mut rng = Pcg32::seed_from_u64(seed);
+        let sizes = random_sizes(&mut rng, 7, 2_000_000);
+        let mut topo = star::<Proto>(
+            4,
+            Rate::gbps(10),
+            SimDuration::from_micros(20),
+            SwitchConfig::ndp(120_000, 12_000),
+        );
         install_ndp(&mut topo, SimDuration::from_millis(1));
         for (i, &size) in sizes.iter().enumerate() {
-            topo.sim.add_flow(topo.hosts[i % 3], topo.hosts[3], size, SimTime(i as u64 * 40_000), size);
+            topo.sim.add_flow(
+                topo.hosts[i % 3],
+                topo.hosts[3],
+                size,
+                SimTime(i as u64 * 40_000),
+                size,
+            );
         }
-        let report = topo.sim.run(RunLimits { max_time: SimTime(120_000_000_000), max_events: 2_000_000_000 });
-        prop_assert_eq!(report.flows_completed, sizes.len());
+        let report = topo
+            .sim
+            .run(RunLimits { max_time: SimTime(120_000_000_000), max_events: 2_000_000_000 });
+        assert_eq!(report.flows_completed, sizes.len(), "seed {seed}");
     }
 }
 
@@ -92,7 +157,8 @@ fn dctcp_survives_a_four_packet_buffer() {
     install_dctcp(&mut topo, &t);
     topo.sim.add_flow(topo.hosts[0], topo.hosts[2], 1_000_000, SimTime::ZERO, 1);
     topo.sim.add_flow(topo.hosts[1], topo.hosts[2], 1_000_000, SimTime::ZERO, 1);
-    let report = topo.sim.run(RunLimits { max_time: SimTime(300_000_000_000), max_events: 2_000_000_000 });
+    let report =
+        topo.sim.run(RunLimits { max_time: SimTime(300_000_000_000), max_events: 2_000_000_000 });
     assert_eq!(report.flows_completed, 2);
     assert!(topo.sim.total_counters().dropped > 0);
 }
@@ -112,7 +178,8 @@ fn ppt_survives_a_four_packet_buffer() {
     install_ppt(&mut topo, &t, &cfg);
     topo.sim.add_flow(topo.hosts[0], topo.hosts[2], 1_000_000, SimTime::ZERO, 1_000_000);
     topo.sim.add_flow(topo.hosts[1], topo.hosts[2], 1_000_000, SimTime::ZERO, 1_000_000);
-    let report = topo.sim.run(RunLimits { max_time: SimTime(300_000_000_000), max_events: 2_000_000_000 });
+    let report =
+        topo.sim.run(RunLimits { max_time: SimTime(300_000_000_000), max_events: 2_000_000_000 });
     assert_eq!(report.flows_completed, 2);
 }
 
@@ -121,7 +188,12 @@ fn ppt_survives_a_four_packet_buffer() {
 fn one_byte_flows_work_everywhere() {
     // TCP family.
     let rate = Rate::gbps(10);
-    let mut topo = star::<Proto>(2, rate, SimDuration::from_micros(20), SwitchConfig::ppt(200_000, 60_000, 40_000));
+    let mut topo = star::<Proto>(
+        2,
+        rate,
+        SimDuration::from_micros(20),
+        SwitchConfig::ppt(200_000, 60_000, 40_000),
+    );
     let cfg = PptConfig::new(rate, topo.base_rtt);
     let t = tcp(topo.base_rtt);
     install_ppt(&mut topo, &t, &cfg);
@@ -130,14 +202,16 @@ fn one_byte_flows_work_everywhere() {
     assert!(topo.sim.completion(f).is_some());
 
     // Homa.
-    let mut topo = star::<Proto>(2, rate, SimDuration::from_micros(20), SwitchConfig::basic(200_000));
+    let mut topo =
+        star::<Proto>(2, rate, SimDuration::from_micros(20), SwitchConfig::basic(200_000));
     install_homa(&mut topo, &HomaCfg::new(50_000));
     let f = topo.sim.add_flow(topo.hosts[0], topo.hosts[1], 1, SimTime::ZERO, 1);
     topo.sim.run(RunLimits::default());
     assert!(topo.sim.completion(f).is_some());
 
     // NDP.
-    let mut topo = star::<Proto>(2, rate, SimDuration::from_micros(20), SwitchConfig::ndp(200_000, 12_000));
+    let mut topo =
+        star::<Proto>(2, rate, SimDuration::from_micros(20), SwitchConfig::ndp(200_000, 12_000));
     install_ndp(&mut topo, SimDuration::from_millis(1));
     let f = topo.sim.add_flow(topo.hosts[0], topo.hosts[1], 1, SimTime::ZERO, 1);
     topo.sim.run(RunLimits::default());
@@ -149,15 +223,21 @@ fn one_byte_flows_work_everywhere() {
 #[test]
 fn fifty_megabyte_elephant_completes() {
     let rate = Rate::gbps(10);
-    let mut topo = star::<Proto>(2, rate, SimDuration::from_micros(20), SwitchConfig::ppt(200_000, 60_000, 40_000));
+    let mut topo = star::<Proto>(
+        2,
+        rate,
+        SimDuration::from_micros(20),
+        SwitchConfig::ppt(200_000, 60_000, 40_000),
+    );
     let cfg = PptConfig::new(rate, topo.base_rtt);
     let t = tcp(topo.base_rtt);
     install_ppt(&mut topo, &t, &cfg);
     let size = 50 << 20;
     let f = topo.sim.add_flow(topo.hosts[0], topo.hosts[1], size, SimTime::ZERO, size);
-    let report = topo.sim.run(RunLimits { max_time: SimTime(300_000_000_000), max_events: 2_000_000_000 });
+    let report =
+        topo.sim.run(RunLimits { max_time: SimTime(300_000_000_000), max_events: 2_000_000_000 });
     assert_eq!(report.flows_completed, 1);
-    let fct = topo.sim.completion(f).unwrap();
+    let fct = topo.sim.completion(f).expect("elephant completed");
     let ideal = Rate::gbps(10).serialization_time(size).as_nanos();
     assert!(
         fct.as_nanos() < 2 * ideal,
@@ -165,4 +245,80 @@ fn fifty_megabyte_elephant_completes() {
         fct.as_millis_f64(),
         ideal / 1_000_000
     );
+}
+
+/// The original property-based suite. Requires the `proptest` feature
+/// *and* the `proptest` dev-dependency restored in Cargo.toml.
+#[cfg(feature = "proptest")]
+mod property_based {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(12))]
+
+        /// DCTCP delivers any mix of flow sizes losslessly over an ECN
+        /// fabric.
+        #[test]
+        fn dctcp_random_workload_completes(
+            sizes in proptest::collection::vec(1u64..3_000_000, 1..10),
+        ) {
+            let mut topo = star::<Proto>(4, Rate::gbps(10), SimDuration::from_micros(20), SwitchConfig::dctcp(500_000, 60_000));
+            let t = tcp(topo.base_rtt);
+            install_dctcp(&mut topo, &t);
+            for (i, &size) in sizes.iter().enumerate() {
+                topo.sim.add_flow(topo.hosts[i % 3], topo.hosts[3], size, SimTime(i as u64 * 30_000), size);
+            }
+            let report = topo.sim.run(RunLimits { max_time: SimTime(120_000_000_000), max_events: 2_000_000_000 });
+            prop_assert_eq!(report.flows_completed, sizes.len());
+        }
+
+        /// PPT delivers any mix of flow sizes and first-write patterns.
+        #[test]
+        fn ppt_random_workload_completes(
+            flows in proptest::collection::vec((1u64..3_000_000, 1u64..3_000_000), 1..10),
+        ) {
+            let rate = Rate::gbps(10);
+            let mut topo = star::<Proto>(4, rate, SimDuration::from_micros(20), SwitchConfig::ppt(500_000, 60_000, 40_000));
+            let cfg = PptConfig::new(rate, topo.base_rtt);
+            let t = tcp(topo.base_rtt);
+            install_ppt(&mut topo, &t, &cfg);
+            for (i, &(size, fw)) in flows.iter().enumerate() {
+                let first_write = fw.min(size);
+                topo.sim.add_flow(topo.hosts[i % 3], topo.hosts[3], size, SimTime(i as u64 * 30_000), first_write);
+            }
+            let report = topo.sim.run(RunLimits { max_time: SimTime(120_000_000_000), max_events: 2_000_000_000 });
+            prop_assert_eq!(report.flows_completed, flows.len());
+        }
+
+        /// Homa delivers any mix of message sizes (grants + timeout
+        /// recovery).
+        #[test]
+        fn homa_random_workload_completes(
+            sizes in proptest::collection::vec(1u64..2_000_000, 1..8),
+        ) {
+            let mut topo = star::<Proto>(4, Rate::gbps(10), SimDuration::from_micros(20), SwitchConfig::basic(500_000));
+            install_homa(&mut topo, &HomaCfg::new(50_000));
+            for (i, &size) in sizes.iter().enumerate() {
+                topo.sim.add_flow(topo.hosts[i % 3], topo.hosts[3], size, SimTime(i as u64 * 40_000), size);
+            }
+            let report = topo.sim.run(RunLimits { max_time: SimTime(120_000_000_000), max_events: 2_000_000_000 });
+            prop_assert_eq!(report.flows_completed, sizes.len());
+        }
+
+        /// NDP delivers any mix of message sizes through the trim/pull
+        /// path.
+        #[test]
+        fn ndp_random_workload_completes(
+            sizes in proptest::collection::vec(1u64..2_000_000, 1..8),
+        ) {
+            let mut topo = star::<Proto>(4, Rate::gbps(10), SimDuration::from_micros(20), SwitchConfig::ndp(120_000, 12_000));
+            install_ndp(&mut topo, SimDuration::from_millis(1));
+            for (i, &size) in sizes.iter().enumerate() {
+                topo.sim.add_flow(topo.hosts[i % 3], topo.hosts[3], size, SimTime(i as u64 * 40_000), size);
+            }
+            let report = topo.sim.run(RunLimits { max_time: SimTime(120_000_000_000), max_events: 2_000_000_000 });
+            prop_assert_eq!(report.flows_completed, sizes.len());
+        }
+    }
 }

@@ -1,3 +1,4 @@
+#![forbid(unsafe_code)]
 //! # workloads — datacenter traffic generation
 //!
 //! Deterministic (seeded) workload generators reproducing the traffic the
@@ -21,6 +22,7 @@ pub mod trace;
 pub mod write_model;
 
 pub use dist::SizeDistribution;
+pub use netsim::Pcg32;
 pub use pattern::{all_to_all, incast, incast_burst, permutation, FlowSpec, WorkloadSpec};
 pub use trace::{read_csv, write_csv};
 pub use write_model::{AppWriteModel, DEFAULT_CHUNK_BYTES, DEFAULT_FULL_WRITE_PROB};

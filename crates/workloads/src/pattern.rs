@@ -4,10 +4,7 @@
 //! Poisson arrivals whose rate is derived from the target network load,
 //! sizes drawn from a [`SizeDistribution`], and endpoints per the pattern.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
-
-use netsim::{Rate, SimTime};
+use netsim::{Pcg32, Rate, SimTime};
 
 use crate::dist::SizeDistribution;
 use crate::write_model::AppWriteModel;
@@ -48,7 +45,13 @@ pub struct WorkloadSpec {
 
 impl WorkloadSpec {
     /// A ready-to-edit spec with the common defaults.
-    pub fn new(dist: SizeDistribution, load: f64, edge_rate: Rate, n_flows: usize, seed: u64) -> Self {
+    pub fn new(
+        dist: SizeDistribution,
+        load: f64,
+        edge_rate: Rate,
+        n_flows: usize,
+        seed: u64,
+    ) -> Self {
         assert!(load > 0.0 && load <= 1.0, "load must be in (0,1]");
         WorkloadSpec { dist, load, edge_rate, n_flows, seed, write_model: AppWriteModel::default() }
     }
@@ -63,8 +66,8 @@ impl WorkloadSpec {
     }
 }
 
-fn exp_sample(rng: &mut StdRng, mean_ns: f64) -> u64 {
-    let u: f64 = rng.gen::<f64>();
+fn exp_sample(rng: &mut Pcg32, mean_ns: f64) -> u64 {
+    let u: f64 = rng.next_f64();
     // Inverse transform; clamp u away from 1.0 to avoid ln(0).
     let u = u.min(1.0 - 1e-12);
     (-(1.0 - u).ln() * mean_ns).round() as u64
@@ -76,22 +79,28 @@ fn exp_sample(rng: &mut StdRng, mean_ns: f64) -> u64 {
 /// its large-scale all-to-all pattern.
 pub fn all_to_all(hosts: usize, spec: &WorkloadSpec) -> Vec<FlowSpec> {
     assert!(hosts >= 2);
-    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let mut rng = Pcg32::seed_from_u64(spec.seed);
     let mean_gap = spec.mean_interarrival_ns(hosts);
     let mut t = 0u64;
     let mut flows = Vec::with_capacity(spec.n_flows);
     for _ in 0..spec.n_flows {
         t += exp_sample(&mut rng, mean_gap);
-        let src = rng.gen_range(0..hosts);
+        let src = rng.gen_index(hosts);
         let dst = loop {
-            let d = rng.gen_range(0..hosts);
+            let d = rng.gen_index(hosts);
             if d != src {
                 break d;
             }
         };
         let size = spec.dist.sample(&mut rng);
         let first_write = spec.write_model.first_write(size, &mut rng);
-        flows.push(FlowSpec { src, dst, size_bytes: size, start: SimTime(t), first_write_bytes: first_write });
+        flows.push(FlowSpec {
+            src,
+            dst,
+            size_bytes: size,
+            start: SimTime(t),
+            first_write_bytes: first_write,
+        });
     }
     flows
 }
@@ -101,16 +110,22 @@ pub fn all_to_all(hosts: usize, spec: &WorkloadSpec) -> Vec<FlowSpec> {
 /// the paper's 14-to-1 testbed pattern and the §6.3.2 N-to-1 sweep.
 pub fn incast(senders: usize, spec: &WorkloadSpec) -> Vec<FlowSpec> {
     assert!(senders >= 1);
-    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let mut rng = Pcg32::seed_from_u64(spec.seed);
     let mean_gap = spec.mean_interarrival_ns(1);
     let mut t = 0u64;
     let mut flows = Vec::with_capacity(spec.n_flows);
     for _ in 0..spec.n_flows {
         t += exp_sample(&mut rng, mean_gap);
-        let src = rng.gen_range(0..senders);
+        let src = rng.gen_index(senders);
         let size = spec.dist.sample(&mut rng);
         let first_write = spec.write_model.first_write(size, &mut rng);
-        flows.push(FlowSpec { src, dst: senders, size_bytes: size, start: SimTime(t), first_write_bytes: first_write });
+        flows.push(FlowSpec {
+            src,
+            dst: senders,
+            size_bytes: size,
+            start: SimTime(t),
+            first_write_bytes: first_write,
+        });
     }
     flows
 }

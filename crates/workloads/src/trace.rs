@@ -93,8 +93,10 @@ mod tests {
         let parsed = read_csv(std::io::BufReader::new(&buf[..])).unwrap();
         assert_eq!(parsed.len(), flows.len());
         for (a, b) in flows.iter().zip(&parsed) {
-            assert_eq!((a.src, a.dst, a.size_bytes, a.start, a.first_write_bytes),
-                       (b.src, b.dst, b.size_bytes, b.start, b.first_write_bytes));
+            assert_eq!(
+                (a.src, a.dst, a.size_bytes, a.start, a.first_write_bytes),
+                (b.src, b.dst, b.size_bytes, b.start, b.first_write_bytes)
+            );
         }
     }
 

@@ -11,7 +11,7 @@
 //! the flow starts with a sub-threshold first write and must be caught by
 //! PIAS-style aging instead.
 
-use rand::Rng;
+use netsim::Pcg32;
 
 /// Default probability that an application writes the whole message in the
 /// first syscall (calibrated to the paper's 86.7 % identification rate).
@@ -43,8 +43,8 @@ impl AppWriteModel {
     }
 
     /// Draw the first-syscall size for a flow of `size_bytes`.
-    pub fn first_write<R: Rng>(&self, size_bytes: u64, rng: &mut R) -> u64 {
-        if size_bytes <= self.chunk_bytes || rng.gen::<f64>() < self.full_write_prob {
+    pub fn first_write(&self, size_bytes: u64, rng: &mut Pcg32) -> u64 {
+        if size_bytes <= self.chunk_bytes || rng.next_f64() < self.full_write_prob {
             size_bytes
         } else {
             self.chunk_bytes
@@ -55,13 +55,11 @@ impl AppWriteModel {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     #[test]
     fn full_write_fraction_matches_probability() {
         let m = AppWriteModel::default();
-        let mut rng = StdRng::seed_from_u64(11);
+        let mut rng = Pcg32::seed_from_u64(11);
         let n = 50_000;
         let full = (0..n).filter(|_| m.first_write(1_000_000, &mut rng) == 1_000_000).count();
         let frac = full as f64 / n as f64;
@@ -71,7 +69,7 @@ mod tests {
     #[test]
     fn tiny_flows_always_written_fully() {
         let m = AppWriteModel { full_write_prob: 0.0, chunk_bytes: 512 };
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = Pcg32::seed_from_u64(1);
         assert_eq!(m.first_write(100, &mut rng), 100);
         assert_eq!(m.first_write(512, &mut rng), 512);
         assert_eq!(m.first_write(513, &mut rng), 512);
@@ -80,7 +78,7 @@ mod tests {
     #[test]
     fn oracle_model_always_full() {
         let m = AppWriteModel::always_full();
-        let mut rng = StdRng::seed_from_u64(1);
+        let mut rng = Pcg32::seed_from_u64(1);
         for _ in 0..100 {
             assert_eq!(m.first_write(10_000_000, &mut rng), 10_000_000);
         }

@@ -13,18 +13,15 @@ use ppt::workloads::{all_to_all, SizeDistribution, WorkloadSpec};
 
 fn main() {
     let topo = TopoKind::Star { n: 12, rate_gbps: 10, delay_us: 20 };
-    let spec = WorkloadSpec::new(
-        SizeDistribution::memcached_w1(),
-        0.5,
-        topo.edge_rate(),
-        2_000,
-        23,
-    );
+    let spec =
+        WorkloadSpec::new(SizeDistribution::memcached_w1(), 0.5, topo.edge_rate(), 2_000, 23);
     let flows = all_to_all(topo.hosts(), &spec);
 
     println!("Memcached W1 (all flows <=100KB, >70% <1KB), 12 hosts, load 0.5\n");
     println!("{:<12} {:>12} {:>12} {:>12}", "scheme", "avg FCT(us)", "p99 FCT(us)", "completed");
-    for scheme in [Scheme::Ppt, Scheme::Dctcp, Scheme::Rc3, Scheme::Homa, Scheme::Aeolus, Scheme::Ndp] {
+    for scheme in
+        [Scheme::Ppt, Scheme::Dctcp, Scheme::Rc3, Scheme::Homa, Scheme::Aeolus, Scheme::Ndp]
+    {
         let name = scheme.name();
         let outcome = run_experiment(&Experiment::new(topo, scheme, flows.clone()));
         println!(

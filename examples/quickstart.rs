@@ -14,16 +14,13 @@ fn main() {
     let topo = TopoKind::Star { n: 8, rate_gbps: 10, delay_us: 20 };
 
     // 300 Web-Search-distributed flows at 50% network load.
-    let spec = WorkloadSpec::new(
-        SizeDistribution::web_search(),
-        0.5,
-        topo.edge_rate(),
-        300,
-        7,
-    );
+    let spec = WorkloadSpec::new(SizeDistribution::web_search(), 0.5, topo.edge_rate(), 300, 7);
     let flows = all_to_all(topo.hosts(), &spec);
 
-    println!("{:<8} {:>12} {:>12} {:>12} {:>12} {:>10}", "scheme", "overall(us)", "small avg", "small p99", "large avg", "completed");
+    println!(
+        "{:<8} {:>12} {:>12} {:>12} {:>12} {:>10}",
+        "scheme", "overall(us)", "small avg", "small p99", "large avg", "completed"
+    );
     for scheme in [Scheme::Dctcp, Scheme::Ppt] {
         let name = scheme.name();
         let outcome = run_experiment(&Experiment::new(topo, scheme, flows.clone()));

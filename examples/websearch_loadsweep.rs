@@ -15,25 +15,14 @@ fn main() {
     println!("Web Search workload, 10 hosts, overall average FCT (us) by load\n");
     println!("{:<6} {:>12} {:>12} {:>10}", "load", "DCTCP", "PPT", "PPT gain");
     for &load in &[0.3, 0.5, 0.7] {
-        let spec = WorkloadSpec::new(
-            SizeDistribution::web_search(),
-            load,
-            topo.edge_rate(),
-            n_flows,
-            99,
-        );
+        let spec =
+            WorkloadSpec::new(SizeDistribution::web_search(), load, topo.edge_rate(), n_flows, 99);
         let flows = all_to_all(topo.hosts(), &spec);
         let dctcp = run_experiment(&Experiment::new(topo, Scheme::Dctcp, flows.clone()));
         let ppt = run_experiment(&Experiment::new(topo, Scheme::Ppt, flows.clone()));
         let d = dctcp.fct.overall_avg_us();
         let p = ppt.fct.overall_avg_us();
-        println!(
-            "{:<6.1} {:>12.1} {:>12.1} {:>9.1}%",
-            load,
-            d,
-            p,
-            (1.0 - p / d) * 100.0
-        );
+        println!("{:<6.1} {:>12.1} {:>12.1} {:>9.1}%", load, d, p, (1.0 - p / d) * 100.0);
     }
     println!("\nThe gain shrinks as load rises: less spare bandwidth to harvest.");
 }

@@ -1,0 +1,21 @@
+#!/usr/bin/env sh
+# One-shot hygiene gate: formatting, clippy, simlint, then tier-1.
+# Usage: scripts/check.sh  (from anywhere inside the workspace)
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy (deny warnings)"
+cargo clippy --all-targets -- -D warnings
+
+echo "==> simlint"
+cargo run -q -p simlint
+
+echo "==> tier-1: build + tests"
+cargo build --release
+cargo test -q
+
+echo "check.sh: all green"

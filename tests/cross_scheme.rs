@@ -5,13 +5,8 @@ use ppt::harness::{run_experiment, Experiment, Scheme, TopoKind};
 use ppt::workloads::{all_to_all, incast, SizeDistribution, WorkloadSpec};
 
 fn small_workload(topo: TopoKind, n_flows: usize, seed: u64) -> Vec<ppt::workloads::FlowSpec> {
-    let spec = WorkloadSpec::new(
-        SizeDistribution::web_search(),
-        0.4,
-        topo.edge_rate(),
-        n_flows,
-        seed,
-    );
+    let spec =
+        WorkloadSpec::new(SizeDistribution::web_search(), 0.4, topo.edge_rate(), n_flows, seed);
     all_to_all(topo.hosts(), &spec)
 }
 
@@ -60,13 +55,7 @@ fn every_scheme_completes_an_all_to_all_workload() {
 #[test]
 fn every_scheme_survives_poisson_incast() {
     let topo = TopoKind::Star { n: 8, rate_gbps: 10, delay_us: 20 };
-    let spec = WorkloadSpec::new(
-        SizeDistribution::web_search(),
-        0.5,
-        topo.edge_rate(),
-        40,
-        11,
-    );
+    let spec = WorkloadSpec::new(SizeDistribution::web_search(), 0.5, topo.edge_rate(), 40, 11);
     let flows = incast(7, &spec);
     for scheme in all_schemes() {
         let name = scheme.name();
@@ -84,13 +73,7 @@ fn schemes_work_on_the_leaf_spine_fabric() {
     // A trimmed-down leaf-spine sanity pass (the full 144-host fabric is
     // exercised by the bench binaries in release mode).
     let topo = TopoKind::Oversubscribed;
-    let spec = WorkloadSpec::new(
-        SizeDistribution::memcached_w1(),
-        0.3,
-        topo.edge_rate(),
-        150,
-        17,
-    );
+    let spec = WorkloadSpec::new(SizeDistribution::memcached_w1(), 0.3, topo.edge_rate(), 150, 17);
     let flows = all_to_all(topo.hosts(), &spec);
     for scheme in [Scheme::Dctcp, Scheme::Ppt, Scheme::Homa] {
         let name = scheme.name();
@@ -106,20 +89,17 @@ fn schemes_work_on_the_leaf_spine_fabric() {
 #[test]
 fn memcached_workload_runs_on_proactive_schemes() {
     let topo = TopoKind::Star { n: 6, rate_gbps: 10, delay_us: 20 };
-    let spec = WorkloadSpec::new(
-        SizeDistribution::memcached_w1(),
-        0.5,
-        topo.edge_rate(),
-        200,
-        29,
-    );
+    let spec = WorkloadSpec::new(SizeDistribution::memcached_w1(), 0.5, topo.edge_rate(), 200, 29);
     let flows = all_to_all(topo.hosts(), &spec);
     for scheme in [Scheme::Homa, Scheme::Aeolus, Scheme::Ndp, Scheme::Ppt] {
         let name = scheme.name();
         let outcome = run_experiment(&Experiment::new(topo, scheme, flows.clone()));
         assert!(outcome.completion_ratio > 0.999, "{name}: memcached stalled");
         // All flows are <=100KB: there must be no "large" bin.
-        assert!(outcome.fct.large_avg_us().is_nan(), "{name}: large flows in a small-only workload");
+        assert!(
+            outcome.fct.large_avg_us().is_nan(),
+            "{name}: large flows in a small-only workload"
+        );
     }
 }
 
@@ -127,13 +107,7 @@ fn memcached_workload_runs_on_proactive_schemes() {
 fn ppt_works_on_a_fat_tree() {
     // k=4 fat-tree, 16 hosts, PPT vs DCTCP across pods.
     let topo = TopoKind::FatTree { k: 4, edge_gbps: 10 };
-    let spec = WorkloadSpec::new(
-        SizeDistribution::web_search(),
-        0.4,
-        topo.edge_rate(),
-        80,
-        61,
-    );
+    let spec = WorkloadSpec::new(SizeDistribution::web_search(), 0.4, topo.edge_rate(), 80, 61);
     let flows = all_to_all(topo.hosts(), &spec);
     for scheme in [Scheme::Ppt, Scheme::Dctcp] {
         let name = scheme.name();

