@@ -112,10 +112,48 @@ fn bench_end_to_end() {
     }
 }
 
+/// Tracing overhead: the same run with no sink (the default engine
+/// path), the harness's bounded flight recorder, and a full in-memory
+/// capture. The no-sink path must stay within noise of pre-trace
+/// numbers — the sink is an `Option` checked per emission point.
+fn bench_tracing_overhead() {
+    use ppt::netsim::{star, Rate, RunLimits, SimDuration, SimTime, SwitchConfig};
+    use ppt::trace::{FlightRecorder, MemorySink, TraceSink};
+    use ppt::transports::{install_dctcp, Proto, TcpCfg};
+
+    let run = |sink: Option<Box<dyn TraceSink>>| {
+        let mut topo = star::<Proto>(
+            4,
+            Rate::gbps(10),
+            SimDuration::from_micros(20),
+            SwitchConfig::dctcp(200_000, 30_000),
+        );
+        let cfg = TcpCfg::new(topo.base_rtt);
+        install_dctcp(&mut topo, &cfg);
+        for i in 0..12u64 {
+            topo.sim.add_flow(
+                topo.hosts[(i % 3) as usize],
+                topo.hosts[3],
+                300_000,
+                SimTime(i * 20_000),
+                1,
+            );
+        }
+        if let Some(sink) = sink {
+            topo.sim.set_trace_sink(sink);
+        }
+        topo.sim.run(RunLimits::default()).events
+    };
+    bench("trace/off", 2, 30, || run(None));
+    bench("trace/flight_recorder_256", 2, 30, || run(Some(Box::new(FlightRecorder::new(256)))));
+    bench("trace/memory_sink", 2, 30, || run(Some(Box::new(MemorySink::new()))));
+}
+
 fn main() {
     println!("microbench (zero-dep harness; informational timings)");
     bench_interval_set();
     bench_switch();
     bench_core_state_machines();
     bench_end_to_end();
+    bench_tracing_overhead();
 }

@@ -8,6 +8,8 @@
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
+use dcn_trace::{TraceEvent, TraceSink};
+
 use crate::host::{Ctx, Effects, FlowDesc, Transport};
 use crate::ids::{FlowId, HostId, LinkId, NodeId, SwitchId};
 use crate::link::Link;
@@ -139,6 +141,29 @@ impl Default for RunLimits {
     }
 }
 
+/// Why [`Simulator::run`] returned.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StopReason {
+    /// The event heap drained: no further progress is possible. (Flows may
+    /// still be incomplete if the transport gave up on them.)
+    AllFlowsDone,
+    /// The `max_time` limit was reached; pending events were kept.
+    MaxTime,
+    /// The `max_events` budget was exhausted mid-run.
+    MaxEvents,
+}
+
+impl StopReason {
+    /// Stable snake_case tag (used in JSON output and warnings).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            StopReason::AllFlowsDone => "all_flows_done",
+            StopReason::MaxTime => "max_time",
+            StopReason::MaxEvents => "max_events",
+        }
+    }
+}
+
 /// Summary of a completed run.
 #[derive(Clone, Copy, Debug)]
 pub struct RunReport {
@@ -150,6 +175,16 @@ pub struct RunReport {
     pub flows_completed: usize,
     /// Total flows registered.
     pub flows_total: usize,
+    /// Which limit (if any) stopped the run.
+    pub stop: StopReason,
+}
+
+impl RunReport {
+    /// A run is abnormal when a limit tripped or flows were left hanging —
+    /// the condition that triggers the harness's flight-recorder dump.
+    pub fn is_abnormal(&self) -> bool {
+        self.stop != StopReason::AllFlowsDone || self.flows_completed < self.flows_total
+    }
 }
 
 /// The simulator.
@@ -166,6 +201,8 @@ pub struct Simulator<P: Payload> {
     effects: Effects<P>,
     events: u64,
     flows_completed: usize,
+    /// `None` = tracing disabled: every emission site reduces to one branch.
+    trace: Option<Box<dyn TraceSink>>,
     /// Measure wall-clock time in transport handlers (Fig-19 substitute).
     pub measure_cpu: bool,
 }
@@ -192,6 +229,7 @@ impl<P: Payload> Simulator<P> {
             effects: Effects::default(),
             events: 0,
             flows_completed: 0,
+            trace: None,
             measure_cpu: false,
         }
     }
@@ -442,6 +480,54 @@ impl<P: Payload> Simulator<P> {
         (h.cpu_ns, h.cpu_calls)
     }
 
+    /// Number of hosts in the topology.
+    pub fn host_count(&self) -> usize {
+        self.hosts.len()
+    }
+
+    /// Number of switches in the topology.
+    pub fn switch_count(&self) -> usize {
+        self.switches.len()
+    }
+
+    /// Number of egress ports on a switch.
+    pub fn port_count(&self, switch: SwitchId) -> usize {
+        self.switches[switch.0 as usize].ports.len()
+    }
+
+    /// Number of unidirectional links.
+    pub fn link_count(&self) -> usize {
+        self.links.len()
+    }
+
+    // ---------------------------------------------------------------
+    // Tracing
+    // ---------------------------------------------------------------
+
+    /// Install a trace sink; engine and transport events flow into it from
+    /// now on. Replaces any previously installed sink.
+    pub fn set_trace_sink(&mut self, sink: Box<dyn TraceSink>) {
+        self.trace = Some(sink);
+    }
+
+    /// Detach and return the trace sink (downcast via `TraceSink::as_any`
+    /// to recover the concrete type).
+    pub fn take_trace_sink(&mut self) -> Option<Box<dyn TraceSink>> {
+        self.trace.take()
+    }
+
+    /// Whether a trace sink is currently installed.
+    pub fn trace_enabled(&self) -> bool {
+        self.trace.is_some()
+    }
+
+    /// Forward an event to the sink, stamped with the current time.
+    fn emit(&mut self, ev: TraceEvent) {
+        if let Some(sink) = self.trace.as_mut() {
+            sink.emit(self.now.0, &ev);
+        }
+    }
+
     // ---------------------------------------------------------------
     // Event loop
     // ---------------------------------------------------------------
@@ -468,17 +554,20 @@ impl<P: Payload> Simulator<P> {
             }
         }
 
+        let mut stop = StopReason::AllFlowsDone;
         while let Some(entry) = self.heap.pop() {
             if entry.at > limits.max_time {
                 // Put it back for a potential future run() call.
                 self.heap.push(entry);
                 self.now = limits.max_time;
+                stop = StopReason::MaxTime;
                 break;
             }
             self.now = entry.at;
             self.events += 1;
             self.dispatch(entry.ev);
             if self.events >= limits.max_events {
+                stop = StopReason::MaxEvents;
                 break;
             }
         }
@@ -487,6 +576,7 @@ impl<P: Payload> Simulator<P> {
             events: self.events,
             flows_completed: self.flows_completed,
             flows_total: self.flows.len(),
+            stop,
         }
     }
 
@@ -494,6 +584,12 @@ impl<P: Payload> Simulator<P> {
         match ev {
             Ev::FlowStart(idx) => {
                 let flow = self.flows[idx as usize].clone();
+                self.emit(TraceEvent::FlowStart {
+                    flow: flow.id.0,
+                    src: flow.src.0,
+                    dst: flow.dst.0,
+                    size: flow.size_bytes,
+                });
                 let host = flow.src;
                 self.with_transport(host, |t, ctx| t.on_flow_start(&flow, ctx));
             }
@@ -505,6 +601,7 @@ impl<P: Payload> Simulator<P> {
             },
             Ev::TxDone { node, port } => self.tx_done(node, port),
             Ev::Timer { host, token } => {
+                self.emit(TraceEvent::Timer { host: host.0, token });
                 self.with_transport(host, |t, ctx| t.on_timer(token, ctx));
             }
             Ev::Sample(idx) => self.take_sample(idx),
@@ -521,12 +618,13 @@ impl<P: Payload> Simulator<P> {
         effects.clear();
         let now = self.now;
         {
+            let trace = self.trace.as_deref_mut();
             let slot = &mut self.hosts[host.0 as usize];
             let transport = slot
                 .transport
                 .as_deref_mut()
                 .unwrap_or_else(|| panic!("no transport installed on {host:?}")); // simlint: allow(panic_hygiene)
-            let mut ctx = Ctx::new(now, host, &mut effects);
+            let mut ctx = Ctx::with_trace(now, host, &mut effects, trace);
             if self.measure_cpu {
                 let t0 = std::time::Instant::now(); // simlint: allow(determinism)
                 f(transport, &mut ctx);
@@ -546,6 +644,7 @@ impl<P: Payload> Simulator<P> {
             if slot.is_none() {
                 *slot = Some(now);
                 self.flows_completed += 1;
+                self.emit(TraceEvent::FlowComplete { flow: flow.0 });
             }
         }
         let packets: Vec<Packet<P>> = effects.packets.drain(..).collect();
@@ -600,13 +699,49 @@ impl<P: Payload> Simulator<P> {
             ts: self.now,
             link_rate: rate,
         });
+        let (tflow, tprio, tbytes) = (pkt.flow.0, pkt.priority, pkt.payload_bytes() as u64);
         let sw = &mut self.switches[si];
         let port = &mut sw.ports[pi];
         let outcome = enqueue_policy(&sw.cfg, &mut port.queues, &mut port.counters, pkt);
+        let backlog = port.queues.total_bytes();
+        let busy = port.busy;
+        if self.trace.is_some() {
+            let (sw, port) = (switch.0, pi as u16);
+            match outcome {
+                EnqueueOutcome::Dropped => self.emit(TraceEvent::Drop {
+                    sw,
+                    port,
+                    flow: tflow,
+                    prio: tprio,
+                    bytes: tbytes,
+                }),
+                EnqueueOutcome::Trimmed => {
+                    self.emit(TraceEvent::Trim { sw, port, flow: tflow, prio: tprio })
+                }
+                EnqueueOutcome::Queued { marked } => {
+                    self.emit(TraceEvent::Enqueue {
+                        sw,
+                        port,
+                        flow: tflow,
+                        prio: tprio,
+                        qlen: backlog,
+                    });
+                    if marked {
+                        self.emit(TraceEvent::EcnMark {
+                            sw,
+                            port,
+                            flow: tflow,
+                            prio: tprio,
+                            qlen: backlog,
+                        });
+                    }
+                }
+            }
+        }
         match outcome {
             EnqueueOutcome::Dropped => {}
             EnqueueOutcome::Queued { .. } | EnqueueOutcome::Trimmed => {
-                if !port.busy {
+                if !busy {
                     self.start_tx_switch(switch, pi as u16);
                 }
             }
@@ -627,6 +762,7 @@ impl<P: Payload> Simulator<P> {
         let Some(pkt) = slot.queues.pop() else { return };
         slot.busy = true;
         let link_id = slot.link;
+        self.emit(TraceEvent::Dequeue { sw: switch.0, port, flow: pkt.flow.0, prio: pkt.priority });
         self.transmit(NodeId::Switch(switch), port, link_id, pkt);
     }
 

@@ -1,5 +1,7 @@
 //! Host endpoints and the transport-protocol interface.
 
+use dcn_trace::{TraceEvent, TraceSink};
+
 use crate::ids::{FlowId, HostId};
 use crate::packet::{Packet, Payload};
 use crate::time::{SimDuration, SimTime};
@@ -69,14 +71,41 @@ pub struct Ctx<'a, P> {
     now: SimTime,
     host: HostId,
     effects: &'a mut Effects<P>,
+    trace: Option<&'a mut dyn TraceSink>,
 }
 
 impl<'a, P: Payload> Ctx<'a, P> {
     /// Build a context around an effects sink. The engine does this for
     /// every dispatch; it is public so transport handlers can be driven
-    /// directly in unit tests.
+    /// directly in unit tests. Tracing is detached (`Ctx::emit` is a no-op).
     pub fn new(now: SimTime, host: HostId, effects: &'a mut Effects<P>) -> Self {
-        Ctx { now, host, effects }
+        Ctx { now, host, effects, trace: None }
+    }
+
+    /// Like [`Ctx::new`] but wired to a trace sink, so transport handlers
+    /// can publish protocol-level [`TraceEvent`]s. The engine uses this
+    /// when a sink is installed on the simulator.
+    pub fn with_trace(
+        now: SimTime,
+        host: HostId,
+        effects: &'a mut Effects<P>,
+        trace: Option<&'a mut dyn TraceSink>,
+    ) -> Self {
+        Ctx { now, host, effects, trace }
+    }
+
+    /// Whether a trace sink is attached. Lets handlers skip bookkeeping
+    /// (or allocation) whose only purpose is to feed the trace.
+    pub fn tracing(&self) -> bool {
+        self.trace.is_some()
+    }
+
+    /// Publish a protocol-level trace event stamped with the current
+    /// simulated time. A single branch when tracing is disabled.
+    pub fn emit(&mut self, ev: TraceEvent) {
+        if let Some(sink) = self.trace.as_mut() {
+            sink.emit(self.now.0, &ev);
+        }
     }
 
     /// Current simulated time.

@@ -43,7 +43,9 @@ pub mod time;
 pub mod topology;
 pub mod units;
 
-pub use engine::{RunLimits, RunReport, Sample, SamplerId, Simulator};
+pub use dcn_trace as trace;
+pub use dcn_trace::{TraceEvent, TraceSink};
+pub use engine::{RunLimits, RunReport, Sample, SamplerId, Simulator, StopReason};
 pub use host::{Ctx, FlowDesc, Transport};
 pub use ids::{FlowId, HostId, LinkId, NodeId, SwitchId};
 pub use packet::{

@@ -2,12 +2,18 @@
 //! workload, run, and collect FCT statistics — the loop every figure of
 //! the paper runs.
 
+use netsim::trace::{encode_line, FlightRecorder, MemorySink, MetricsRegistry, TraceEvent};
 use netsim::{Rate, RunLimits, SimDuration, SimTime, SwitchConfig, Topology};
 use transports::{MwRecorder, Proto, TcpCfg};
 use workloads::FlowSpec;
 
 use dcn_stats::FctStats;
 use ppt_core::PptConfig;
+
+/// Ring capacity of the always-on flight recorder: enough to show the
+/// final few RTTs of activity when a run ends abnormally, small enough
+/// that steady-state runs pay only a bounded-ring write per event.
+pub const FLIGHT_RECORDER_EVENTS: usize = 256;
 
 /// Everything scheme installation needs to know about the environment.
 #[derive(Clone, Debug)]
@@ -442,11 +448,141 @@ where
     }
     workloads::install_flows(&mut topo.sim, &topo.hosts, &exp.flows);
     pre_run(&mut topo);
+    if !topo.sim.trace_enabled() {
+        // No caller-installed sink: keep a bounded flight recorder running
+        // so abnormal stops can dump the tail of the event stream.
+        topo.sim.set_trace_sink(Box::new(FlightRecorder::new(FLIGHT_RECORDER_EVENTS)));
+    }
     let report = topo.sim.run(RunLimits { max_time: exp.max_time, max_events: exp.max_events });
+    if report.is_abnormal() {
+        warn_abnormal(exp, &mut topo.sim, &report);
+    }
     let fct = FctStats::from_sim(&topo.sim);
     let completion_ratio = FctStats::completion_ratio(&topo.sim);
     let counters = topo.sim.total_counters();
     Outcome { fct, completion_ratio, counters, sim: topo.sim, report }
+}
+
+/// Report an abnormal stop on stderr and, when the run was recorded by
+/// the default [`FlightRecorder`], dump the ring's tail as JSONL.
+fn warn_abnormal(exp: &Experiment, sim: &mut netsim::Simulator<Proto>, report: &netsim::RunReport) {
+    eprintln!(
+        "warning: {} run stopped abnormally: reason={} flows={}/{}",
+        exp.scheme.name(),
+        report.stop.as_str(),
+        report.flows_completed,
+        report.flows_total,
+    );
+    let Some(sink) = sim.take_trace_sink() else { return };
+    if let Some(rec) = sink.as_any().downcast_ref::<FlightRecorder>() {
+        if !rec.is_empty() {
+            eprintln!("flight recorder: last {} of {} events:", rec.len(), rec.total_seen());
+            eprint!("{}", rec.to_jsonl());
+        }
+    }
+    sim.set_trace_sink(sink);
+}
+
+/// A captured event stream from a traced run.
+#[derive(Clone, Debug, Default)]
+pub struct TraceData {
+    /// `(time_ns, event)` pairs in emission order.
+    pub events: Vec<(u64, TraceEvent)>,
+}
+
+impl TraceData {
+    /// Encode the stream as JSON Lines (one event object per line).
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for (at, ev) in &self.events {
+            encode_line(&mut out, *at, ev);
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Run an experiment with full event capture: a [`MemorySink`] replaces
+/// the default flight recorder and records every engine + transport
+/// event. Same experiment (topology, scheme, flows, seed) ⇒ identical
+/// event stream.
+pub fn run_experiment_traced(exp: &Experiment) -> (Outcome, TraceData) {
+    let mut outcome =
+        run_experiment_with(exp, |topo| topo.sim.set_trace_sink(Box::new(MemorySink::new())));
+    let events = outcome
+        .sim
+        .take_trace_sink()
+        .and_then(|sink| {
+            sink.as_any().downcast_ref::<MemorySink>().map(|mem| mem.events().to_vec())
+        })
+        .unwrap_or_default();
+    (outcome, TraceData { events })
+}
+
+/// Distill an [`Outcome`] into a deterministic [`MetricsRegistry`]:
+/// engine totals, per-port switch counters (quiet ports skipped), link
+/// byte/packet counts, and the paper's FCT summary as gauges.
+pub fn collect_metrics(outcome: &Outcome) -> MetricsRegistry {
+    let mut m = MetricsRegistry::new();
+    let report = &outcome.report;
+    m.set_counter("engine.events", report.events);
+    m.set_counter("engine.end_time_ns", report.end_time.0);
+    m.set_counter(&format!("engine.stop.{}", report.stop.as_str()), 1);
+    m.set_counter("flows.total", report.flows_total as u64);
+    m.set_counter("flows.completed", report.flows_completed as u64);
+    m.set_gauge("flows.completion_ratio", outcome.completion_ratio);
+
+    let t = &outcome.counters;
+    m.set_counter("switch.total.enqueued", t.enqueued);
+    m.set_counter("switch.total.dropped", t.dropped);
+    m.set_counter("switch.total.trimmed", t.trimmed);
+    m.set_counter("switch.total.marked", t.marked);
+    m.set_counter("switch.total.evicted", t.evicted);
+    m.set_counter("switch.total.dropped_bytes", t.dropped_bytes);
+
+    let sim = &outcome.sim;
+    for si in 0..sim.switch_count() {
+        let sw = netsim::SwitchId(si as u32);
+        for pi in 0..sim.port_count(sw) {
+            let c = sim.port_counters(sw, pi as u16);
+            if c.enqueued == 0 && c.dropped == 0 && c.trimmed == 0 && c.marked == 0 {
+                continue;
+            }
+            let prefix = format!("sw{si}.port{pi}");
+            m.set_counter(&format!("{prefix}.enqueued"), c.enqueued);
+            if c.dropped > 0 {
+                m.set_counter(&format!("{prefix}.dropped"), c.dropped);
+            }
+            if c.trimmed > 0 {
+                m.set_counter(&format!("{prefix}.trimmed"), c.trimmed);
+            }
+            if c.marked > 0 {
+                m.set_counter(&format!("{prefix}.marked"), c.marked);
+            }
+            if c.evicted > 0 {
+                m.set_counter(&format!("{prefix}.evicted"), c.evicted);
+            }
+        }
+    }
+    let mut link_bytes = 0u64;
+    let mut link_packets = 0u64;
+    for li in 0..sim.link_count() {
+        let l = sim.link(netsim::LinkId(li as u32));
+        link_bytes += l.tx_bytes;
+        link_packets += l.tx_packets;
+    }
+    m.set_counter("links.tx_bytes", link_bytes);
+    m.set_counter("links.tx_packets", link_packets);
+
+    let s = outcome.fct.summary();
+    m.set_counter("fct.count.all", s.counts.0 as u64);
+    m.set_counter("fct.count.small", s.counts.1 as u64);
+    m.set_counter("fct.count.large", s.counts.2 as u64);
+    m.set_gauge("fct.overall_avg_us", s.overall_avg_us);
+    m.set_gauge("fct.small_avg_us", s.small_avg_us);
+    m.set_gauge("fct.small_p99_us", s.small_p99_us);
+    m.set_gauge("fct.large_avg_us", s.large_avg_us);
+    m
 }
 
 #[cfg(test)]

@@ -41,10 +41,12 @@ pub mod table1;
 
 pub use dcn_stats as stats;
 pub use netsim;
+pub use netsim::trace;
 pub use ppt_core as core;
 pub use transports;
 pub use workloads;
 
 pub use harness::{
-    run_experiment, run_experiment_with, Experiment, Outcome, Scheme, SchemeEnv, TopoKind,
+    collect_metrics, run_experiment, run_experiment_traced, run_experiment_with, Experiment,
+    Outcome, Scheme, SchemeEnv, TopoKind, TraceData,
 };

@@ -9,16 +9,20 @@ pub struct Args {
 }
 
 impl Args {
-    /// Parse a `--key value --key2 value2 …` list; rejects bare tokens
-    /// and dangling keys.
+    /// Parse a `--key value --key2 value2 …` list. A `--key` followed by
+    /// another option (or by nothing) is a boolean flag and stores
+    /// `"true"`. Bare tokens are rejected.
     pub fn parse(argv: &[String]) -> Result<Args, String> {
         let mut values = HashMap::new();
-        let mut it = argv.iter();
+        let mut it = argv.iter().peekable();
         while let Some(tok) = it.next() {
             let key =
                 tok.strip_prefix("--").ok_or_else(|| format!("expected --option, got '{tok}'"))?;
-            let val = it.next().ok_or_else(|| format!("--{key} needs a value"))?;
-            values.insert(key.to_string(), val.clone());
+            let val = match it.peek() {
+                Some(next) if !next.starts_with("--") => it.next().cloned().unwrap_or_default(),
+                _ => "true".to_string(),
+            };
+            values.insert(key.to_string(), val);
         }
         Ok(Args { values })
     }
@@ -26,6 +30,11 @@ impl Args {
     /// Raw value of `--key`.
     pub fn get(&self, key: &str) -> Option<&str> {
         self.values.get(key).map(|s| s.as_str())
+    }
+
+    /// True when `--key` was given as a bare flag (or as `--key true`).
+    pub fn flag(&self, key: &str) -> bool {
+        matches!(self.get(key), Some("true"))
     }
 
     /// Parse `--key` as `T`, defaulting when absent.
@@ -54,9 +63,18 @@ mod tests {
     }
 
     #[test]
-    fn rejects_bare_tokens_and_dangling_keys() {
+    fn rejects_bare_tokens() {
         assert!(Args::parse(&sv(&["load"])).is_err());
-        assert!(Args::parse(&sv(&["--load"])).is_err());
+    }
+
+    #[test]
+    fn valueless_keys_are_boolean_flags() {
+        let a = Args::parse(&sv(&["--json", "--seed", "7", "--metrics"])).unwrap();
+        assert!(a.flag("json"));
+        assert!(a.flag("metrics"));
+        assert!(!a.flag("seed"));
+        assert!(!a.flag("absent"));
+        assert_eq!(a.parse_or::<u64>("seed", 0).unwrap(), 7);
     }
 
     #[test]

@@ -4,14 +4,19 @@
 //! ```text
 //! pptlab compare --schemes ppt,dctcp,homa --topo testbed --workload websearch \
 //!                --load 0.5 --flows 600 --seed 42
+//! pptlab trace --schemes ppt --workload websearch --seed 42 --out runs/
 //! pptlab schemes            # list every scheme id
 //! pptlab topos              # list topology ids
 //! ```
 
 use std::process::ExitCode;
 
-use ppt::harness::{run_experiment, Experiment, Scheme, TopoKind};
-use ppt::workloads::{all_to_all, incast, SizeDistribution, WorkloadSpec};
+use ppt::harness::{
+    collect_metrics, run_experiment, run_experiment_traced, Experiment, Scheme, TopoKind,
+};
+use ppt::stats::analyze_lcp;
+use ppt::trace::JsonObject;
+use ppt::workloads::{all_to_all, incast, FlowSpec, SizeDistribution, WorkloadSpec};
 
 mod args;
 
@@ -22,22 +27,26 @@ pptlab — PPT reproduction laboratory
 
 USAGE:
   pptlab compare [OPTIONS]     run schemes on one workload and print FCT rows
+  pptlab trace [OPTIONS]       record a traced run: events.jsonl + metrics.json
   pptlab gen [OPTIONS] > t.csv generate a flow trace as CSV on stdout
   pptlab schemes               list scheme ids
   pptlab topos                 list topology ids
   pptlab workloads             list workload ids
 
-OPTIONS (compare):
-  --schemes a,b,c   comma-separated scheme ids        [default: ppt,dctcp]
+OPTIONS (compare, trace):
+  --schemes a,b,c   comma-separated scheme ids        [default: ppt,dctcp / ppt]
   --topo ID         testbed | oversub | nonoversub | highspeed | star:<n>:<gbps>:<delay_us>
                                                       [default: testbed]
   --workload ID     websearch | datamining | memcached [default: websearch]
   --load F          network load in (0,1]             [default: 0.5]
-  --flows N         number of flows                   [default: 400]
+  --flows N         number of flows                   [default: 400 / 80]
   --seed N          workload seed                     [default: 42]
   --incast N        N-to-1 incast with N senders instead of all-to-all
   --trace FILE      replay a CSV flow trace instead of generating one
                     (columns: src,dst,size_bytes,start_ns,first_write_bytes)
+  --json            (compare) print one JSON document instead of the table
+  --metrics         (compare) also collect + print per-scheme metrics
+  --out DIR         (trace) output directory          [default: .]
 ";
 
 fn parse_scheme(id: &str) -> Option<Scheme> {
@@ -133,21 +142,37 @@ fn parse_workload(id: &str) -> Option<SizeDistribution> {
     })
 }
 
-fn cmd_compare(args: &Args) -> Result<(), String> {
-    let scheme_list = args.get("schemes").unwrap_or("ppt,dctcp");
-    let schemes: Vec<Scheme> = scheme_list
+/// Everything `compare` and `trace` share: topology, workload, and the
+/// concrete flow list (generated, incast, or replayed from CSV).
+struct RunSetup {
+    topo: TopoKind,
+    dist: SizeDistribution,
+    load: f64,
+    flows: usize,
+    seed: u64,
+    flow_list: Vec<FlowSpec>,
+}
+
+fn parse_schemes(args: &Args, default: &str) -> Result<Vec<(String, Scheme)>, String> {
+    args.get("schemes")
+        .unwrap_or(default)
         .split(',')
         .map(|s| {
-            parse_scheme(s.trim())
-                .ok_or_else(|| format!("unknown scheme '{s}' (try `pptlab schemes`)"))
+            let id = s.trim();
+            parse_scheme(id)
+                .map(|scheme| (id.replace(':', "-"), scheme))
+                .ok_or_else(|| format!("unknown scheme '{id}' (try `pptlab schemes`)"))
         })
-        .collect::<Result<_, _>>()?;
+        .collect()
+}
+
+fn parse_setup(args: &Args, default_flows: usize) -> Result<RunSetup, String> {
     let topo = parse_topo(args.get("topo").unwrap_or("testbed"))
         .ok_or_else(|| "bad --topo (try `pptlab topos`)".to_string())?;
     let dist = parse_workload(args.get("workload").unwrap_or("websearch"))
         .ok_or_else(|| "bad --workload (try `pptlab workloads`)".to_string())?;
     let load: f64 = args.parse_or("load", 0.5)?;
-    let flows: usize = args.parse_or("flows", 400)?;
+    let flows: usize = args.parse_or("flows", default_flows)?;
     let seed: u64 = args.parse_or("seed", 42)?;
 
     let spec = WorkloadSpec::new(dist.clone(), load, topo.edge_rate(), flows, seed);
@@ -178,33 +203,119 @@ fn cmd_compare(args: &Args) -> Result<(), String> {
             None => all_to_all(topo.hosts(), &spec),
         }
     };
+    Ok(RunSetup { topo, dist, load, flows, seed, flow_list })
+}
 
-    println!(
-        "topo={:?} workload={} load={} flows={} seed={}\n",
-        topo,
-        dist.name(),
-        load,
-        flows,
-        seed
-    );
-    println!(
-        "{:<24} {:>12} {:>12} {:>12} {:>12} {:>8} {:>10}",
-        "scheme", "overall(us)", "small avg", "small p99", "large avg", "done%", "drops"
-    );
-    for scheme in schemes {
-        let name = scheme.name();
-        let outcome = run_experiment(&Experiment::new(topo, scheme, flow_list.clone()));
-        let s = outcome.fct.summary();
+fn cmd_compare(args: &Args) -> Result<(), String> {
+    let schemes = parse_schemes(args, "ppt,dctcp")?;
+    let setup = parse_setup(args, 400)?;
+    let json_mode = args.flag("json");
+    let with_metrics = args.flag("metrics");
+
+    if !json_mode {
         println!(
-            "{:<24} {:>12.1} {:>12.1} {:>12.1} {:>12.1} {:>8.1} {:>10}",
-            name,
-            s.overall_avg_us,
-            s.small_avg_us,
-            s.small_p99_us,
-            s.large_avg_us,
-            outcome.completion_ratio * 100.0,
-            outcome.counters.dropped
+            "topo={:?} workload={} load={} flows={} seed={}\n",
+            setup.topo,
+            setup.dist.name(),
+            setup.load,
+            setup.flows,
+            setup.seed
         );
+        println!(
+            "{:<24} {:>12} {:>12} {:>12} {:>12} {:>8} {:>10}",
+            "scheme", "overall(us)", "small avg", "small p99", "large avg", "done%", "drops"
+        );
+    }
+    let mut rows = String::from("[");
+    let mut metric_blocks: Vec<(String, String)> = Vec::new();
+    for (i, (_, scheme)) in schemes.iter().enumerate() {
+        let name = scheme.name();
+        let outcome =
+            run_experiment(&Experiment::new(setup.topo, scheme.clone(), setup.flow_list.clone()));
+        let s = outcome.fct.summary();
+        if json_mode {
+            let mut row = JsonObject::new()
+                .str("scheme", &name)
+                .f64("overall_avg_us", s.overall_avg_us)
+                .f64("small_avg_us", s.small_avg_us)
+                .f64("small_p99_us", s.small_p99_us)
+                .f64("large_avg_us", s.large_avg_us)
+                .f64("completion_ratio", outcome.completion_ratio)
+                .u64("drops", outcome.counters.dropped);
+            if with_metrics {
+                row = row.raw("metrics", collect_metrics(&outcome).to_json().trim_end());
+            }
+            if i > 0 {
+                rows.push(',');
+            }
+            rows.push_str(&row.finish());
+        } else {
+            println!(
+                "{:<24} {:>12.1} {:>12.1} {:>12.1} {:>12.1} {:>8.1} {:>10}",
+                name,
+                s.overall_avg_us,
+                s.small_avg_us,
+                s.small_p99_us,
+                s.large_avg_us,
+                outcome.completion_ratio * 100.0,
+                outcome.counters.dropped
+            );
+            if with_metrics {
+                metric_blocks.push((name, collect_metrics(&outcome).to_json()));
+            }
+        }
+    }
+    if json_mode {
+        rows.push(']');
+        let doc = JsonObject::new()
+            .str("topo", &format!("{:?}", setup.topo))
+            .str("workload", setup.dist.name())
+            .f64("load", setup.load)
+            .u64("flows", setup.flows as u64)
+            .u64("seed", setup.seed)
+            .raw("schemes", &rows)
+            .finish();
+        println!("{doc}");
+    } else {
+        for (name, json) in metric_blocks {
+            println!("\n--- metrics: {name} ---");
+            print!("{json}");
+        }
+    }
+    Ok(())
+}
+
+fn cmd_trace(args: &Args) -> Result<(), String> {
+    let schemes = parse_schemes(args, "ppt")?;
+    let setup = parse_setup(args, 80)?;
+    let out_dir = std::path::PathBuf::from(args.get("out").unwrap_or("."));
+    std::fs::create_dir_all(&out_dir).map_err(|e| format!("--out {}: {e}", out_dir.display()))?;
+
+    let single = schemes.len() == 1;
+    for (id, scheme) in &schemes {
+        let exp = Experiment::new(setup.topo, scheme.clone(), setup.flow_list.clone());
+        let (outcome, trace) = run_experiment_traced(&exp);
+        let metrics = collect_metrics(&outcome);
+        let (ev_path, m_path) = if single {
+            (out_dir.join("events.jsonl"), out_dir.join("metrics.json"))
+        } else {
+            (out_dir.join(format!("{id}.events.jsonl")), out_dir.join(format!("{id}.metrics.json")))
+        };
+        std::fs::write(&ev_path, trace.to_jsonl())
+            .map_err(|e| format!("{}: {e}", ev_path.display()))?;
+        std::fs::write(&m_path, metrics.to_json())
+            .map_err(|e| format!("{}: {e}", m_path.display()))?;
+        println!(
+            "{}: {} events -> {}, metrics -> {}",
+            scheme.name(),
+            trace.events.len(),
+            ev_path.display(),
+            m_path.display()
+        );
+        let lcp = analyze_lcp(&trace.events, setup.topo.base_rtt());
+        if !lcp.loops.is_empty() {
+            print!("{}", lcp.render());
+        }
     }
     Ok(())
 }
@@ -216,7 +327,7 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     };
     match cmd.as_str() {
-        "compare" => {
+        "compare" | "trace" => {
             let args = match Args::parse(&argv[1..]) {
                 Ok(a) => a,
                 Err(e) => {
@@ -224,7 +335,8 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             };
-            if let Err(e) = cmd_compare(&args) {
+            let run = if cmd == "compare" { cmd_compare } else { cmd_trace };
+            if let Err(e) = run(&args) {
                 eprintln!("error: {e}");
                 return ExitCode::FAILURE;
             }

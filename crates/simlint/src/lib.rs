@@ -17,11 +17,12 @@
 //!
 //! | rule id          | what it enforces |
 //! |------------------|------------------|
-//! | `determinism`    | no wall-clock/entropy (`Instant::now`, `SystemTime`, `thread_rng`, `from_entropy`) and no unordered containers (`HashMap`/`HashSet`) in `netsim`, `core`, `transports` non-test code |
+//! | `determinism`    | no wall-clock/entropy (`Instant::now`, `SystemTime`, `thread_rng`, `from_entropy`) and no unordered containers (`HashMap`/`HashSet`) in `netsim`, `core`, `transports`, `trace` non-test code |
 //! | `panic_hygiene`  | no `unwrap()` / `expect(...)` / `panic!` in library code (binaries, benches and tests may) |
 //! | `float_cmp`      | no `==` / `!=` against a floating-point literal |
 //! | `forbid_unsafe`  | every crate root starts with `#![forbid(unsafe_code)]` |
 //! | `paper_constants`| λ_LCP = 0.1 < λ_HCP = 0.17 (Eq. 3) and the 1-ACK-per-2-LCP-packets constant match DESIGN.md |
+//! | `trace_schema`   | every `TraceEvent` variant has a JSONL encoder arm in `encode_line` (`crates/trace/src/event.rs`) |
 //!
 //! ## Pragmas
 //!
@@ -71,7 +72,7 @@ pub struct FileClass {
 
 /// Crates whose non-test code must be free of wall-clock randomness and
 /// unordered-container iteration (the simulation result path).
-pub const DETERMINISM_CRATES: &[&str] = &["netsim", "core", "transports"];
+pub const DETERMINISM_CRATES: &[&str] = &["netsim", "core", "transports", "trace"];
 
 /// Classify a workspace-relative path (forward slashes).
 pub fn classify(rel_path: &str) -> FileClass {
@@ -113,6 +114,7 @@ pub fn lint_workspace(root: &Path) -> Result<Vec<Violation>, String> {
         out.extend(lint_source(&rel, &content));
     }
     rules::check_paper_constants(root, &mut out);
+    rules::check_trace_schema(root, &mut out);
     Ok(out)
 }
 

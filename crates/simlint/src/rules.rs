@@ -19,6 +19,9 @@ pub enum Rule {
     ForbidUnsafe,
     /// Paper constants must match DESIGN.md (checked workspace-wide).
     PaperConstants,
+    /// Every `TraceEvent` variant must have a JSONL encoder arm
+    /// (checked workspace-wide).
+    TraceSchema,
 }
 
 /// Every per-file rule, in reporting order.
@@ -34,6 +37,7 @@ impl Rule {
             Rule::FloatCmp => "float_cmp",
             Rule::ForbidUnsafe => "forbid_unsafe",
             Rule::PaperConstants => "paper_constants",
+            Rule::TraceSchema => "trace_schema",
         }
     }
 
@@ -50,7 +54,7 @@ impl Rule {
             Rule::PanicHygiene => check_panic_hygiene(rel_path, class, src, out),
             Rule::FloatCmp => check_float_cmp(rel_path, class, src, out),
             Rule::ForbidUnsafe => check_forbid_unsafe(rel_path, class, src, out),
-            Rule::PaperConstants => {}
+            Rule::PaperConstants | Rule::TraceSchema => {}
         }
     }
 }
@@ -375,5 +379,84 @@ pub fn check_paper_constants(root: &Path, out: &mut Vec<Violation>) {
             }
         }
         Err(e) => fail(cfg_path, format!("unreadable: {e}")),
+    }
+}
+
+/// Rule `trace_schema`: every variant of the `TraceEvent` enum must have
+/// a matching `TraceEvent::<Variant>` encoder arm inside `encode_line`
+/// (`crates/trace/src/event.rs`). A variant without an arm would compile
+/// fine — `encode_line`'s match is total only because the rustc
+/// exhaustiveness check covers the *enum*, not the JSONL schema — but
+/// its events would be missing from every events.jsonl on disk.
+pub fn check_trace_schema(root: &Path, out: &mut Vec<Violation>) {
+    let path = "crates/trace/src/event.rs";
+    let mut fail = |line: usize, message: String| {
+        out.push(Violation { file: path.to_owned(), line, rule: Rule::TraceSchema, message });
+    };
+    let text = match std::fs::read_to_string(root.join(path)) {
+        Ok(t) => t,
+        Err(e) => {
+            fail(1, format!("unreadable: {e}"));
+            return;
+        }
+    };
+    let masked = MaskedSource::new(&text);
+
+    // Variants: lines at brace depth 1 inside `pub enum TraceEvent`
+    // starting with an uppercase identifier.
+    let mut variants: Vec<(usize, String)> = Vec::new();
+    let mut in_enum = false;
+    let mut depth = 0i32;
+    for (idx, line) in masked.lines.iter().enumerate() {
+        if !in_enum {
+            if line.contains("enum") && !token_positions(line, "TraceEvent").is_empty() {
+                in_enum = true;
+                depth = 0;
+            } else {
+                continue;
+            }
+        } else if depth == 1 {
+            let trimmed = line.trim_start();
+            if trimmed.starts_with(|c: char| c.is_ascii_uppercase()) {
+                let name: String = trimmed.chars().take_while(|&c| is_ident_char(c)).collect();
+                variants.push((idx + 1, name));
+            }
+        }
+        for c in line.chars() {
+            match c {
+                '{' => depth += 1,
+                '}' => depth -= 1,
+                _ => {}
+            }
+        }
+        if depth == 0 && line.contains('}') {
+            break;
+        }
+    }
+    if variants.is_empty() {
+        fail(1, "no `pub enum TraceEvent` variants found".into());
+        return;
+    }
+
+    // The encoder: from `fn encode_line` to its top-level closing brace.
+    let Some(start) = masked.lines.iter().position(|l| l.contains("fn encode_line")) else {
+        fail(1, "`fn encode_line` not found".into());
+        return;
+    };
+    let end = masked.lines[start..]
+        .iter()
+        .position(|l| l.trim_end() == "}")
+        .map_or(masked.lines.len(), |p| start + p + 1);
+    let body = &masked.lines[start..end];
+
+    for (line_no, v) in &variants {
+        let needle = format!("TraceEvent::{v}");
+        let encoded = body.iter().any(|l| !token_positions(l, &needle).is_empty());
+        if !encoded {
+            fail(
+                *line_no,
+                format!("`{needle}` has no encoder arm in encode_line; events.jsonl would drop it"),
+            );
+        }
     }
 }

@@ -141,6 +141,45 @@ fn paper_constants_fire_on_drift() {
     std::fs::remove_dir_all(&tmp).ok();
 }
 
+#[test]
+fn trace_schema_fires_on_missing_encoder_arm() {
+    let tmp = std::env::temp_dir().join(format!("simlint-traceschema-{}", std::process::id()));
+    let trace_src = tmp.join("crates/trace/src");
+    std::fs::create_dir_all(&trace_src).expect("mkdir fixture tree");
+    let broken = "\
+pub enum TraceEvent {
+    FlowStart { flow: u64 },
+    Orphan { flow: u64 },
+}
+
+pub fn encode_line(out: &mut String, at: u64, ev: &TraceEvent) {
+    match ev {
+        TraceEvent::FlowStart { flow } => {}
+        _ => {}
+    }
+}
+";
+    std::fs::write(trace_src.join("event.rs"), broken).expect("write event fixture");
+    let mut out = Vec::new();
+    simlint::rules::check_trace_schema(&tmp, &mut out);
+    assert!(
+        out.iter().any(|v| v.rule == Rule::TraceSchema && v.message.contains("Orphan")),
+        "variant without an encoder arm must fire: {out:?}"
+    );
+    assert!(
+        !out.iter().any(|v| v.message.contains("FlowStart")),
+        "encoded variant must not fire: {out:?}"
+    );
+
+    // Fixed: every variant has an arm → clean.
+    let fixed = broken.replace("_ => {}", "TraceEvent::Orphan { flow } => {}");
+    std::fs::write(trace_src.join("event.rs"), fixed).expect("write fixed fixture");
+    let mut out = Vec::new();
+    simlint::rules::check_trace_schema(&tmp, &mut out);
+    assert!(out.is_empty(), "complete encoder must be clean: {out:?}");
+    std::fs::remove_dir_all(&tmp).ok();
+}
+
 /// THE gate: the real workspace must be violation-free. This is what
 /// wires simlint into plain `cargo test`.
 #[test]

@@ -8,9 +8,11 @@
 //! occupancy shares and transfer efficiency.
 
 pub mod fct;
+pub mod lcp;
 pub mod series;
 
 pub use fct::{FctRecord, FctStats, FctSummary, SMALL_FLOW_MAX_BYTES};
+pub use lcp::{analyze_lcp, LcpLoop, LcpReport};
 pub use series::{
     jain_index, mean_utilization, occupancy_split, utilization_series, OccupancySplit,
     UtilizationPoint,

@@ -1,0 +1,243 @@
+//! The typed trace-event stream.
+//!
+//! Every variant is `Copy` and built from plain integers/bools, so
+//! constructing an event never allocates: with no sink attached, tracing
+//! costs exactly one branch per emission site.
+//!
+//! Two layers feed the stream. The *engine* emits flow lifecycle, queue
+//! and timer events from inside `Simulator`; *transports* publish
+//! protocol-level events (PPT's LCP loop lifecycle, EWD ACK decisions,
+//! DCTCP alpha/cwnd updates, PIAS demotions) through `Ctx::emit`.
+//!
+//! The JSONL wire format is one object per line, `at` (sim-time ns) and
+//! `ev` (the [`TraceEvent::kind`] tag) first, then variant fields. The
+//! encoder in [`encode_line`] must have one arm per variant — simlint's
+//! `trace_schema` rule enforces that.
+
+use std::fmt::Write;
+
+/// Why an LCP (low-priority control loop) was opened.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LcpTrigger {
+    /// Case 1: opened at flow start to fill the first-RTT gap (§3.1).
+    FlowStart,
+    /// Case 2: opened when DCTCP's alpha pinned at its minimum, i.e. the
+    /// flow observed persistent queue headroom (§3.1).
+    QueueBuildup,
+}
+
+impl LcpTrigger {
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            LcpTrigger::FlowStart => "flow_start",
+            LcpTrigger::QueueBuildup => "queue_buildup",
+        }
+    }
+}
+
+/// Why an LCP was closed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LcpCloseReason {
+    /// Every byte the loop could usefully send is covered by the HCP.
+    FlowDone,
+    /// The loop's expiry timer lapsed without useful work left.
+    Expired,
+}
+
+impl LcpCloseReason {
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            LcpCloseReason::FlowDone => "flow_done",
+            LcpCloseReason::Expired => "expired",
+        }
+    }
+}
+
+/// One trace event. Time is carried next to the event by the sink
+/// (`TraceSink::emit(at, ev)`), not inside it.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum TraceEvent {
+    /// The application handed `flow` to the transport at its source host.
+    FlowStart { flow: u64, src: u32, dst: u32, size: u64 },
+    /// The receiver reported every byte of `flow` delivered.
+    FlowComplete { flow: u64 },
+    /// A packet was admitted to a switch egress queue.
+    Enqueue { sw: u32, port: u16, flow: u64, prio: u8, qlen: u64 },
+    /// A packet left a switch egress queue for serialization.
+    Dequeue { sw: u32, port: u16, flow: u64, prio: u8 },
+    /// A packet was dropped at admission (buffer exhausted).
+    Drop { sw: u32, port: u16, flow: u64, prio: u8, bytes: u64 },
+    /// A packet was ECN-marked at admission (instantaneous queue > K).
+    EcnMark { sw: u32, port: u16, flow: u64, prio: u8, qlen: u64 },
+    /// A packet's payload was trimmed to a header at admission (NDP-style).
+    Trim { sw: u32, port: u16, flow: u64, prio: u8 },
+    /// A transport timer fired.
+    Timer { host: u32, token: u64 },
+    /// A sender retransmitted the segment at `offset`.
+    Retransmit { flow: u64, offset: u64, len: u64 },
+    /// PPT opened a low-priority control loop.
+    LcpOpened { flow: u64, trigger: LcpTrigger, init_bytes: u64 },
+    /// PPT closed a low-priority control loop.
+    LcpClosed { flow: u64, reason: LcpCloseReason },
+    /// An LCP ACK arrived; `sent_new` records whether it clocked out new
+    /// packets (EWD: ECE-marked LCP ACKs must not, §3.2).
+    LcpAck { flow: u64, ece: bool, sent_new: bool },
+    /// The LCP sent the segment at `offset` (tail side).
+    LcpSend { flow: u64, offset: u64, len: u64 },
+    /// DCTCP's per-round congestion estimate was updated.
+    AlphaUpdate { flow: u64, alpha: f64 },
+    /// The HCP congestion window changed (post-ACK value, bytes).
+    CwndUpdate { flow: u64, cwnd: u64 },
+    /// PIAS demoted `flow` between priority levels.
+    PiasDemote { flow: u64, from: u8, to: u8 },
+}
+
+impl TraceEvent {
+    /// The `ev` tag used in the JSONL encoding.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            TraceEvent::FlowStart { .. } => "flow_start",
+            TraceEvent::FlowComplete { .. } => "flow_complete",
+            TraceEvent::Enqueue { .. } => "enqueue",
+            TraceEvent::Dequeue { .. } => "dequeue",
+            TraceEvent::Drop { .. } => "drop",
+            TraceEvent::EcnMark { .. } => "ecn_mark",
+            TraceEvent::Trim { .. } => "trim",
+            TraceEvent::Timer { .. } => "timer",
+            TraceEvent::Retransmit { .. } => "retransmit",
+            TraceEvent::LcpOpened { .. } => "lcp_opened",
+            TraceEvent::LcpClosed { .. } => "lcp_closed",
+            TraceEvent::LcpAck { .. } => "lcp_ack",
+            TraceEvent::LcpSend { .. } => "lcp_send",
+            TraceEvent::AlphaUpdate { .. } => "alpha_update",
+            TraceEvent::CwndUpdate { .. } => "cwnd_update",
+            TraceEvent::PiasDemote { .. } => "pias_demote",
+        }
+    }
+}
+
+/// Append the JSONL encoding of `(at, ev)` to `out` (no trailing newline).
+///
+/// simlint's `trace_schema` rule checks that every `TraceEvent` variant
+/// appears as an arm inside this function's body.
+pub fn encode_line(out: &mut String, at: u64, ev: &TraceEvent) {
+    let _ = write!(out, "{{\"at\":{at},\"ev\":\"{}\"", ev.kind());
+    match *ev {
+        TraceEvent::FlowStart { flow, src, dst, size } => {
+            let _ = write!(out, ",\"flow\":{flow},\"src\":{src},\"dst\":{dst},\"size\":{size}");
+        }
+        TraceEvent::FlowComplete { flow } => {
+            let _ = write!(out, ",\"flow\":{flow}");
+        }
+        TraceEvent::Enqueue { sw, port, flow, prio, qlen } => {
+            let _ = write!(
+                out,
+                ",\"sw\":{sw},\"port\":{port},\"flow\":{flow},\"prio\":{prio},\"qlen\":{qlen}"
+            );
+        }
+        TraceEvent::Dequeue { sw, port, flow, prio } => {
+            let _ = write!(out, ",\"sw\":{sw},\"port\":{port},\"flow\":{flow},\"prio\":{prio}");
+        }
+        TraceEvent::Drop { sw, port, flow, prio, bytes } => {
+            let _ = write!(
+                out,
+                ",\"sw\":{sw},\"port\":{port},\"flow\":{flow},\"prio\":{prio},\"bytes\":{bytes}"
+            );
+        }
+        TraceEvent::EcnMark { sw, port, flow, prio, qlen } => {
+            let _ = write!(
+                out,
+                ",\"sw\":{sw},\"port\":{port},\"flow\":{flow},\"prio\":{prio},\"qlen\":{qlen}"
+            );
+        }
+        TraceEvent::Trim { sw, port, flow, prio } => {
+            let _ = write!(out, ",\"sw\":{sw},\"port\":{port},\"flow\":{flow},\"prio\":{prio}");
+        }
+        TraceEvent::Timer { host, token } => {
+            let _ = write!(out, ",\"host\":{host},\"token\":{token}");
+        }
+        TraceEvent::Retransmit { flow, offset, len } => {
+            let _ = write!(out, ",\"flow\":{flow},\"offset\":{offset},\"len\":{len}");
+        }
+        TraceEvent::LcpOpened { flow, trigger, init_bytes } => {
+            let _ = write!(
+                out,
+                ",\"flow\":{flow},\"trigger\":\"{}\",\"init_bytes\":{init_bytes}",
+                trigger.as_str()
+            );
+        }
+        TraceEvent::LcpClosed { flow, reason } => {
+            let _ = write!(out, ",\"flow\":{flow},\"reason\":\"{}\"", reason.as_str());
+        }
+        TraceEvent::LcpAck { flow, ece, sent_new } => {
+            let _ = write!(out, ",\"flow\":{flow},\"ece\":{ece},\"sent_new\":{sent_new}");
+        }
+        TraceEvent::LcpSend { flow, offset, len } => {
+            let _ = write!(out, ",\"flow\":{flow},\"offset\":{offset},\"len\":{len}");
+        }
+        TraceEvent::AlphaUpdate { flow, alpha } => {
+            let _ = write!(out, ",\"flow\":{flow},\"alpha\":");
+            crate::json::push_f64(out, alpha);
+        }
+        TraceEvent::CwndUpdate { flow, cwnd } => {
+            let _ = write!(out, ",\"flow\":{flow},\"cwnd\":{cwnd}");
+        }
+        TraceEvent::PiasDemote { flow, from, to } => {
+            let _ = write!(out, ",\"flow\":{flow},\"from\":{from},\"to\":{to}");
+        }
+    }
+    out.push('}');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLES: &[TraceEvent] = &[
+        TraceEvent::FlowStart { flow: 1, src: 0, dst: 3, size: 1_000_000 },
+        TraceEvent::FlowComplete { flow: 1 },
+        TraceEvent::Enqueue { sw: 0, port: 2, flow: 1, prio: 0, qlen: 2920 },
+        TraceEvent::Dequeue { sw: 0, port: 2, flow: 1, prio: 0 },
+        TraceEvent::Drop { sw: 0, port: 2, flow: 1, prio: 7, bytes: 1460 },
+        TraceEvent::EcnMark { sw: 0, port: 2, flow: 1, prio: 0, qlen: 95_000 },
+        TraceEvent::Trim { sw: 0, port: 2, flow: 1, prio: 0 },
+        TraceEvent::Timer { host: 4, token: 77 },
+        TraceEvent::Retransmit { flow: 1, offset: 1460, len: 1460 },
+        TraceEvent::LcpOpened { flow: 1, trigger: LcpTrigger::FlowStart, init_bytes: 85_000 },
+        TraceEvent::LcpClosed { flow: 1, reason: LcpCloseReason::FlowDone },
+        TraceEvent::LcpAck { flow: 1, ece: true, sent_new: false },
+        TraceEvent::LcpSend { flow: 1, offset: 900_000, len: 1460 },
+        TraceEvent::AlphaUpdate { flow: 1, alpha: 0.0625 },
+        TraceEvent::CwndUpdate { flow: 1, cwnd: 14_600 },
+        TraceEvent::PiasDemote { flow: 1, from: 0, to: 1 },
+    ];
+
+    #[test]
+    fn every_variant_encodes_to_one_json_object_line() {
+        for ev in SAMPLES {
+            let mut line = String::new();
+            encode_line(&mut line, 123, ev);
+            assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+            assert!(!line.contains('\n'), "{line}");
+            assert!(line.starts_with("{\"at\":123,\"ev\":\""), "{line}");
+            assert!(line.contains(ev.kind()), "{line} missing kind {}", ev.kind());
+        }
+    }
+
+    #[test]
+    fn encoding_is_stable() {
+        let mut line = String::new();
+        encode_line(
+            &mut line,
+            42,
+            &TraceEvent::LcpOpened { flow: 9, trigger: LcpTrigger::QueueBuildup, init_bytes: 10 },
+        );
+        assert_eq!(
+            line,
+            r#"{"at":42,"ev":"lcp_opened","flow":9,"trigger":"queue_buildup","init_bytes":10}"#
+        );
+        line.clear();
+        encode_line(&mut line, 7, &TraceEvent::LcpAck { flow: 2, ece: true, sent_new: false });
+        assert_eq!(line, r#"{"at":7,"ev":"lcp_ack","flow":2,"ece":true,"sent_new":false}"#);
+    }
+}

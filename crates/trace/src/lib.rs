@@ -1,0 +1,33 @@
+#![forbid(unsafe_code)]
+//! # dcn-trace — flight-recorder tracing and metrics
+//!
+//! A zero-dependency observability layer for the simulator and the
+//! transports. Three pieces:
+//!
+//! - **[`TraceEvent`]**: a typed, `Copy` event stream covering engine-level
+//!   happenings (flow start/complete, enqueue/dequeue/drop, ECN mark,
+//!   timer, retransmit) and protocol-level ones (LCP loop lifecycle, EWD
+//!   ACKs, alpha/cwnd updates, PIAS demotions). Events are plain integers
+//!   and bools — constructing one never allocates, so the disabled path
+//!   costs a single branch.
+//! - **[`TraceSink`]**: where events go. [`MemorySink`] keeps everything
+//!   (tests, analyzers), [`JsonlSink`] eagerly encodes to JSON-lines text,
+//!   and [`FlightRecorder`] is a bounded ring that keeps only the last N
+//!   events for post-mortem dumps on abnormal runs.
+//! - **[`MetricsRegistry`]**: BTreeMap-keyed counters and gauges with a
+//!   hand-rolled, deterministically ordered JSON snapshot. No serde; the
+//!   workspace stays offline.
+//!
+//! Determinism contract: every event field is derived from simulated state,
+//! and every serialization iterates in `BTreeMap`/insertion order, so the
+//! same seed produces byte-identical `events.jsonl` and `metrics.json`.
+
+pub mod event;
+pub mod json;
+pub mod metrics;
+pub mod sink;
+
+pub use event::{encode_line, LcpCloseReason, LcpTrigger, TraceEvent};
+pub use json::JsonObject;
+pub use metrics::MetricsRegistry;
+pub use sink::{FlightRecorder, JsonlSink, MemorySink, TraceSink};

@@ -1,0 +1,133 @@
+//! A deterministic metrics registry: named counters and gauges keyed by
+//! `BTreeMap`, so iteration (and therefore the JSON snapshot) is always
+//! in lexicographic key order regardless of insertion order.
+
+use std::collections::BTreeMap;
+use std::fmt::Write;
+
+use crate::json::{push_escaped, push_f64};
+
+/// Monotonic `u64` counters plus `f64` gauges, snapshot to hand-rolled
+/// JSON. Keys are dotted paths (`"sw0.port1.dropped"`, `"flows.completed"`).
+#[derive(Debug, Default, Clone)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+}
+
+impl MetricsRegistry {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add `delta` to counter `key` (creating it at zero).
+    pub fn add(&mut self, key: &str, delta: u64) {
+        *self.counters.entry(key.to_string()).or_insert(0) += delta;
+    }
+
+    /// Set counter `key` to an absolute value.
+    pub fn set_counter(&mut self, key: &str, value: u64) {
+        self.counters.insert(key.to_string(), value);
+    }
+
+    /// Set gauge `key`.
+    pub fn set_gauge(&mut self, key: &str, value: f64) {
+        self.gauges.insert(key.to_string(), value);
+    }
+
+    /// Current value of a counter (0 if never touched).
+    pub fn counter(&self, key: &str) -> u64 {
+        self.counters.get(key).copied().unwrap_or(0)
+    }
+
+    /// Current value of a gauge.
+    pub fn gauge(&self, key: &str) -> Option<f64> {
+        self.gauges.get(key).copied()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty()
+    }
+
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    pub fn gauges(&self) -> impl Iterator<Item = (&str, f64)> {
+        self.gauges.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// Deterministic pretty-printed JSON snapshot:
+    /// `{"counters": {...}, "gauges": {...}}` with keys in sorted order.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"counters\": {");
+        let mut first = true;
+        for (k, v) in &self.counters {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str("\n    \"");
+            push_escaped(&mut out, k);
+            let _ = write!(out, "\": {v}");
+        }
+        if !first {
+            out.push_str("\n  ");
+        }
+        out.push_str("},\n  \"gauges\": {");
+        let mut first = true;
+        for (k, v) in &self.gauges {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str("\n    \"");
+            push_escaped(&mut out, k);
+            out.push_str("\": ");
+            push_f64(&mut out, *v);
+        }
+        if !first {
+            out.push_str("\n  ");
+        }
+        out.push_str("}\n}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_gauges_overwrite() {
+        let mut m = MetricsRegistry::new();
+        m.add("a.b", 2);
+        m.add("a.b", 3);
+        m.set_gauge("g", 0.25);
+        m.set_gauge("g", 0.5);
+        assert_eq!(m.counter("a.b"), 5);
+        assert_eq!(m.counter("missing"), 0);
+        assert_eq!(m.gauge("g"), Some(0.5));
+    }
+
+    #[test]
+    fn json_snapshot_is_sorted_and_insertion_order_independent() {
+        let mut a = MetricsRegistry::new();
+        a.add("z", 1);
+        a.add("a", 2);
+        a.set_gauge("m", 1.5);
+        let mut b = MetricsRegistry::new();
+        b.set_gauge("m", 1.5);
+        b.add("a", 2);
+        b.add("z", 1);
+        assert_eq!(a.to_json(), b.to_json());
+        let json = a.to_json();
+        assert!(json.find("\"a\": 2").unwrap() < json.find("\"z\": 1").unwrap(), "{json}");
+    }
+
+    #[test]
+    fn empty_registry_serializes_to_empty_sections() {
+        let json = MetricsRegistry::new().to_json();
+        assert_eq!(json, "{\n  \"counters\": {},\n  \"gauges\": {}\n}\n");
+    }
+}

@@ -1,0 +1,222 @@
+//! Trace sinks: where the event stream goes.
+
+use std::any::Any;
+use std::collections::VecDeque;
+
+use crate::event::{encode_line, TraceEvent};
+
+/// A consumer of trace events.
+///
+/// The simulator holds `Option<Box<dyn TraceSink>>`; `None` is the
+/// strictly zero-cost disabled path. `Any` is a supertrait so callers can
+/// take the sink back from the engine and downcast to the concrete type
+/// (`sink.as_any().downcast_ref::<MemorySink>()`).
+pub trait TraceSink: Any {
+    /// Consume one event stamped with simulated time `at` (nanoseconds).
+    fn emit(&mut self, at: u64, ev: &TraceEvent);
+
+    fn as_any(&self) -> &dyn Any;
+    fn as_any_mut(&mut self) -> &mut dyn Any;
+}
+
+/// Keeps every event in memory. The sink for tests and for the
+/// `stats` analyzers, which want typed events rather than text.
+#[derive(Debug, Default, Clone)]
+pub struct MemorySink {
+    events: Vec<(u64, TraceEvent)>,
+}
+
+impl MemorySink {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn events(&self) -> &[(u64, TraceEvent)] {
+        &self.events
+    }
+
+    pub fn into_events(self) -> Vec<(u64, TraceEvent)> {
+        self.events
+    }
+
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Encode the whole stream as JSON-lines text (one trailing newline
+    /// per event).
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for (at, ev) in &self.events {
+            encode_line(&mut out, *at, ev);
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl TraceSink for MemorySink {
+    fn emit(&mut self, at: u64, ev: &TraceEvent) {
+        self.events.push((at, *ev));
+    }
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// Encodes every event to JSONL text eagerly. Streams into one growing
+/// `String` buffer the caller writes to disk when the run ends.
+#[derive(Debug, Default, Clone)]
+pub struct JsonlSink {
+    buf: String,
+}
+
+impl JsonlSink {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn as_str(&self) -> &str {
+        &self.buf
+    }
+
+    pub fn into_string(self) -> String {
+        self.buf
+    }
+}
+
+impl TraceSink for JsonlSink {
+    fn emit(&mut self, at: u64, ev: &TraceEvent) {
+        encode_line(&mut self.buf, at, ev);
+        self.buf.push('\n');
+    }
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+/// A bounded ring buffer keeping only the last `cap` events — the flight
+/// recorder. Cheap enough to leave on for every run; dumped when a run
+/// ends abnormally (event budget exhausted, incomplete flows).
+#[derive(Debug, Clone)]
+pub struct FlightRecorder {
+    cap: usize,
+    ring: VecDeque<(u64, TraceEvent)>,
+    total: u64,
+}
+
+impl FlightRecorder {
+    /// `cap` is clamped to at least 1.
+    pub fn new(cap: usize) -> Self {
+        let cap = cap.max(1);
+        FlightRecorder { cap, ring: VecDeque::with_capacity(cap), total: 0 }
+    }
+
+    /// Total events seen, including those already evicted from the ring.
+    pub fn total_seen(&self) -> u64 {
+        self.total
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    pub fn len(&self) -> usize {
+        self.ring.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.ring.is_empty()
+    }
+
+    /// The retained events, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &(u64, TraceEvent)> {
+        self.ring.iter()
+    }
+
+    /// JSONL dump of the retained tail, oldest first.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for (at, ev) in &self.ring {
+            encode_line(&mut out, *at, ev);
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl TraceSink for FlightRecorder {
+    fn emit(&mut self, at: u64, ev: &TraceEvent) {
+        if self.ring.len() == self.cap {
+            self.ring.pop_front();
+        }
+        self.ring.push_back((at, *ev));
+        self.total += 1;
+    }
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memory_sink_records_in_order() {
+        let mut s = MemorySink::new();
+        s.emit(1, &TraceEvent::FlowComplete { flow: 0 });
+        s.emit(2, &TraceEvent::FlowComplete { flow: 1 });
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.events()[0].0, 1);
+        assert_eq!(s.to_jsonl().lines().count(), 2);
+    }
+
+    #[test]
+    fn jsonl_sink_matches_memory_sink_encoding() {
+        let evs = [
+            (5, TraceEvent::Timer { host: 1, token: 9 }),
+            (6, TraceEvent::FlowComplete { flow: 3 }),
+        ];
+        let mut a = MemorySink::new();
+        let mut b = JsonlSink::new();
+        for (at, ev) in &evs {
+            a.emit(*at, ev);
+            b.emit(*at, ev);
+        }
+        assert_eq!(a.to_jsonl(), b.as_str());
+    }
+
+    #[test]
+    fn flight_recorder_keeps_only_the_tail() {
+        let mut r = FlightRecorder::new(3);
+        for i in 0..10u64 {
+            r.emit(i, &TraceEvent::FlowComplete { flow: i });
+        }
+        assert_eq!(r.total_seen(), 10);
+        assert_eq!(r.len(), 3);
+        let kept: Vec<u64> = r.events().map(|(at, _)| *at).collect();
+        assert_eq!(kept, vec![7, 8, 9]);
+    }
+
+    #[test]
+    fn downcast_through_the_trait_object_works() {
+        let mut boxed: Box<dyn TraceSink> = Box::new(MemorySink::new());
+        boxed.emit(1, &TraceEvent::FlowComplete { flow: 0 });
+        let mem = boxed.as_any().downcast_ref::<MemorySink>().unwrap();
+        assert_eq!(mem.len(), 1);
+    }
+}

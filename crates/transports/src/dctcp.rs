@@ -5,7 +5,7 @@ use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::rc::Rc;
 
-use netsim::{Ctx, FlowDesc, FlowId, Packet, Transport};
+use netsim::{Ctx, FlowDesc, FlowId, Packet, TraceEvent, Transport};
 
 use crate::common::Token;
 use crate::proto::{DataHdr, Proto};
@@ -76,6 +76,13 @@ impl DctcpTransport {
     fn pump(flow: &mut DctcpFlowTx, ecn: bool, ctx: &mut Ctx<'_, Proto>) {
         let now = ctx.now();
         while let Some(seg) = flow.next_segment(now) {
+            if seg.retx {
+                ctx.emit(TraceEvent::Retransmit {
+                    flow: flow.id.0,
+                    offset: seg.offset,
+                    len: seg.len as u64,
+                });
+            }
             let hdr = DataHdr {
                 offset: seg.offset,
                 len: seg.len,
@@ -136,7 +143,13 @@ impl Transport<Proto> for DctcpTransport {
             }
             Proto::Ack(ack) => {
                 let Some(flow) = self.tx.get_mut(&pkt.flow) else { return };
-                flow.on_ack(ack, ctx.now());
+                let out = flow.on_ack(ack, ctx.now());
+                if ctx.tracing() {
+                    if let Some(alpha) = out.round_alpha {
+                        ctx.emit(TraceEvent::AlphaUpdate { flow: pkt.flow.0, alpha });
+                    }
+                    ctx.emit(TraceEvent::CwndUpdate { flow: pkt.flow.0, cwnd: flow.cwnd_bytes() });
+                }
                 if flow.is_done() {
                     Self::record_mw(&self.mw_recorder, flow);
                 } else {

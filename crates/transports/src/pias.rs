@@ -9,7 +9,7 @@
 
 use std::collections::BTreeMap;
 
-use netsim::{Ctx, FlowDesc, FlowId, Packet, Transport};
+use netsim::{Ctx, FlowDesc, FlowId, Packet, TraceEvent, Transport};
 
 use crate::common::Token;
 use crate::dctcp::TIMER_RTO;
@@ -44,12 +44,21 @@ pub struct PiasTransport {
     cfg: PiasCfg,
     tx: BTreeMap<FlowId, DctcpFlowTx>,
     rx: BTreeMap<FlowId, TcpRx>,
+    /// Last priority each flow's packets were tagged with — only
+    /// maintained while tracing, to emit `PiasDemote` on level changes.
+    traced_prio: BTreeMap<FlowId, u8>,
 }
 
 impl PiasTransport {
     /// New endpoint.
     pub fn new(tcp: TcpCfg, cfg: PiasCfg) -> Self {
-        PiasTransport { tcp, cfg, tx: BTreeMap::new(), rx: BTreeMap::new() }
+        PiasTransport {
+            tcp,
+            cfg,
+            tx: BTreeMap::new(),
+            rx: BTreeMap::new(),
+            traced_prio: BTreeMap::new(),
+        }
     }
 
     fn pump(&mut self, id: FlowId, ctx: &mut Ctx<'_, Proto>) {
@@ -58,6 +67,15 @@ impl PiasTransport {
         let (src, dst, size) = (flow.src, flow.dst, flow.size);
         while let Some(seg) = flow.next_segment(now) {
             let prio = self.cfg.priority(flow.bytes_sent);
+            if ctx.tracing() {
+                let prev = *self.traced_prio.get(&id).unwrap_or(&0);
+                if prio > prev {
+                    ctx.emit(TraceEvent::PiasDemote { flow: id.0, from: prev, to: prio });
+                }
+                if prio != prev {
+                    self.traced_prio.insert(id, prio);
+                }
+            }
             let hdr = DataHdr {
                 offset: seg.offset,
                 len: seg.len,

@@ -20,7 +20,8 @@
 
 use std::collections::BTreeMap;
 
-use netsim::{Ctx, Ecn, FlowDesc, FlowId, Packet, SimDuration, Transport};
+use netsim::trace::{LcpCloseReason, LcpTrigger};
+use netsim::{Ctx, Ecn, FlowDesc, FlowId, Packet, SimDuration, TraceEvent, Transport};
 use ppt_core::{
     initial_window_case1, initial_window_case2, FlowIdentifier, LcpAction, LcpLoop, LoopTrigger,
     MinTracker, MirrorTagger, PptConfig,
@@ -91,6 +92,13 @@ impl PptTransport {
         };
         let (src, dst, size) = (f.hcp.src, f.hcp.dst, f.hcp.size);
         for seg in outgoing {
+            if seg.retx {
+                ctx.emit(TraceEvent::Retransmit {
+                    flow: id.0,
+                    offset: seg.offset,
+                    len: seg.len as u64,
+                });
+            }
             let hdr = DataHdr {
                 offset: seg.offset,
                 len: seg.len,
@@ -147,6 +155,7 @@ impl PptTransport {
             Packet::data(id, f.hcp.src, f.hcp.dst, len, Proto::Data(hdr)).with_priority(prio);
         pkt.ecn = if lcp_ecn { Ecn::capable() } else { Ecn::not_capable() };
         ctx.send(pkt);
+        ctx.emit(TraceEvent::LcpSend { flow: id.0, offset: start, len: len as u64 });
         true
     }
 
@@ -173,6 +182,14 @@ impl PptTransport {
             let interval_ns = (rtt.as_nanos() as u128 * mss as u128 / init_bytes as u128) as u64;
             f.pace_interval = SimDuration::from_nanos(interval_ns.max(1));
         }
+        ctx.emit(TraceEvent::LcpOpened {
+            flow: id.0,
+            trigger: match trigger {
+                LoopTrigger::FlowStart => LcpTrigger::FlowStart,
+                LoopTrigger::AlphaMinimum => LcpTrigger::QueueBuildup,
+            },
+            init_bytes,
+        });
         let gen = self.tx[&id].lcp_gen;
         if ewd {
             // First paced packet goes out immediately; the timer drives the
@@ -207,8 +224,10 @@ impl PptTransport {
         );
     }
 
-    fn close_lcp(f: &mut PptFlowTx) {
-        f.lcp = None;
+    fn close_lcp(f: &mut PptFlowTx, id: FlowId, reason: LcpCloseReason, ctx: &mut Ctx<'_, Proto>) {
+        if f.lcp.take().is_some() {
+            ctx.emit(TraceEvent::LcpClosed { flow: id.0, reason });
+        }
         f.lcp_gen = f.lcp_gen.wrapping_add(1);
         f.pace_remaining = 0;
     }
@@ -264,7 +283,7 @@ impl Transport<Proto> for PptTransport {
                     let Some(f) = self.tx.get_mut(&pkt.flow) else { return };
                     f.hcp.on_lcp_ack(&ack, now);
                     if f.hcp.is_done() {
-                        Self::close_lcp(f);
+                        Self::close_lcp(f, pkt.flow, LcpCloseReason::FlowDone, ctx);
                         (0, false)
                     } else if let Some(lcp) = f.lcp.as_mut() {
                         match lcp.on_low_priority_ack(ack.ece, now) {
@@ -281,11 +300,14 @@ impl Transport<Proto> for PptTransport {
                     }
                 };
                 let _ = open_more;
+                let mut sent = 0u32;
                 for _ in 0..send_count {
                     if !self.send_lcp_segment(pkt.flow, ctx) {
                         break;
                     }
+                    sent += 1;
                 }
+                ctx.emit(TraceEvent::LcpAck { flow: pkt.flow.0, ece: ack.ece, sent_new: sent > 0 });
             }
             Proto::Ack(ack) => {
                 let ack = ack.clone();
@@ -297,8 +319,17 @@ impl Transport<Proto> for PptTransport {
                     let out = f.hcp.on_ack(&ack, now);
                     round_alpha = out.round_alpha;
                     done = f.hcp.is_done();
+                    if ctx.tracing() {
+                        if let Some(alpha) = round_alpha {
+                            ctx.emit(TraceEvent::AlphaUpdate { flow: pkt.flow.0, alpha });
+                        }
+                        ctx.emit(TraceEvent::CwndUpdate {
+                            flow: pkt.flow.0,
+                            cwnd: f.hcp.cwnd_bytes(),
+                        });
+                    }
                     if done {
-                        Self::close_lcp(f);
+                        Self::close_lcp(f, pkt.flow, LcpCloseReason::FlowDone, ctx);
                     }
                 }
                 if !done {
@@ -385,7 +416,12 @@ impl Transport<Proto> for PptTransport {
                 }
                 let Some(lcp) = f.lcp.as_ref() else { return };
                 if lcp.is_expired(ctx.now(), rtt) || f.hcp.is_done() {
-                    Self::close_lcp(f);
+                    let reason = if f.hcp.is_done() {
+                        LcpCloseReason::FlowDone
+                    } else {
+                        LcpCloseReason::Expired
+                    };
+                    Self::close_lcp(f, id, reason, ctx);
                 } else {
                     ctx.timer_after(
                         rtt,

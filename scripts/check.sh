@@ -18,4 +18,16 @@ echo "==> tier-1: build + tests"
 cargo build --release
 cargo test -q
 
+echo "==> pptlab trace smoke (byte-identical reruns)"
+TRACE_TMP="${TMPDIR:-/tmp}/pptlab-trace-smoke.$$"
+mkdir -p "$TRACE_TMP/a" "$TRACE_TMP/b"
+./target/release/pptlab trace --schemes ppt --topo star:4:10:20 --workload websearch \
+    --flows 40 --seed 42 --out "$TRACE_TMP/a" > /dev/null
+./target/release/pptlab trace --schemes ppt --topo star:4:10:20 --workload websearch \
+    --flows 40 --seed 42 --out "$TRACE_TMP/b" > /dev/null
+cmp "$TRACE_TMP/a/events.jsonl" "$TRACE_TMP/b/events.jsonl"
+cmp "$TRACE_TMP/a/metrics.json" "$TRACE_TMP/b/metrics.json"
+test -s "$TRACE_TMP/a/events.jsonl"
+rm -rf "$TRACE_TMP"
+
 echo "check.sh: all green"
