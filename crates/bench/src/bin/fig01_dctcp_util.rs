@@ -28,13 +28,20 @@ fn main() {
     exp.env.k_high = 120_000;
     exp.env.port_buffer = 1_000_000;
 
-    let mut sampler = None;
-    let outcome = run_experiment_with(&exp, |t| {
-        let port = t.sim.switch_port_towards(t.leaves[0], NodeId::Host(t.hosts[2])).unwrap();
-        let link = t.sim.switch_port_link(t.leaves[0], port);
-        sampler = Some(t.sim.sample_link(link, SimDuration::from_micros(100), SimTime(60_000_000)));
+    // One point with a custom sampler extraction, run via the sweep
+    // layer's generic primitive (the simulator stays on the worker; only
+    // the utilization series comes back).
+    let mut results = ppt::sweep::run_points(1, bench::jobs(), |_| {
+        let mut sampler = None;
+        let outcome = run_experiment_with(&exp, |t| {
+            let port = t.sim.switch_port_towards(t.leaves[0], NodeId::Host(t.hosts[2])).unwrap();
+            let link = t.sim.switch_port_link(t.leaves[0], port);
+            sampler =
+                Some(t.sim.sample_link(link, SimDuration::from_micros(100), SimTime(60_000_000)));
+        });
+        utilization_series(outcome.sim.samples(sampler.unwrap()), topo.edge_rate())
     });
-    let series = utilization_series(outcome.sim.samples(sampler.unwrap()), topo.edge_rate());
+    let series = results.pop().unwrap();
     // Steady state: skip the first 10ms, print a 10ms window.
     // Busy-period statistics: with Poisson arrivals at load 0.5 the link
     // is legitimately idle between flows; the paper's point is that

@@ -14,9 +14,14 @@ fn main() {
     let flows =
         bench::workload_all_to_all(topo, SizeDistribution::data_mining(), 0.6, bench::n_flows(250));
     bench::fct_header();
+    // Two-pass Hypothetical points run through the shared sweep runner —
+    // each worker performs its own oracle recording pass.
+    let fracs = [0.5, 1.0, 1.5];
+    let schemes: Vec<Scheme> = fracs.iter().map(|&f| Scheme::Hypothetical(f)).collect();
+    let results = bench::sweep_and_print(topo, &schemes, &flows);
     let mut best = (f64::MAX, 0.0);
-    for frac in [0.5, 1.0, 1.5] {
-        let s = bench::run_and_print(topo, Scheme::Hypothetical(frac), &flows);
+    for (r, &frac) in results.iter().zip(&fracs) {
+        let s = r.fct.summary();
         if s.overall_avg_us < best.0 {
             best = (s.overall_avg_us, frac);
         }

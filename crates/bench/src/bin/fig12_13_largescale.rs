@@ -18,9 +18,7 @@ fn main() {
         let flows =
             bench::workload_all_to_all(topo, dist.clone(), 0.5, bench::n_flows(default_flows));
         bench::fct_header();
-        for scheme in bench::large_scale_schemes() {
-            bench::run_and_print(topo, scheme, &flows);
-        }
+        bench::sweep_and_print(topo, &bench::large_scale_schemes(), &flows);
         println!();
     }
 }

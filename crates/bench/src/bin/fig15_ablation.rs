@@ -13,8 +13,8 @@ fn main() {
     let flows =
         bench::workload_all_to_all(topo, SizeDistribution::web_search(), 0.5, bench::n_flows(1200));
     bench::fct_header();
-    let full = bench::run_and_print(topo, Scheme::Ppt, &flows);
-    let ablated = bench::run_and_print(topo, Scheme::PptNoLcpEcn, &flows);
+    let results = bench::sweep_and_print(topo, &[Scheme::Ppt, Scheme::PptNoLcpEcn], &flows);
+    let (full, ablated) = (results[0].fct.summary(), results[1].fct.summary());
     println!(
         "\nablation slowdown: overall {:+.1}%, small avg {:+.1}%, small p99 {:+.1}%",
         (ablated.overall_avg_us / full.overall_avg_us - 1.0) * 100.0,

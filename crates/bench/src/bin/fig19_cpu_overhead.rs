@@ -35,7 +35,7 @@ fn main() {
             // Rebuild manually so we can flip measure_cpu on.
             let mut t = exp.topo.build(exp.scheme.switch_config(&exp.env));
             t.sim.measure_cpu = true;
-            exp.scheme.install(&mut t, &exp.env);
+            exp.scheme.install(&mut t, &exp.env).expect("single-pass scheme");
             ppt::workloads::install_flows(&mut t.sim, &t.hosts, &exp.flows);
             t.sim.run(RunLimits { max_time: exp.max_time, max_events: exp.max_events });
             let (ns, calls): (u64, u64) = t

@@ -14,7 +14,5 @@ fn main() {
     let flows =
         bench::workload_all_to_all(topo, SizeDistribution::web_search(), 0.5, bench::n_flows(1500));
     bench::fct_header();
-    for scheme in bench::large_scale_schemes() {
-        bench::run_and_print(topo, scheme, &flows);
-    }
+    bench::sweep_and_print(topo, &bench::large_scale_schemes(), &flows);
 }

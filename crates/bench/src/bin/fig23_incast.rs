@@ -2,7 +2,8 @@
 //! (little spare bandwidth to harvest) and beats Homa/Aeolus.
 //! RC3 is excluded, as in the paper (it cannot sustain heavy incast).
 
-use ppt::harness::{Scheme, TopoKind};
+use ppt::harness::{Experiment, Scheme, TopoKind};
+use ppt::sweep::SweepSpec;
 use ppt::workloads::SizeDistribution;
 
 fn main() {
@@ -13,7 +14,11 @@ fn main() {
     );
     let topo = TopoKind::Oversubscribed;
     println!("{:<12} {:>6} {:>14} {:>8}", "scheme", "N", "overall(us)", "done%");
-    for &n in &[32usize, 64, 128] {
+    // The full N x scheme grid as one sweep, printed in grid order.
+    let ns = [32usize, 64, 128];
+    let schemes = [Scheme::Ndp, Scheme::Aeolus, Scheme::Homa, Scheme::Dctcp, Scheme::Ppt];
+    let mut spec = SweepSpec::new().jobs(bench::jobs());
+    for &n in &ns {
         let flows = bench::workload_incast(
             topo,
             SizeDistribution::web_search(),
@@ -21,22 +26,22 @@ fn main() {
             bench::n_flows(400),
             n,
         );
-        for scheme in [Scheme::Ndp, Scheme::Aeolus, Scheme::Homa, Scheme::Dctcp, Scheme::Ppt] {
-            let name = scheme.name();
-            let outcome = ppt::harness::run_experiment(&ppt::harness::Experiment::new(
-                topo,
-                scheme,
-                flows.clone(),
-            ));
-            println!(
-                "{:<12} {:>6} {:>14.1} {:>8.1}",
-                name,
-                n,
-                outcome.fct.overall_avg_us(),
-                outcome.completion_ratio * 100.0
-            );
+        for scheme in &schemes {
+            spec = spec.point(scheme.name(), Experiment::new(topo, scheme.clone(), flows.clone()));
         }
-        println!();
+    }
+    for (i, r) in spec.run().iter().enumerate() {
+        let n = ns[i / schemes.len()];
+        println!(
+            "{:<12} {:>6} {:>14.1} {:>8.1}",
+            r.label,
+            n,
+            r.fct.overall_avg_us(),
+            r.completion_ratio * 100.0
+        );
+        if (i + 1) % schemes.len() == 0 {
+            println!();
+        }
     }
     println!("note: N=256 exceeds the 144-host fabric; the paper's sweep tops out our host count at 128.");
 }

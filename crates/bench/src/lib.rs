@@ -7,9 +7,12 @@
 //!
 //! * `PPT_FLOWS` — flows per experiment point (default varies per figure)
 //! * `PPT_SEED`  — workload seed (default 42)
+//! * `PPT_JOBS`  — sweep worker threads (default 1; output is identical
+//!   for any value, only wall-clock changes)
 
 use ppt::harness::{run_experiment, Experiment, Scheme, TopoKind};
 use ppt::stats::FctSummary;
+use ppt::sweep::{PointResult, SweepSpec};
 use ppt::workloads::{all_to_all, incast, FlowSpec, SizeDistribution, WorkloadSpec};
 
 /// Flows per experiment point (env-overridable).
@@ -20,6 +23,11 @@ pub fn n_flows(default: usize) -> usize {
 /// Workload seed (env-overridable).
 pub fn seed() -> u64 {
     std::env::var("PPT_SEED").ok().and_then(|v| v.parse().ok()).unwrap_or(42)
+}
+
+/// Sweep worker threads (env-overridable).
+pub fn jobs() -> usize {
+    std::env::var("PPT_JOBS").ok().and_then(|v| v.parse().ok()).unwrap_or(1)
 }
 
 /// Print the standard experiment banner.
@@ -81,6 +89,21 @@ pub fn run_and_print(topo: TopoKind, scheme: Scheme, flows: &[FlowSpec]) -> FctS
     let s = outcome.fct.summary();
     fct_row(&name, &s, outcome.completion_ratio);
     s
+}
+
+/// Run a scheme set over one workload through the shared sweep runner
+/// ([`ppt::sweep`], `PPT_JOBS` workers) and print the FCT rows — always
+/// in scheme order, whatever the completion order was.
+pub fn sweep_and_print(topo: TopoKind, schemes: &[Scheme], flows: &[FlowSpec]) -> Vec<PointResult> {
+    let mut spec = SweepSpec::new().jobs(jobs());
+    for scheme in schemes {
+        spec = spec.point(scheme.name(), Experiment::new(topo, scheme.clone(), flows.to_vec()));
+    }
+    let results = spec.run();
+    for r in &results {
+        fct_row(&r.label, &r.fct.summary(), r.completion_ratio);
+    }
+    results
 }
 
 /// The standard six-scheme comparison of the large-scale figures.

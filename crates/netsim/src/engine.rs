@@ -19,13 +19,98 @@ use crate::switch::{enqueue_policy, EnqueueOutcome, PortCounters, SwitchConfig};
 use crate::time::{SimDuration, SimTime};
 use crate::units::Rate;
 
-/// Engine-internal events.
-#[derive(Debug)]
-enum Ev<P> {
+/// Index of an in-flight packet parked in the [`PacketPool`] slab.
+#[derive(Clone, Copy, Debug)]
+struct PkRef(u32);
+
+/// Packet-pool counters (see [`Simulator::pool_stats`]).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PoolStats {
+    /// Inserts that grew the slab because the free list was empty.
+    pub fresh: u64,
+    /// Inserts served by recycling a previously freed slot.
+    pub recycled: u64,
+    /// Slots currently holding an in-flight packet.
+    pub live: u64,
+}
+
+impl PoolStats {
+    /// Fraction of inserts served without growing the slab.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.fresh + self.recycled;
+        if total == 0 {
+            0.0
+        } else {
+            self.recycled as f64 / total as f64
+        }
+    }
+}
+
+/// Free-list slab for in-flight packets. A packet enters when it starts
+/// serialization toward a node and leaves when the delivery dispatches, so
+/// slots cycle on wire-latency timescales and the steady state allocates
+/// nothing: the slab high-water mark is the peak number of packets
+/// simultaneously in flight, not the total sent.
+struct PacketPool<P> {
+    slots: Vec<Option<Packet<P>>>,
+    free: Vec<u32>,
+    fresh: u64,
+    recycled: u64,
+}
+
+impl<P> PacketPool<P> {
+    fn new() -> Self {
+        PacketPool { slots: Vec::new(), free: Vec::new(), fresh: 0, recycled: 0 }
+    }
+
+    // simlint: hot-path
+    fn insert(&mut self, pkt: Packet<P>) -> PkRef {
+        match self.free.pop() {
+            Some(i) => {
+                self.recycled += 1;
+                self.slots[i as usize] = Some(pkt);
+                PkRef(i)
+            }
+            None => {
+                self.fresh += 1;
+                self.slots.push(Some(pkt));
+                PkRef((self.slots.len() - 1) as u32)
+            }
+        }
+    }
+
+    fn take(&mut self, r: PkRef) -> Packet<P> {
+        match self.slots[r.0 as usize].take() {
+            Some(pkt) => {
+                self.free.push(r.0);
+                pkt
+            }
+            // A PkRef is minted once by insert() and consumed once by
+            // dispatch; a double-take is an engine bug, not a user error.
+            None => unreachable!("packet pool slot {} taken twice", r.0),
+        }
+    }
+    // simlint: hot-path-end
+
+    fn stats(&self) -> PoolStats {
+        PoolStats {
+            fresh: self.fresh,
+            recycled: self.recycled,
+            live: (self.slots.len() - self.free.len()) as u64,
+        }
+    }
+}
+
+/// Engine-internal events. Deliberately `Copy`-sized: the one non-`Copy`
+/// payload (an in-flight packet) lives in the [`PacketPool`] slab and is
+/// carried here by index, so heap sift operations move 24-byte entries
+/// instead of whole packets.
+#[derive(Clone, Copy, Debug)]
+enum Ev {
     /// The application starts flow `flows[idx]` at its source host.
     FlowStart(u32),
     /// A packet finished serialization + propagation and arrives at `to`.
-    Deliver { to: NodeId, pkt: Packet<P> },
+    Deliver { to: NodeId, pkt: PkRef },
     /// An egress transmitter finished serializing; it may start the next
     /// queued packet.
     TxDone { node: NodeId, port: u16 },
@@ -35,24 +120,25 @@ enum Ev<P> {
     Sample(u32),
 }
 
-struct QEntry<P> {
+#[derive(Clone, Copy)]
+struct QEntry {
     at: SimTime,
     seq: u64,
-    ev: Ev<P>,
+    ev: Ev,
 }
 
-impl<P> PartialEq for QEntry<P> {
+impl PartialEq for QEntry {
     fn eq(&self, other: &Self) -> bool {
         self.at == other.at && self.seq == other.seq
     }
 }
-impl<P> Eq for QEntry<P> {}
-impl<P> PartialOrd for QEntry<P> {
+impl Eq for QEntry {}
+impl PartialOrd for QEntry {
     fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
         Some(self.cmp(other))
     }
 }
-impl<P> Ord for QEntry<P> {
+impl Ord for QEntry {
     // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops first.
     fn cmp(&self, other: &Self) -> Ordering {
         (other.at, other.seq).cmp(&(self.at, self.seq))
@@ -91,8 +177,13 @@ struct HostSlot<P> {
 struct SwitchSlot<P> {
     ports: Vec<PortState<P>>,
     cfg: SwitchConfig,
-    /// `routes[dst_host] -> candidate egress port indices` (ECMP set).
-    routes: Vec<Vec<u16>>,
+    /// Destination-based ECMP table in CSR form: the candidate egress
+    /// ports for destination host `d` are
+    /// `route_ports[route_offsets[d]..route_offsets[d + 1]]`. Two flat
+    /// arrays keep the per-event lookup on adjacent cache lines instead
+    /// of chasing a `Vec<Vec<u16>>` double indirection.
+    route_offsets: Vec<u32>,
+    route_ports: Vec<u16>,
 }
 
 /// What a sampler observes.
@@ -190,7 +281,9 @@ impl RunReport {
 /// The simulator.
 pub struct Simulator<P: Payload> {
     now: SimTime,
-    heap: BinaryHeap<QEntry<P>>,
+    heap: BinaryHeap<QEntry>,
+    /// In-flight packets, referenced from the heap by [`PkRef`].
+    pool: PacketPool<P>,
     seq: u64,
     links: Vec<Link>,
     hosts: Vec<HostSlot<P>>,
@@ -219,6 +312,7 @@ impl<P: Payload> Simulator<P> {
         Simulator {
             now: SimTime::ZERO,
             heap: BinaryHeap::new(),
+            pool: PacketPool::new(),
             seq: 0,
             links: Vec::new(),
             hosts: Vec::new(),
@@ -248,7 +342,12 @@ impl<P: Payload> Simulator<P> {
     /// Add a switch with the given per-port configuration.
     pub fn add_switch(&mut self, cfg: SwitchConfig) -> SwitchId {
         let id = SwitchId(self.switches.len() as u32);
-        self.switches.push(SwitchSlot { ports: Vec::new(), cfg, routes: Vec::new() });
+        self.switches.push(SwitchSlot {
+            ports: Vec::new(),
+            cfg,
+            route_offsets: Vec::new(),
+            route_ports: Vec::new(),
+        });
         id
     }
 
@@ -284,24 +383,31 @@ impl<P: Payload> Simulator<P> {
     /// shortest paths. Call once after all `connect` calls.
     pub fn build_routes(&mut self) {
         let n_hosts = self.hosts.len();
-        for si in 0..self.switches.len() {
-            self.switches[si].routes = vec![Vec::new(); n_hosts];
+        for sw in &mut self.switches {
+            sw.route_offsets.clear();
+            sw.route_ports.clear();
+            sw.route_offsets.push(0);
         }
         // Distance (in hops) from every node to each destination host,
         // computed by BFS from the host over reverse links. Links are
         // symmetric here so forward BFS over neighbors is equivalent.
+        // Destinations are visited in ascending order, so each switch's
+        // CSR rows are appended in `dst` order.
+        let mut candidates: Vec<u16> = Vec::new();
         for dst in 0..n_hosts {
             let dist = self.bfs_from(NodeId::Host(HostId(dst as u32)));
             for si in 0..self.switches.len() {
                 let my = dist[self.node_index(NodeId::Switch(SwitchId(si as u32)))];
-                let mut candidates = Vec::new();
+                candidates.clear();
                 for (pi, port) in self.switches[si].ports.iter().enumerate() {
                     let peer = self.links[port.link.0 as usize].to;
                     if dist[self.node_index(peer)] + 1 == my {
                         candidates.push(pi as u16);
                     }
                 }
-                self.switches[si].routes[dst] = candidates;
+                let sw = &mut self.switches[si];
+                sw.route_ports.extend_from_slice(&candidates);
+                sw.route_offsets.push(sw.route_ports.len() as u32);
             }
         }
     }
@@ -473,6 +579,12 @@ impl<P: Payload> Simulator<P> {
         total
     }
 
+    /// Packet-pool counters: how often in-flight packet buffers were
+    /// recycled vs freshly allocated, and how many are live right now.
+    pub fn pool_stats(&self) -> PoolStats {
+        self.pool.stats()
+    }
+
     /// Wall-clock nanoseconds spent in a host's transport handlers and the
     /// number of invocations (only meaningful when `measure_cpu` was set).
     pub fn cpu_account(&self, host: HostId) -> (u64, u64) {
@@ -532,7 +644,8 @@ impl<P: Payload> Simulator<P> {
     // Event loop
     // ---------------------------------------------------------------
 
-    fn schedule(&mut self, at: SimTime, ev: Ev<P>) {
+    // simlint: hot-path
+    fn schedule(&mut self, at: SimTime, ev: Ev) {
         debug_assert!(at >= self.now, "scheduling into the past");
         self.heap.push(QEntry { at, seq: self.seq, ev });
         self.seq += 1;
@@ -580,7 +693,7 @@ impl<P: Payload> Simulator<P> {
         }
     }
 
-    fn dispatch(&mut self, ev: Ev<P>) {
+    fn dispatch(&mut self, ev: Ev) {
         match ev {
             Ev::FlowStart(idx) => {
                 let flow = self.flows[idx as usize].clone();
@@ -593,12 +706,15 @@ impl<P: Payload> Simulator<P> {
                 let host = flow.src;
                 self.with_transport(host, |t, ctx| t.on_flow_start(&flow, ctx));
             }
-            Ev::Deliver { to, pkt } => match to {
-                NodeId::Host(h) => {
-                    self.with_transport(h, |t, ctx| t.on_packet(pkt, ctx));
+            Ev::Deliver { to, pkt } => {
+                let pkt = self.pool.take(pkt);
+                match to {
+                    NodeId::Host(h) => {
+                        self.with_transport(h, |t, ctx| t.on_packet(pkt, ctx));
+                    }
+                    NodeId::Switch(s) => self.switch_forward(s, pkt),
                 }
-                NodeId::Switch(s) => self.switch_forward(s, pkt),
-            },
+            }
             Ev::TxDone { node, port } => self.tx_done(node, port),
             Ev::Timer { host, token } => {
                 self.emit(TraceEvent::Timer { host: host.0, token });
@@ -634,7 +750,12 @@ impl<P: Payload> Simulator<P> {
                 f(transport, &mut ctx);
             }
         }
-        // Apply effects.
+        // Apply effects in a fixed order — timers, completions, packets —
+        // so heap sequence numbers (and therefore FIFO tie-breaks) are
+        // assigned exactly as they always were. `effects` is a local moved
+        // out of `self`, so packets drain straight into `host_enqueue`
+        // without an intermediate collect; the buffers are handed back at
+        // the end and reused across every transport invocation.
         for (at, token) in effects.timers.drain(..) {
             let at = at.max(now);
             self.schedule(at, Ev::Timer { host, token });
@@ -647,11 +768,10 @@ impl<P: Payload> Simulator<P> {
                 self.emit(TraceEvent::FlowComplete { flow: flow.0 });
             }
         }
-        let packets: Vec<Packet<P>> = effects.packets.drain(..).collect();
-        self.effects = effects;
-        for pkt in packets {
+        for pkt in effects.packets.drain(..) {
             self.host_enqueue(host, pkt);
         }
+        self.effects = effects;
     }
 
     /// Enqueue a packet at a host NIC and kick the transmitter if idle.
@@ -666,12 +786,14 @@ impl<P: Payload> Simulator<P> {
     /// Route + admission at a switch, kicking the egress transmitter.
     fn switch_forward(&mut self, switch: SwitchId, pkt: Packet<P>) {
         let si = switch.0 as usize;
-        let routes = &self.switches[si].routes;
+        let sw = &self.switches[si];
         assert!(
-            !routes.is_empty(),
+            sw.route_offsets.len() > 1,
             "switch {switch:?} has no route table (did you call build_routes?)"
         );
-        let candidates = &routes[pkt.dst.0 as usize];
+        let d = pkt.dst.0 as usize;
+        let (lo, hi) = (sw.route_offsets[d] as usize, sw.route_offsets[d + 1] as usize);
+        let candidates = &sw.route_ports[lo..hi];
         assert!(
             !candidates.is_empty(),
             "switch {switch:?} has no route to {:?} (did you call build_routes?)",
@@ -776,6 +898,7 @@ impl<P: Payload> Simulator<P> {
         let ser = link.rate.serialization_time(pkt.wire_bytes as u64);
         let arrive_at = self.now + ser + link.delay;
         let to = link.to;
+        let pkt = self.pool.insert(pkt);
         self.schedule(arrive_at, Ev::Deliver { to, pkt });
         self.schedule(self.now + ser, Ev::TxDone { node, port });
     }
@@ -798,6 +921,7 @@ impl<P: Payload> Simulator<P> {
             }
         }
     }
+    // simlint: hot-path-end
 
     fn take_sample(&mut self, idx: u32) {
         let now = self.now;

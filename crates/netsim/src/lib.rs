@@ -45,7 +45,7 @@ pub mod units;
 
 pub use dcn_trace as trace;
 pub use dcn_trace::{TraceEvent, TraceSink};
-pub use engine::{RunLimits, RunReport, Sample, SamplerId, Simulator, StopReason};
+pub use engine::{PoolStats, RunLimits, RunReport, Sample, SamplerId, Simulator, StopReason};
 pub use host::{Ctx, FlowDesc, Transport};
 pub use ids::{FlowId, HostId, LinkId, NodeId, SwitchId};
 pub use packet::{

@@ -32,6 +32,7 @@ impl<P> PrioQueues<P> {
         }
     }
 
+    // simlint: hot-path
     /// Append a packet to its priority queue.
     pub fn push(&mut self, pkt: Packet<P>) {
         let p = pkt.priority as usize;
@@ -67,6 +68,7 @@ impl<P> PrioQueues<P> {
         }
         None
     }
+    // simlint: hot-path-end
 
     /// Byte backlog of one priority queue.
     pub fn bytes_at(&self, priority: u8) -> u64 {

@@ -166,6 +166,7 @@ pub struct PortCounters {
     pub dropped_bytes: u64,
 }
 
+// simlint: hot-path
 /// Apply the admission + marking policy for `pkt` against `queues`,
 /// mutating the packet (CE bit, trimming) and pushing it when admitted.
 ///
@@ -250,6 +251,7 @@ pub fn enqueue_policy<P: Payload>(
     queues.push(pkt);
     EnqueueOutcome::Queued { marked }
 }
+// simlint: hot-path-end
 
 #[cfg(test)]
 mod tests {

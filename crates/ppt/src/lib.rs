@@ -37,6 +37,7 @@
 //! | `bench` | one binary per paper table & figure |
 
 pub mod harness;
+pub mod sweep;
 pub mod table1;
 
 pub use dcn_stats as stats;
@@ -48,5 +49,6 @@ pub use workloads;
 
 pub use harness::{
     collect_metrics, run_experiment, run_experiment_traced, run_experiment_with, Experiment,
-    Outcome, Scheme, SchemeEnv, TopoKind, TraceData,
+    InstallError, Outcome, Scheme, SchemeEnv, TopoKind, TraceData,
 };
+pub use sweep::{run_points, PointResult, SweepPoint, SweepSpec};

@@ -44,6 +44,25 @@ impl Args {
             Some(v) => v.parse().map_err(|_| format!("--{key}: cannot parse '{v}'")),
         }
     }
+
+    /// Parse `--key` as a comma-separated list of `T`, defaulting when
+    /// absent.
+    pub fn parse_list_or<T: FromStr + Clone>(
+        &self,
+        key: &str,
+        default: &[T],
+    ) -> Result<Vec<T>, String> {
+        match self.get(key) {
+            None => Ok(default.to_vec()),
+            Some(v) => v
+                .split(',')
+                .map(|p| {
+                    let p = p.trim();
+                    p.parse().map_err(|_| format!("--{key}: cannot parse '{p}'"))
+                })
+                .collect(),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -81,5 +100,13 @@ mod tests {
     fn bad_parse_is_an_error_not_a_default() {
         let a = Args::parse(&sv(&["--flows", "abc"])).unwrap();
         assert!(a.parse_or::<usize>("flows", 1).is_err());
+    }
+
+    #[test]
+    fn comma_lists_parse_or_default() {
+        let a = Args::parse(&sv(&["--loads", "0.3, 0.5,0.7"])).unwrap();
+        assert_eq!(a.parse_list_or::<f64>("loads", &[0.5]).unwrap(), vec![0.3, 0.5, 0.7]);
+        assert_eq!(a.parse_list_or::<u64>("seeds", &[42]).unwrap(), vec![42]);
+        assert!(a.parse_list_or::<u64>("loads", &[1]).is_err());
     }
 }

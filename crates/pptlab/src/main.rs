@@ -15,6 +15,7 @@ use ppt::harness::{
     collect_metrics, run_experiment, run_experiment_traced, Experiment, Scheme, TopoKind,
 };
 use ppt::stats::analyze_lcp;
+use ppt::sweep::{run_points, SweepSpec};
 use ppt::trace::JsonObject;
 use ppt::workloads::{all_to_all, incast, FlowSpec, SizeDistribution, WorkloadSpec};
 
@@ -27,13 +28,14 @@ pptlab — PPT reproduction laboratory
 
 USAGE:
   pptlab compare [OPTIONS]     run schemes on one workload and print FCT rows
+  pptlab sweep [OPTIONS]       run a scheme x load x seed grid and print one row per point
   pptlab trace [OPTIONS]       record a traced run: events.jsonl + metrics.json
   pptlab gen [OPTIONS] > t.csv generate a flow trace as CSV on stdout
   pptlab schemes               list scheme ids
   pptlab topos                 list topology ids
   pptlab workloads             list workload ids
 
-OPTIONS (compare, trace):
+OPTIONS (compare, sweep, trace):
   --schemes a,b,c   comma-separated scheme ids        [default: ppt,dctcp / ppt]
   --topo ID         testbed | oversub | nonoversub | highspeed | star:<n>:<gbps>:<delay_us>
                                                       [default: testbed]
@@ -41,10 +43,13 @@ OPTIONS (compare, trace):
   --load F          network load in (0,1]             [default: 0.5]
   --flows N         number of flows                   [default: 400 / 80]
   --seed N          workload seed                     [default: 42]
-  --incast N        N-to-1 incast with N senders instead of all-to-all
-  --trace FILE      replay a CSV flow trace instead of generating one
+  --jobs N          worker threads; results are identical for any N [default: 1]
+  --incast N        (compare, trace) N-to-1 incast with N senders instead of all-to-all
+  --trace FILE      (compare, trace) replay a CSV flow trace instead of generating one
                     (columns: src,dst,size_bytes,start_ns,first_write_bytes)
-  --json            (compare) print one JSON document instead of the table
+  --loads a,b,c     (sweep) grid of loads             [default: 0.3,0.5,0.7]
+  --seeds a,b,c     (sweep) grid of seeds             [default: 42]
+  --json            (compare) one JSON document / (sweep) one JSON line per point
   --metrics         (compare) also collect + print per-scheme metrics
   --out DIR         (trace) output directory          [default: .]
 ";
@@ -226,13 +231,22 @@ fn cmd_compare(args: &Args) -> Result<(), String> {
             "scheme", "overall(us)", "small avg", "small p99", "large avg", "done%", "drops"
         );
     }
+    // One experiment per scheme, executed by the shared sweep runner:
+    // results come back in scheme order no matter how many workers ran.
+    let jobs: usize = args.parse_or("jobs", 1)?;
+    let results = run_points(schemes.len(), jobs, |i| {
+        let scheme = schemes[i].1.clone();
+        let outcome = run_experiment(&Experiment::new(setup.topo, scheme, setup.flow_list.clone()));
+        let metrics = with_metrics.then(|| collect_metrics(&outcome).to_json());
+        (outcome.fct.summary(), outcome.completion_ratio, outcome.counters.dropped, metrics)
+    });
+
     let mut rows = String::from("[");
     let mut metric_blocks: Vec<(String, String)> = Vec::new();
-    for (i, (_, scheme)) in schemes.iter().enumerate() {
+    for (i, ((_, scheme), (s, completion_ratio, drops, metrics))) in
+        schemes.iter().zip(results).enumerate()
+    {
         let name = scheme.name();
-        let outcome =
-            run_experiment(&Experiment::new(setup.topo, scheme.clone(), setup.flow_list.clone()));
-        let s = outcome.fct.summary();
         if json_mode {
             let mut row = JsonObject::new()
                 .str("scheme", &name)
@@ -240,10 +254,10 @@ fn cmd_compare(args: &Args) -> Result<(), String> {
                 .f64("small_avg_us", s.small_avg_us)
                 .f64("small_p99_us", s.small_p99_us)
                 .f64("large_avg_us", s.large_avg_us)
-                .f64("completion_ratio", outcome.completion_ratio)
-                .u64("drops", outcome.counters.dropped);
-            if with_metrics {
-                row = row.raw("metrics", collect_metrics(&outcome).to_json().trim_end());
+                .f64("completion_ratio", completion_ratio)
+                .u64("drops", drops);
+            if let Some(m) = &metrics {
+                row = row.raw("metrics", m.trim_end());
             }
             if i > 0 {
                 rows.push(',');
@@ -257,11 +271,11 @@ fn cmd_compare(args: &Args) -> Result<(), String> {
                 s.small_avg_us,
                 s.small_p99_us,
                 s.large_avg_us,
-                outcome.completion_ratio * 100.0,
-                outcome.counters.dropped
+                completion_ratio * 100.0,
+                drops
             );
-            if with_metrics {
-                metric_blocks.push((name, collect_metrics(&outcome).to_json()));
+            if let Some(m) = metrics {
+                metric_blocks.push((name, m));
             }
         }
     }
@@ -291,11 +305,18 @@ fn cmd_trace(args: &Args) -> Result<(), String> {
     let out_dir = std::path::PathBuf::from(args.get("out").unwrap_or("."));
     std::fs::create_dir_all(&out_dir).map_err(|e| format!("--out {}: {e}", out_dir.display()))?;
 
-    let single = schemes.len() == 1;
-    for (id, scheme) in &schemes {
-        let exp = Experiment::new(setup.topo, scheme.clone(), setup.flow_list.clone());
+    // Traced runs go through the shared sweep runner; file writes and
+    // report lines stay on this thread, in scheme order, so output is
+    // byte-identical for any --jobs.
+    let jobs: usize = args.parse_or("jobs", 1)?;
+    let results = run_points(schemes.len(), jobs, |i| {
+        let exp = Experiment::new(setup.topo, schemes[i].1.clone(), setup.flow_list.clone());
         let (outcome, trace) = run_experiment_traced(&exp);
-        let metrics = collect_metrics(&outcome);
+        (trace, collect_metrics(&outcome).to_json())
+    });
+
+    let single = schemes.len() == 1;
+    for ((id, scheme), (trace, metrics_json)) in schemes.iter().zip(results) {
         let (ev_path, m_path) = if single {
             (out_dir.join("events.jsonl"), out_dir.join("metrics.json"))
         } else {
@@ -303,8 +324,7 @@ fn cmd_trace(args: &Args) -> Result<(), String> {
         };
         std::fs::write(&ev_path, trace.to_jsonl())
             .map_err(|e| format!("{}: {e}", ev_path.display()))?;
-        std::fs::write(&m_path, metrics.to_json())
-            .map_err(|e| format!("{}: {e}", m_path.display()))?;
+        std::fs::write(&m_path, metrics_json).map_err(|e| format!("{}: {e}", m_path.display()))?;
         println!(
             "{}: {} events -> {}, metrics -> {}",
             scheme.name(),
@@ -320,6 +340,65 @@ fn cmd_trace(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_sweep(args: &Args) -> Result<(), String> {
+    let schemes = parse_schemes(args, "ppt,dctcp")?;
+    let topo = parse_topo(args.get("topo").unwrap_or("testbed"))
+        .ok_or_else(|| "bad --topo (try `pptlab topos`)".to_string())?;
+    let dist = parse_workload(args.get("workload").unwrap_or("websearch"))
+        .ok_or_else(|| "bad --workload (try `pptlab workloads`)".to_string())?;
+    let loads = args.parse_list_or("loads", &[0.3, 0.5, 0.7])?;
+    let seeds = args.parse_list_or("seeds", &[42u64])?;
+    let flows: usize = args.parse_or("flows", 400)?;
+    let jobs: usize = args.parse_or("jobs", 1)?;
+    let json_mode = args.flag("json");
+
+    let scheme_list: Vec<Scheme> = schemes.iter().map(|(_, s)| s.clone()).collect();
+    let spec = SweepSpec::new().jobs(jobs).grid(topo, &scheme_list, &dist, &loads, flows, &seeds);
+    if !json_mode {
+        println!(
+            "sweep: {} points ({} schemes x {} loads x {} seeds) on {topo:?}, \
+             workload={} flows={flows} jobs={jobs}\n",
+            spec.len(),
+            scheme_list.len(),
+            loads.len(),
+            seeds.len(),
+            dist.name(),
+        );
+        println!(
+            "{:<34} {:>12} {:>12} {:>12} {:>12} {:>8} {:>10}",
+            "point", "overall(us)", "small avg", "small p99", "large avg", "done%", "drops"
+        );
+    }
+    for r in spec.run() {
+        let s = r.fct.summary();
+        if json_mode {
+            let doc = JsonObject::new()
+                .str("point", &r.label)
+                .str("scheme", &r.scheme.name())
+                .f64("overall_avg_us", s.overall_avg_us)
+                .f64("small_avg_us", s.small_avg_us)
+                .f64("small_p99_us", s.small_p99_us)
+                .f64("large_avg_us", s.large_avg_us)
+                .f64("completion_ratio", r.completion_ratio)
+                .u64("drops", r.counters.dropped)
+                .finish();
+            println!("{doc}");
+        } else {
+            println!(
+                "{:<34} {:>12.1} {:>12.1} {:>12.1} {:>12.1} {:>8.1} {:>10}",
+                r.label,
+                s.overall_avg_us,
+                s.small_avg_us,
+                s.small_p99_us,
+                s.large_avg_us,
+                r.completion_ratio * 100.0,
+                r.counters.dropped
+            );
+        }
+    }
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = argv.first() else {
@@ -327,7 +406,7 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     };
     match cmd.as_str() {
-        "compare" | "trace" => {
+        "compare" | "sweep" | "trace" => {
             let args = match Args::parse(&argv[1..]) {
                 Ok(a) => a,
                 Err(e) => {
@@ -335,7 +414,11 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             };
-            let run = if cmd == "compare" { cmd_compare } else { cmd_trace };
+            let run = match cmd.as_str() {
+                "compare" => cmd_compare,
+                "sweep" => cmd_sweep,
+                _ => cmd_trace,
+            };
             if let Err(e) = run(&args) {
                 eprintln!("error: {e}");
                 return ExitCode::FAILURE;

@@ -1,0 +1,20 @@
+//! Fixture: allocation constructors inside a hot-path fence.
+
+pub fn cold_setup() -> Vec<u32> {
+    Vec::new()
+}
+
+// simlint: hot-path
+pub fn dispatch(xs: &[u32]) -> usize {
+    let b = Box::new(1u32);
+    let v: Vec<u32> = Vec::new();
+    let lit = vec![1, 2, 3];
+    let copied = xs.to_vec();
+    let allowed = xs.to_vec(); // simlint: allow(hot_path_alloc)
+    *b as usize + v.len() + lit.len() + copied.len() + allowed.len()
+}
+// simlint: hot-path-end
+
+pub fn after_fence() -> Vec<u32> {
+    vec![9]
+}

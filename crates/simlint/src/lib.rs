@@ -21,6 +21,7 @@
 //! | `panic_hygiene`  | no `unwrap()` / `expect(...)` / `panic!` in library code (binaries, benches and tests may) |
 //! | `float_cmp`      | no `==` / `!=` against a floating-point literal |
 //! | `forbid_unsafe`  | every crate root starts with `#![forbid(unsafe_code)]` |
+//! | `hot_path_alloc` | no `Box::new` / `Vec::new` / `vec![` / `to_vec()` between `// simlint: hot-path` and `// simlint: hot-path-end` markers in `netsim` library code (the per-event engine path must reuse pooled/scratch buffers) |
 //! | `paper_constants`| λ_LCP = 0.1 < λ_HCP = 0.17 (Eq. 3) and the 1-ACK-per-2-LCP-packets constant match DESIGN.md |
 //! | `trace_schema`   | every `TraceEvent` variant has a JSONL encoder arm in `encode_line` (`crates/trace/src/event.rs`) |
 //!

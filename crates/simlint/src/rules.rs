@@ -17,6 +17,9 @@ pub enum Rule {
     FloatCmp,
     /// Crate roots must carry `#![forbid(unsafe_code)]`.
     ForbidUnsafe,
+    /// No allocation constructors inside `// simlint: hot-path` fences
+    /// in `netsim` (the per-event engine path).
+    HotPathAlloc,
     /// Paper constants must match DESIGN.md (checked workspace-wide).
     PaperConstants,
     /// Every `TraceEvent` variant must have a JSONL encoder arm
@@ -25,8 +28,13 @@ pub enum Rule {
 }
 
 /// Every per-file rule, in reporting order.
-pub const ALL_RULES: &[Rule] =
-    &[Rule::Determinism, Rule::PanicHygiene, Rule::FloatCmp, Rule::ForbidUnsafe];
+pub const ALL_RULES: &[Rule] = &[
+    Rule::Determinism,
+    Rule::PanicHygiene,
+    Rule::FloatCmp,
+    Rule::ForbidUnsafe,
+    Rule::HotPathAlloc,
+];
 
 impl Rule {
     /// Stable rule id used in output and `allow(...)` pragmas.
@@ -36,6 +44,7 @@ impl Rule {
             Rule::PanicHygiene => "panic_hygiene",
             Rule::FloatCmp => "float_cmp",
             Rule::ForbidUnsafe => "forbid_unsafe",
+            Rule::HotPathAlloc => "hot_path_alloc",
             Rule::PaperConstants => "paper_constants",
             Rule::TraceSchema => "trace_schema",
         }
@@ -54,6 +63,7 @@ impl Rule {
             Rule::PanicHygiene => check_panic_hygiene(rel_path, class, src, out),
             Rule::FloatCmp => check_float_cmp(rel_path, class, src, out),
             Rule::ForbidUnsafe => check_forbid_unsafe(rel_path, class, src, out),
+            Rule::HotPathAlloc => check_hot_path_alloc(rel_path, class, src, out),
             Rule::PaperConstants | Rule::TraceSchema => {}
         }
     }
@@ -286,6 +296,82 @@ fn check_forbid_unsafe(
             1,
             Rule::ForbidUnsafe,
             "crate root is missing `#![forbid(unsafe_code)]`".into(),
+        );
+    }
+}
+
+/// Fence markers for the hot-path allocation rule. They live in
+/// comments, so they are scanned on *raw* lines (masking blanks them).
+const HOT_PATH_OPEN: &str = "simlint: hot-path";
+const HOT_PATH_CLOSE: &str = "simlint: hot-path-end";
+
+/// Allocation constructors that must not appear on the per-event engine
+/// path: each would hit the global allocator once per simulated event.
+/// The pool / scratch-buffer reuse in `engine.rs` exists precisely to
+/// avoid these; this rule keeps later edits from quietly regressing it.
+fn hot_path_alloc_hit(line: &str) -> Option<&'static str> {
+    if !token_positions(line, "Box::new").is_empty() {
+        return Some("Box::new");
+    }
+    if !token_positions(line, "Vec::new").is_empty() {
+        return Some("Vec::new");
+    }
+    if ident_followed_by(line, "vec", '!') {
+        return Some("vec!");
+    }
+    if ident_followed_by(line, "to_vec", '(') {
+        return Some("to_vec()");
+    }
+    None
+}
+
+fn check_hot_path_alloc(
+    rel_path: &str,
+    class: FileClass,
+    src: &MaskedSource,
+    out: &mut Vec<Violation>,
+) {
+    if !rel_path.starts_with("crates/netsim/") || !class.is_library {
+        return;
+    }
+    let mut fence_open_at: Option<usize> = None;
+    for (idx, raw) in src.raw_lines.iter().enumerate() {
+        let line_no = idx + 1;
+        // Close before open: the open marker is a prefix of the close one.
+        if raw.contains(HOT_PATH_CLOSE) {
+            fence_open_at = None;
+            continue;
+        }
+        if raw.contains(HOT_PATH_OPEN) {
+            fence_open_at = Some(line_no);
+            continue;
+        }
+        if fence_open_at.is_none() || src.is_test(line_no) {
+            continue;
+        }
+        if let Some(tok) = hot_path_alloc_hit(&src.lines[idx]) {
+            push(
+                out,
+                src,
+                rel_path,
+                line_no,
+                Rule::HotPathAlloc,
+                format!(
+                    "`{tok}` allocates inside a `// {HOT_PATH_OPEN}` fence; reuse a pooled or scratch buffer"
+                ),
+            );
+        }
+    }
+    // An unclosed fence is almost certainly a typo'd end marker — and it
+    // would silently extend the banned region to end-of-file.
+    if let Some(open_line) = fence_open_at {
+        push(
+            out,
+            src,
+            rel_path,
+            open_line,
+            Rule::HotPathAlloc,
+            format!("`// {HOT_PATH_OPEN}` fence is never closed by `// {HOT_PATH_CLOSE}`"),
         );
     }
 }

@@ -68,6 +68,31 @@ fn float_cmp_rule_fires_and_respects_pragma() {
 }
 
 #[test]
+fn hot_path_alloc_rule_fires_and_respects_pragma() {
+    let src = fixture("hot_path_alloc.rs");
+    let v = lint_source("crates/netsim/src/fixture.rs", &src);
+    let lines = lines_for(&v, Rule::HotPathAlloc);
+    // Box::new / Vec::new / vec![ / to_vec() inside the fence fire; the
+    // allocation before the fence (line 4), the pragma'd line (13) and
+    // the one after the close marker (19) do not.
+    assert_eq!(lines, vec![9, 10, 11, 12], "fenced allocations must fire: {v:?}");
+
+    // Out of scope: the same content outside netsim is clean.
+    let v = lint_source("crates/ppt/src/fixture.rs", &src);
+    assert!(lines_for(&v, Rule::HotPathAlloc).is_empty());
+
+    // Non-library netsim files (tests, benches) are exempt.
+    let v = lint_source("crates/netsim/tests/fixture.rs", &src);
+    assert!(lines_for(&v, Rule::HotPathAlloc).is_empty());
+
+    // An unclosed fence is itself a violation, reported at the opener —
+    // a typo'd end marker must not silently extend the banned region.
+    let unclosed = "// simlint: hot-path\npub fn f() {}\n";
+    let v = lint_source("crates/netsim/src/fixture.rs", unclosed);
+    assert_eq!(lines_for(&v, Rule::HotPathAlloc), vec![1], "unclosed fence must fire: {v:?}");
+}
+
+#[test]
 fn forbid_unsafe_rule_checks_crate_roots_only() {
     let bare = "pub fn f() {}\n";
     let v = lint_source("crates/foo/src/lib.rs", bare);

@@ -30,4 +30,18 @@ cmp "$TRACE_TMP/a/metrics.json" "$TRACE_TMP/b/metrics.json"
 test -s "$TRACE_TMP/a/events.jsonl"
 rm -rf "$TRACE_TMP"
 
+echo "==> sweep smoke (serial vs parallel byte-identity)"
+SWEEP_TMP="${TMPDIR:-/tmp}/pptlab-sweep-smoke.$$"
+mkdir -p "$SWEEP_TMP"
+./target/release/pptlab sweep --schemes ppt,dctcp --topo star:5:10:20 --workload websearch \
+    --loads 0.3,0.6 --seeds 42,7 --flows 40 --jobs 1 --json > "$SWEEP_TMP/serial.jsonl"
+./target/release/pptlab sweep --schemes ppt,dctcp --topo star:5:10:20 --workload websearch \
+    --loads 0.3,0.6 --seeds 42,7 --flows 40 --jobs 4 --json > "$SWEEP_TMP/jobs4.jsonl"
+cmp "$SWEEP_TMP/serial.jsonl" "$SWEEP_TMP/jobs4.jsonl"
+test -s "$SWEEP_TMP/serial.jsonl"
+rm -rf "$SWEEP_TMP"
+
+echo "==> engine perf smoke (appends to BENCH_engine.json)"
+./target/release/bench_engine
+
 echo "check.sh: all green"

@@ -36,6 +36,54 @@ fn two_pass_hypothetical_is_deterministic() {
     assert_eq!(fcts(Scheme::Hypothetical(1.0), 5), fcts(Scheme::Hypothetical(1.0), 5));
 }
 
+/// FNV-1a 64-bit: a tiny, dependency-free, stable digest for golden files.
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// (trace JSONL hash, FCT digest) for one pinned-seed traced run.
+fn golden_digests(scheme: Scheme, seed: u64) -> (u64, u64) {
+    use ppt::harness::run_experiment_traced;
+    let topo = TopoKind::Star { n: 5, rate_gbps: 10, delay_us: 20 };
+    let spec = WorkloadSpec::new(SizeDistribution::web_search(), 0.5, topo.edge_rate(), 60, seed);
+    let flows = all_to_all(topo.hosts(), &spec);
+    let (outcome, trace) = run_experiment_traced(&Experiment::new(topo, scheme, flows));
+    let trace_hash = fnv1a64(trace.to_jsonl().as_bytes());
+    let mut fct_buf = String::new();
+    for r in outcome.fct.records() {
+        fct_buf.push_str(&format!("{},{}\n", r.size_bytes, r.fct.as_nanos()));
+    }
+    (trace_hash, fnv1a64(fct_buf.as_bytes()))
+}
+
+/// Golden equivalence: the engine must reproduce the pre-refactor event
+/// stream and FCTs byte-identically. These digests were pinned against the
+/// heap-of-owned-packets engine (before the PacketPool/CSR refactor); any
+/// change to event ordering, packet mutation, or trace emission shows up
+/// here as a digest mismatch.
+#[test]
+fn pinned_seed_goldens_are_byte_identical() {
+    for (scheme, seed, want_trace, want_fct) in [
+        (Scheme::Ppt, 42u64, 0x7477_b6a6_65e2_9654_u64, 0x544f_c7e6_370c_f276_u64),
+        (Scheme::Dctcp, 42, 0x0d9e_974c_1169_b1bb, 0xdfbd_16a2_71d0_99be),
+        (Scheme::Ndp, 7, 0xa624_4279_1c93_0e9f, 0x64cd_8caa_b1be_ec7b),
+        (Scheme::Homa, 7, 0xd072_7754_f98c_10f5, 0xe4ec_42a4_cd20_bf42),
+    ] {
+        let name = scheme.name();
+        let (trace_hash, fct_hash) = golden_digests(scheme, seed);
+        assert_eq!(
+            (trace_hash, fct_hash),
+            (want_trace, want_fct),
+            "{name} seed {seed}: digests drifted (got trace={trace_hash:#018x} fct={fct_hash:#018x})"
+        );
+    }
+}
+
 /// One load point of the sweep: every per-flow FCT plus the raw queue-depth
 /// time series at the bottleneck port, in a byte-comparable form.
 type SweepPoint = (Vec<(u64, u64)>, Vec<(u64, u64, [u64; 8])>);
@@ -71,6 +119,54 @@ fn websearch_sweep(scheme: Scheme, seed: u64) -> Vec<SweepPoint> {
         sweep.push((fct_series, queue_series));
     }
     sweep
+}
+
+/// Byte-comparable projection of one sweep point's result.
+fn sweep_fingerprint(r: &ppt::sweep::PointResult) -> (String, Vec<(u64, u64)>, u64, u64, u64, u64) {
+    (
+        r.label.clone(),
+        r.fct.records().iter().map(|rec| (rec.size_bytes, rec.fct.as_nanos())).collect(),
+        r.completion_ratio.to_bits(),
+        r.counters.dropped,
+        r.counters.marked,
+        r.report.events,
+    )
+}
+
+/// The parallel sweep layer must be invisible in the results: the same
+/// grid run serially (`jobs = 1`) and on four workers (`jobs = 4`) must
+/// produce identical per-flow FCT series, counters and event counts at
+/// every point, in the same (index-keyed) order. This is the contract
+/// that lets figure binaries take `PPT_JOBS` without a determinism
+/// caveat.
+#[test]
+fn sweep_results_identical_for_any_job_count() {
+    use ppt::sweep::SweepSpec;
+
+    let run = |jobs: usize| -> Vec<_> {
+        let topo = TopoKind::Star { n: 5, rate_gbps: 10, delay_us: 20 };
+        SweepSpec::new()
+            .jobs(jobs)
+            .grid(
+                topo,
+                &[Scheme::Ppt, Scheme::Dctcp, Scheme::Hypothetical(1.0)],
+                &SizeDistribution::web_search(),
+                &[0.3, 0.6],
+                40,
+                &[11, 13],
+            )
+            .run()
+            .iter()
+            .map(sweep_fingerprint)
+            .collect()
+    };
+    let serial = run(1);
+    let parallel = run(4);
+    assert_eq!(serial.len(), 12, "3 schemes x 2 loads x 2 seeds");
+    for (i, (s, p)) in serial.iter().zip(&parallel).enumerate() {
+        assert_eq!(s, p, "point {i} diverged between jobs=1 and jobs=4");
+        assert!(!s.1.is_empty(), "point {i} recorded no FCTs");
+    }
 }
 
 /// Satellite regression: a full websearch load sweep, run twice in the same
