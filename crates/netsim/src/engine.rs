@@ -10,11 +10,13 @@ use std::collections::BinaryHeap;
 
 use dcn_trace::{TraceEvent, TraceSink};
 
+use crate::faults::{FaultOp, FaultSchedule};
 use crate::host::{Ctx, Effects, FlowDesc, Transport};
 use crate::ids::{FlowId, HostId, LinkId, NodeId, SwitchId};
 use crate::link::Link;
 use crate::packet::{Packet, Payload};
 use crate::queue::PrioQueues;
+use crate::rng::Pcg32;
 use crate::switch::{enqueue_policy, EnqueueOutcome, PortCounters, SwitchConfig};
 use crate::time::{SimDuration, SimTime};
 use crate::units::Rate;
@@ -118,6 +120,8 @@ enum Ev {
     Timer { host: HostId, token: u64 },
     /// Sampler `idx` takes a measurement and reschedules itself.
     Sample(u32),
+    /// Timed fault operation `schedule.ops[idx]` applies.
+    Fault(u32),
 }
 
 #[derive(Clone, Copy)]
@@ -255,6 +259,23 @@ impl StopReason {
     }
 }
 
+/// Fault-layer recovery statistics for one run. All zeros when no
+/// [`FaultSchedule`] was installed (retransmit noting still works).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FaultReport {
+    /// Packets destroyed by the fault layer (random loss + down links).
+    pub fault_drops: u64,
+    /// Retransmissions noted by transports via `Ctx::note_retransmit`,
+    /// summed over all flows.
+    pub retransmits: u64,
+    /// Longest single fault interval (link outage or switch stall),
+    /// including intervals still open when the run stopped.
+    pub max_stall: SimDuration,
+    /// Payload bytes delivered to hosts while at least one fault was
+    /// active (degraded-mode goodput).
+    pub goodput_during_fault_bytes: u64,
+}
+
 /// Summary of a completed run.
 #[derive(Clone, Copy, Debug)]
 pub struct RunReport {
@@ -268,6 +289,8 @@ pub struct RunReport {
     pub flows_total: usize,
     /// Which limit (if any) stopped the run.
     pub stop: StopReason,
+    /// Fault-layer recovery statistics.
+    pub faults: FaultReport,
 }
 
 impl RunReport {
@@ -276,6 +299,31 @@ impl RunReport {
     pub fn is_abnormal(&self) -> bool {
         self.stop != StopReason::AllFlowsDone || self.flows_completed < self.flows_total
     }
+}
+
+/// Live fault-injection state: the installed schedule plus the mutable
+/// link/switch status and recovery counters it drives.
+struct FaultState {
+    schedule: FaultSchedule,
+    /// Dedicated loss RNG, seeded from the schedule — never shared with
+    /// workload generation, so adding loss does not shift workload draws.
+    rng: Pcg32,
+    /// Per-link down flag, indexed by `LinkId`.
+    link_down: Vec<bool>,
+    /// Per-switch stall depth (overlapping stalls nest), indexed by `SwitchId`.
+    stalled: Vec<u32>,
+    /// Start of the currently open outage per link, for `max_stall`.
+    down_since: Vec<Option<SimTime>>,
+    /// Start of the currently open stall per switch, for `max_stall`.
+    stall_since: Vec<Option<SimTime>>,
+    /// Number of currently active faults (down links + stalled switches).
+    active: u32,
+    /// Packets destroyed so far.
+    drops: u64,
+    /// Longest closed fault interval so far.
+    max_stall: SimDuration,
+    /// Payload bytes delivered to hosts while `active > 0`.
+    goodput_fault_bytes: u64,
 }
 
 /// The simulator.
@@ -294,6 +342,11 @@ pub struct Simulator<P: Payload> {
     effects: Effects<P>,
     events: u64,
     flows_completed: usize,
+    /// `None` = fault injection disabled: the hot path pays one branch.
+    faults: Option<FaultState>,
+    /// Per-flow retransmit counts (fed by `Ctx::note_retransmit`).
+    retransmit_counts: Vec<u32>,
+    retransmits_total: u64,
     /// `None` = tracing disabled: every emission site reduces to one branch.
     trace: Option<Box<dyn TraceSink>>,
     /// Measure wall-clock time in transport handlers (Fig-19 substitute).
@@ -323,6 +376,9 @@ impl<P: Payload> Simulator<P> {
             effects: Effects::default(),
             events: 0,
             flows_completed: 0,
+            faults: None,
+            retransmit_counts: Vec::new(),
+            retransmits_total: 0,
             trace: None,
             measure_cpu: false,
         }
@@ -474,6 +530,7 @@ impl<P: Payload> Simulator<P> {
         let id = FlowId(self.flows.len() as u64);
         self.flows.push(FlowDesc { id, src, dst, size_bytes, start, first_write_bytes });
         self.completions.push(None);
+        self.retransmit_counts.push(0);
         id
     }
 
@@ -613,6 +670,160 @@ impl<P: Payload> Simulator<P> {
     }
 
     // ---------------------------------------------------------------
+    // Fault injection
+    // ---------------------------------------------------------------
+
+    /// Install a fault schedule. Must be called after the topology is
+    /// fully built (per-link/per-switch state is sized here) and before
+    /// the first [`Self::run`] call; replaces any previous schedule.
+    pub fn set_fault_schedule(&mut self, schedule: FaultSchedule) {
+        assert!(self.events == 0, "fault schedule must be installed before the run starts");
+        self.faults = Some(FaultState {
+            rng: Pcg32::seed_from_u64(schedule.seed),
+            link_down: vec![false; self.links.len()],
+            stalled: vec![0; self.switches.len()],
+            down_since: vec![None; self.links.len()],
+            stall_since: vec![None; self.switches.len()],
+            active: 0,
+            drops: 0,
+            max_stall: SimDuration::ZERO,
+            goodput_fault_bytes: 0,
+            schedule,
+        });
+    }
+
+    /// Whether a fault schedule is installed.
+    pub fn faults_enabled(&self) -> bool {
+        self.faults.is_some()
+    }
+
+    /// Fault-layer statistics so far. `max_stall` includes fault intervals
+    /// still open at the current simulated time.
+    pub fn fault_report(&self) -> FaultReport {
+        let mut r = FaultReport { retransmits: self.retransmits_total, ..FaultReport::default() };
+        if let Some(fs) = &self.faults {
+            r.fault_drops = fs.drops;
+            r.max_stall = fs.max_stall;
+            r.goodput_during_fault_bytes = fs.goodput_fault_bytes;
+            for t0 in fs.down_since.iter().chain(&fs.stall_since).flatten() {
+                r.max_stall = r.max_stall.max(self.now.saturating_since(*t0));
+            }
+        }
+        r
+    }
+
+    /// Retransmissions noted for `flow` via `Ctx::note_retransmit`.
+    pub fn flow_retransmits(&self, flow: FlowId) -> u32 {
+        self.retransmit_counts.get(flow.0 as usize).copied().unwrap_or(0)
+    }
+
+    /// Apply timed fault op `idx` (dispatch target for `Ev::Fault`).
+    fn apply_fault(&mut self, idx: u32) {
+        let now = self.now;
+        let op = match self.faults.as_ref() {
+            Some(fs) => fs.schedule.ops[idx as usize].op,
+            None => return,
+        };
+        match op {
+            FaultOp::LinkDown(l) => {
+                if let Some(fs) = self.faults.as_mut() {
+                    let li = l.0 as usize;
+                    if !fs.link_down[li] {
+                        fs.link_down[li] = true;
+                        fs.down_since[li] = Some(now);
+                        fs.active += 1;
+                    }
+                }
+                self.emit(TraceEvent::LinkDown { link: l.0 });
+            }
+            FaultOp::LinkUp(l) => {
+                if let Some(fs) = self.faults.as_mut() {
+                    let li = l.0 as usize;
+                    if fs.link_down[li] {
+                        fs.link_down[li] = false;
+                        if let Some(t0) = fs.down_since[li].take() {
+                            fs.max_stall = fs.max_stall.max(now.saturating_since(t0));
+                        }
+                        fs.active -= 1;
+                    }
+                }
+                self.emit(TraceEvent::LinkUp { link: l.0 });
+            }
+            FaultOp::StallStart(s) => {
+                if let Some(fs) = self.faults.as_mut() {
+                    let si = s.0 as usize;
+                    fs.stalled[si] += 1;
+                    if fs.stalled[si] == 1 {
+                        fs.stall_since[si] = Some(now);
+                        fs.active += 1;
+                    }
+                }
+            }
+            FaultOp::StallEnd(s) => {
+                let resumed = match self.faults.as_mut() {
+                    Some(fs) => {
+                        let si = s.0 as usize;
+                        if fs.stalled[si] > 0 {
+                            fs.stalled[si] -= 1;
+                            if fs.stalled[si] == 0 {
+                                if let Some(t0) = fs.stall_since[si].take() {
+                                    fs.max_stall = fs.max_stall.max(now.saturating_since(t0));
+                                }
+                                fs.active -= 1;
+                                true
+                            } else {
+                                false
+                            }
+                        } else {
+                            false
+                        }
+                    }
+                    None => false,
+                };
+                if resumed {
+                    // Restart every backlogged idle port in a fixed (port
+                    // index) order so the resume is deterministic.
+                    for pi in 0..self.switches[s.0 as usize].ports.len() {
+                        let port = &self.switches[s.0 as usize].ports[pi];
+                        if !port.busy && !port.queues.is_empty() {
+                            self.start_tx_switch(s, pi as u16);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Whether the fault layer destroys the packet being serialized onto
+    /// `link`. Draws from the fault RNG only when a non-zero probability
+    /// applies, so loss-free schedules take zero draws.
+    // simlint: hot-path
+    fn fault_loses_packet(&mut self, link: LinkId, pkt: &Packet<P>) -> bool {
+        let Some(fs) = self.faults.as_mut() else { return false };
+        if fs.link_down.get(link.0 as usize).copied().unwrap_or(false) {
+            fs.drops += 1;
+            return true;
+        }
+        // Control packets (header-only: ACKs, NACKs, pulls, credits) use
+        // the ACK-loss knob, gated on the priority band; data uses data_loss.
+        let p = if pkt.payload_bytes() == 0 {
+            if pkt.priority >= fs.schedule.ack_loss_min_prio {
+                fs.schedule.ack_loss
+            } else {
+                0.0
+            }
+        } else {
+            fs.schedule.data_loss
+        };
+        if p > 0.0 && fs.rng.next_f64() < p {
+            fs.drops += 1;
+            return true;
+        }
+        false
+    }
+    // simlint: hot-path-end
+
+    // ---------------------------------------------------------------
     // Tracing
     // ---------------------------------------------------------------
 
@@ -665,6 +876,17 @@ impl<P: Payload> Simulator<P> {
             for i in 0..self.flows.len() {
                 self.schedule(self.flows[i].start, Ev::FlowStart(i as u32));
             }
+            // Timed fault ops enter the heap after every FlowStart, in
+            // schedule order — a fixed sequence-number layout that makes
+            // identical schedules reproduce identical tie-breaks.
+            let n_ops = self.faults.as_ref().map_or(0, |fs| fs.schedule.ops.len());
+            for i in 0..n_ops {
+                let at = match self.faults.as_ref() {
+                    Some(fs) => fs.schedule.ops[i].at,
+                    None => break,
+                };
+                self.schedule(at, Ev::Fault(i as u32));
+            }
         }
 
         let mut stop = StopReason::AllFlowsDone;
@@ -690,6 +912,7 @@ impl<P: Payload> Simulator<P> {
             flows_completed: self.flows_completed,
             flows_total: self.flows.len(),
             stop,
+            faults: self.fault_report(),
         }
     }
 
@@ -710,6 +933,11 @@ impl<P: Payload> Simulator<P> {
                 let pkt = self.pool.take(pkt);
                 match to {
                     NodeId::Host(h) => {
+                        if let Some(fs) = self.faults.as_mut() {
+                            if fs.active > 0 {
+                                fs.goodput_fault_bytes += pkt.payload_bytes() as u64;
+                            }
+                        }
                         self.with_transport(h, |t, ctx| t.on_packet(pkt, ctx));
                     }
                     NodeId::Switch(s) => self.switch_forward(s, pkt),
@@ -721,6 +949,7 @@ impl<P: Payload> Simulator<P> {
                 self.with_transport(host, |t, ctx| t.on_timer(token, ctx));
             }
             Ev::Sample(idx) => self.take_sample(idx),
+            Ev::Fault(idx) => self.apply_fault(idx),
         }
     }
 
@@ -756,6 +985,14 @@ impl<P: Payload> Simulator<P> {
         // out of `self`, so packets drain straight into `host_enqueue`
         // without an intermediate collect; the buffers are handed back at
         // the end and reused across every transport invocation.
+        // Retransmit notes first: they only bump counters (never touch the
+        // heap), so draining them here cannot shift sequence numbers.
+        for flow in effects.retransmits.drain(..) {
+            self.retransmits_total += 1;
+            if let Some(c) = self.retransmit_counts.get_mut(flow.0 as usize) {
+                *c += 1;
+            }
+        }
         for (at, token) in effects.timers.drain(..) {
             let at = at.max(now);
             self.schedule(at, Ev::Timer { host, token });
@@ -880,6 +1117,13 @@ impl<P: Payload> Simulator<P> {
     }
 
     fn start_tx_switch(&mut self, switch: SwitchId, port: u16) {
+        // A stalled switch admits (and drops) but never starts serializing;
+        // backlogged ports are kicked again when the stall ends.
+        if let Some(fs) = self.faults.as_ref() {
+            if fs.stalled.get(switch.0 as usize).copied().unwrap_or(0) > 0 {
+                return;
+            }
+        }
         let slot = &mut self.switches[switch.0 as usize].ports[port as usize];
         let Some(pkt) = slot.queues.pop() else { return };
         slot.busy = true;
@@ -898,6 +1142,19 @@ impl<P: Payload> Simulator<P> {
         let ser = link.rate.serialization_time(pkt.wire_bytes as u64);
         let arrive_at = self.now + ser + link.delay;
         let to = link.to;
+        // The fault layer destroys packets *at serialization time*: the
+        // sender still pays the full serialization delay (TxDone fires as
+        // usual) but no Deliver is scheduled — the bits die on the wire.
+        if self.faults.is_some() && self.fault_loses_packet(link_id, &pkt) {
+            self.emit(TraceEvent::FaultDrop {
+                link: link_id.0,
+                flow: pkt.flow.0,
+                prio: pkt.priority,
+                bytes: pkt.wire_bytes as u64,
+            });
+            self.schedule(self.now + ser, Ev::TxDone { node, port });
+            return;
+        }
         let pkt = self.pool.insert(pkt);
         self.schedule(arrive_at, Ev::Deliver { to, pkt });
         self.schedule(self.now + ser, Ev::TxDone { node, port });

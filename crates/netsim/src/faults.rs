@@ -1,0 +1,159 @@
+//! Deterministic fault injection: timed link outages, switch stalls, and
+//! random packet/ACK loss.
+//!
+//! A [`FaultSchedule`] is attached to a [`crate::Simulator`] before the
+//! run via [`crate::Simulator::set_fault_schedule`]. Two fault classes are
+//! supported:
+//!
+//! - **Timed operations** ([`FaultOp`]): link down/up and switch
+//!   stall/resume at fixed simulated instants. They enter the ordinary
+//!   event heap as `Ev::Fault` entries, so they interleave with traffic
+//!   under the same `(time, seq)` total order as everything else.
+//! - **Random loss**: independent per-packet drop probabilities, decided
+//!   at serialization time from a dedicated [`Pcg32`] stream seeded by
+//!   [`FaultSchedule::seed`]. Data packets (non-zero payload) use
+//!   `data_loss`; control packets (header-only: ACKs, NACKs, pulls,
+//!   credits) use `ack_loss`, optionally restricted to priorities `>=
+//!   ack_loss_min_prio` — which isolates PPT's low-priority ACK band
+//!   (LP ACKs ride P4+, HCP ACKs ride P0).
+//!
+//! Determinism: the fault RNG is owned by the simulator, advances only
+//! when a non-zero probability applies to a serialized packet, and timed
+//! ops are scheduled in schedule order before the first event dispatch.
+//! Identical schedules + seeds therefore reproduce byte-identical traces
+//! regardless of how many sweep workers run other simulations in parallel
+//! (each `Simulator` is fully self-contained; see DESIGN.md §11).
+
+use crate::ids::{LinkId, SwitchId};
+use crate::time::{SimDuration, SimTime};
+
+/// One timed fault operation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultOp {
+    /// Take a unidirectional link down: packets serialized onto it while
+    /// down are lost (the sender still pays serialization time).
+    LinkDown(LinkId),
+    /// Bring a downed link back up.
+    LinkUp(LinkId),
+    /// Freeze a switch's egress scheduling: queues keep admitting (and
+    /// tail-dropping) but no packet starts serialization on any port.
+    StallStart(SwitchId),
+    /// Resume a stalled switch; backlogged ports restart immediately.
+    StallEnd(SwitchId),
+}
+
+/// A [`FaultOp`] pinned to an absolute simulated instant.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TimedFault {
+    /// When the operation applies.
+    pub at: SimTime,
+    /// What happens.
+    pub op: FaultOp,
+}
+
+/// A complete fault scenario for one run: timed operations plus random
+/// loss probabilities. Built with the fluent helpers, then handed to
+/// [`crate::Simulator::set_fault_schedule`].
+///
+/// ```
+/// use netsim::{FaultSchedule, LinkId, SimDuration, SimTime, SwitchId};
+/// let faults = FaultSchedule::new(7)
+///     .link_outage(LinkId(0), SimTime(1_000_000), SimTime(3_000_000))
+///     .stall_switch(SwitchId(0), SimTime(5_000_000), SimDuration::from_micros(500))
+///     .with_data_loss(0.01);
+/// assert_eq!(faults.ops.len(), 4);
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub struct FaultSchedule {
+    /// Timed operations, applied in push order (ties broken by push order).
+    pub ops: Vec<TimedFault>,
+    /// Probability that a serialized *data* packet (payload > 0) is lost.
+    pub data_loss: f64,
+    /// Probability that a serialized *control* packet (header-only: ACKs,
+    /// NACKs, pulls, credits) is lost.
+    pub ack_loss: f64,
+    /// `ack_loss` only applies to control packets with priority `>= this`.
+    /// 0 (the default) covers every control packet; 4 isolates PPT's
+    /// low-priority ACK band.
+    pub ack_loss_min_prio: u8,
+    /// Seed for the dedicated fault RNG stream.
+    pub seed: u64,
+}
+
+impl FaultSchedule {
+    /// An empty schedule (no timed ops, no loss) with the given RNG seed.
+    pub fn new(seed: u64) -> Self {
+        FaultSchedule { ops: Vec::new(), data_loss: 0.0, ack_loss: 0.0, ack_loss_min_prio: 0, seed }
+    }
+
+    /// Append one timed operation.
+    pub fn op(mut self, at: SimTime, op: FaultOp) -> Self {
+        self.ops.push(TimedFault { at, op });
+        self
+    }
+
+    /// Take `link` down at `from` and restore it at `until`.
+    pub fn link_outage(self, link: LinkId, from: SimTime, until: SimTime) -> Self {
+        debug_assert!(from < until, "outage must end after it starts");
+        self.op(from, FaultOp::LinkDown(link)).op(until, FaultOp::LinkUp(link))
+    }
+
+    /// Stall `switch` at `at` for `duration`.
+    pub fn stall_switch(self, switch: SwitchId, at: SimTime, duration: SimDuration) -> Self {
+        self.op(at, FaultOp::StallStart(switch)).op(at + duration, FaultOp::StallEnd(switch))
+    }
+
+    /// Set the random data-packet loss probability.
+    pub fn with_data_loss(mut self, p: f64) -> Self {
+        debug_assert!((0.0..=1.0).contains(&p));
+        self.data_loss = p;
+        self
+    }
+
+    /// Set the random control-packet (ACK) loss probability.
+    pub fn with_ack_loss(mut self, p: f64) -> Self {
+        debug_assert!((0.0..=1.0).contains(&p));
+        self.ack_loss = p;
+        self
+    }
+
+    /// Restrict `ack_loss` to control packets with priority `>= min_prio`.
+    pub fn with_ack_loss_min_prio(mut self, min_prio: u8) -> Self {
+        self.ack_loss_min_prio = min_prio;
+        self
+    }
+
+    /// True when the schedule can never affect a run.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty() && self.data_loss <= 0.0 && self.ack_loss <= 0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_accumulate_ops_in_order() {
+        let s = FaultSchedule::new(1)
+            .link_outage(LinkId(2), SimTime(100), SimTime(200))
+            .stall_switch(SwitchId(0), SimTime(150), SimDuration::from_nanos(25));
+        assert_eq!(
+            s.ops,
+            vec![
+                TimedFault { at: SimTime(100), op: FaultOp::LinkDown(LinkId(2)) },
+                TimedFault { at: SimTime(200), op: FaultOp::LinkUp(LinkId(2)) },
+                TimedFault { at: SimTime(150), op: FaultOp::StallStart(SwitchId(0)) },
+                TimedFault { at: SimTime(175), op: FaultOp::StallEnd(SwitchId(0)) },
+            ]
+        );
+    }
+
+    #[test]
+    fn emptiness_tracks_every_knob() {
+        assert!(FaultSchedule::new(9).is_empty());
+        assert!(!FaultSchedule::new(9).with_data_loss(0.5).is_empty());
+        assert!(!FaultSchedule::new(9).with_ack_loss(0.5).is_empty());
+        assert!(!FaultSchedule::new(9).op(SimTime(1), FaultOp::LinkDown(LinkId(0))).is_empty());
+    }
+}

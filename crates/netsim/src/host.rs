@@ -41,11 +41,19 @@ pub struct Effects<P> {
     pub(crate) packets: Vec<Packet<P>>,
     pub(crate) timers: Vec<(SimTime, u64)>,
     pub(crate) completed: Vec<FlowId>,
+    /// Flows that retransmitted data this dispatch (recovery accounting;
+    /// drained into the engine's per-flow counters).
+    pub(crate) retransmits: Vec<FlowId>,
 }
 
 impl<P> Default for Effects<P> {
     fn default() -> Self {
-        Effects { packets: Vec::new(), timers: Vec::new(), completed: Vec::new() }
+        Effects {
+            packets: Vec::new(),
+            timers: Vec::new(),
+            completed: Vec::new(),
+            retransmits: Vec::new(),
+        }
     }
 }
 
@@ -56,10 +64,16 @@ impl<P> Effects<P> {
         (self.packets, self.timers, self.completed)
     }
 
+    /// Flows noted via [`Ctx::note_retransmit`] (unit-test accessor).
+    pub fn retransmits(&self) -> &[FlowId] {
+        &self.retransmits
+    }
+
     pub(crate) fn clear(&mut self) {
         self.packets.clear();
         self.timers.clear();
         self.completed.clear();
+        self.retransmits.clear();
     }
 }
 
@@ -140,6 +154,14 @@ impl<'a, P: Payload> Ctx<'a, P> {
     /// The engine records the completion time; repeat calls are ignored.
     pub fn flow_completed(&mut self, flow: FlowId) {
         self.effects.completed.push(flow);
+    }
+
+    /// Note that `flow` retransmitted data (RTO fire, NACK resend, trim
+    /// recovery, ...). Feeds the engine's per-flow retransmit counters and
+    /// the [`crate::engine::FaultReport`] recovery totals; schedules
+    /// nothing, so calling it never perturbs event ordering.
+    pub fn note_retransmit(&mut self, flow: FlowId) {
+        self.effects.retransmits.push(flow);
     }
 }
 

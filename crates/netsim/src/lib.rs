@@ -32,6 +32,7 @@
 //! [`host::Transport`] and define their own [`packet::Payload`] header type.
 
 pub mod engine;
+pub mod faults;
 pub mod host;
 pub mod ids;
 pub mod link;
@@ -45,7 +46,10 @@ pub mod units;
 
 pub use dcn_trace as trace;
 pub use dcn_trace::{TraceEvent, TraceSink};
-pub use engine::{PoolStats, RunLimits, RunReport, Sample, SamplerId, Simulator, StopReason};
+pub use engine::{
+    FaultReport, PoolStats, RunLimits, RunReport, Sample, SamplerId, Simulator, StopReason,
+};
+pub use faults::{FaultOp, FaultSchedule, TimedFault};
 pub use host::{Ctx, FlowDesc, Transport};
 pub use ids::{FlowId, HostId, LinkId, NodeId, SwitchId};
 pub use packet::{
@@ -330,6 +334,153 @@ mod engine_tests {
         // Resuming finishes the flow.
         let report = topo.sim.run(RunLimits::default());
         assert_eq!(report.flows_completed, 1);
+    }
+
+    #[test]
+    fn downed_link_destroys_packets_until_restored() {
+        // Outage covers the whole (instantaneous) burst: nothing arrives,
+        // every packet is charged to the fault layer.
+        let mut topo = topology::star::<BlastHdr>(
+            2,
+            Rate::gbps(10),
+            SimDuration::from_micros(1),
+            SwitchConfig::basic(1 << 20),
+        );
+        for &h in &topo.hosts {
+            topo.sim.set_transport(h, blast());
+        }
+        let uplink = topo.sim.host_uplink(topo.hosts[0]);
+        // Starts strictly inside the outage window (a flow starting at the
+        // same instant as LinkDown would serialize its first packet first).
+        topo.sim.add_flow(topo.hosts[0], topo.hosts[1], 10 * MSS_BYTES as u64, SimTime(1_000), 1);
+        // A second flow starts after the link is back and must complete.
+        let late = topo.sim.add_flow(topo.hosts[0], topo.hosts[1], 1000, SimTime(30_000_000), 1000);
+        topo.sim.set_fault_schedule(FaultSchedule::new(1).link_outage(
+            uplink,
+            SimTime::ZERO,
+            SimTime(20_000_000),
+        ));
+        let report = topo.sim.run(RunLimits::default());
+        assert_eq!(report.faults.fault_drops, 10, "all 10 MSS packets die on the downed link");
+        assert_eq!(report.flows_completed, 1);
+        assert!(topo.sim.completion(late).is_some());
+        assert_eq!(report.faults.max_stall, SimDuration::from_millis(20));
+    }
+
+    #[test]
+    fn switch_stall_freezes_forwarding_and_resumes() {
+        // One packet in flight; the switch stalls before the packet reaches
+        // it and resumes later, delaying delivery by exactly the remaining
+        // stall time.
+        let mut topo = topology::star::<BlastHdr>(
+            2,
+            Rate::gbps(10),
+            SimDuration::from_micros(20),
+            SwitchConfig::basic(1 << 20),
+        );
+        for &h in &topo.hosts {
+            topo.sim.set_transport(h, blast());
+        }
+        let f = topo.sim.add_flow(topo.hosts[0], topo.hosts[1], 1000, SimTime::ZERO, 1000);
+        let stall = SimDuration::from_millis(1);
+        topo.sim.set_fault_schedule(FaultSchedule::new(1).stall_switch(
+            topo.leaves[0],
+            SimTime::ZERO,
+            stall,
+        ));
+        let report = topo.sim.run(RunLimits::default());
+        assert_eq!(report.flows_completed, 1);
+        // No-fault latency is 2×832ns serialization + 2×20us propagation
+        // (see single_packet_end_to_end_latency_is_exact); the switch holds
+        // its copy until the stall ends at 1ms, then serializes + delivers.
+        let expect = stall.as_nanos() + 832 + 20_000;
+        assert_eq!(topo.sim.completion(f).unwrap().as_nanos(), expect);
+        assert_eq!(report.faults.max_stall, stall);
+    }
+
+    #[test]
+    fn total_data_loss_starves_the_receiver() {
+        let mut topo = topology::star::<BlastHdr>(
+            2,
+            Rate::gbps(10),
+            SimDuration::from_micros(1),
+            SwitchConfig::basic(1 << 20),
+        );
+        for &h in &topo.hosts {
+            topo.sim.set_transport(h, blast());
+        }
+        topo.sim.add_flow(topo.hosts[0], topo.hosts[1], 10 * MSS_BYTES as u64, SimTime::ZERO, 1);
+        topo.sim.set_fault_schedule(FaultSchedule::new(3).with_data_loss(1.0));
+        let report = topo.sim.run(RunLimits::default());
+        assert_eq!(report.flows_completed, 0);
+        assert_eq!(report.faults.fault_drops, 10, "every packet dies at the host NIC");
+    }
+
+    #[test]
+    fn random_loss_is_deterministic_per_seed() {
+        let run = |seed: u64| {
+            let mut topo = topology::star::<BlastHdr>(
+                3,
+                Rate::gbps(10),
+                SimDuration::from_micros(1),
+                SwitchConfig::basic(1 << 20),
+            );
+            for &h in &topo.hosts {
+                topo.sim.set_transport(h, blast());
+            }
+            for i in 0..2 {
+                topo.sim.add_flow(
+                    topo.hosts[i],
+                    topo.hosts[2],
+                    200 * MSS_BYTES as u64,
+                    SimTime::ZERO,
+                    1,
+                );
+            }
+            topo.sim.set_fault_schedule(FaultSchedule::new(seed).with_data_loss(0.05));
+            let report = topo.sim.run(RunLimits::default());
+            (report.faults.fault_drops, report.events, topo.sim.link(LinkId(0)).tx_packets)
+        };
+        let a = run(7);
+        assert!(a.0 > 0, "5% loss over 400+ packets should drop something");
+        assert_eq!(a, run(7), "same fault seed must reproduce exactly");
+        assert_ne!(run(7).0, run(8).0, "different fault seeds should differ");
+    }
+
+    #[test]
+    fn ack_loss_respects_the_priority_floor() {
+        // A transport that sends one control packet at P0 and one at P4;
+        // with ack_loss=1.0 floored at P4, only the P4 control dies.
+        struct CtrlPair;
+        impl Transport<BlastHdr> for CtrlPair {
+            fn on_flow_start(&mut self, flow: &FlowDesc, ctx: &mut Ctx<'_, BlastHdr>) {
+                let hdr = BlastHdr { is_data: false, size: 0 };
+                ctx.send(Packet::ctrl(flow.id, flow.src, flow.dst, hdr.clone()).with_priority(0));
+                ctx.send(Packet::ctrl(flow.id, flow.src, flow.dst, hdr).with_priority(4));
+            }
+            fn on_packet(&mut self, pkt: Packet<BlastHdr>, ctx: &mut Ctx<'_, BlastHdr>) {
+                assert_eq!(pkt.priority, 0, "the P4 control packet must have been dropped");
+                ctx.flow_completed(pkt.flow);
+            }
+            fn on_timer(&mut self, _: u64, _: &mut Ctx<'_, BlastHdr>) {}
+        }
+        let mut topo = topology::star::<BlastHdr>(
+            2,
+            Rate::gbps(10),
+            SimDuration::from_micros(1),
+            SwitchConfig::basic(1 << 20),
+        );
+        for &h in &topo.hosts {
+            topo.sim.set_transport(h, Box::new(CtrlPair));
+        }
+        topo.sim.add_flow(topo.hosts[0], topo.hosts[1], 1000, SimTime::ZERO, 1000);
+        topo.sim
+            .set_fault_schedule(FaultSchedule::new(5).with_ack_loss(1.0).with_ack_loss_min_prio(4));
+        let report = topo.sim.run(RunLimits::default());
+        assert_eq!(report.flows_completed, 1, "the P0 control packet must survive");
+        // The P4 control is dropped independently at the NIC and would be
+        // dropped again at the switch; it dies at the first hop.
+        assert_eq!(report.faults.fault_drops, 1);
     }
 
     #[test]

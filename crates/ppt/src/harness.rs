@@ -388,6 +388,99 @@ impl TopoKind {
     }
 }
 
+/// A timed fault command, phrased against topology-level names (host
+/// index, switch index) and resolved to concrete link ids once the
+/// topology is built.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultCmd {
+    /// Take the NIC uplink of host `host` down over `[from, until)`.
+    HostUplinkDown { host: usize, from: SimTime, until: SimTime },
+    /// Freeze all forwarding at switch `switch` over `[at, at + duration)`.
+    SwitchStall { switch: usize, at: SimTime, duration: SimDuration },
+}
+
+/// Fault-injection description attached to an [`Experiment`].
+///
+/// This is the harness-level mirror of [`netsim::FaultSchedule`]: the
+/// random-loss knobs carry over verbatim, while [`FaultCmd`]s are resolved
+/// against the built topology. For `Hypothetical` schemes only the main
+/// pass sees faults — the DCTCP oracle recording pass runs on a clean
+/// network, so the MW oracle is the same one a fault-free run would use.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FaultSpec {
+    /// Probability that any serialized data packet is destroyed.
+    pub data_loss: f64,
+    /// Probability that any serialized control packet is destroyed.
+    pub ack_loss: f64,
+    /// Restrict `ack_loss` to the low-priority band (priority ≥ 4): the
+    /// §3.2 "LCP ACKs all lost" experiment, which must close PPT's loop
+    /// with [`netsim::trace::LcpCloseReason::NoLpAcks`] without touching
+    /// the high-priority ACK stream.
+    pub lp_acks_only: bool,
+    /// Seed of the dedicated fault RNG (independent of the workload seed).
+    pub seed: u64,
+    /// Timed link/switch events.
+    pub events: Vec<FaultCmd>,
+}
+
+impl FaultSpec {
+    /// An empty schedule with the given fault-RNG seed.
+    pub fn new(seed: u64) -> Self {
+        FaultSpec { data_loss: 0.0, ack_loss: 0.0, lp_acks_only: false, seed, events: Vec::new() }
+    }
+
+    /// Set the per-packet data-loss probability.
+    pub fn with_data_loss(mut self, p: f64) -> Self {
+        self.data_loss = p;
+        self
+    }
+
+    /// Set the per-packet control-loss probability.
+    pub fn with_ack_loss(mut self, p: f64) -> Self {
+        self.ack_loss = p;
+        self
+    }
+
+    /// Confine ACK loss to the low-priority band (priority ≥ 4).
+    pub fn lp_acks_only(mut self) -> Self {
+        self.lp_acks_only = true;
+        self
+    }
+
+    /// Append a timed fault command.
+    pub fn cmd(mut self, cmd: FaultCmd) -> Self {
+        self.events.push(cmd);
+        self
+    }
+
+    /// True when the spec injects nothing at all.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty() && self.data_loss <= 0.0 && self.ack_loss <= 0.0
+    }
+
+    /// Resolve against a built topology into an engine-level schedule.
+    pub fn resolve(&self, topo: &Topology<Proto>) -> netsim::FaultSchedule {
+        let mut sched = netsim::FaultSchedule::new(self.seed)
+            .with_data_loss(self.data_loss)
+            .with_ack_loss(self.ack_loss);
+        if self.lp_acks_only {
+            sched = sched.with_ack_loss_min_prio(4);
+        }
+        for cmd in &self.events {
+            match *cmd {
+                FaultCmd::HostUplinkDown { host, from, until } => {
+                    let link = topo.sim.host_uplink(topo.hosts[host]);
+                    sched = sched.link_outage(link, from, until);
+                }
+                FaultCmd::SwitchStall { switch, at, duration } => {
+                    sched = sched.stall_switch(netsim::SwitchId(switch as u32), at, duration);
+                }
+            }
+        }
+        sched
+    }
+}
+
 /// A fully-described experiment.
 #[derive(Clone, Debug)]
 pub struct Experiment {
@@ -395,6 +488,8 @@ pub struct Experiment {
     pub scheme: Scheme,
     pub env: SchemeEnv,
     pub flows: Vec<FlowSpec>,
+    /// Faults to inject during the (main) run; `None` ⇒ clean network.
+    pub faults: Option<FaultSpec>,
     /// Wall stop (simulated); generous defaults cover stragglers.
     pub max_time: SimTime,
     pub max_events: u64,
@@ -408,9 +503,16 @@ impl Experiment {
             topo,
             scheme,
             flows,
+            faults: None,
             max_time: SimTime(30_000_000_000), // 30s simulated
             max_events: 4_000_000_000,
         }
+    }
+
+    /// Attach a fault schedule to the experiment.
+    pub fn with_faults(mut self, faults: FaultSpec) -> Self {
+        self.faults = Some(faults);
+        self
     }
 }
 
@@ -478,6 +580,12 @@ where
     }
     workloads::install_flows(&mut topo.sim, &topo.hosts, &exp.flows);
     pre_run(&mut topo);
+    if let Some(spec) = &exp.faults {
+        if !spec.is_empty() {
+            let sched = spec.resolve(&topo);
+            topo.sim.set_fault_schedule(sched);
+        }
+    }
     if !topo.sim.trace_enabled() {
         // No caller-installed sink: keep a bounded flight recorder running
         // so abnormal stops can dump the tail of the event stream.
@@ -503,6 +611,17 @@ fn warn_abnormal(exp: &Experiment, sim: &mut netsim::Simulator<Proto>, report: &
         report.flows_completed,
         report.flows_total,
     );
+    if sim.faults_enabled() {
+        let f = report.faults;
+        eprintln!(
+            "fault context: {} injected drops, {} retransmits, max stall {} ns, \
+             {} goodput bytes during faults",
+            f.fault_drops,
+            f.retransmits,
+            f.max_stall.as_nanos(),
+            f.goodput_during_fault_bytes,
+        );
+    }
     let Some(sink) = sim.take_trace_sink() else { return };
     if let Some(rec) = sink.as_any().downcast_ref::<FlightRecorder>() {
         if !rec.is_empty() {

@@ -12,9 +12,11 @@
 use std::process::ExitCode;
 
 use ppt::harness::{
-    collect_metrics, run_experiment, run_experiment_traced, Experiment, Scheme, TopoKind,
+    collect_metrics, run_experiment, run_experiment_traced, Experiment, FaultCmd, FaultSpec,
+    Scheme, TopoKind,
 };
-use ppt::stats::analyze_lcp;
+use ppt::netsim::{SimDuration, SimTime};
+use ppt::stats::{analyze_lcp, analyze_recovery};
 use ppt::sweep::{run_points, SweepSpec};
 use ppt::trace::JsonObject;
 use ppt::workloads::{all_to_all, incast, FlowSpec, SizeDistribution, WorkloadSpec};
@@ -30,6 +32,7 @@ USAGE:
   pptlab compare [OPTIONS]     run schemes on one workload and print FCT rows
   pptlab sweep [OPTIONS]       run a scheme x load x seed grid and print one row per point
   pptlab trace [OPTIONS]       record a traced run: events.jsonl + metrics.json
+  pptlab faults [OPTIONS]      traced fault-injection run; one JSONL recovery summary per scheme
   pptlab gen [OPTIONS] > t.csv generate a flow trace as CSV on stdout
   pptlab schemes               list scheme ids
   pptlab topos                 list topology ids
@@ -51,7 +54,17 @@ OPTIONS (compare, sweep, trace):
   --seeds a,b,c     (sweep) grid of seeds             [default: 42]
   --json            (compare) one JSON document / (sweep) one JSON line per point
   --metrics         (compare) also collect + print per-scheme metrics
-  --out DIR         (trace) output directory          [default: .]
+  --out DIR         (trace, faults) output directory; faults only writes events
+                    when --out is given                [default: . / off]
+  --faults SPEC     (compare, trace, faults) deterministic fault schedule.
+                    SPEC is comma-separated items:
+                      loss=F        per-packet data-loss probability
+                      ackloss=F     per-packet control-loss probability
+                      lp            confine ackloss to priorities >= 4 (LP ACKs)
+                      seed=N        fault RNG seed     [default: 1]
+                      down:H:F:U    host H uplink down from F us until U us
+                      stall:S:A:D   switch S stalled for D us starting at A us
+                    e.g. --faults loss=0.01,seed=7,down:0:0:500
 ";
 
 fn parse_scheme(id: &str) -> Option<Scheme> {
@@ -211,6 +224,68 @@ fn parse_setup(args: &Args, default_flows: usize) -> Result<RunSetup, String> {
     Ok(RunSetup { topo, dist, load, flows, seed, flow_list })
 }
 
+/// Parse a `--faults` spec (see USAGE) into a harness [`FaultSpec`].
+fn parse_faults(spec: &str) -> Result<FaultSpec, String> {
+    fn triple(item: &str, rest: &str) -> Result<(usize, u64, u64), String> {
+        let parts: Vec<&str> = rest.split(':').collect();
+        if parts.len() != 3 {
+            return Err(format!("--faults: '{item}' wants three ':'-separated numbers"));
+        }
+        let bad = |p: &str| format!("--faults: cannot parse '{p}' in '{item}'");
+        Ok((
+            parts[0].parse().map_err(|_| bad(parts[0]))?,
+            parts[1].parse().map_err(|_| bad(parts[1]))?,
+            parts[2].parse().map_err(|_| bad(parts[2]))?,
+        ))
+    }
+    let mut f = FaultSpec::new(1);
+    for item in spec.split(',') {
+        let item = item.trim();
+        if item.is_empty() {
+            continue;
+        }
+        if let Some(v) = item.strip_prefix("loss=") {
+            f.data_loss = v.parse().map_err(|_| format!("--faults: bad loss '{v}'"))?;
+        } else if let Some(v) = item.strip_prefix("ackloss=") {
+            f.ack_loss = v.parse().map_err(|_| format!("--faults: bad ackloss '{v}'"))?;
+        } else if item == "lp" {
+            f.lp_acks_only = true;
+        } else if let Some(v) = item.strip_prefix("seed=") {
+            f.seed = v.parse().map_err(|_| format!("--faults: bad seed '{v}'"))?;
+        } else if let Some(rest) = item.strip_prefix("down:") {
+            let (host, from_us, until_us) = triple(item, rest)?;
+            f.events.push(FaultCmd::HostUplinkDown {
+                host,
+                from: SimTime(from_us * 1_000),
+                until: SimTime(until_us * 1_000),
+            });
+        } else if let Some(rest) = item.strip_prefix("stall:") {
+            let (switch, at_us, dur_us) = triple(item, rest)?;
+            f.events.push(FaultCmd::SwitchStall {
+                switch,
+                at: SimTime(at_us * 1_000),
+                duration: SimDuration::from_micros(dur_us),
+            });
+        } else {
+            return Err(format!("--faults: unknown item '{item}'"));
+        }
+    }
+    Ok(f)
+}
+
+/// The optional `--faults` schedule shared by compare/trace/faults.
+fn parse_faults_arg(args: &Args) -> Result<Option<FaultSpec>, String> {
+    args.get("faults").map(parse_faults).transpose()
+}
+
+/// Attach `faults` (when present) to an experiment.
+fn with_faults(exp: Experiment, faults: &Option<FaultSpec>) -> Experiment {
+    match faults {
+        Some(f) => exp.with_faults(f.clone()),
+        None => exp,
+    }
+}
+
 fn cmd_compare(args: &Args) -> Result<(), String> {
     let schemes = parse_schemes(args, "ppt,dctcp")?;
     let setup = parse_setup(args, 400)?;
@@ -234,9 +309,12 @@ fn cmd_compare(args: &Args) -> Result<(), String> {
     // One experiment per scheme, executed by the shared sweep runner:
     // results come back in scheme order no matter how many workers ran.
     let jobs: usize = args.parse_or("jobs", 1)?;
+    let faults = parse_faults_arg(args)?;
     let results = run_points(schemes.len(), jobs, |i| {
         let scheme = schemes[i].1.clone();
-        let outcome = run_experiment(&Experiment::new(setup.topo, scheme, setup.flow_list.clone()));
+        let exp =
+            with_faults(Experiment::new(setup.topo, scheme, setup.flow_list.clone()), &faults);
+        let outcome = run_experiment(&exp);
         let metrics = with_metrics.then(|| collect_metrics(&outcome).to_json());
         (outcome.fct.summary(), outcome.completion_ratio, outcome.counters.dropped, metrics)
     });
@@ -309,8 +387,12 @@ fn cmd_trace(args: &Args) -> Result<(), String> {
     // report lines stay on this thread, in scheme order, so output is
     // byte-identical for any --jobs.
     let jobs: usize = args.parse_or("jobs", 1)?;
+    let faults = parse_faults_arg(args)?;
     let results = run_points(schemes.len(), jobs, |i| {
-        let exp = Experiment::new(setup.topo, schemes[i].1.clone(), setup.flow_list.clone());
+        let exp = with_faults(
+            Experiment::new(setup.topo, schemes[i].1.clone(), setup.flow_list.clone()),
+            &faults,
+        );
         let (outcome, trace) = run_experiment_traced(&exp);
         (trace, collect_metrics(&outcome).to_json())
     });
@@ -336,6 +418,62 @@ fn cmd_trace(args: &Args) -> Result<(), String> {
         if !lcp.loops.is_empty() {
             print!("{}", lcp.render());
         }
+    }
+    Ok(())
+}
+
+fn cmd_faults(args: &Args) -> Result<(), String> {
+    let schemes = parse_schemes(args, "ppt")?;
+    let setup = parse_setup(args, 80)?;
+    let faults = parse_faults(args.get("faults").unwrap_or("loss=0.01"))?;
+    let out_dir = args.get("out").map(std::path::PathBuf::from);
+    if let Some(dir) = &out_dir {
+        std::fs::create_dir_all(dir).map_err(|e| format!("--out {}: {e}", dir.display()))?;
+    }
+
+    let jobs: usize = args.parse_or("jobs", 1)?;
+    let results = run_points(schemes.len(), jobs, |i| {
+        let exp = Experiment::new(setup.topo, schemes[i].1.clone(), setup.flow_list.clone())
+            .with_faults(faults.clone());
+        let (outcome, trace) = run_experiment_traced(&exp);
+        (
+            trace,
+            outcome.report.faults,
+            outcome.completion_ratio,
+            outcome.report.flows_completed,
+            outcome.report.flows_total,
+        )
+    });
+
+    // One JSON line per scheme: the recovery summary the fault suite keys
+    // off, stable for any --jobs.
+    for ((id, scheme), (trace, engine, completion_ratio, done, total)) in
+        schemes.iter().zip(results)
+    {
+        if let Some(dir) = &out_dir {
+            let path = dir.join(format!("{id}.faults.events.jsonl"));
+            std::fs::write(&path, trace.to_jsonl())
+                .map_err(|e| format!("{}: {e}", path.display()))?;
+        }
+        let rec = analyze_recovery(&trace.events, engine);
+        let lcp = analyze_lcp(&trace.events, setup.topo.base_rtt());
+        let doc = JsonObject::new()
+            .str("scheme", &scheme.name())
+            .u64("flows_completed", done as u64)
+            .u64("flows_total", total as u64)
+            .f64("completion_ratio", completion_ratio)
+            .u64("fault_drops", engine.fault_drops)
+            .u64("ctrl_drops", rec.ctrl_drops)
+            .u64("outages", rec.outages.len() as u64)
+            .u64("outage_ns", rec.total_outage_ns())
+            .u64("retransmits", engine.retransmits)
+            .f64("mean_recovery_us", rec.mean_recovery_us())
+            .f64("max_recovery_us", rec.max_recovery_us())
+            .f64("degraded_goodput_gbps", rec.degraded_goodput_gbps())
+            .u64("max_stall_ns", engine.max_stall.as_nanos())
+            .u64("lcp_no_lp_acks", lcp.closed_no_lp_acks as u64)
+            .finish();
+        println!("{doc}");
     }
     Ok(())
 }
@@ -406,7 +544,7 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     };
     match cmd.as_str() {
-        "compare" | "sweep" | "trace" => {
+        "compare" | "sweep" | "trace" | "faults" => {
             let args = match Args::parse(&argv[1..]) {
                 Ok(a) => a,
                 Err(e) => {
@@ -417,6 +555,7 @@ fn main() -> ExitCode {
             let run = match cmd.as_str() {
                 "compare" => cmd_compare,
                 "sweep" => cmd_sweep,
+                "faults" => cmd_faults,
                 _ => cmd_trace,
             };
             if let Err(e) = run(&args) {

@@ -70,6 +70,9 @@ pub struct LcpReport {
     pub closed_flow_done: usize,
     /// Loops closed by expiry.
     pub closed_expired: usize,
+    /// Loops closed by expiry without a single LP ACK arriving (§3.2:
+    /// every low-priority packet — or its ACK — was lost or starved).
+    pub closed_no_lp_acks: usize,
     /// Loops still open when the trace ended.
     pub still_open: usize,
     /// Mean lifetime of closed loops, µs.
@@ -107,8 +110,8 @@ impl LcpReport {
             self.opened_queue_buildup
         ));
         out.push_str(&format!(
-            "  closed: {} flow-done, {} expired, {} still open\n",
-            self.closed_flow_done, self.closed_expired, self.still_open
+            "  closed: {} flow-done, {} expired, {} no-lp-acks, {} still open\n",
+            self.closed_flow_done, self.closed_expired, self.closed_no_lp_acks, self.still_open
         ));
         out.push_str(&format!("  mean loop duration: {:.1} us\n", self.mean_duration_us));
         out.push_str(&format!(
@@ -192,6 +195,7 @@ pub fn analyze_lcp(events: &[(u64, TraceEvent)], rtt: SimDuration) -> LcpReport 
         match l.close_reason {
             Some(LcpCloseReason::FlowDone) => report.closed_flow_done += 1,
             Some(LcpCloseReason::Expired) => report.closed_expired += 1,
+            Some(LcpCloseReason::NoLpAcks) => report.closed_no_lp_acks += 1,
             None => report.still_open += 1,
         }
         if l.closed_at.is_some() {

@@ -9,10 +9,12 @@
 
 pub mod fct;
 pub mod lcp;
+pub mod recovery;
 pub mod series;
 
 pub use fct::{FctRecord, FctStats, FctSummary, SMALL_FLOW_MAX_BYTES};
 pub use lcp::{analyze_lcp, LcpLoop, LcpReport};
+pub use recovery::{analyze_recovery, OutageWindow, RecoveryReport};
 pub use series::{
     jain_index, mean_utilization, occupancy_split, utilization_series, OccupancySplit,
     UtilizationPoint,

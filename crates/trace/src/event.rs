@@ -42,6 +42,10 @@ pub enum LcpCloseReason {
     FlowDone,
     /// The loop's expiry timer lapsed without useful work left.
     Expired,
+    /// The loop expired without ever receiving a low-priority ACK: the
+    /// network is dropping LP traffic outright, so the loop terminates
+    /// after 2 silent RTTs (§3.2, "Remarks").
+    NoLpAcks,
 }
 
 impl LcpCloseReason {
@@ -49,6 +53,7 @@ impl LcpCloseReason {
         match self {
             LcpCloseReason::FlowDone => "flow_done",
             LcpCloseReason::Expired => "expired",
+            LcpCloseReason::NoLpAcks => "no_lp_acks",
         }
     }
 }
@@ -90,6 +95,14 @@ pub enum TraceEvent {
     CwndUpdate { flow: u64, cwnd: u64 },
     /// PIAS demoted `flow` between priority levels.
     PiasDemote { flow: u64, from: u8, to: u8 },
+    /// A scheduled fault took `link` down: everything serialized onto it
+    /// until the matching [`TraceEvent::LinkUp`] is lost on the wire.
+    LinkDown { link: u32 },
+    /// A scheduled fault restored `link`.
+    LinkUp { link: u32 },
+    /// The fault layer dropped a packet in flight (random loss or a down
+    /// link); `bytes` is the wire size of the lost packet.
+    FaultDrop { link: u32, flow: u64, prio: u8, bytes: u64 },
 }
 
 impl TraceEvent {
@@ -112,6 +125,9 @@ impl TraceEvent {
             TraceEvent::AlphaUpdate { .. } => "alpha_update",
             TraceEvent::CwndUpdate { .. } => "cwnd_update",
             TraceEvent::PiasDemote { .. } => "pias_demote",
+            TraceEvent::LinkDown { .. } => "link_down",
+            TraceEvent::LinkUp { .. } => "link_up",
+            TraceEvent::FaultDrop { .. } => "fault_drop",
         }
     }
 }
@@ -185,6 +201,16 @@ pub fn encode_line(out: &mut String, at: u64, ev: &TraceEvent) {
         TraceEvent::PiasDemote { flow, from, to } => {
             let _ = write!(out, ",\"flow\":{flow},\"from\":{from},\"to\":{to}");
         }
+        TraceEvent::LinkDown { link } => {
+            let _ = write!(out, ",\"link\":{link}");
+        }
+        TraceEvent::LinkUp { link } => {
+            let _ = write!(out, ",\"link\":{link}");
+        }
+        TraceEvent::FaultDrop { link, flow, prio, bytes } => {
+            let _ =
+                write!(out, ",\"link\":{link},\"flow\":{flow},\"prio\":{prio},\"bytes\":{bytes}");
+        }
     }
     out.push('}');
 }
@@ -210,6 +236,9 @@ mod tests {
         TraceEvent::AlphaUpdate { flow: 1, alpha: 0.0625 },
         TraceEvent::CwndUpdate { flow: 1, cwnd: 14_600 },
         TraceEvent::PiasDemote { flow: 1, from: 0, to: 1 },
+        TraceEvent::LinkDown { link: 3 },
+        TraceEvent::LinkUp { link: 3 },
+        TraceEvent::FaultDrop { link: 3, flow: 1, prio: 4, bytes: 1500 },
     ];
 
     #[test]

@@ -1,6 +1,11 @@
-//! Shared transport machinery: byte-interval bookkeeping and timer tokens.
+//! Shared transport machinery: byte-interval bookkeeping, timer tokens,
+//! and the TCP-family RTO arm/service helpers.
 
 use std::collections::BTreeMap;
+
+use netsim::{Ctx, Payload};
+
+use crate::tcp_base::DctcpFlowTx;
 
 /// A set of disjoint, coalesced half-open byte ranges `[start, end)`.
 ///
@@ -164,9 +169,87 @@ impl Token {
     }
 }
 
+/// Timer kind shared by every TCP-family transport: the retransmission
+/// timeout armed by [`arm_rto`] and serviced by [`service_rto`].
+pub const TIMER_RTO: u8 = 1;
+
+/// The RTO timer token for `flow`. The generation is always 0: RTO timers
+/// are never invalidated wholesale — stale fires are filtered by comparing
+/// against the flow's live deadline in [`service_rto`].
+pub fn rto_token(flow: u64) -> u64 {
+    Token { kind: TIMER_RTO, generation: 0, flow }.encode()
+}
+
+/// (Re-)arm the RTO timer at `flow`'s current deadline. No-op for finished
+/// flows. Call after every pump that may have started or moved the
+/// deadline; timers cannot be cancelled, so extra arms are harmless.
+pub fn arm_rto<P: Payload>(flow: &DctcpFlowTx, ctx: &mut Ctx<'_, P>) {
+    if !flow.is_done() {
+        ctx.timer_at(flow.rto_deadline(), rto_token(flow.id.0));
+    }
+}
+
+/// Service a fired RTO timer for `flow`: ignore fires for finished flows,
+/// go back to sleep when the deadline has moved (ACK progress re-arms it),
+/// and otherwise apply the timeout. Returns true when the timeout fired —
+/// the caller must then pump the flow, which also re-arms the timer.
+pub fn service_rto<P: Payload>(flow: &mut DctcpFlowTx, ctx: &mut Ctx<'_, P>) -> bool {
+    if flow.is_done() {
+        return false;
+    }
+    let now = ctx.now();
+    if now < flow.rto_deadline() {
+        ctx.timer_at(flow.rto_deadline(), rto_token(flow.id.0));
+        return false;
+    }
+    flow.on_rto(now);
+    true
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn rto_helpers_arm_filter_and_fire() {
+        use crate::tcp_base::TcpCfg;
+        use netsim::host::Effects;
+        use netsim::{FlowId, HostId, NoPayload, SimDuration, SimTime};
+
+        let cfg = TcpCfg::new(SimDuration::from_micros(80));
+        let min_rto = cfg.min_rto;
+        let mut flow = DctcpFlowTx::new(FlowId(3), HostId(0), HostId(1), 1_000_000, cfg);
+        // Sending arms the deadline.
+        assert!(flow.next_segment(SimTime::ZERO).is_some());
+        let deadline = flow.rto_deadline();
+        assert_eq!(deadline, SimTime::ZERO + min_rto);
+
+        // arm_rto arms exactly one timer at the live deadline.
+        let mut fx = Effects::<NoPayload>::default();
+        arm_rto(&flow, &mut Ctx::new(SimTime::ZERO, HostId(0), &mut fx));
+        let (_, timers, _) = fx.into_parts();
+        assert_eq!(timers, vec![(deadline, rto_token(3))]);
+
+        // A fire before the deadline is stale: no timeout taken, the timer
+        // goes back to sleep until the live deadline.
+        let mut fx = Effects::<NoPayload>::default();
+        assert!(!service_rto(&mut flow, &mut Ctx::new(SimTime(1), HostId(0), &mut fx)));
+        assert_eq!(flow.rto_deadline(), deadline, "stale fire must not touch the flow");
+        let (_, timers, _) = fx.into_parts();
+        assert_eq!(timers, vec![(deadline, rto_token(3))]);
+
+        // At the deadline the timeout fires and backs the deadline off;
+        // the caller is told to pump (which re-arms).
+        let mut fx = Effects::<NoPayload>::default();
+        assert!(service_rto(&mut flow, &mut Ctx::new(deadline, HostId(0), &mut fx)));
+        assert!(flow.rto_deadline() > deadline, "timeout must back the deadline off");
+    }
+
+    #[test]
+    fn rto_token_layout_is_stable() {
+        let t = Token::decode(rto_token((1 << 40) - 1));
+        assert_eq!(t, Token { kind: TIMER_RTO, generation: 0, flow: (1 << 40) - 1 });
+    }
 
     #[test]
     fn insert_and_coalesce() {

@@ -7,13 +7,13 @@ use std::rc::Rc;
 
 use netsim::{Ctx, FlowDesc, FlowId, Packet, TraceEvent, Transport};
 
-use crate::common::Token;
+use crate::common::{arm_rto, service_rto, Token};
 use crate::proto::{DataHdr, Proto};
 use crate::rx::TcpRx;
 use crate::tcp_base::{DctcpFlowTx, TcpCfg};
 
-/// Timer kinds used by the TCP family.
-pub const TIMER_RTO: u8 = 1;
+// Historical home of the shared TCP-family RTO timer kind.
+pub use crate::common::TIMER_RTO;
 
 /// Shared map for recording each flow's maximum window — consumed by the
 /// "hypothetical DCTCP" oracle experiments (Fig 2/3/20).
@@ -77,6 +77,7 @@ impl DctcpTransport {
         let now = ctx.now();
         while let Some(seg) = flow.next_segment(now) {
             if seg.retx {
+                ctx.note_retransmit(flow.id);
                 ctx.emit(TraceEvent::Retransmit {
                     flow: flow.id.0,
                     offset: seg.offset,
@@ -98,13 +99,7 @@ impl DctcpTransport {
             }
             ctx.send(pkt);
         }
-        if !flow.is_done() {
-            let deadline = flow.rto_deadline();
-            ctx.timer_at(
-                deadline,
-                Token { kind: TIMER_RTO, generation: 0, flow: flow.id.0 }.encode(),
-            );
-        }
+        arm_rto(flow, ctx);
     }
 
     fn record_mw(rec: &Option<MwRecorder>, flow: &DctcpFlowTx) {
@@ -166,20 +161,9 @@ impl Transport<Proto> for DctcpTransport {
             return;
         }
         let Some(flow) = self.tx.get_mut(&FlowId(token.flow)) else { return };
-        if flow.is_done() {
-            return;
+        if service_rto(flow, ctx) {
+            Self::pump(flow, self.ecn_enabled, ctx);
         }
-        let now = ctx.now();
-        if now < flow.rto_deadline() {
-            // Deadline moved; sleep until the new one.
-            ctx.timer_at(
-                flow.rto_deadline(),
-                Token { kind: TIMER_RTO, generation: 0, flow: token.flow }.encode(),
-            );
-            return;
-        }
-        flow.on_rto(now);
-        Self::pump(flow, self.ecn_enabled, ctx);
     }
 }
 

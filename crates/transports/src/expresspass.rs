@@ -201,6 +201,7 @@ impl Transport<Proto> for ExpressPassTransport {
                 let end = (offset + len as u64).min(tx.size);
                 while off < end {
                     let take = ((end - off).min(mss)) as u32;
+                    ctx.note_retransmit(tx.id);
                     let hdr =
                         NdpHdr::Data { offset: off, len: take, msg_size: tx.size, retx: true };
                     let p = Packet::data(tx.id, tx.src, tx.dst, take, Proto::Ndp(hdr))

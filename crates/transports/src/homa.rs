@@ -147,6 +147,9 @@ impl HomaTransport {
         let mut off = from;
         while off < to {
             let len = ((to - off).min(mss as u64)) as u32;
+            if retx {
+                ctx.note_retransmit(tx.id);
+            }
             let hdr = HomaHdr::Data { offset: off, len, msg_size: tx.size, unscheduled, retx };
             let pkt = Packet::data(tx.id, tx.src, tx.dst, len, Proto::Homa(hdr))
                 .with_priority(prio)

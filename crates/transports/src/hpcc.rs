@@ -11,8 +11,7 @@ use std::collections::BTreeMap;
 
 use netsim::{Ctx, Ecn, FlowDesc, FlowId, Packet, Transport};
 
-use crate::common::Token;
-use crate::dctcp::TIMER_RTO;
+use crate::common::{arm_rto, service_rto, Token, TIMER_RTO};
 use crate::proto::{DataHdr, Proto};
 use crate::rx::TcpRx;
 use crate::tcp_base::{CcMode, DctcpFlowTx, HpccCc, TcpCfg};
@@ -38,6 +37,9 @@ impl HpccTransport {
         let Some(flow) = self.tx.get_mut(&id) else { return };
         let (src, dst, size) = (flow.src, flow.dst, flow.size);
         while let Some(seg) = flow.next_segment(now) {
+            if seg.retx {
+                ctx.note_retransmit(id);
+            }
             let hdr = DataHdr {
                 offset: seg.offset,
                 len: seg.len,
@@ -51,12 +53,7 @@ impl HpccTransport {
             pkt.ecn = Ecn::not_capable(); // HPCC replaces ECN with INT
             ctx.send(pkt);
         }
-        if !flow.is_done() {
-            ctx.timer_at(
-                flow.rto_deadline(),
-                Token { kind: TIMER_RTO, generation: 0, flow: id.0 }.encode(),
-            );
-        }
+        arm_rto(flow, ctx);
     }
 }
 
@@ -105,19 +102,9 @@ impl Transport<Proto> for HpccTransport {
         }
         let id = FlowId(token.flow);
         let Some(flow) = self.tx.get_mut(&id) else { return };
-        if flow.is_done() {
-            return;
+        if service_rto(flow, ctx) {
+            self.pump(id, ctx);
         }
-        let now = ctx.now();
-        if now < flow.rto_deadline() {
-            ctx.timer_at(
-                flow.rto_deadline(),
-                Token { kind: TIMER_RTO, generation: 0, flow: id.0 }.encode(),
-            );
-            return;
-        }
-        flow.on_rto(now);
-        self.pump(id, ctx);
     }
 }
 

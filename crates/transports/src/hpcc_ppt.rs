@@ -15,8 +15,7 @@ use std::collections::BTreeMap;
 use netsim::{Ctx, Ecn, FlowDesc, FlowId, Packet, SimDuration, Transport};
 use ppt_core::{FlowIdentifier, LcpAction, LcpLoop, LoopTrigger, MirrorTagger, PptConfig};
 
-use crate::common::Token;
-use crate::dctcp::TIMER_RTO;
+use crate::common::{arm_rto, service_rto, Token, TIMER_RTO};
 use crate::ppt::{TIMER_LCP_EXPIRY, TIMER_LCP_PACE};
 use crate::proto::{DataHdr, Proto};
 use crate::rx::TcpRx;
@@ -69,6 +68,9 @@ impl HpccPptTransport {
         let prio = self.tagger.hcp_priority(f.identified_large, f.hcp.bytes_sent);
         let (src, dst, size) = (f.hcp.src, f.hcp.dst, f.hcp.size);
         while let Some(seg) = f.hcp.next_segment(now) {
+            if seg.retx {
+                ctx.note_retransmit(id);
+            }
             let hdr = DataHdr {
                 offset: seg.offset,
                 len: seg.len,
@@ -82,12 +84,7 @@ impl HpccPptTransport {
             pkt.ecn = Ecn::not_capable(); // HPCC's HCP uses INT, not ECN
             ctx.send(pkt);
         }
-        if !f.hcp.is_done() {
-            ctx.timer_at(
-                f.hcp.rto_deadline(),
-                Token { kind: TIMER_RTO, generation: 0, flow: id.0 }.encode(),
-            );
-        }
+        arm_rto(&f.hcp, ctx);
     }
 
     fn send_lcp_segment(&mut self, id: FlowId, ctx: &mut Ctx<'_, Proto>) -> bool {
@@ -261,19 +258,9 @@ impl Transport<Proto> for HpccPptTransport {
         match token.kind {
             TIMER_RTO => {
                 let Some(f) = self.tx.get_mut(&id) else { return };
-                if f.hcp.is_done() {
-                    return;
+                if service_rto(&mut f.hcp, ctx) {
+                    self.pump_hcp(id, ctx);
                 }
-                let now = ctx.now();
-                if now < f.hcp.rto_deadline() {
-                    ctx.timer_at(
-                        f.hcp.rto_deadline(),
-                        Token { kind: TIMER_RTO, generation: 0, flow: id.0 }.encode(),
-                    );
-                    return;
-                }
-                f.hcp.on_rto(now);
-                self.pump_hcp(id, ctx);
             }
             TIMER_LCP_PACE => {
                 let mss = self.tcp.mss as u64;

@@ -98,6 +98,7 @@ impl NdpTransport {
             if (take as u64) < len as u64 {
                 tx.retx_queue.push_front((off + take as u64, len - take));
             }
+            ctx.note_retransmit(tx.id);
             let pkt = Self::data_packet(tx, off, take, true);
             ctx.send(pkt);
             return;
@@ -221,6 +222,10 @@ impl Transport<Proto> for NdpTransport {
                 if let Some(tx) = self.tx.get_mut(&pkt.flow) {
                     // Front of the queue: trimmed data is the oldest.
                     tx.retx_queue.push_back((offset, len));
+                    // A NACK may reach past `sent` (watchdog recovery of a
+                    // dead pull chain): the range is queued for delivery
+                    // now, so never send it again as "new" data.
+                    tx.sent = tx.sent.max(offset + len as u64);
                 }
             }
             NdpHdr::Pull => {
@@ -245,6 +250,34 @@ impl Transport<Proto> for NdpTransport {
                     ctx.now().saturating_since(m.last_activity) >= watchdog
                 };
                 if stalled {
+                    // Whole-packet loss (a failed link, not the trimmer)
+                    // leaves holes no trimmed header ever advertised: NACK
+                    // every gap up to the message size so the sender
+                    // requeues them, with one pull per missing packet to
+                    // clock them out.
+                    let host = ctx.host();
+                    let mss = self.mss as u64;
+                    let (peer, gaps) = {
+                        let m = self.rx.get(&flow).expect("checked above"); // simlint: allow(panic_hygiene)
+                        let mut gaps = Vec::new();
+                        let mut cursor = 0;
+                        while let Some((s, e)) = m.received.first_gap(cursor, m.size) {
+                            gaps.push((s, (e - s).min(u32::MAX as u64) as u32));
+                            cursor = e;
+                        }
+                        (m.peer, gaps)
+                    };
+                    for (off, len) in gaps {
+                        ctx.send(Packet::ctrl(
+                            flow,
+                            host,
+                            peer,
+                            Proto::Ndp(NdpHdr::Nack { offset: off, len }),
+                        ));
+                        for _ in 0..(len as u64).div_ceil(mss) {
+                            self.enqueue_pull(flow, ctx);
+                        }
+                    }
                     // Kick the sender with an extra pull (covers lost
                     // pulls/NACKs/headers).
                     self.enqueue_pull(flow, ctx);

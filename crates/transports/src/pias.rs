@@ -11,8 +11,7 @@ use std::collections::BTreeMap;
 
 use netsim::{Ctx, FlowDesc, FlowId, Packet, TraceEvent, Transport};
 
-use crate::common::Token;
-use crate::dctcp::TIMER_RTO;
+use crate::common::{arm_rto, service_rto, Token, TIMER_RTO};
 use crate::proto::{DataHdr, Proto};
 use crate::rx::TcpRx;
 use crate::tcp_base::{DctcpFlowTx, TcpCfg};
@@ -66,6 +65,9 @@ impl PiasTransport {
         let Some(flow) = self.tx.get_mut(&id) else { return };
         let (src, dst, size) = (flow.src, flow.dst, flow.size);
         while let Some(seg) = flow.next_segment(now) {
+            if seg.retx {
+                ctx.note_retransmit(id);
+            }
             let prio = self.cfg.priority(flow.bytes_sent);
             if ctx.tracing() {
                 let prev = *self.traced_prio.get(&id).unwrap_or(&0);
@@ -87,12 +89,7 @@ impl PiasTransport {
             };
             ctx.send(Packet::data(id, src, dst, seg.len, Proto::Data(hdr)).with_priority(prio));
         }
-        if !flow.is_done() {
-            ctx.timer_at(
-                flow.rto_deadline(),
-                Token { kind: TIMER_RTO, generation: 0, flow: id.0 }.encode(),
-            );
-        }
+        arm_rto(flow, ctx);
     }
 }
 
@@ -135,19 +132,9 @@ impl Transport<Proto> for PiasTransport {
         }
         let id = FlowId(token.flow);
         let Some(flow) = self.tx.get_mut(&id) else { return };
-        if flow.is_done() {
-            return;
+        if service_rto(flow, ctx) {
+            self.pump(id, ctx);
         }
-        let now = ctx.now();
-        if now < flow.rto_deadline() {
-            ctx.timer_at(
-                flow.rto_deadline(),
-                Token { kind: TIMER_RTO, generation: 0, flow: id.0 }.encode(),
-            );
-            return;
-        }
-        flow.on_rto(now);
-        self.pump(id, ctx);
     }
 }
 

@@ -27,8 +27,7 @@ use ppt_core::{
     MinTracker, MirrorTagger, PptConfig,
 };
 
-use crate::common::Token;
-use crate::dctcp::TIMER_RTO;
+use crate::common::{arm_rto, service_rto, Token, TIMER_RTO};
 use crate::proto::{DataHdr, Proto};
 use crate::rx::TcpRx;
 use crate::tcp_base::{DctcpFlowTx, TcpCfg};
@@ -93,6 +92,7 @@ impl PptTransport {
         let (src, dst, size) = (f.hcp.src, f.hcp.dst, f.hcp.size);
         for seg in outgoing {
             if seg.retx {
+                ctx.note_retransmit(id);
                 ctx.emit(TraceEvent::Retransmit {
                     flow: id.0,
                     offset: seg.offset,
@@ -110,12 +110,7 @@ impl PptTransport {
             };
             ctx.send(Packet::data(id, src, dst, seg.len, Proto::Data(hdr)).with_priority(prio));
         }
-        if !f.hcp.is_done() {
-            ctx.timer_at(
-                f.hcp.rto_deadline(),
-                Token { kind: TIMER_RTO, generation: 0, flow: id.0 }.encode(),
-            );
-        }
+        arm_rto(&f.hcp, ctx);
     }
 
     /// Send one opportunistic packet from the tail of the send buffer.
@@ -368,19 +363,9 @@ impl Transport<Proto> for PptTransport {
         match token.kind {
             TIMER_RTO => {
                 let Some(f) = self.tx.get_mut(&id) else { return };
-                if f.hcp.is_done() {
-                    return;
+                if service_rto(&mut f.hcp, ctx) {
+                    self.pump_hcp(id, ctx);
                 }
-                let now = ctx.now();
-                if now < f.hcp.rto_deadline() {
-                    ctx.timer_at(
-                        f.hcp.rto_deadline(),
-                        Token { kind: TIMER_RTO, generation: 0, flow: id.0 }.encode(),
-                    );
-                    return;
-                }
-                f.hcp.on_rto(now);
-                self.pump_hcp(id, ctx);
             }
             TIMER_LCP_PACE => {
                 let mss = self.tcp.mss as u64;
@@ -418,6 +403,11 @@ impl Transport<Proto> for PptTransport {
                 if lcp.is_expired(ctx.now(), rtt) || f.hcp.is_done() {
                     let reason = if f.hcp.is_done() {
                         LcpCloseReason::FlowDone
+                    } else if lcp.ack_counts().0 == 0 {
+                        // Expired without a single LP ACK ever arriving:
+                        // the loop's packets (or their ACKs) all died, the
+                        // §3.2 total-preemption / loss case.
+                        LcpCloseReason::NoLpAcks
                     } else {
                         LcpCloseReason::Expired
                     };

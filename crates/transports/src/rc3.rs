@@ -20,8 +20,7 @@ use std::collections::BTreeMap;
 
 use netsim::{Ctx, Ecn, FlowDesc, FlowId, Packet, Transport};
 
-use crate::common::Token;
-use crate::dctcp::TIMER_RTO;
+use crate::common::{arm_rto, service_rto, Token, TIMER_RTO};
 use crate::proto::{DataHdr, Proto};
 use crate::rx::TcpRx;
 use crate::tcp_base::{DctcpFlowTx, TcpCfg};
@@ -81,6 +80,9 @@ impl Rc3Transport {
         let Some(f) = self.tx.get_mut(&id) else { return };
         let (src, dst, size) = (f.hcp.src, f.hcp.dst, f.hcp.size);
         while let Some(seg) = f.hcp.next_segment(now) {
+            if seg.retx {
+                ctx.note_retransmit(id);
+            }
             let hdr = DataHdr {
                 offset: seg.offset,
                 len: seg.len,
@@ -92,12 +94,7 @@ impl Rc3Transport {
             };
             ctx.send(Packet::data(id, src, dst, seg.len, Proto::Data(hdr)));
         }
-        if !f.hcp.is_done() {
-            ctx.timer_at(
-                f.hcp.rto_deadline(),
-                Token { kind: TIMER_RTO, generation: 0, flow: id.0 }.encode(),
-            );
-        }
+        arm_rto(&f.hcp, ctx);
     }
 
     /// Top the low-priority loop back up to a full BDP of in-flight bytes.
@@ -199,19 +196,9 @@ impl Transport<Proto> for Rc3Transport {
         match token.kind {
             TIMER_RTO => {
                 let Some(f) = self.tx.get_mut(&id) else { return };
-                if f.hcp.is_done() {
-                    return;
+                if service_rto(&mut f.hcp, ctx) {
+                    self.pump_hcp(id, ctx);
                 }
-                let now = ctx.now();
-                if now < f.hcp.rto_deadline() {
-                    ctx.timer_at(
-                        f.hcp.rto_deadline(),
-                        Token { kind: TIMER_RTO, generation: 0, flow: id.0 }.encode(),
-                    );
-                    return;
-                }
-                f.hcp.on_rto(now);
-                self.pump_hcp(id, ctx);
             }
             TIMER_RC3_TOPUP => {
                 let active = {

@@ -41,6 +41,22 @@ cmp "$SWEEP_TMP/serial.jsonl" "$SWEEP_TMP/jobs4.jsonl"
 test -s "$SWEEP_TMP/serial.jsonl"
 rm -rf "$SWEEP_TMP"
 
+echo "==> fault smoke (fault schedule byte-identity, serial vs parallel)"
+FAULT_TMP="${TMPDIR:-/tmp}/pptlab-fault-smoke.$$"
+mkdir -p "$FAULT_TMP/a" "$FAULT_TMP/b"
+./target/release/pptlab faults --schemes ppt,dctcp --topo star:5:10:20 --workload websearch \
+    --flows 40 --seed 42 --faults loss=0.01,seed=7,down:0:100:600 \
+    --jobs 1 --out "$FAULT_TMP/a" > "$FAULT_TMP/serial.jsonl"
+./target/release/pptlab faults --schemes ppt,dctcp --topo star:5:10:20 --workload websearch \
+    --flows 40 --seed 42 --faults loss=0.01,seed=7,down:0:100:600 \
+    --jobs 4 --out "$FAULT_TMP/b" > "$FAULT_TMP/jobs4.jsonl"
+cmp "$FAULT_TMP/serial.jsonl" "$FAULT_TMP/jobs4.jsonl"
+for f in "$FAULT_TMP/a/"*.events.jsonl; do
+    cmp "$f" "$FAULT_TMP/b/$(basename "$f")"
+done
+test -s "$FAULT_TMP/serial.jsonl"
+rm -rf "$FAULT_TMP"
+
 echo "==> engine perf smoke (appends to BENCH_engine.json)"
 ./target/release/bench_engine
 

@@ -68,8 +68,12 @@ fn golden_digests(scheme: Scheme, seed: u64) -> (u64, u64) {
 /// here as a digest mismatch.
 #[test]
 fn pinned_seed_goldens_are_byte_identical() {
+    // The PPT trace digest was re-pinned when `LcpCloseReason::NoLpAcks`
+    // landed: loops that expire without ever seeing an LP ACK now
+    // serialize as "no_lp_acks" instead of "expired". Event ordering and
+    // FCTs did not move (the FCT digest is unchanged).
     for (scheme, seed, want_trace, want_fct) in [
-        (Scheme::Ppt, 42u64, 0x7477_b6a6_65e2_9654_u64, 0x544f_c7e6_370c_f276_u64),
+        (Scheme::Ppt, 42u64, 0x393f_3bd8_9c20_8596_u64, 0x544f_c7e6_370c_f276_u64),
         (Scheme::Dctcp, 42, 0x0d9e_974c_1169_b1bb, 0xdfbd_16a2_71d0_99be),
         (Scheme::Ndp, 7, 0xa624_4279_1c93_0e9f, 0x64cd_8caa_b1be_ec7b),
         (Scheme::Homa, 7, 0xd072_7754_f98c_10f5, 0xe4ec_42a4_cd20_bf42),
@@ -82,6 +86,49 @@ fn pinned_seed_goldens_are_byte_identical() {
             "{name} seed {seed}: digests drifted (got trace={trace_hash:#018x} fct={fct_hash:#018x})"
         );
     }
+}
+
+/// (trace hash, FCT digest) for the pinned fault-injection golden: 1%
+/// data loss plus a host-0 uplink outage from 100 µs to 600 µs.
+fn fault_golden_digests(seed: u64) -> (u64, u64) {
+    use ppt::harness::{run_experiment_traced, FaultCmd, FaultSpec};
+    use ppt::netsim::SimTime;
+    let topo = TopoKind::Star { n: 5, rate_gbps: 10, delay_us: 20 };
+    let spec = WorkloadSpec::new(SizeDistribution::web_search(), 0.5, topo.edge_rate(), 60, seed);
+    let flows = all_to_all(topo.hosts(), &spec);
+    let faults = FaultSpec::new(21).with_data_loss(0.01).cmd(FaultCmd::HostUplinkDown {
+        host: 0,
+        from: SimTime(100_000),
+        until: SimTime(600_000),
+    });
+    let (outcome, trace) =
+        run_experiment_traced(&Experiment::new(topo, Scheme::Ppt, flows).with_faults(faults));
+    let trace_hash = fnv1a64(trace.to_jsonl().as_bytes());
+    let mut fct_buf = String::new();
+    for r in outcome.fct.records() {
+        fct_buf.push_str(&format!("{},{}\n", r.size_bytes, r.fct.as_nanos()));
+    }
+    (trace_hash, fnv1a64(fct_buf.as_bytes()))
+}
+
+/// Fault injection must not cost any determinism: the pinned fault
+/// schedule produces byte-identical trace and FCT digests whether the
+/// points run serially or on four workers, and the digests themselves are
+/// golden — the fault RNG, timed down/up ops, and loss draws all live in
+/// per-`Simulator` state, so worker count cannot reorder them.
+#[test]
+fn pinned_fault_schedule_goldens_for_any_job_count() {
+    use ppt::sweep::run_points;
+    const SEEDS: [u64; 3] = [42, 7, 11];
+    let digests = |jobs: usize| run_points(SEEDS.len(), jobs, |i| fault_golden_digests(SEEDS[i]));
+    let serial = digests(1);
+    let parallel = digests(4);
+    assert_eq!(serial, parallel, "fault run diverged between jobs=1 and jobs=4");
+    assert_eq!(
+        serial[0],
+        (0x79e9_57e3_0224_766e_u64, 0xe5d2_a262_ff6d_197e_u64),
+        "pinned fault golden drifted (seed 42)"
+    );
 }
 
 /// One load point of the sweep: every per-flow FCT plus the raw queue-depth

@@ -1,0 +1,151 @@
+//! Fault injection end to end: every transport must survive random packet
+//! loss, and PPT's low-channel loop must degrade exactly the way §3.2 of
+//! the paper says it does when its ACK stream is destroyed.
+
+use ppt::harness::{
+    run_experiment, run_experiment_traced, Experiment, FaultCmd, FaultSpec, Scheme, TopoKind,
+};
+use ppt::netsim::SimTime;
+use ppt::stats::analyze_lcp;
+use ppt::trace::LcpCloseReason;
+use ppt::workloads::{all_to_all, SizeDistribution, WorkloadSpec};
+
+fn workload(topo: TopoKind, n_flows: usize, seed: u64) -> Vec<ppt::workloads::FlowSpec> {
+    let spec =
+        WorkloadSpec::new(SizeDistribution::web_search(), 0.4, topo.edge_rate(), n_flows, seed);
+    all_to_all(topo.hosts(), &spec)
+}
+
+/// Every scheme's loss-recovery machinery (RTO, trimming + NACKs, credit
+/// retransmission, ...) must actually work: with 1% of data packets
+/// destroyed at serialization time, every flow still completes.
+#[test]
+fn every_scheme_completes_under_one_percent_data_loss() {
+    let topo = TopoKind::Star { n: 6, rate_gbps: 10, delay_us: 20 };
+    let flows = workload(topo, 60, 3);
+    for scheme in [
+        Scheme::Dctcp,
+        Scheme::Ppt,
+        Scheme::Pias,
+        Scheme::Homa,
+        Scheme::Hpcc,
+        Scheme::HpccPpt,
+        Scheme::Swift,
+        Scheme::Ndp,
+        Scheme::Rc3,
+        Scheme::ExpressPass,
+    ] {
+        let name = scheme.name();
+        let faults = FaultSpec::new(0xFA17).with_data_loss(0.01);
+        let outcome =
+            run_experiment(&Experiment::new(topo, scheme, flows.clone()).with_faults(faults));
+        assert_eq!(
+            outcome.report.flows_completed, outcome.report.flows_total,
+            "{name}: lost flows under 1% data loss ({} injected drops)",
+            outcome.report.faults.fault_drops
+        );
+        assert!(outcome.report.faults.fault_drops > 0, "{name}: loss knob had no effect");
+        assert!(
+            outcome.report.faults.retransmits > 0,
+            "{name}: recovered every loss without a single noted retransmission?"
+        );
+    }
+}
+
+/// A host-uplink outage is harsher than random loss — everything the host
+/// serializes during the window dies. The paper's own scheme and the two
+/// strongest baselines must still finish every flow.
+#[test]
+fn ppt_and_baselines_ride_out_a_link_outage() {
+    let topo = TopoKind::Star { n: 5, rate_gbps: 10, delay_us: 20 };
+    let flows = workload(topo, 40, 11);
+    for scheme in [Scheme::Ppt, Scheme::Dctcp, Scheme::Ndp] {
+        let name = scheme.name();
+        let faults = FaultSpec::new(5).cmd(FaultCmd::HostUplinkDown {
+            host: 0,
+            from: SimTime(2_000_000),
+            until: SimTime(2_800_000),
+        });
+        let outcome =
+            run_experiment(&Experiment::new(topo, scheme, flows.clone()).with_faults(faults));
+        assert_eq!(
+            outcome.report.flows_completed, outcome.report.flows_total,
+            "{name}: flows stranded by an 800us uplink outage"
+        );
+        assert!(
+            outcome.report.faults.max_stall.as_nanos() >= 800_000,
+            "{name}: outage window not recorded"
+        );
+    }
+}
+
+/// §3.2 paper invariant: when every low-priority ACK is destroyed, the LCP
+/// loop never hears back and must self-terminate after exactly
+/// `LOOP_EXPIRY_RTTS` (= 2) RTTs of silence, with the dedicated
+/// `no_lp_acks` close reason — and the flow still completes over HCP.
+#[test]
+fn lp_ack_blackhole_closes_lcp_as_no_lp_acks_after_two_rtts() {
+    let topo = TopoKind::Star { n: 5, rate_gbps: 10, delay_us: 20 };
+    let flows = workload(topo, 40, 7);
+    let faults = FaultSpec::new(9).with_ack_loss(1.0).lp_acks_only();
+    let (outcome, trace) =
+        run_experiment_traced(&Experiment::new(topo, Scheme::Ppt, flows).with_faults(faults));
+
+    // HCP never depends on LP ACKs: the flows all finish regardless.
+    assert_eq!(
+        outcome.report.flows_completed, outcome.report.flows_total,
+        "flows must complete over HCP even with the LP ACK channel dead"
+    );
+    assert!(outcome.report.faults.fault_drops > 0, "no LP ACKs were actually dropped");
+
+    let rtt = topo.base_rtt();
+    let report = analyze_lcp(&trace.events, rtt);
+    assert!(
+        report.closed_no_lp_acks > 0,
+        "expected silence-expired loops; got {} flow-done, {} expired, {} still open",
+        report.closed_flow_done,
+        report.closed_expired,
+        report.still_open
+    );
+    assert_eq!(
+        report.closed_expired, 0,
+        "with ALL LP ACKs dropped, every expiry must be the no-LP-ACK case"
+    );
+    // Each such loop lived ~2 RTTs: expiry is checked on an RTT-period
+    // timer, so the close lands in [2 RTT, 3 RTT) after the open.
+    let rtt_ns = rtt.as_nanos();
+    for l in report.loops.iter().filter(|l| l.close_reason == Some(LcpCloseReason::NoLpAcks)) {
+        let dur = l.duration_ns();
+        assert!(
+            dur >= 2 * rtt_ns && dur < 4 * rtt_ns,
+            "flow {}: no-LP-ACK loop lived {dur} ns, want ~2 RTTs ({rtt_ns} ns each)",
+            l.flow
+        );
+    }
+}
+
+/// The fault layer draws from its own dedicated RNG stream: a run with a
+/// fault schedule and the same run repeated must be bit-identical, and a
+/// loss-free schedule must not perturb the workload RNG at all.
+#[test]
+fn fault_runs_repeat_bit_identically() {
+    let topo = TopoKind::Star { n: 5, rate_gbps: 10, delay_us: 20 };
+    let run = || {
+        let flows = workload(topo, 40, 13);
+        let faults = FaultSpec::new(17).with_data_loss(0.02).cmd(FaultCmd::SwitchStall {
+            switch: 0,
+            at: SimTime(1_000_000),
+            duration: ppt::netsim::SimDuration::from_micros(300),
+        });
+        let outcome =
+            run_experiment(&Experiment::new(topo, Scheme::Ppt, flows).with_faults(faults));
+        let fcts: Vec<(u64, u64)> =
+            outcome.fct.records().iter().map(|r| (r.size_bytes, r.fct.as_nanos())).collect();
+        (fcts, outcome.report.faults)
+    };
+    let (a_fcts, a_faults) = run();
+    let (b_fcts, b_faults) = run();
+    assert_eq!(a_fcts, b_fcts, "fault run is nondeterministic");
+    assert_eq!(a_faults, b_faults, "fault counters diverged between identical runs");
+    assert!(a_faults.fault_drops > 0 && a_faults.max_stall.as_nanos() >= 300_000);
+}
