@@ -1,0 +1,12 @@
+// Fixture: direct event-heap manipulation outside the engine.
+use std::collections::BinaryHeap;
+
+pub struct Rogue {
+    heap: BinaryHeap<u64>,
+}
+
+impl Rogue {
+    pub fn inject(&mut self, v: u64) {
+        self.heap.push(v);
+    }
+}

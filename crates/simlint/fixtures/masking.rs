@@ -1,0 +1,13 @@
+// Fixture: rule tokens hidden inside raw strings, nested block comments
+// and escaped-newline string continuations must not fire — and the code
+// *after* those constructs must still be scanned at the right lines.
+pub const RAW: &str = r#"HashMap::new() x.unwrap() panic!"#;
+pub const RAW2: &str = r##"Instant::now() "# still inside the literal"##;
+
+/* nested /* block */ comments: HashMap Instant unwrap() */
+pub const CONT: &str = "split \
+across lines: SystemTime panic!";
+
+pub fn after_the_literals() -> std::time::Instant {
+    std::time::Instant::now()
+}

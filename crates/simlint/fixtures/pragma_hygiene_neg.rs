@@ -1,0 +1,21 @@
+// Fixture: used pragmas, the escape hatch, and test-code pragmas.
+use std::time::Instant; // simlint: allow(determinism)
+
+// simlint: allow(determinism)
+pub fn clock() -> Instant {
+    Instant::now() // simlint: allow(determinism)
+}
+
+// Kept deliberately while the next refactor lands.
+// simlint: allow(float_cmp, pragma_hygiene)
+pub fn threshold(x: f64) -> bool {
+    x > 0.5
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn stale_pragmas_in_tests_are_ignored() {
+        let _ = 1u64; // simlint: allow(determinism)
+    }
+}

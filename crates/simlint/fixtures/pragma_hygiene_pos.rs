@@ -1,0 +1,14 @@
+// Fixture: stale and malformed pragmas are themselves violations.
+pub fn clean() -> u64 {
+    7 // simlint: allow(determinism)
+}
+
+// simlint: allow(no_such_rule)
+pub fn also_clean() -> u64 {
+    8
+}
+
+// simlint: alow(determinism)
+pub fn typo() -> u64 {
+    9
+}

@@ -1,0 +1,13 @@
+// Fixture: the sanctioned pattern — common helpers, match arms, compares.
+use crate::common::{arm_rto, service_rto, Token, TIMER_RTO};
+
+pub fn timer_kind(token: Token) -> bool {
+    match token.kind {
+        TIMER_RTO => true,
+        _ => false,
+    }
+}
+
+pub fn is_other(kind: u8) -> bool {
+    kind != TIMER_RTO
+}

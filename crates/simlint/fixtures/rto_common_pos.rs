@@ -1,0 +1,14 @@
+// Fixture: hand-rolled RTO machinery outside transports::common.
+use crate::common::{rto_token, Token, TIMER_RTO};
+
+pub fn hand_rolled_arm(flow: u64, deadline_token: u64) -> (u64, u64) {
+    (deadline_token, rto_token(flow))
+}
+
+pub fn hand_rolled_token(flow: u64) -> u64 {
+    Token { kind: TIMER_RTO, generation: 0, flow }.encode()
+}
+
+pub fn hand_rolled_service(f: &mut crate::tcp_base::DctcpFlowTx) -> bool {
+    f.on_rto(f.deadline())
+}

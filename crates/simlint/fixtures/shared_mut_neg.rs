@@ -1,0 +1,21 @@
+// Fixture: owned state is fine; tests and justified pragmas are exempt.
+use std::collections::BTreeMap;
+
+pub struct Fine {
+    pub table: BTreeMap<u64, u64>,
+    pub statics: u64,
+}
+
+// A measurement tap consumed outside the engine, never shard state.
+// simlint: allow(shared_mut)
+pub type Tap = std::rc::Rc<std::cell::RefCell<u64>>;
+
+#[cfg(test)]
+mod tests {
+    use std::cell::RefCell;
+
+    #[test]
+    fn tests_may_use_refcell() {
+        let _ = RefCell::new(1u64);
+    }
+}

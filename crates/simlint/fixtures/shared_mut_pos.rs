@@ -1,0 +1,12 @@
+// Fixture: shared-mutability primitives in an engine-path library file.
+use std::cell::RefCell;
+use std::sync::atomic::AtomicU64;
+use std::sync::Mutex;
+
+pub struct Bad {
+    pub counter: AtomicU64,
+    pub table: Mutex<u64>,
+    pub scratch: RefCell<u64>,
+}
+
+pub static mut GLOBAL: u64 = 0;

@@ -1,0 +1,29 @@
+// Fixture: newtyped signatures, private fns, byte counts and tests.
+use netsim::time::{SimDuration, SimTime};
+
+pub fn arm_timer(deadline: SimTime) {
+    let _ = deadline;
+}
+
+fn private_ok(gap_ns: u64) {
+    let _ = gap_ns;
+}
+
+pub fn sized(rtt_bytes: u64, window: u64) {
+    let _ = (rtt_bytes, window);
+}
+
+pub fn pace(rate: netsim::units::Rate, pause: SimDuration) {
+    let _ = (rate, pause);
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_take_raw_ns() {
+        fn helper(at_ns: u64) -> u64 {
+            at_ns
+        }
+        assert_eq!(helper(3), 3);
+    }
+}

@@ -1,0 +1,16 @@
+// Fixture: raw-typed time/rate parameters in public signatures.
+pub fn arm_timer(deadline: u64) {
+    let _ = deadline;
+}
+
+pub fn pace(rate_bps: f64, gap_ns: u64) {
+    let _ = (rate_bps, gap_ns);
+}
+
+pub struct S;
+
+impl S {
+    pub fn wait(&self, timeout_us: u64) {
+        let _ = timeout_us;
+    }
+}

@@ -1,0 +1,232 @@
+//! The violation baseline / ratchet.
+//!
+//! `simlint.baseline` at the workspace root records, per `(rule, file)`
+//! pair, how many violations are tolerated. The gate then enforces a
+//! one-way ratchet:
+//!
+//! - **count above baseline** → regression, gate fails;
+//! - **count below baseline** → the baseline is stale: the gate fails
+//!   with an instruction to run `--write-baseline`, which records the
+//!   lower count — so improvements are locked in, not silently loanable
+//!   to future regressions;
+//! - `--write-baseline` refuses to *raise* any existing entry. Existing
+//!   counts only go down; the only way to add headroom for a tracked
+//!   pair is to fix the code.
+//!
+//! The file format is line-oriented and diff-friendly:
+//! `<rule_id> <count> <file>`, sorted, `#` comments ignored.
+
+use std::collections::BTreeMap;
+use std::path::Path;
+
+use crate::Violation;
+
+const HEADER: &str = "\
+# simlint baseline: tolerated violation counts, per `<rule> <count> <file>`.
+# The gate fails if any count rises OR falls (run with --write-baseline to
+# ratchet a fallen count down). Counts never increase.
+";
+
+/// Tolerated violation counts, keyed by `(rule_id, file)`.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Baseline {
+    entries: BTreeMap<(String, String), usize>,
+}
+
+/// Result of checking current violations against a [`Baseline`].
+#[derive(Debug, Default)]
+pub struct Outcome {
+    /// Violations not covered by the baseline (their `(rule, file)`
+    /// group is over budget; the whole group is reported).
+    pub fresh: Vec<Violation>,
+    /// Human-readable notes for groups whose count rose above baseline.
+    pub regressions: Vec<String>,
+    /// Notes for baseline entries whose count fell (or hit zero): the
+    /// ratchet demands the baseline be rewritten downward.
+    pub stale: Vec<String>,
+}
+
+impl Outcome {
+    /// The gate passes only with no fresh violations, no regressions and
+    /// no stale entries.
+    pub fn is_clean(&self) -> bool {
+        self.fresh.is_empty() && self.regressions.is_empty() && self.stale.is_empty()
+    }
+}
+
+impl Baseline {
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Read the baseline file; a missing file is an empty baseline.
+    pub fn load(path: &Path) -> Result<Self, String> {
+        match std::fs::read_to_string(path) {
+            Ok(text) => Self::parse(&text).map_err(|e| format!("{}: {e}", path.display())),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(Self::default()),
+            Err(e) => Err(format!("{}: {e}", path.display())),
+        }
+    }
+
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let mut entries = BTreeMap::new();
+        for (idx, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut parts = line.splitn(3, ' ');
+            let (rule, count, file) = match (parts.next(), parts.next(), parts.next()) {
+                (Some(r), Some(c), Some(f)) => (r, c, f),
+                _ => return Err(format!("line {}: expected `<rule> <count> <file>`", idx + 1)),
+            };
+            let count: usize =
+                count.parse().map_err(|_| format!("line {}: bad count `{count}`", idx + 1))?;
+            if count == 0 {
+                return Err(format!("line {}: zero-count entries must be removed", idx + 1));
+            }
+            if entries.insert((rule.to_owned(), file.to_owned()), count).is_some() {
+                return Err(format!("line {}: duplicate entry `{rule} {file}`", idx + 1));
+            }
+        }
+        Ok(Baseline { entries })
+    }
+
+    /// Snapshot the current violations as a baseline, enforcing the
+    /// ratchet against `old`: an existing entry's count may not rise.
+    /// New `(rule, file)` pairs are allowed — that is how a freshly
+    /// landed rule adopts its pre-existing findings.
+    pub fn ratcheted_from(old: &Baseline, violations: &[Violation]) -> Result<Self, Vec<String>> {
+        let new = Self::from_violations(violations);
+        let raised: Vec<String> = new
+            .entries
+            .iter()
+            .filter_map(|((rule, file), &count)| {
+                let prior = *old.entries.get(&(rule.clone(), file.clone()))?;
+                (count > prior).then(|| {
+                    format!("{rule} {file}: baseline would rise {prior} -> {count}; fix the code instead")
+                })
+            })
+            .collect();
+        if raised.is_empty() {
+            Ok(new)
+        } else {
+            Err(raised)
+        }
+    }
+
+    /// Current violation counts grouped per `(rule, file)`.
+    pub fn from_violations(violations: &[Violation]) -> Self {
+        let mut entries: BTreeMap<(String, String), usize> = BTreeMap::new();
+        for v in violations {
+            *entries.entry((v.rule.id().to_owned(), v.file.clone())).or_default() += 1;
+        }
+        Baseline { entries }
+    }
+
+    /// Serialize (sorted, stable across runs).
+    pub fn render(&self) -> String {
+        let mut out = String::from(HEADER);
+        for ((rule, file), count) in &self.entries {
+            out.push_str(&format!("{rule} {count} {file}\n"));
+        }
+        out
+    }
+
+    /// Split current violations into baseline-covered and gate-failing.
+    pub fn apply(&self, violations: &[Violation]) -> Outcome {
+        let current = Self::from_violations(violations);
+        let mut outcome = Outcome::default();
+        for (key, &count) in &current.entries {
+            let budget = self.entries.get(key).copied().unwrap_or(0);
+            if count > budget {
+                if budget > 0 {
+                    outcome.regressions.push(format!(
+                        "{} {}: {count} violation(s), baseline tolerates {budget}",
+                        key.0, key.1
+                    ));
+                }
+                outcome.fresh.extend(
+                    violations.iter().filter(|v| v.rule.id() == key.0 && v.file == key.1).cloned(),
+                );
+            } else if count < budget {
+                outcome.stale.push(format!(
+                    "{} {}: baseline tolerates {budget} but only {count} found; \
+                     run `cargo run -p simlint -- --write-baseline` to ratchet down",
+                    key.0, key.1
+                ));
+            }
+        }
+        for (key, &budget) in &self.entries {
+            if !current.entries.contains_key(key) {
+                outcome.stale.push(format!(
+                    "{} {}: baseline tolerates {budget} but none found; \
+                     run `cargo run -p simlint -- --write-baseline` to ratchet down",
+                    key.0, key.1
+                ));
+            }
+        }
+        outcome
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::Rule;
+
+    fn v(rule: Rule, file: &str, line: usize) -> Violation {
+        Violation { file: file.into(), line, rule, message: "m".into() }
+    }
+
+    #[test]
+    fn parse_render_round_trip() {
+        let b = Baseline::parse("# c\nshared_mut 2 crates/a.rs\nunit_safety 1 crates/b.rs\n")
+            .expect("parses");
+        let again = Baseline::parse(&b.render()).expect("round-trips");
+        assert_eq!(b, again);
+    }
+
+    #[test]
+    fn parse_rejects_bad_lines() {
+        assert!(Baseline::parse("shared_mut crates/a.rs").is_err());
+        assert!(Baseline::parse("shared_mut x crates/a.rs").is_err());
+        assert!(Baseline::parse("shared_mut 0 crates/a.rs").is_err());
+        assert!(Baseline::parse("r 1 f\nr 2 f\n").is_err());
+    }
+
+    #[test]
+    fn apply_flags_fresh_regressed_and_stale() {
+        let base = Baseline::parse("shared_mut 2 a.rs\nunit_safety 1 b.rs\n").expect("parses");
+        // a.rs regressed 2 -> 3; b.rs improved 1 -> 0; c.rs is brand new.
+        let current = vec![
+            v(Rule::SharedMut, "a.rs", 1),
+            v(Rule::SharedMut, "a.rs", 2),
+            v(Rule::SharedMut, "a.rs", 3),
+            v(Rule::RtoCommon, "c.rs", 9),
+        ];
+        let out = base.apply(&current);
+        assert!(!out.is_clean());
+        assert_eq!(out.regressions.len(), 1);
+        assert_eq!(out.stale.len(), 1);
+        assert_eq!(out.fresh.len(), 4, "regressed group + new group: {:?}", out.fresh);
+    }
+
+    #[test]
+    fn apply_is_clean_at_exact_counts() {
+        let base = Baseline::parse("shared_mut 2 a.rs\n").expect("parses");
+        let current = vec![v(Rule::SharedMut, "a.rs", 1), v(Rule::SharedMut, "a.rs", 2)];
+        assert!(base.apply(&current).is_clean());
+    }
+
+    #[test]
+    fn ratchet_refuses_to_raise_an_existing_entry() {
+        let old = Baseline::parse("shared_mut 1 a.rs\n").expect("parses");
+        let current = vec![v(Rule::SharedMut, "a.rs", 1), v(Rule::SharedMut, "a.rs", 2)];
+        assert!(Baseline::ratcheted_from(&old, &current).is_err());
+        // But a brand-new pair may be adopted, and a drop is recorded.
+        let adopted = Baseline::ratcheted_from(&old, &[v(Rule::UnitSafety, "n.rs", 5)])
+            .expect("new pair + ratchet down");
+        assert_eq!(adopted, Baseline::parse("unit_safety 1 n.rs\n").expect("parses"));
+    }
+}

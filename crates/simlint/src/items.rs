@@ -1,0 +1,756 @@
+//! Brace-matched item tree over masked source.
+//!
+//! The lexer below turns a [`crate::MaskedSource`]'s masked text into a
+//! token stream (identifiers + significant punctuation, literals already
+//! blanked), and the parser folds that stream into a flat vector of
+//! [`Item`]s with parent links: modules, functions, impl blocks, type
+//! definitions and `use` declarations, each with its attribute span,
+//! declaration line and matched closing-brace line. Rules use the tree to
+//! reason about *where* a token appears — inside which fn, behind which
+//! `#[cfg(test)]`, with which visibility — instead of per-line guesses.
+//!
+//! The parser is deliberately not a full Rust grammar: it recognizes item
+//! keywords only at item anchors (start of file, `{`, `}`, `;`, or the
+//! close of an attribute), skipping modifier tokens (`pub`, `pub(crate)`,
+//! `const fn`, `async`, `extern "C"`, …), and consumes fn signatures
+//! token-by-token so keywords inside parameter lists (`impl Trait`) never
+//! reach the item detector. Everything it does not understand is treated
+//! as an opaque brace-balanced blob, which keeps spans correct even when
+//! classification is imperfect.
+
+use std::fmt;
+
+/// What kind of item a tree node is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ItemKind {
+    /// `mod name { … }` or `mod name;`
+    Module,
+    /// `fn name(…) { … }` or a bodyless trait method `fn name(…);`
+    Fn,
+    /// `impl … { … }`
+    Impl,
+    /// `struct` / `enum` / `trait` definition.
+    TypeDef,
+    /// `use path::to::Thing;`
+    Use,
+    /// `const` / `static` / `type` item.
+    Decl,
+}
+
+/// One parsed parameter of a fn signature.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Param {
+    /// Binding name (`mut` stripped); empty for pattern params.
+    pub name: String,
+    /// Canonical type text (tokens joined, e.g. `u64`, `&mut Ctx<'_,P>`).
+    pub ty: String,
+}
+
+/// One node of the item tree.
+#[derive(Clone, Debug)]
+pub struct Item {
+    pub kind: ItemKind,
+    /// Fn/mod/type name; `use` path text; impl header text.
+    pub name: String,
+    /// Declared `pub` (any visibility restriction counts).
+    pub is_pub: bool,
+    /// Behind `#[cfg(test)]` / `#[test]`, directly or via a parent.
+    pub cfg_test: bool,
+    /// First attribute line, or the declaration line when unattributed.
+    pub attr_line: usize,
+    /// Line of the item keyword.
+    pub decl_line: usize,
+    /// Line of the matching `}` (or the `;` for bodyless items).
+    pub end_line: usize,
+    /// Index of the enclosing item, if any.
+    pub parent: Option<usize>,
+    /// Fns only: parsed parameter list.
+    pub params: Vec<Param>,
+}
+
+impl Item {
+    /// Does the (1-based) line fall in this item's span (attributes
+    /// included)?
+    pub fn contains(&self, line: usize) -> bool {
+        self.attr_line <= line && line <= self.end_line
+    }
+}
+
+impl fmt::Display for Item {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?} `{}` @{}..{}", self.kind, self.name, self.decl_line, self.end_line)
+    }
+}
+
+/// The parsed item tree of one file.
+#[derive(Clone, Debug, Default)]
+pub struct ItemTree {
+    /// Items in source order. Parents always precede children.
+    pub items: Vec<Item>,
+}
+
+impl ItemTree {
+    /// Innermost item containing `line` (1-based), if any.
+    pub fn enclosing(&self, line: usize) -> Option<&Item> {
+        self.items
+            .iter()
+            .filter(|it| it.contains(line))
+            .min_by_key(|it| it.end_line.saturating_sub(it.attr_line))
+    }
+
+    /// Innermost *fn* containing `line`, if any.
+    pub fn enclosing_fn(&self, line: usize) -> Option<&Item> {
+        self.items
+            .iter()
+            .filter(|it| it.kind == ItemKind::Fn && it.contains(line))
+            .min_by_key(|it| it.end_line.saturating_sub(it.attr_line))
+    }
+
+    /// All fn items.
+    pub fn fns(&self) -> impl Iterator<Item = &Item> {
+        self.items.iter().filter(|it| it.kind == ItemKind::Fn)
+    }
+
+    /// All `use` declarations — the file's import graph. `name` holds the
+    /// canonical path text (`std::cell::RefCell`, `crate::common::{a, b}`).
+    pub fn uses(&self) -> impl Iterator<Item = &Item> {
+        self.items.iter().filter(|it| it.kind == ItemKind::Use)
+    }
+
+    /// Is `line` inside a `#[cfg(test)]`/`#[test]` item (attribute line
+    /// through closing brace)?
+    pub fn is_test_line(&self, line: usize) -> bool {
+        self.items.iter().any(|it| it.cfg_test && it.contains(line))
+    }
+}
+
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum Tok {
+    Ident(String),
+    Punct(char),
+}
+
+#[derive(Clone, Debug)]
+struct SpannedTok {
+    line: usize,
+    tok: Tok,
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_char(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Tokenize masked text: identifiers/numbers and single-char punctuation.
+fn lex(lines: &[String]) -> Vec<SpannedTok> {
+    let mut toks = Vec::new();
+    for (idx, line) in lines.iter().enumerate() {
+        let line_no = idx + 1;
+        let chars: Vec<char> = line.chars().collect();
+        let mut i = 0;
+        while i < chars.len() {
+            let c = chars[i];
+            if c.is_whitespace() {
+                i += 1;
+            } else if is_ident_start(c) || c.is_ascii_digit() {
+                let start = i;
+                while i < chars.len() && is_ident_char(chars[i]) {
+                    i += 1;
+                }
+                toks.push(SpannedTok {
+                    line: line_no,
+                    tok: Tok::Ident(chars[start..i].iter().collect()),
+                });
+            } else {
+                toks.push(SpannedTok { line: line_no, tok: Tok::Punct(c) });
+                i += 1;
+            }
+        }
+    }
+    toks
+}
+
+/// Token positions at which an item keyword genuinely starts an item:
+/// start of file, after `{` / `}` / `;`, or after a `#[…]` attribute.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Anchor {
+    ItemPosition,
+    Expression,
+}
+
+/// Tokens transparent to anchoring: visibility and fn qualifiers. The
+/// masked `"C"` of `extern "C"` survives as two quote puncts.
+fn is_modifier(t: &Tok) -> bool {
+    match t {
+        Tok::Ident(s) => {
+            matches!(
+                s.as_str(),
+                "pub"
+                    | "crate"
+                    | "super"
+                    | "self"
+                    | "in"
+                    | "unsafe"
+                    | "async"
+                    | "const"
+                    | "default"
+                    | "extern"
+            )
+        }
+        Tok::Punct(c) => matches!(c, '(' | ')' | '"'),
+    }
+}
+
+struct Parser {
+    toks: Vec<SpannedTok>,
+    pos: usize,
+    items: Vec<Item>,
+    /// One entry per open `{`: the item it belongs to, if any.
+    brace_stack: Vec<Option<usize>>,
+    anchor: Anchor,
+    /// Attributes collected since the last item/statement boundary:
+    /// (line, compact text without `#[…]` wrapper).
+    pending_attrs: Vec<(usize, String)>,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&SpannedTok> {
+        self.toks.get(self.pos)
+    }
+
+    fn bump(&mut self) -> Option<SpannedTok> {
+        let t = self.toks.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn enclosing_item(&self) -> Option<usize> {
+        self.brace_stack.iter().rev().find_map(|e| *e)
+    }
+
+    fn inherited_cfg_test(&self) -> bool {
+        self.enclosing_item().is_some_and(|i| self.items[i].cfg_test)
+    }
+
+    /// Capture a `#[…]` attribute starting at the current `[`.
+    fn capture_attr(&mut self, attr_line: usize, inner: bool) {
+        // Consume the `[`.
+        self.bump();
+        let mut depth = 1usize;
+        let mut text = String::new();
+        while depth > 0 {
+            let Some(st) = self.bump() else { break };
+            match st.tok {
+                Tok::Punct('[') => {
+                    depth += 1;
+                    text.push('[');
+                }
+                Tok::Punct(']') => {
+                    depth -= 1;
+                    if depth > 0 {
+                        text.push(']');
+                    }
+                }
+                Tok::Punct(c) => text.push(c),
+                Tok::Ident(s) => {
+                    if text.chars().next_back().is_some_and(is_ident_char) {
+                        text.push(' ');
+                    }
+                    text.push_str(&s);
+                }
+            }
+        }
+        // Inner attributes (`#![…]`) configure the enclosing scope, not a
+        // following item; they never gate a later item's span.
+        if !inner {
+            self.pending_attrs.push((attr_line, text));
+        }
+        self.anchor = Anchor::ItemPosition;
+    }
+
+    /// Do the pending attributes put the next item behind cfg(test)?
+    fn attrs_mark_test(&self) -> bool {
+        self.pending_attrs.iter().any(|(_, a)| {
+            if a == "test" {
+                return true;
+            }
+            if !a.starts_with("cfg") {
+                return false;
+            }
+            // `test` at identifier boundaries anywhere inside the cfg
+            // predicate: cfg(test), cfg(all(test, …)), cfg(any(…, test)).
+            let chars: Vec<char> = a.chars().collect();
+            let needle: Vec<char> = "test".chars().collect();
+            (0..chars.len().saturating_sub(needle.len() - 1)).any(|i| {
+                chars[i..i + needle.len()] == needle[..]
+                    && (i == 0 || !is_ident_char(chars[i - 1]))
+                    && chars.get(i + needle.len()).is_none_or(|&c| !is_ident_char(c))
+            })
+        })
+    }
+
+    /// Was the token run immediately before `kw_pos` (skipping modifiers)
+    /// an item anchor?
+    fn anchored(&self, kw_pos: usize) -> bool {
+        let mut i = kw_pos;
+        while i > 0 {
+            let t = &self.toks[i - 1].tok;
+            if is_modifier(t) {
+                i -= 1;
+                continue;
+            }
+            return matches!(
+                t,
+                Tok::Punct('{') | Tok::Punct('}') | Tok::Punct(';') | Tok::Punct(']')
+            );
+        }
+        true // start of file
+    }
+
+    fn start_item(&mut self, kind: ItemKind, decl_line: usize, is_pub: bool) -> usize {
+        let attr_line = self.pending_attrs.first().map_or(decl_line, |&(l, _)| l);
+        let cfg_test = self.attrs_mark_test() || self.inherited_cfg_test();
+        self.pending_attrs.clear();
+        let idx = self.items.len();
+        self.items.push(Item {
+            kind,
+            name: String::new(),
+            is_pub,
+            cfg_test,
+            attr_line,
+            decl_line,
+            end_line: decl_line,
+            parent: self.enclosing_item(),
+            params: Vec::new(),
+        });
+        idx
+    }
+
+    /// Append one token to a canonical text rendering.
+    fn render(text: &mut String, tok: &Tok) {
+        match tok {
+            Tok::Ident(s) => {
+                if text.chars().next_back().is_some_and(is_ident_char) {
+                    text.push(' ');
+                }
+                text.push_str(s);
+            }
+            Tok::Punct(c) => text.push(*c),
+        }
+    }
+
+    /// Consume tokens until the item's body `{` (push onto the brace
+    /// stack) or a terminating `;`, tracking paren/bracket/angle nesting.
+    /// `body_allowed` is false for `use`/`const`/`static`/`type` items,
+    /// whose `{ … }` groups (glob imports, initializer struct literals)
+    /// are part of the header, never a body scope.
+    fn consume_header(&mut self, idx: usize, capture_params: bool, body_allowed: bool) {
+        let mut header = String::new();
+        let mut paren = 0i32;
+        let mut bracket = 0i32;
+        let mut angle = 0i32;
+        let mut brace = 0i32; // initializer expressions: `= Foo { … };`
+        let mut prev_was_dash = false;
+        let mut param_toks: Vec<Tok> = Vec::new();
+        let mut params_done = false;
+        let mut last_line = self.items[idx].decl_line;
+        while let Some(st) = self.peek().cloned() {
+            last_line = st.line;
+            match &st.tok {
+                Tok::Punct('{')
+                    if body_allowed && paren == 0 && bracket == 0 && brace == 0 && angle <= 0 =>
+                {
+                    // Body open: the item owns this brace.
+                    self.bump();
+                    self.brace_stack.push(Some(idx));
+                    self.anchor = Anchor::ItemPosition;
+                    self.finish_header(idx, header, param_toks, capture_params);
+                    return;
+                }
+                Tok::Punct(';') if paren == 0 && bracket == 0 && brace == 0 => {
+                    self.bump();
+                    self.items[idx].end_line = st.line;
+                    self.anchor = Anchor::ItemPosition;
+                    self.finish_header(idx, header, param_toks, capture_params);
+                    return;
+                }
+                Tok::Punct(c) => {
+                    match c {
+                        '(' => paren += 1,
+                        ')' => paren -= 1,
+                        '[' => bracket += 1,
+                        ']' => bracket -= 1,
+                        '{' => brace += 1,
+                        '}' => brace -= 1,
+                        '<' => angle += 1,
+                        // `->` is not an angle close.
+                        '>' if !prev_was_dash => angle -= 1,
+                        _ => {}
+                    }
+                    prev_was_dash = *c == '-';
+                    Self::render(&mut header, &st.tok);
+                    if capture_params && !params_done {
+                        param_toks.push(st.tok.clone());
+                        if *c == ')' && paren == 0 && !param_toks.is_empty() {
+                            params_done = true;
+                        }
+                    }
+                    self.bump();
+                }
+                Tok::Ident(_) => {
+                    prev_was_dash = false;
+                    Self::render(&mut header, &st.tok);
+                    if capture_params && !params_done {
+                        param_toks.push(st.tok.clone());
+                    }
+                    self.bump();
+                }
+            }
+        }
+        // EOF mid-header: close the item where the tokens ran out.
+        self.items[idx].end_line = last_line;
+        self.finish_header(idx, header, param_toks, capture_params);
+    }
+
+    fn finish_header(
+        &mut self,
+        idx: usize,
+        header: String,
+        param_toks: Vec<Tok>,
+        capture_params: bool,
+    ) {
+        if self.items[idx].name.is_empty() {
+            self.items[idx].name = header.trim().to_owned();
+        }
+        if capture_params {
+            self.items[idx].params = parse_params(&param_toks);
+        }
+    }
+
+    /// Close brace: pop the stack; if it belonged to an item, record the
+    /// end line.
+    fn close_brace(&mut self, line: usize) {
+        if let Some(Some(idx)) = self.brace_stack.pop() {
+            self.items[idx].end_line = line;
+        }
+        self.anchor = Anchor::ItemPosition;
+    }
+}
+
+/// Parse the `( … )` parameter-list tokens of a fn signature.
+fn parse_params(toks: &[Tok]) -> Vec<Param> {
+    // Locate the first top-level paren group.
+    let Some(open) = toks.iter().position(|t| *t == Tok::Punct('(')) else {
+        return Vec::new();
+    };
+    let mut depth = 0i32;
+    let mut close = toks.len();
+    for (i, t) in toks.iter().enumerate().skip(open) {
+        match t {
+            Tok::Punct('(') => depth += 1,
+            Tok::Punct(')') => {
+                depth -= 1;
+                if depth == 0 {
+                    close = i;
+                    break;
+                }
+            }
+            _ => {}
+        }
+    }
+    let inner = &toks[open + 1..close.min(toks.len())];
+    // Split on commas at zero nesting.
+    let mut segments: Vec<Vec<Tok>> = vec![Vec::new()];
+    let mut paren = 0i32;
+    let mut bracket = 0i32;
+    let mut angle = 0i32;
+    let mut prev_was_dash = false;
+    for t in inner {
+        match t {
+            Tok::Punct(',') if paren == 0 && bracket == 0 && angle <= 0 => {
+                segments.push(Vec::new());
+                continue;
+            }
+            Tok::Punct(c) => {
+                match c {
+                    '(' => paren += 1,
+                    ')' => paren -= 1,
+                    '[' => bracket += 1,
+                    ']' => bracket -= 1,
+                    '<' => angle += 1,
+                    '>' if !prev_was_dash => angle -= 1,
+                    _ => {}
+                }
+                prev_was_dash = *c == '-';
+            }
+            Tok::Ident(_) => prev_was_dash = false,
+        }
+        if let Some(seg) = segments.last_mut() {
+            seg.push(t.clone());
+        }
+    }
+    let mut out = Vec::new();
+    for seg in segments {
+        if seg.is_empty() {
+            continue;
+        }
+        // Receivers (`self`, `&mut self`) and pattern params are skipped.
+        let Some(colon) = seg.iter().position(|t| *t == Tok::Punct(':')) else {
+            continue;
+        };
+        let name: String = seg[..colon]
+            .iter()
+            .rev()
+            .find_map(|t| match t {
+                Tok::Ident(s) if s != "mut" => Some(s.clone()),
+                _ => None,
+            })
+            .unwrap_or_default();
+        if name == "self" || seg[..colon].contains(&Tok::Punct('(')) {
+            continue;
+        }
+        let mut ty = String::new();
+        for t in &seg[colon + 1..] {
+            Parser::render(&mut ty, t);
+        }
+        out.push(Param { name, ty: ty.trim().to_owned() });
+    }
+    out
+}
+
+/// Keywords that can begin an item we classify.
+fn item_kind_of(kw: &str) -> Option<ItemKind> {
+    match kw {
+        "mod" => Some(ItemKind::Module),
+        "fn" => Some(ItemKind::Fn),
+        "impl" => Some(ItemKind::Impl),
+        "struct" | "enum" | "trait" | "union" => Some(ItemKind::TypeDef),
+        "use" => Some(ItemKind::Use),
+        "const" | "static" | "type" => Some(ItemKind::Decl),
+        _ => None,
+    }
+}
+
+/// Build the item tree from masked lines (literals already blanked).
+pub fn build(masked_lines: &[String]) -> ItemTree {
+    let toks = lex(masked_lines);
+    let mut p = Parser {
+        toks,
+        pos: 0,
+        items: Vec::new(),
+        brace_stack: Vec::new(),
+        anchor: Anchor::ItemPosition,
+        pending_attrs: Vec::new(),
+    };
+    while let Some(st) = p.peek().cloned() {
+        match &st.tok {
+            Tok::Punct('#') => {
+                let next = p.toks.get(p.pos + 1).cloned();
+                match next.as_ref().map(|s| &s.tok) {
+                    Some(Tok::Punct('[')) => {
+                        p.bump();
+                        p.capture_attr(st.line, false);
+                    }
+                    Some(Tok::Punct('!'))
+                        if matches!(
+                            p.toks.get(p.pos + 2).map(|s| &s.tok),
+                            Some(Tok::Punct('['))
+                        ) =>
+                    {
+                        p.bump();
+                        p.bump();
+                        p.capture_attr(st.line, true);
+                    }
+                    _ => {
+                        p.bump();
+                        p.anchor = Anchor::Expression;
+                    }
+                }
+            }
+            Tok::Punct('{') => {
+                p.bump();
+                p.brace_stack.push(None);
+                p.anchor = Anchor::ItemPosition;
+            }
+            Tok::Punct('}') => {
+                p.bump();
+                p.close_brace(st.line);
+            }
+            Tok::Punct(';') => {
+                p.bump();
+                p.pending_attrs.clear();
+                p.anchor = Anchor::ItemPosition;
+            }
+            Tok::Ident(kw) => {
+                let kind = item_kind_of(kw);
+                // `const fn` / `const` in an expression must not open a
+                // Decl item; only treat `const`/`static`/`type` as items
+                // when followed by an identifier (the name).
+                let decl_ok = match (kind, kw.as_str()) {
+                    (Some(ItemKind::Decl), _) => matches!(
+                        p.toks.get(p.pos + 1).map(|s| &s.tok),
+                        Some(Tok::Ident(n)) if item_kind_of(n).is_none()
+                    ),
+                    _ => true,
+                };
+                if let (Some(kind), true, true) = (kind, decl_ok, p.anchored(p.pos)) {
+                    let is_pub = {
+                        // Look back over modifiers for a `pub`.
+                        let mut i = p.pos;
+                        let mut found = false;
+                        while i > 0 && is_modifier(&p.toks[i - 1].tok) {
+                            if p.toks[i - 1].tok == Tok::Ident("pub".to_owned()) {
+                                found = true;
+                            }
+                            i -= 1;
+                        }
+                        found
+                    };
+                    p.bump();
+                    let idx = p.start_item(kind, st.line, is_pub);
+                    // Named items: grab the identifier after the keyword.
+                    if matches!(
+                        kind,
+                        ItemKind::Module | ItemKind::Fn | ItemKind::TypeDef | ItemKind::Decl
+                    ) {
+                        if let Some(SpannedTok { tok: Tok::Ident(n), .. }) = p.peek().cloned() {
+                            p.items[idx].name = n;
+                            p.bump();
+                        }
+                    }
+                    let body_allowed = !matches!(kind, ItemKind::Use | ItemKind::Decl);
+                    p.consume_header(idx, kind == ItemKind::Fn, body_allowed);
+                } else {
+                    p.bump();
+                    p.anchor = Anchor::Expression;
+                }
+            }
+            Tok::Punct(_) => {
+                p.bump();
+                p.anchor = Anchor::Expression;
+            }
+        }
+    }
+    // Unterminated items (EOF before the matching `}`) close at the last
+    // line so spans stay well-formed.
+    let last = masked_lines.len();
+    while let Some(top) = p.brace_stack.pop() {
+        if let Some(idx) = top {
+            p.items[idx].end_line = last;
+        }
+    }
+    ItemTree { items: p.items }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tree_of(src: &str) -> ItemTree {
+        let lines: Vec<String> = src.lines().map(str::to_owned).collect();
+        build(&lines)
+    }
+
+    #[test]
+    fn finds_nested_items_with_spans() {
+        let t = tree_of(
+            "mod outer {\n    pub fn f(x: u64) -> u64 {\n        x\n    }\n}\nfn top() {}\n",
+        );
+        let outer = t.items.iter().find(|i| i.name == "outer").expect("mod outer");
+        assert_eq!(outer.kind, ItemKind::Module);
+        assert_eq!((outer.decl_line, outer.end_line), (1, 5));
+        let f = t.items.iter().find(|i| i.name == "f").expect("fn f");
+        assert_eq!(f.kind, ItemKind::Fn);
+        assert!(f.is_pub);
+        assert_eq!(f.parent, Some(0));
+        assert_eq!((f.decl_line, f.end_line), (2, 4));
+        assert_eq!(f.params, vec![Param { name: "x".into(), ty: "u64".into() }]);
+        let top = t.items.iter().find(|i| i.name == "top").expect("fn top");
+        assert_eq!(top.parent, None);
+    }
+
+    #[test]
+    fn cfg_test_marks_item_and_children() {
+        let t = tree_of("#[cfg(test)]\nmod tests {\n    fn helper() {}\n}\nfn lib() {}\n");
+        assert!(t.is_test_line(1));
+        assert!(t.is_test_line(3));
+        assert!(!t.is_test_line(5));
+        let helper = t.items.iter().find(|i| i.name == "helper").expect("helper");
+        assert!(helper.cfg_test, "children inherit cfg(test)");
+    }
+
+    #[test]
+    fn cfg_all_test_and_test_attr_count() {
+        let t = tree_of("#[cfg(all(test, feature = \"x\"))]\nmod a {}\n#[test]\nfn b() {}\n");
+        assert!(t.items[0].cfg_test);
+        assert!(t.items[1].cfg_test);
+        // `testing` must not match the `test` token.
+        let t2 = tree_of("#[cfg(feature = \"x\")]\nmod c {}\n");
+        assert!(!t2.items[0].cfg_test);
+    }
+
+    #[test]
+    fn impl_and_use_and_decl() {
+        let t = tree_of(
+            "use std::cell::RefCell;\nimpl Foo for Bar {\n    fn m(&self) {}\n}\nconst X: u64 = 1;\n",
+        );
+        let u = t.uses().next().expect("use item");
+        assert_eq!(u.name, "std::cell::RefCell");
+        let im = t.items.iter().find(|i| i.kind == ItemKind::Impl).expect("impl");
+        assert!(im.name.contains("Foo for Bar"));
+        let m = t.items.iter().find(|i| i.name == "m").expect("method");
+        assert_eq!(m.kind, ItemKind::Fn);
+        let c = t.items.iter().find(|i| i.name == "X").expect("const");
+        assert_eq!(c.kind, ItemKind::Decl);
+        assert_eq!(c.end_line, 5);
+    }
+
+    #[test]
+    fn impl_trait_in_signature_is_not_an_item() {
+        let t = tree_of("pub fn seg(total: u64) -> impl Iterator<Item = (u64, u32)> {\n}\n");
+        assert_eq!(t.items.iter().filter(|i| i.kind == ItemKind::Impl).count(), 0);
+        let f = t.fns().next().expect("fn");
+        assert_eq!(f.params, vec![Param { name: "total".into(), ty: "u64".into() }]);
+        assert_eq!(f.end_line, 2);
+    }
+
+    #[test]
+    fn signature_params_parse_generics_and_receivers() {
+        let t = tree_of(
+            "pub fn f(&mut self, at: SimTime, map: BTreeMap<u64, u64>, delay_ns: u64) {}\n",
+        );
+        let f = t.fns().next().expect("fn");
+        let names: Vec<&str> = f.params.iter().map(|p| p.name.as_str()).collect();
+        assert_eq!(names, vec!["at", "map", "delay_ns"]);
+        assert_eq!(f.params[2].ty, "u64");
+        assert_eq!(f.params[1].ty, "BTreeMap<u64,u64>");
+    }
+
+    #[test]
+    fn const_fn_is_a_fn_not_a_decl() {
+        let t = tree_of("pub const fn from_nanos(ns: u64) -> Self {\n    Self(ns)\n}\n");
+        assert_eq!(t.items.len(), 1);
+        assert_eq!(t.items[0].kind, ItemKind::Fn);
+        assert_eq!(t.items[0].name, "from_nanos");
+        assert!(t.items[0].is_pub);
+    }
+
+    #[test]
+    fn initializer_braces_do_not_open_scopes() {
+        let t = tree_of("const T: Token = Token { kind: 1, flow: 0 };\nfn after() {}\n");
+        let after = t.items.iter().find(|i| i.name == "after").expect("fn after");
+        assert_eq!(after.parent, None, "const initializer brace must be consumed");
+    }
+
+    #[test]
+    fn enclosing_fn_picks_innermost() {
+        let t = tree_of("fn outer() {\n    mod m {\n        fn inner() {\n            x();\n        }\n    }\n}\n");
+        assert_eq!(t.enclosing_fn(4).map(|i| i.name.as_str()), Some("inner"));
+        assert_eq!(t.enclosing_fn(2).map(|i| i.name.as_str()), Some("outer"));
+    }
+}

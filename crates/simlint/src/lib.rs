@@ -8,37 +8,62 @@
 //! regular `#[test]` so plain `cargo test` keeps the tree clean.
 //!
 //! It deliberately avoids `syn`/full parsing (the build must work with
-//! zero network access): a hand-rolled tokenizer strips comments and
-//! string/char literals, and the rules below are token-level checks on
-//! the stripped source. That makes each rule a *conservative heuristic*
-//! — see the per-rule docs for exactly what is matched.
+//! zero network access). Instead, [`source::MaskedSource`] blanks
+//! comment and literal bodies (line structure preserved), and
+//! [`items`] builds a brace-matched **item tree** — modules, fns, impl
+//! blocks, `use` declarations, with spans, visibility and
+//! `#[cfg(test)]` state — over the masked text. Rules are token-level
+//! checks that consult the tree to know *where* a token sits, which
+//! makes each rule a *conservative heuristic*; see the per-rule docs
+//! for exactly what is matched.
 //!
 //! ## Rules
 //!
-//! | rule id          | what it enforces |
-//! |------------------|------------------|
-//! | `determinism`    | no wall-clock/entropy (`Instant::now`, `SystemTime`, `thread_rng`, `from_entropy`) and no unordered containers (`HashMap`/`HashSet`) in `netsim`, `core`, `transports`, `trace` non-test code |
-//! | `panic_hygiene`  | no `unwrap()` / `expect(...)` / `panic!` in library code (binaries, benches and tests may) |
-//! | `float_cmp`      | no `==` / `!=` against a floating-point literal |
-//! | `forbid_unsafe`  | every crate root starts with `#![forbid(unsafe_code)]` |
-//! | `hot_path_alloc` | no `Box::new` / `Vec::new` / `vec![` / `to_vec()` between `// simlint: hot-path` and `// simlint: hot-path-end` markers in `netsim` library code (the per-event engine path must reuse pooled/scratch buffers) |
-//! | `paper_constants`| λ_LCP = 0.1 < λ_HCP = 0.17 (Eq. 3) and the 1-ACK-per-2-LCP-packets constant match DESIGN.md |
-//! | `trace_schema`   | every `TraceEvent` variant has a JSONL encoder arm in `encode_line` (`crates/trace/src/event.rs`) |
+//! | rule id           | what it enforces |
+//! |-------------------|------------------|
+//! | `determinism`     | no wall-clock/entropy (`Instant::now`, `SystemTime`, `thread_rng`, `from_entropy`) and no unordered containers (`HashMap`/`HashSet`) in `netsim`, `core`, `transports`, `trace` non-test code |
+//! | `panic_hygiene`   | no `unwrap()` / `expect(...)` / `panic!` in library code (binaries, benches and tests may) |
+//! | `float_cmp`       | no `==` / `!=` against a floating-point literal |
+//! | `forbid_unsafe`   | every crate root starts with `#![forbid(unsafe_code)]` |
+//! | `hot_path_alloc`  | no `Box::new` / `Vec::new` / `vec![` / `to_vec()` between hot-path fence pragmas in `netsim` library code (the per-event engine path must reuse pooled/scratch buffers) |
+//! | `shared_mut`      | no `static mut`, `Cell`/`RefCell`, `Mutex`/`RwLock`, atomics in the determinism crates — the sharded engine communicates via messages only |
+//! | `event_order`     | only the engine's enqueue helpers may push the event heap; the `(time, seq)` FIFO tie-break is engine-internal |
+//! | `unit_safety`     | public fns in `netsim`/`core`/`transports` take `SimTime`/`SimDuration`/`Rate` newtypes, not raw `u64`/`f64`, when the parameter name denotes a time or rate |
+//! | `rto_common`      | no hand-rolled `TIMER_RTO` arm/service blocks outside `transports::common` |
+//! | `pragma_hygiene`  | an `allow(...)` pragma that suppresses nothing (or names an unknown rule/directive) is itself a violation |
+//! | `paper_constants` | λ_LCP = 0.1 < λ_HCP = 0.17 (Eq. 3) and the 1-ACK-per-2-LCP-packets constant match DESIGN.md |
+//! | `trace_schema`    | every `TraceEvent` variant has a JSONL encoder arm in `encode_line` (`crates/trace/src/event.rs`) |
 //!
 //! ## Pragmas
 //!
 //! A violation on a line carrying `// simlint: allow(<rule>)` is
-//! suppressed. Pragmas are per-line and per-rule; `allow(all)` is
-//! intentionally not supported — name the rule you are overriding.
+//! suppressed; an *own-line* pragma suppresses the line directly below
+//! it (rustfmt splits long lines, so the pragma rides above). Pragmas
+//! are recognized only in real comments — pragma-shaped text inside a
+//! string literal does nothing. Per-line and per-rule; `allow(all)` is
+//! intentionally not supported — name the rule you are overriding. A
+//! pragma that suppresses nothing is flagged by `pragma_hygiene`
+//! (escape hatch: include `pragma_hygiene` in the same `allow(...)`).
+//!
+//! ## Baseline / ratchet
+//!
+//! `simlint.baseline` at the workspace root tolerates pre-existing
+//! findings per `(rule, file)`; counts may only decrease. See
+//! [`baseline`] for the exact semantics.
 
 use std::fmt;
 use std::path::{Path, PathBuf};
 
+pub mod baseline;
+pub mod items;
+pub mod output;
 pub mod rules;
 pub mod source;
 pub mod walk;
 
-pub use rules::{Rule, ALL_RULES};
+pub use baseline::{Baseline, Outcome};
+pub use items::ItemTree;
+pub use rules::{Findings, Rule, ALL_RULES, RULE_TABLE};
 pub use source::MaskedSource;
 
 /// One finding.
@@ -94,16 +119,16 @@ pub fn classify(rel_path: &str) -> FileClass {
 pub fn lint_source(rel_path: &str, content: &str) -> Vec<Violation> {
     let class = classify(rel_path);
     let masked = MaskedSource::new(content);
-    let mut out = Vec::new();
+    let mut findings = Findings::new();
     for rule in ALL_RULES {
-        rule.check(rel_path, class, &masked, &mut out);
+        rule.check(rel_path, class, &masked, &mut findings);
     }
-    out
+    findings.violations
 }
 
 /// Lint every workspace source file under `root`, plus the cross-file
-/// paper-constant checks. Files are visited in sorted order so output
-/// is deterministic.
+/// paper-constant checks. Output is sorted (file, line, rule, message)
+/// so reports are deterministic.
 pub fn lint_workspace(root: &Path) -> Result<Vec<Violation>, String> {
     let mut files = walk::rust_sources(&root.join("crates"))?;
     files.sort();
@@ -116,7 +141,20 @@ pub fn lint_workspace(root: &Path) -> Result<Vec<Violation>, String> {
     }
     rules::check_paper_constants(root, &mut out);
     rules::check_trace_schema(root, &mut out);
+    output::sort_violations(&mut out);
     Ok(out)
+}
+
+/// Name of the ratchet file at the workspace root.
+pub const BASELINE_FILE: &str = "simlint.baseline";
+
+/// The full gate: lint the workspace and apply the baseline ratchet.
+/// This is what both the CLI and the in-test `workspace_is_clean` check
+/// run, so `cargo test` and CI cannot disagree.
+pub fn gate(root: &Path) -> Result<Outcome, String> {
+    let violations = lint_workspace(root)?;
+    let baseline = Baseline::load(&root.join(BASELINE_FILE))?;
+    Ok(baseline.apply(&violations))
 }
 
 fn relative_to(path: &Path, root: &Path) -> String {

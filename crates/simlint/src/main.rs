@@ -1,13 +1,85 @@
 #![forbid(unsafe_code)]
-//! `simlint` binary: lint the workspace, print violations, exit non-zero
-//! if any are found. Usage: `cargo run -p simlint [-- <workspace-root>]`.
+//! `simlint` binary: lint the workspace, apply the `simlint.baseline`
+//! ratchet, report in the chosen format, exit non-zero on any gate
+//! failure.
+//!
+//! ```text
+//! cargo run -p simlint -- [<workspace-root>] [--format text|json|sarif]
+//!                         [--write-baseline] [--no-baseline] [--list-rules]
+//! ```
+//!
+//! Exit codes: 0 clean, 1 gate failure (violations, baseline
+//! regressions or stale entries), 2 usage/IO error.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
+use simlint::{output, Baseline, Outcome, RULE_TABLE};
+
+enum Format {
+    Text,
+    Json,
+    Sarif,
+}
+
+struct Args {
+    root: Option<PathBuf>,
+    format: Format,
+    write_baseline: bool,
+    no_baseline: bool,
+    list_rules: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        root: None,
+        format: Format::Text,
+        write_baseline: false,
+        no_baseline: false,
+        list_rules: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--format" => {
+                let v = it.next().ok_or("--format needs a value: text|json|sarif")?;
+                args.format = match v.as_str() {
+                    "text" => Format::Text,
+                    "json" => Format::Json,
+                    "sarif" => Format::Sarif,
+                    other => return Err(format!("unknown format `{other}`; use text|json|sarif")),
+                };
+            }
+            "--write-baseline" => args.write_baseline = true,
+            "--no-baseline" => args.no_baseline = true,
+            "--list-rules" => args.list_rules = true,
+            other if !other.starts_with('-') && args.root.is_none() => {
+                args.root = Some(PathBuf::from(other));
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok(args)
+}
+
 fn main() -> ExitCode {
-    let root = match std::env::args().nth(1) {
-        Some(arg) => PathBuf::from(arg),
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("simlint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if args.list_rules {
+        for rule in RULE_TABLE {
+            println!("{:<16} {}", rule.id(), rule.describe());
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let root = match args.root {
+        Some(r) => r,
         None => {
             let cwd = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
             match simlint::find_workspace_root(&cwd) {
@@ -19,21 +91,64 @@ fn main() -> ExitCode {
             }
         }
     };
-    match simlint::lint_workspace(&root) {
-        Ok(violations) if violations.is_empty() => {
-            println!("simlint: workspace clean");
-            ExitCode::SUCCESS
-        }
-        Ok(violations) => {
-            for v in &violations {
-                println!("{v}");
-            }
-            println!("simlint: {} violation(s)", violations.len());
-            ExitCode::FAILURE
-        }
+
+    let violations = match simlint::lint_workspace(&root) {
+        Ok(v) => v,
         Err(e) => {
             eprintln!("simlint: {e}");
-            ExitCode::from(2)
+            return ExitCode::from(2);
         }
+    };
+    let baseline_path = root.join(simlint::BASELINE_FILE);
+    let baseline = if args.no_baseline {
+        Baseline::default()
+    } else {
+        match Baseline::load(&baseline_path) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("simlint: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    };
+
+    if args.write_baseline {
+        match Baseline::ratcheted_from(&baseline, &violations) {
+            Ok(new) => {
+                if let Err(e) = std::fs::write(&baseline_path, new.render()) {
+                    eprintln!("simlint: write {}: {e}", baseline_path.display());
+                    return ExitCode::from(2);
+                }
+                println!(
+                    "simlint: wrote {} ({} entr(ies))",
+                    baseline_path.display(),
+                    if new.is_empty() {
+                        "no".to_owned()
+                    } else {
+                        new.render().lines().count().saturating_sub(3).to_string()
+                    }
+                );
+                return ExitCode::SUCCESS;
+            }
+            Err(raised) => {
+                for r in raised {
+                    eprintln!("simlint: refusing to raise baseline: {r}");
+                }
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let outcome: Outcome = baseline.apply(&violations);
+    let rendered = match args.format {
+        Format::Text => output::render_text(&outcome),
+        Format::Json => output::render_json(&outcome),
+        Format::Sarif => output::render_sarif(&outcome),
+    };
+    print!("{rendered}");
+    if outcome.is_clean() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
     }
 }

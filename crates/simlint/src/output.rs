@@ -1,0 +1,215 @@
+//! Report renderers: human text, machine JSON, and minimal SARIF 2.1.0.
+//!
+//! All three are deterministic — violations are sorted before
+//! rendering, nothing host- or time-dependent is emitted — so two runs
+//! over the same tree produce byte-identical output (CI diffs the two).
+
+use crate::baseline::Outcome;
+use crate::rules::RULE_TABLE;
+use crate::Violation;
+
+/// Sort for stable output: file, then line, then rule id, then message.
+pub fn sort_violations(violations: &mut [Violation]) {
+    violations.sort_by(|a, b| {
+        (&a.file, a.line, a.rule.id(), &a.message).cmp(&(&b.file, b.line, b.rule.id(), &b.message))
+    });
+}
+
+/// Escape a string for inclusion in a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Human-readable report: one line per finding, then the gate notes.
+pub fn render_text(outcome: &Outcome) -> String {
+    let mut out = String::new();
+    for v in &outcome.fresh {
+        out.push_str(&format!("{v}\n"));
+    }
+    for r in &outcome.regressions {
+        out.push_str(&format!("baseline regression: {r}\n"));
+    }
+    for s in &outcome.stale {
+        out.push_str(&format!("stale baseline: {s}\n"));
+    }
+    if outcome.is_clean() {
+        out.push_str("simlint: workspace clean\n");
+    } else {
+        out.push_str(&format!(
+            "simlint: {} violation(s), {} regression(s), {} stale baseline entr(ies)\n",
+            outcome.fresh.len(),
+            outcome.regressions.len(),
+            outcome.stale.len()
+        ));
+    }
+    out
+}
+
+/// Machine-readable JSON: `{"version":1,"clean":…,"violations":[…],…}`.
+pub fn render_json(outcome: &Outcome) -> String {
+    let mut out = String::new();
+    out.push_str("{\"version\":1");
+    out.push_str(&format!(",\"clean\":{}", outcome.is_clean()));
+    out.push_str(",\"violations\":[");
+    for (i, v) in outcome.fresh.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"file\":\"{}\",\"line\":{},\"rule\":\"{}\",\"message\":\"{}\"}}",
+            json_escape(&v.file),
+            v.line,
+            v.rule.id(),
+            json_escape(&v.message)
+        ));
+    }
+    out.push(']');
+    for (key, notes) in [("regressions", &outcome.regressions), ("stale", &outcome.stale)] {
+        out.push_str(&format!(",\"{key}\":["));
+        for (i, n) in notes.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\"{}\"", json_escape(n)));
+        }
+        out.push(']');
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Minimal SARIF 2.1.0 log: one run, the full rule table as driver
+/// metadata, one result per fresh violation (baseline notes become
+/// tool-level notifications).
+pub fn render_sarif(outcome: &Outcome) -> String {
+    let mut out = String::new();
+    out.push_str("{\"$schema\":\"https://json.schemastore.org/sarif-2.1.0.json\"");
+    out.push_str(",\"version\":\"2.1.0\",\"runs\":[{\"tool\":{\"driver\":{");
+    out.push_str("\"name\":\"simlint\",\"informationUri\":\"DESIGN.md\",\"rules\":[");
+    for (i, rule) in RULE_TABLE.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"id\":\"{}\",\"shortDescription\":{{\"text\":\"{}\"}}}}",
+            rule.id(),
+            json_escape(rule.describe())
+        ));
+    }
+    out.push_str("]}},\"results\":[");
+    for (i, v) in outcome.fresh.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"ruleId\":\"{}\",\"level\":\"error\",\"message\":{{\"text\":\"{}\"}},\
+             \"locations\":[{{\"physicalLocation\":{{\"artifactLocation\":{{\"uri\":\"{}\"}},\
+             \"region\":{{\"startLine\":{}}}}}}}]}}",
+            v.rule.id(),
+            json_escape(&v.message),
+            json_escape(&v.file),
+            v.line
+        ));
+    }
+    out.push_str(
+        "],\"invocations\":[{\"executionSuccessful\":true,\"toolExecutionNotifications\":[",
+    );
+    let notes = outcome.regressions.iter().chain(outcome.stale.iter());
+    for (i, n) in notes.enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"level\":\"error\",\"message\":{{\"text\":\"{}\"}}}}",
+            json_escape(n)
+        ));
+    }
+    out.push_str("]}]}]}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::Rule;
+
+    fn outcome() -> Outcome {
+        Outcome {
+            fresh: vec![Violation {
+                file: "crates/a.rs".into(),
+                line: 3,
+                rule: Rule::SharedMut,
+                message: "a \"quoted\" message".into(),
+            }],
+            regressions: vec!["shared_mut crates/a.rs: 2 violation(s), baseline tolerates 1".into()],
+            stale: vec![],
+        }
+    }
+
+    #[test]
+    fn sort_is_total_and_stable() {
+        let mk = |file: &str, line, rule| Violation {
+            file: file.into(),
+            line,
+            rule,
+            message: "m".into(),
+        };
+        let mut vs = vec![
+            mk("b.rs", 1, Rule::Determinism),
+            mk("a.rs", 9, Rule::UnitSafety),
+            mk("a.rs", 9, Rule::SharedMut),
+            mk("a.rs", 2, Rule::UnitSafety),
+        ];
+        sort_violations(&mut vs);
+        let key: Vec<(&str, usize, &str)> =
+            vs.iter().map(|v| (v.file.as_str(), v.line, v.rule.id())).collect();
+        assert_eq!(
+            key,
+            vec![
+                ("a.rs", 2, "unit_safety"),
+                ("a.rs", 9, "shared_mut"),
+                ("a.rs", 9, "unit_safety"),
+                ("b.rs", 1, "determinism"),
+            ]
+        );
+    }
+
+    #[test]
+    fn json_escapes_and_is_deterministic() {
+        let o = outcome();
+        let a = render_json(&o);
+        let b = render_json(&o);
+        assert_eq!(a, b);
+        assert!(a.contains("\\\"quoted\\\""));
+        assert!(a.contains("\"clean\":false"));
+    }
+
+    #[test]
+    fn sarif_lists_every_rule_and_each_result() {
+        let s = render_sarif(&outcome());
+        for rule in RULE_TABLE {
+            assert!(s.contains(&format!("\"id\":\"{}\"", rule.id())), "missing {}", rule.id());
+        }
+        assert!(s.contains("\"ruleId\":\"shared_mut\""));
+        assert!(s.contains("\"startLine\":3"));
+    }
+
+    #[test]
+    fn clean_outcome_renders_clean() {
+        let o = Outcome::default();
+        assert!(render_text(&o).contains("workspace clean"));
+        assert!(render_json(&o).contains("\"clean\":true"));
+    }
+}

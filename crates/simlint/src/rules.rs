@@ -1,13 +1,17 @@
-//! The rule set. Each rule is a token-level check over masked source
-//! (comments and literal bodies blanked — see [`crate::source`]).
+//! The rule set. Per-file rules are token-level checks over masked
+//! source (comments and literal bodies blanked — see [`crate::source`]),
+//! sharpened by the brace-matched item tree ([`crate::items`]) so a rule
+//! knows *where* a token sits: inside which fn, behind which
+//! `#[cfg(test)]`, in which signature.
 
+use std::collections::BTreeSet;
 use std::path::Path;
 
-use crate::source::MaskedSource;
+use crate::source::{Directive, MaskedSource};
 use crate::{FileClass, Violation};
 
 /// Identifier of a lint rule.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
 pub enum Rule {
     /// Wall-clock / entropy / unordered containers in engine-path crates.
     Determinism,
@@ -20,6 +24,22 @@ pub enum Rule {
     /// No allocation constructors inside `// simlint: hot-path` fences
     /// in `netsim` (the per-event engine path).
     HotPathAlloc,
+    /// No shared-mutability primitives in DETERMINISM_CRATES: the
+    /// planned sharded engine may only communicate via messages.
+    SharedMut,
+    /// Only the engine's own enqueue helpers may push to the event heap;
+    /// everything else goes through the public `Ctx` API so the
+    /// `(time, seq)` tie-break survives.
+    EventOrder,
+    /// Public fn signatures must use the time/rate newtypes instead of
+    /// raw `u64`/`f64` where the parameter name says it is one.
+    UnitSafety,
+    /// No hand-rolled `TIMER_RTO` arm/service blocks outside
+    /// `transports::common` (locks in the PR 4 dedupe).
+    RtoCommon,
+    /// An `allow(...)` pragma that suppresses nothing is itself a
+    /// violation, so the pragma count ratchets down.
+    PragmaHygiene,
     /// Paper constants must match DESIGN.md (checked workspace-wide).
     PaperConstants,
     /// Every `TraceEvent` variant must have a JSONL encoder arm
@@ -27,13 +47,36 @@ pub enum Rule {
     TraceSchema,
 }
 
-/// Every per-file rule, in reporting order.
+/// Every per-file rule, in execution order. `pragma_hygiene` must run
+/// last: it audits the suppressions the other rules recorded.
 pub const ALL_RULES: &[Rule] = &[
     Rule::Determinism,
     Rule::PanicHygiene,
     Rule::FloatCmp,
     Rule::ForbidUnsafe,
     Rule::HotPathAlloc,
+    Rule::SharedMut,
+    Rule::EventOrder,
+    Rule::UnitSafety,
+    Rule::RtoCommon,
+    Rule::PragmaHygiene,
+];
+
+/// The complete rule table (per-file + workspace-level), for
+/// `--list-rules` and the DESIGN.md §12 sync check.
+pub const RULE_TABLE: &[Rule] = &[
+    Rule::Determinism,
+    Rule::PanicHygiene,
+    Rule::FloatCmp,
+    Rule::ForbidUnsafe,
+    Rule::HotPathAlloc,
+    Rule::SharedMut,
+    Rule::EventOrder,
+    Rule::UnitSafety,
+    Rule::RtoCommon,
+    Rule::PragmaHygiene,
+    Rule::PaperConstants,
+    Rule::TraceSchema,
 ];
 
 impl Rule {
@@ -45,27 +88,96 @@ impl Rule {
             Rule::FloatCmp => "float_cmp",
             Rule::ForbidUnsafe => "forbid_unsafe",
             Rule::HotPathAlloc => "hot_path_alloc",
+            Rule::SharedMut => "shared_mut",
+            Rule::EventOrder => "event_order",
+            Rule::UnitSafety => "unit_safety",
+            Rule::RtoCommon => "rto_common",
+            Rule::PragmaHygiene => "pragma_hygiene",
             Rule::PaperConstants => "paper_constants",
             Rule::TraceSchema => "trace_schema",
         }
     }
 
-    /// Run this rule over one masked file.
-    pub fn check(
-        self,
-        rel_path: &str,
-        class: FileClass,
-        src: &MaskedSource,
-        out: &mut Vec<Violation>,
-    ) {
+    /// Resolve a rule id (as written in an `allow(...)` pragma).
+    pub fn from_id(id: &str) -> Option<Rule> {
+        RULE_TABLE.iter().copied().find(|r| r.id() == id)
+    }
+
+    /// One-line description for `--list-rules` and SARIF metadata.
+    pub fn describe(self) -> &'static str {
         match self {
-            Rule::Determinism => check_determinism(rel_path, class, src, out),
-            Rule::PanicHygiene => check_panic_hygiene(rel_path, class, src, out),
-            Rule::FloatCmp => check_float_cmp(rel_path, class, src, out),
-            Rule::ForbidUnsafe => check_forbid_unsafe(rel_path, class, src, out),
-            Rule::HotPathAlloc => check_hot_path_alloc(rel_path, class, src, out),
+            Rule::Determinism => {
+                "no wall-clock/entropy sources or unordered containers in engine-path crates"
+            }
+            Rule::PanicHygiene => "no unwrap()/expect()/panic! in library code",
+            Rule::FloatCmp => "no ==/!= against a floating-point literal",
+            Rule::ForbidUnsafe => "every crate root carries #![forbid(unsafe_code)]",
+            Rule::HotPathAlloc => {
+                "no allocation constructors inside hot-path fences in netsim"
+            }
+            Rule::SharedMut => {
+                "no shared-mutability primitives in determinism crates; shards talk via messages"
+            }
+            Rule::EventOrder => {
+                "only engine enqueue helpers push the event heap; the (time, seq) tie-break is sacred"
+            }
+            Rule::UnitSafety => {
+                "public fns take SimTime/SimDuration/Rate newtypes, not raw u64/f64 time or rate"
+            }
+            Rule::RtoCommon => {
+                "no hand-rolled TIMER_RTO handling outside transports::common"
+            }
+            Rule::PragmaHygiene => "an allow(...) pragma that suppresses nothing is a violation",
+            Rule::PaperConstants => "paper constants match DESIGN.md (lambda pair, EWD ACK ratio)",
+            Rule::TraceSchema => "every TraceEvent variant has a JSONL encoder arm",
+        }
+    }
+
+    /// Run this rule over one masked file.
+    pub fn check(self, rel_path: &str, class: FileClass, src: &MaskedSource, f: &mut Findings) {
+        match self {
+            Rule::Determinism => check_determinism(rel_path, class, src, f),
+            Rule::PanicHygiene => check_panic_hygiene(rel_path, class, src, f),
+            Rule::FloatCmp => check_float_cmp(rel_path, class, src, f),
+            Rule::ForbidUnsafe => check_forbid_unsafe(rel_path, class, src, f),
+            Rule::HotPathAlloc => check_hot_path_alloc(rel_path, class, src, f),
+            Rule::SharedMut => check_shared_mut(rel_path, class, src, f),
+            Rule::EventOrder => check_event_order(rel_path, class, src, f),
+            Rule::UnitSafety => check_unit_safety(rel_path, class, src, f),
+            Rule::RtoCommon => check_rto_common(rel_path, class, src, f),
+            Rule::PragmaHygiene => check_pragma_hygiene(rel_path, class, src, f),
             Rule::PaperConstants | Rule::TraceSchema => {}
         }
+    }
+}
+
+/// Violations accumulated over one file, plus which `allow(...)` pragma
+/// entries actually suppressed something — `pragma_hygiene` audits the
+/// rest.
+#[derive(Default)]
+pub struct Findings {
+    pub violations: Vec<Violation>,
+    used_allows: BTreeSet<(usize, String)>,
+}
+
+impl Findings {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn push(
+        &mut self,
+        src: &MaskedSource,
+        rel_path: &str,
+        line_no: usize,
+        rule: Rule,
+        message: String,
+    ) {
+        if let Some(pragma_line) = src.allow_pragma_line(line_no, rule.id()) {
+            self.used_allows.insert((pragma_line, rule.id().to_owned()));
+            return;
+        }
+        self.violations.push(Violation { file: rel_path.to_owned(), line: line_no, rule, message });
     }
 }
 
@@ -108,20 +220,6 @@ fn ident_followed_by(line: &str, name: &str, next_ch: char) -> bool {
     false
 }
 
-fn push(
-    out: &mut Vec<Violation>,
-    src: &MaskedSource,
-    rel_path: &str,
-    line_no: usize,
-    rule: Rule,
-    message: String,
-) {
-    if src.has_allow(line_no, rule.id()) {
-        return;
-    }
-    out.push(Violation { file: rel_path.to_owned(), line: line_no, rule, message });
-}
-
 /// Tokens that leak wall-clock time or process entropy into results,
 /// plus the unordered containers whose iteration order is per-process.
 const NONDETERMINISM_TOKENS: &[(&str, &str)] = &[
@@ -133,12 +231,7 @@ const NONDETERMINISM_TOKENS: &[(&str, &str)] = &[
     ("HashSet", "HashSet iteration order is per-process; use BTreeSet"),
 ];
 
-fn check_determinism(
-    rel_path: &str,
-    class: FileClass,
-    src: &MaskedSource,
-    out: &mut Vec<Violation>,
-) {
+fn check_determinism(rel_path: &str, class: FileClass, src: &MaskedSource, f: &mut Findings) {
     if !class.in_determinism_scope {
         return;
     }
@@ -149,18 +242,13 @@ fn check_determinism(
         }
         for &(tok, why) in NONDETERMINISM_TOKENS {
             if !token_positions(line, tok).is_empty() {
-                push(out, src, rel_path, line_no, Rule::Determinism, format!("`{tok}`: {why}"));
+                f.push(src, rel_path, line_no, Rule::Determinism, format!("`{tok}`: {why}"));
             }
         }
     }
 }
 
-fn check_panic_hygiene(
-    rel_path: &str,
-    class: FileClass,
-    src: &MaskedSource,
-    out: &mut Vec<Violation>,
-) {
+fn check_panic_hygiene(rel_path: &str, class: FileClass, src: &MaskedSource, f: &mut Findings) {
     if !class.is_library {
         return;
     }
@@ -170,8 +258,7 @@ fn check_panic_hygiene(
             continue;
         }
         if ident_followed_by(line, "unwrap", '(') {
-            push(
-                out,
+            f.push(
                 src,
                 rel_path,
                 line_no,
@@ -181,8 +268,7 @@ fn check_panic_hygiene(
             );
         }
         if ident_followed_by(line, "expect", '(') {
-            push(
-                out,
+            f.push(
                 src,
                 rel_path,
                 line_no,
@@ -192,8 +278,7 @@ fn check_panic_hygiene(
             );
         }
         if ident_followed_by(line, "panic", '!') {
-            push(
-                out,
+            f.push(
                 src,
                 rel_path,
                 line_no,
@@ -232,7 +317,7 @@ fn token_left(line: &str, at: usize) -> String {
     rev.chars().rev().collect()
 }
 
-fn check_float_cmp(rel_path: &str, class: FileClass, src: &MaskedSource, out: &mut Vec<Violation>) {
+fn check_float_cmp(rel_path: &str, class: FileClass, src: &MaskedSource, f: &mut Findings) {
     if !class.is_library {
         return;
     }
@@ -261,8 +346,7 @@ fn check_float_cmp(rel_path: &str, class: FileClass, src: &MaskedSource, out: &m
             let lhs = token_left(line, i);
             let rhs = token_right(line, i + 2);
             if is_float_literal(&lhs) || is_float_literal(&rhs) {
-                push(
-                    out,
+                f.push(
                     src,
                     rel_path,
                     line_no,
@@ -278,19 +362,13 @@ fn check_float_cmp(rel_path: &str, class: FileClass, src: &MaskedSource, out: &m
     }
 }
 
-fn check_forbid_unsafe(
-    rel_path: &str,
-    class: FileClass,
-    src: &MaskedSource,
-    out: &mut Vec<Violation>,
-) {
+fn check_forbid_unsafe(rel_path: &str, class: FileClass, src: &MaskedSource, f: &mut Findings) {
     if !class.is_crate_root {
         return;
     }
     let compact: String = src.masked.chars().filter(|c| !c.is_whitespace()).collect();
     if !compact.contains("#![forbid(unsafe_code)]") {
-        push(
-            out,
+        f.push(
             src,
             rel_path,
             1,
@@ -299,11 +377,6 @@ fn check_forbid_unsafe(
         );
     }
 }
-
-/// Fence markers for the hot-path allocation rule. They live in
-/// comments, so they are scanned on *raw* lines (masking blanks them).
-const HOT_PATH_OPEN: &str = "simlint: hot-path";
-const HOT_PATH_CLOSE: &str = "simlint: hot-path-end";
 
 /// Allocation constructors that must not appear on the per-event engine
 /// path: each would hit the global allocator once per simulated event.
@@ -325,39 +398,41 @@ fn hot_path_alloc_hit(line: &str) -> Option<&'static str> {
     None
 }
 
-fn check_hot_path_alloc(
-    rel_path: &str,
-    class: FileClass,
-    src: &MaskedSource,
-    out: &mut Vec<Violation>,
-) {
+fn check_hot_path_alloc(rel_path: &str, class: FileClass, src: &MaskedSource, f: &mut Findings) {
     if !rel_path.starts_with("crates/netsim/") || !class.is_library {
         return;
     }
+    // Fence markers are pragmas (parsed from real comments only — a
+    // string literal containing the marker text cannot open a fence).
+    let mut fences = src
+        .pragmas
+        .iter()
+        .filter(|p| matches!(p.directive, Directive::HotPathOpen | Directive::HotPathClose));
+    let mut next_fence = fences.next();
     let mut fence_open_at: Option<usize> = None;
-    for (idx, raw) in src.raw_lines.iter().enumerate() {
+    for (idx, _) in src.lines.iter().enumerate() {
         let line_no = idx + 1;
-        // Close before open: the open marker is a prefix of the close one.
-        if raw.contains(HOT_PATH_CLOSE) {
-            fence_open_at = None;
-            continue;
-        }
-        if raw.contains(HOT_PATH_OPEN) {
-            fence_open_at = Some(line_no);
-            continue;
+        if let Some(p) = next_fence {
+            if p.line == line_no {
+                fence_open_at = match p.directive {
+                    Directive::HotPathOpen => Some(line_no),
+                    _ => None,
+                };
+                next_fence = fences.next();
+                continue;
+            }
         }
         if fence_open_at.is_none() || src.is_test(line_no) {
             continue;
         }
         if let Some(tok) = hot_path_alloc_hit(&src.lines[idx]) {
-            push(
-                out,
+            f.push(
                 src,
                 rel_path,
                 line_no,
                 Rule::HotPathAlloc,
                 format!(
-                    "`{tok}` allocates inside a `// {HOT_PATH_OPEN}` fence; reuse a pooled or scratch buffer"
+                    "`{tok}` allocates inside a hot-path fence; reuse a pooled or scratch buffer"
                 ),
             );
         }
@@ -365,14 +440,313 @@ fn check_hot_path_alloc(
     // An unclosed fence is almost certainly a typo'd end marker — and it
     // would silently extend the banned region to end-of-file.
     if let Some(open_line) = fence_open_at {
-        push(
-            out,
+        f.push(
             src,
             rel_path,
             open_line,
             Rule::HotPathAlloc,
-            format!("`// {HOT_PATH_OPEN}` fence is never closed by `// {HOT_PATH_CLOSE}`"),
+            "hot-path fence is never closed by a hot-path-end marker".into(),
         );
+    }
+}
+
+/// Shared-mutability primitives: each one lets two shards observe the
+/// same memory, which the planned sharded PDES engine forbids (shards
+/// exchange messages; merge order is deterministic).
+const SHARED_MUT_TOKENS: &[&str] = &[
+    "Cell",
+    "RefCell",
+    "UnsafeCell",
+    "OnceCell",
+    "LazyCell",
+    "Mutex",
+    "RwLock",
+    "Condvar",
+    "OnceLock",
+    "LazyLock",
+];
+
+/// Any identifier on the line starting with `Atomic` (AtomicU64, …).
+fn atomic_ident(line: &str) -> Option<String> {
+    let mut chars = line.char_indices().peekable();
+    while let Some((i, c)) = chars.next() {
+        if !is_ident_char(c) || c.is_ascii_digit() {
+            continue;
+        }
+        if i > 0 && line[..i].chars().next_back().is_some_and(is_ident_char) {
+            continue;
+        }
+        let ident: String = line[i..].chars().take_while(|&c| is_ident_char(c)).collect();
+        if ident.starts_with("Atomic") && ident.len() > "Atomic".len() {
+            return Some(ident);
+        }
+        for _ in 1..ident.chars().count() {
+            chars.next();
+        }
+    }
+    None
+}
+
+fn check_shared_mut(rel_path: &str, class: FileClass, src: &MaskedSource, f: &mut Findings) {
+    if !class.in_determinism_scope {
+        return;
+    }
+    for (idx, line) in src.lines.iter().enumerate() {
+        let line_no = idx + 1;
+        if src.is_test(line_no) {
+            continue;
+        }
+        for &tok in SHARED_MUT_TOKENS {
+            if !token_positions(line, tok).is_empty() {
+                f.push(
+                    src,
+                    rel_path,
+                    line_no,
+                    Rule::SharedMut,
+                    format!(
+                        "`{tok}` is shared mutable state; shards may only communicate via messages"
+                    ),
+                );
+            }
+        }
+        if let Some(atomic) = atomic_ident(line) {
+            f.push(
+                src,
+                rel_path,
+                line_no,
+                Rule::SharedMut,
+                format!(
+                    "`{atomic}` is shared mutable state; shards may only communicate via messages"
+                ),
+            );
+        }
+        for at in token_positions(line, "static") {
+            if token_right(line, at + "static".len()) == "mut" {
+                f.push(
+                    src,
+                    rel_path,
+                    line_no,
+                    Rule::SharedMut,
+                    "`static mut` is shared mutable state; shards may only communicate via messages"
+                        .into(),
+                );
+            }
+        }
+    }
+}
+
+/// The one file allowed to own the event heap.
+const ENGINE_FILE: &str = "crates/netsim/src/engine.rs";
+/// Fns inside `engine.rs` allowed to push the heap: the enqueue helper
+/// and the run loop's requeue (both preserve the `(time, seq)` seq
+/// assignment that makes same-timestamp delivery FIFO).
+const ENGINE_PUSH_FNS: &[&str] = &["schedule", "run"];
+
+fn check_event_order(rel_path: &str, class: FileClass, src: &MaskedSource, f: &mut Findings) {
+    if !class.in_determinism_scope {
+        return;
+    }
+    let is_engine = rel_path == ENGINE_FILE;
+    for (idx, line) in src.lines.iter().enumerate() {
+        let line_no = idx + 1;
+        if src.is_test(line_no) {
+            continue;
+        }
+        if !is_engine {
+            for tok in ["BinaryHeap", "QEntry"] {
+                if !token_positions(line, tok).is_empty() {
+                    f.push(
+                        src,
+                        rel_path,
+                        line_no,
+                        Rule::EventOrder,
+                        format!(
+                            "`{tok}` outside the engine: the event heap and its (time, seq) tie-break are engine-internal; schedule via the Ctx API"
+                        ),
+                    );
+                }
+            }
+        }
+        if line.contains("heap.push") {
+            let fn_name = src.items.enclosing_fn(line_no).map(|i| i.name.as_str());
+            let allowed = is_engine && fn_name.is_some_and(|n| ENGINE_PUSH_FNS.contains(&n));
+            if !allowed {
+                f.push(
+                    src,
+                    rel_path,
+                    line_no,
+                    Rule::EventOrder,
+                    format!(
+                        "direct event-heap push in `{}`: only the engine's enqueue helpers ({}) may push, so every event gets its (time, seq) tie-break",
+                        fn_name.unwrap_or("<file scope>"),
+                        ENGINE_PUSH_FNS.join("/"),
+                    ),
+                );
+            }
+        }
+    }
+}
+
+/// Files that *define* the unit newtypes are exempt from `unit_safety`
+/// (their constructors necessarily take the raw representation).
+const UNIT_SAFETY_EXEMPT: &[&str] = &["crates/netsim/src/time.rs", "crates/netsim/src/units.rs"];
+
+/// Map a raw-typed parameter name to the newtype it should be using.
+fn unit_suggestion(name: &str) -> Option<&'static str> {
+    const TIME_SUFFIXES: &[&str] = &["_ns", "_us", "_ms", "_nanos", "_micros", "_millis", "_secs"];
+    const TIME_EXACT: &[&str] =
+        &["at", "now", "rtt", "deadline", "timeout", "interval", "delay", "elapsed"];
+    const RATE_SUFFIXES: &[&str] = &["_bps", "_mbps", "_gbps"];
+    if TIME_SUFFIXES.iter().any(|s| name.ends_with(s)) || TIME_EXACT.contains(&name) {
+        return Some("netsim::time::SimTime / SimDuration");
+    }
+    if RATE_SUFFIXES.iter().any(|s| name.ends_with(s)) || name == "rate" {
+        return Some("netsim::units::Rate");
+    }
+    None
+}
+
+fn check_unit_safety(rel_path: &str, class: FileClass, src: &MaskedSource, f: &mut Findings) {
+    if !class.is_library || UNIT_SAFETY_EXEMPT.contains(&rel_path) {
+        return;
+    }
+    let in_scope = ["crates/netsim/", "crates/core/", "crates/transports/"]
+        .iter()
+        .any(|p| rel_path.starts_with(p));
+    if !in_scope {
+        return;
+    }
+    for item in src.items.fns() {
+        if !item.is_pub || item.cfg_test || src.is_test(item.decl_line) {
+            continue;
+        }
+        for p in &item.params {
+            if p.ty != "u64" && p.ty != "f64" {
+                continue;
+            }
+            if let Some(suggest) = unit_suggestion(&p.name) {
+                f.push(
+                    src,
+                    rel_path,
+                    item.decl_line,
+                    Rule::UnitSafety,
+                    format!(
+                        "pub fn `{}` takes `{}: {}`; use `{suggest}` so the unit is type-checked",
+                        item.name, p.name, p.ty
+                    ),
+                );
+            }
+        }
+    }
+}
+
+/// Files allowed to arm/service RTO timers directly: `common.rs` owns
+/// the shared machinery; `tcp_base.rs` owns the per-flow state machine
+/// it drives.
+const RTO_OWNER_FILES: &[&str] =
+    &["crates/transports/src/common.rs", "crates/transports/src/tcp_base.rs"];
+
+fn check_rto_common(rel_path: &str, class: FileClass, src: &MaskedSource, f: &mut Findings) {
+    if !rel_path.starts_with("crates/transports/src/")
+        || !class.is_library
+        || RTO_OWNER_FILES.contains(&rel_path)
+    {
+        return;
+    }
+    for (idx, line) in src.lines.iter().enumerate() {
+        let line_no = idx + 1;
+        if src.is_test(line_no) {
+            continue;
+        }
+        if ident_followed_by(line, "rto_token", '(') {
+            f.push(
+                src,
+                rel_path,
+                line_no,
+                Rule::RtoCommon,
+                "hand-rolled RTO token; arm the timer via transports::common::arm_rto".into(),
+            );
+        }
+        if line.contains(".on_rto(") {
+            f.push(
+                src,
+                rel_path,
+                line_no,
+                Rule::RtoCommon,
+                "direct on_rto call skips the stale-generation check; use transports::common::service_rto"
+                    .into(),
+            );
+        }
+        let trimmed = line.trim_start();
+        let is_use_line = trimmed.starts_with("use ") || trimmed.starts_with("pub use ");
+        for at in token_positions(line, "TIMER_RTO") {
+            if is_use_line {
+                continue;
+            }
+            let right = line[at + "TIMER_RTO".len()..].trim_start();
+            let left = line[..at].trim_end();
+            let in_match_arm = right.starts_with("=>");
+            let in_comparison = right.starts_with("==")
+                || right.starts_with("!=")
+                || left.ends_with("==")
+                || left.ends_with("!=");
+            if !(in_match_arm || in_comparison) {
+                f.push(
+                    src,
+                    rel_path,
+                    line_no,
+                    Rule::RtoCommon,
+                    "hand-rolled TIMER_RTO handling; route through transports::common::{arm_rto, service_rto}"
+                        .into(),
+                );
+            }
+        }
+    }
+}
+
+fn check_pragma_hygiene(rel_path: &str, _class: FileClass, src: &MaskedSource, f: &mut Findings) {
+    for p in &src.pragmas {
+        if src.is_test(p.line) {
+            continue;
+        }
+        match &p.directive {
+            Directive::Allow(rules) => {
+                for r in rules {
+                    // `allow(pragma_hygiene)` is the documented escape
+                    // hatch for keeping a currently-unused pragma.
+                    if r == Rule::PragmaHygiene.id() {
+                        continue;
+                    }
+                    if Rule::from_id(r).is_none() {
+                        f.push(
+                            src,
+                            rel_path,
+                            p.line,
+                            Rule::PragmaHygiene,
+                            format!("`allow({r})`: unknown rule id"),
+                        );
+                    } else if !f.used_allows.contains(&(p.line, r.clone())) {
+                        f.push(
+                            src,
+                            rel_path,
+                            p.line,
+                            Rule::PragmaHygiene,
+                            format!("`allow({r})` suppresses nothing; remove the stale pragma"),
+                        );
+                    }
+                }
+            }
+            Directive::Unknown(text) => {
+                f.push(
+                    src,
+                    rel_path,
+                    p.line,
+                    Rule::PragmaHygiene,
+                    format!("unknown simlint directive `{text}`"),
+                );
+            }
+            Directive::HotPathOpen | Directive::HotPathClose => {}
+        }
     }
 }
 

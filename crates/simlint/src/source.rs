@@ -1,49 +1,139 @@
-//! Comment/literal stripping and `#[cfg(test)]` span detection.
+//! Comment/literal stripping, comment-anchored pragmas, and the parsed
+//! item tree.
 //!
 //! The masker replaces the *bodies* of comments, string literals and
 //! char literals with spaces while preserving line structure, so rule
 //! checks can do plain substring/token scans without being fooled by
 //! text inside literals or docs. Raw strings (`r"…"`, `r#"…"#`, byte
 //! and raw-byte forms) and nested block comments are handled; lifetimes
-//! are distinguished from char literals.
+//! are distinguished from char literals; escaped newlines inside string
+//! literals keep their line breaks so line numbers never drift.
+//!
+//! While masking, every `//` comment's text is captured. Pragmas
+//! (`simlint: …` directives) are recognized *only* when a comment's text
+//! starts with `simlint:` — a string literal containing the pragma text,
+//! or a doc sentence merely mentioning it, can neither suppress a
+//! violation nor open a hot-path fence.
 
-/// A source file after masking, with pre-computed line offsets, raw
-/// lines (for pragma lookup) and `#[cfg(test)]` line spans.
+use crate::items::{self, ItemTree};
+
+/// One `//` comment captured during masking.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Comment {
+    /// 1-based line the comment starts on.
+    pub line: usize,
+    /// Text after the `//` marker (doc markers `/`/`!` stripped), trimmed.
+    pub text: String,
+    /// The comment is the only thing on its line.
+    pub own_line: bool,
+}
+
+/// A parsed `// simlint: …` directive.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Directive {
+    /// `allow(rule_a, rule_b)`
+    Allow(Vec<String>),
+    /// `hot-path`
+    HotPathOpen,
+    /// `hot-path-end`
+    HotPathClose,
+    /// Anything else after `simlint:` — flagged by `pragma_hygiene`.
+    Unknown(String),
+}
+
+/// One pragma comment: where it sits and what it says.
+#[derive(Clone, Debug)]
+pub struct Pragma {
+    pub line: usize,
+    pub own_line: bool,
+    pub directive: Directive,
+}
+
+/// A source file after masking, with pre-computed lines, captured
+/// comments/pragmas, the parsed [`ItemTree`], and `#[cfg(test)]` spans.
 pub struct MaskedSource {
     /// Masked text, same length/line structure as the original.
     pub masked: String,
-    /// Raw lines of the original source (for pragma scanning).
+    /// Raw lines of the original source.
     pub raw_lines: Vec<String>,
     /// Masked lines.
     pub lines: Vec<String>,
-    /// `is_test_line[i]` == line i+1 sits inside a `#[cfg(test)]` module.
-    pub is_test_line: Vec<bool>,
+    /// Every `//` comment, in source order.
+    pub comments: Vec<Comment>,
+    /// Every `simlint:` directive, in source order.
+    pub pragmas: Vec<Pragma>,
+    /// Brace-matched item tree (modules, fns, impls, uses).
+    pub items: ItemTree,
+    /// `is_test_line[i]` == line i+1 sits inside a `#[cfg(test)]` item.
+    is_test_line: Vec<bool>,
 }
 
 impl MaskedSource {
-    /// Mask `src` and compute spans.
+    /// Mask `src`, capture comments, parse pragmas and the item tree.
     pub fn new(src: &str) -> Self {
-        let masked = mask(src);
+        let (masked, comments) = mask(src);
         let raw_lines: Vec<String> = src.lines().map(str::to_owned).collect();
         let lines: Vec<String> = masked.lines().map(str::to_owned).collect();
-        let is_test_line = test_spans(&lines);
-        MaskedSource { masked, raw_lines, lines, is_test_line }
+        let items = items::build(&lines);
+        let is_test_line = (1..=lines.len()).map(|l| items.is_test_line(l)).collect();
+        let pragmas = comments
+            .iter()
+            .filter_map(|c| {
+                let rest = c.text.strip_prefix("simlint:")?.trim();
+                let directive = if let Some(inner) = rest.strip_prefix("allow(") {
+                    match inner.split_once(')') {
+                        Some((names, _)) => Directive::Allow(
+                            names.split(',').map(|r| r.trim().to_owned()).collect(),
+                        ),
+                        None => Directive::Unknown(rest.to_owned()),
+                    }
+                } else if rest == "hot-path" {
+                    Directive::HotPathOpen
+                } else if rest == "hot-path-end" {
+                    Directive::HotPathClose
+                } else {
+                    Directive::Unknown(rest.to_owned())
+                };
+                Some(Pragma { line: c.line, own_line: c.own_line, directive })
+            })
+            .collect();
+        MaskedSource { masked, raw_lines, lines, comments, pragmas, items, is_test_line }
     }
 
-    /// Does `line` (1-based) carry a `// simlint: allow(<rule>)` pragma
-    /// for `rule_id`?
+    /// The line of the `allow(<rule_id>)` pragma covering a violation on
+    /// `line`, if any: either a trailing pragma on the line itself, or an
+    /// own-line pragma on the line(s) directly above (rustfmt splits long
+    /// flagged lines; the pragma then rides on its own line).
+    pub fn allow_pragma_line(&self, line: usize, rule_id: &str) -> Option<usize> {
+        let allows = |p: &Pragma| match &p.directive {
+            Directive::Allow(rules) => rules.iter().any(|r| r == rule_id),
+            _ => false,
+        };
+        if let Some(p) = self.pragmas.iter().find(|p| p.line == line && allows(p)) {
+            return Some(p.line);
+        }
+        // Walk up through a stack of own-line pragma comments.
+        let mut l = line.checked_sub(1)?;
+        while l >= 1 {
+            let here: Vec<&Pragma> =
+                self.pragmas.iter().filter(|p| p.line == l && p.own_line).collect();
+            if here.is_empty() {
+                return None;
+            }
+            if let Some(p) = here.into_iter().find(|p| allows(p)) {
+                return Some(p.line);
+            }
+            l = l.checked_sub(1)?;
+        }
+        None
+    }
+
+    /// Does a pragma suppress `rule_id` violations on `line`?
     pub fn has_allow(&self, line: usize, rule_id: &str) -> bool {
-        let Some(raw) = self.raw_lines.get(line.wrapping_sub(1)) else {
-            return false;
-        };
-        let Some(pos) = raw.find("simlint: allow(") else {
-            return false;
-        };
-        let rest = &raw[pos + "simlint: allow(".len()..];
-        rest.split(')').next().is_some_and(|inner| inner.split(',').any(|r| r.trim() == rule_id))
+        self.allow_pragma_line(line, rule_id).is_some()
     }
 
-    /// Is the (1-based) line inside a `#[cfg(test)]` module?
+    /// Is the (1-based) line inside a `#[cfg(test)]` item?
     pub fn is_test(&self, line: usize) -> bool {
         self.is_test_line.get(line.wrapping_sub(1)).copied().unwrap_or(false)
     }
@@ -53,26 +143,47 @@ fn is_ident_char(c: char) -> bool {
     c.is_alphanumeric() || c == '_'
 }
 
-/// Replace comment and literal bodies with spaces (newlines preserved).
-fn mask(src: &str) -> String {
+/// Replace comment and literal bodies with spaces (newlines preserved)
+/// and capture `//` comment text.
+fn mask(src: &str) -> (String, Vec<Comment>) {
     let chars: Vec<char> = src.chars().collect();
     let n = chars.len();
     let mut out = String::with_capacity(src.len());
+    let mut comments = Vec::new();
+    let mut line = 1usize;
+    // Only whitespace seen since the last newline (for own-line comments).
+    let mut line_blank = true;
     let mut i = 0;
 
     let keep = |c: char| if c == '\n' { '\n' } else { ' ' };
 
+    macro_rules! emit_masked {
+        ($c:expr) => {{
+            let c = $c;
+            if c == '\n' {
+                line += 1;
+                line_blank = true;
+            }
+            out.push(keep(c));
+        }};
+    }
+
     while i < n {
         let c = chars[i];
-        // Line comment.
+        // Line comment: capture the text, mask the characters.
         if c == '/' && i + 1 < n && chars[i + 1] == '/' {
-            // Keep the comment text: pragmas are read from raw lines, and
-            // masking it would not change rule behaviour — but masking is
-            // still required so `// x == 1.0` in prose can't fire rules.
+            let start_line = line;
+            let own_line = line_blank;
+            let mut text = String::new();
             while i < n && chars[i] != '\n' {
+                text.push(chars[i]);
                 out.push(' ');
                 i += 1;
             }
+            // Strip `//`, doc markers and surrounding whitespace.
+            let body =
+                text.trim_start_matches('/').trim_start_matches(['!', '/']).trim().to_owned();
+            comments.push(Comment { line: start_line, text: body, own_line });
             continue;
         }
         // Block comment (nested).
@@ -93,7 +204,7 @@ fn mask(src: &str) -> String {
                         break;
                     }
                 } else {
-                    out.push(keep(chars[i]));
+                    emit_masked!(chars[i]);
                     i += 1;
                 }
             }
@@ -119,8 +230,10 @@ fn mask(src: &str) -> String {
                 i = j + 1;
                 'scan: while i < n {
                     if !raw && chars[i] == '\\' && i + 1 < n {
+                        // Mask the escape but keep an escaped newline's
+                        // line break (string continuation).
                         out.push(' ');
-                        out.push(' ');
+                        emit_masked!(chars[i + 1]);
                         i += 2;
                         continue;
                     }
@@ -138,13 +251,14 @@ fn mask(src: &str) -> String {
                             break 'scan;
                         }
                     }
-                    out.push(keep(chars[i]));
+                    emit_masked!(chars[i]);
                     i += 1;
                 }
                 continue;
             }
             // Not a literal prefix: plain identifier character.
             out.push(c);
+            line_blank = false;
             i += 1;
             continue;
         }
@@ -155,7 +269,7 @@ fn mask(src: &str) -> String {
             while i < n {
                 if chars[i] == '\\' && i + 1 < n {
                     out.push(' ');
-                    out.push(' ');
+                    emit_masked!(chars[i + 1]);
                     i += 2;
                     continue;
                 }
@@ -164,7 +278,7 @@ fn mask(src: &str) -> String {
                     i += 1;
                     break;
                 }
-                out.push(keep(chars[i]));
+                emit_masked!(chars[i]);
                 i += 1;
             }
             continue;
@@ -183,7 +297,7 @@ fn mask(src: &str) -> String {
                 while i < n {
                     if chars[i] == '\\' && i + 1 < n {
                         out.push(' ');
-                        out.push(' ');
+                        emit_masked!(chars[i + 1]);
                         i += 2;
                         continue;
                     }
@@ -192,67 +306,27 @@ fn mask(src: &str) -> String {
                         i += 1;
                         break;
                     }
-                    out.push(keep(chars[i]));
+                    emit_masked!(chars[i]);
                     i += 1;
                 }
                 continue;
             }
             // Lifetime: emit as-is.
             out.push('\'');
+            line_blank = false;
             i += 1;
             continue;
+        }
+        if c == '\n' {
+            line += 1;
+            line_blank = true;
+        } else if !c.is_whitespace() {
+            line_blank = false;
         }
         out.push(c);
         i += 1;
     }
-    out
-}
-
-/// Mark every line that falls inside a `#[cfg(test)] mod … { … }` span
-/// (attribute line through the matching closing brace).
-fn test_spans(masked_lines: &[String]) -> Vec<bool> {
-    let mut flags = vec![false; masked_lines.len()];
-    let mut li = 0;
-    while li < masked_lines.len() {
-        let compact: String = masked_lines[li].chars().filter(|c| !c.is_whitespace()).collect();
-        if !compact.contains("#[cfg(test)]") {
-            li += 1;
-            continue;
-        }
-        // Find the opening brace of the annotated item (skipping further
-        // attribute lines), then brace-match to the close.
-        let start = li;
-        let mut depth = 0usize;
-        let mut opened = false;
-        let mut lj = li;
-        'outer: while lj < masked_lines.len() {
-            for ch in masked_lines[lj].chars() {
-                match ch {
-                    '{' => {
-                        depth += 1;
-                        opened = true;
-                    }
-                    '}' => {
-                        depth = depth.saturating_sub(1);
-                        if opened && depth == 0 {
-                            break 'outer;
-                        }
-                    }
-                    _ => {}
-                }
-            }
-            if opened && depth == 0 {
-                break;
-            }
-            lj += 1;
-        }
-        let end = lj.min(masked_lines.len().saturating_sub(1));
-        for flag in flags.iter_mut().take(end + 1).skip(start) {
-            *flag = true;
-        }
-        li = end + 1;
-    }
-    flags
+    (out, comments)
 }
 
 #[cfg(test)]
@@ -271,6 +345,13 @@ mod tests {
         let m = MaskedSource::new("let x = r#\"panic! unwrap()\"#;\n");
         assert!(!m.masked.contains("panic"));
         assert!(!m.masked.contains("unwrap"));
+    }
+
+    #[test]
+    fn multi_hash_raw_strings_mask_inner_terminators() {
+        let m = MaskedSource::new("let x = r##\"a \"# HashMap \"##; let y = Instant::now();\n");
+        assert!(!m.masked.contains("HashMap"), "body must be blanked: {}", m.masked);
+        assert!(m.masked.contains("Instant"), "code after the literal must survive");
     }
 
     #[test]
@@ -299,6 +380,16 @@ mod tests {
         let m = MaskedSource::new(src);
         assert_eq!(m.lines.len(), 4);
         assert!(m.lines[3].contains("let t = 9;"));
+    }
+
+    #[test]
+    fn escaped_newline_keeps_line_structure() {
+        // A backslash-newline string continuation must not swallow the
+        // line break: every later line number would shift by one.
+        let src = "let s = \"ab\\\ncd\";\nlet t = 9;\n";
+        let m = MaskedSource::new(src);
+        assert_eq!(m.lines.len(), 3, "masked text lost a line: {:?}", m.lines);
+        assert!(m.lines[2].contains("let t = 9;"));
     }
 
     #[test]
@@ -331,5 +422,62 @@ fn more_lib() {}
         assert!(m2.has_allow(1, "determinism"));
         assert!(m2.has_allow(1, "float_cmp"));
         assert!(!m2.has_allow(1, "panic_hygiene"));
+    }
+
+    #[test]
+    fn own_line_pragma_applies_to_next_line() {
+        let src = "\
+fn f() {
+    // simlint: allow(panic_hygiene)
+    let a = x.unwrap();
+    let b = y.unwrap();
+}
+";
+        let m = MaskedSource::new(src);
+        assert_eq!(m.allow_pragma_line(3, "panic_hygiene"), Some(2));
+        assert!(!m.has_allow(4, "panic_hygiene"), "pragma covers only the next line");
+        // Stacked own-line pragmas all apply to the first code line below.
+        let stacked = "// simlint: allow(determinism)\n// simlint: allow(float_cmp)\nbad();\n";
+        let m2 = MaskedSource::new(stacked);
+        assert_eq!(m2.allow_pragma_line(3, "determinism"), Some(1));
+        assert_eq!(m2.allow_pragma_line(3, "float_cmp"), Some(2));
+    }
+
+    #[test]
+    fn pragmas_inside_literals_do_not_count() {
+        // The pragma text lives in a string literal: it must not suppress
+        // the unwrap on the same line.
+        let src = "let s = \"simlint: allow(panic_hygiene)\"; let a = x.unwrap();\n";
+        let m = MaskedSource::new(src);
+        assert!(!m.has_allow(1, "panic_hygiene"), "literal text is not a pragma");
+        // And mentioning a pragma mid-sentence in a doc comment is prose.
+        let doc = "/// Carries a `// simlint: allow(rule)` pragma.\nfn f() {}\n";
+        let m2 = MaskedSource::new(doc);
+        assert!(m2.pragmas.is_empty(), "doc prose is not a pragma: {:?}", m2.pragmas);
+    }
+
+    #[test]
+    fn directive_parsing_and_unknown_directives() {
+        let src = "\
+// simlint: hot-path
+// simlint: hot-path-end
+// simlint: alow(determinism)
+";
+        let m = MaskedSource::new(src);
+        assert_eq!(m.pragmas[0].directive, Directive::HotPathOpen);
+        assert_eq!(m.pragmas[1].directive, Directive::HotPathClose);
+        assert!(matches!(m.pragmas[2].directive, Directive::Unknown(_)));
+        assert!(m.pragmas.iter().all(|p| p.own_line));
+    }
+
+    #[test]
+    fn comments_capture_text_and_position() {
+        let src = "let x = 1; // trailing words\n   // own line\n";
+        let m = MaskedSource::new(src);
+        assert_eq!(m.comments.len(), 2);
+        assert_eq!(m.comments[0].text, "trailing words");
+        assert!(!m.comments[0].own_line);
+        assert_eq!(m.comments[1].line, 2);
+        assert!(m.comments[1].own_line);
     }
 }

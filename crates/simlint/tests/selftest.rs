@@ -4,7 +4,7 @@
 
 use std::path::Path;
 
-use simlint::{classify, lint_source, lint_workspace, Rule};
+use simlint::{classify, lint_source, Baseline, Rule};
 
 fn fixture(name: &str) -> String {
     let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures").join(name);
@@ -205,19 +205,171 @@ pub fn encode_line(out: &mut String, at: u64, ev: &TraceEvent) {
     std::fs::remove_dir_all(&tmp).ok();
 }
 
-/// THE gate: the real workspace must be violation-free. This is what
-/// wires simlint into plain `cargo test`.
 #[test]
-fn workspace_is_clean() {
-    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+fn masking_cannot_hide_or_host_violations() {
+    let src = fixture("masking.rs");
+    let v = lint_source("crates/netsim/src/fixture.rs", &src);
+    let det = lines_for(&v, Rule::Determinism);
+    // Tokens inside raw strings (4, 5), the nested block comment (7) and
+    // the escaped-newline continuation (8–9) must not fire…
+    for hidden in [4usize, 5, 7, 8, 9] {
+        assert!(!det.contains(&hidden), "line {hidden} is literal/comment text: {v:?}");
+    }
+    // …while the real code after them fires at exactly the right lines —
+    // proving the continuation did not shift line numbers.
+    assert_eq!(det, vec![11, 12], "code after the literals must fire: {v:?}");
+    assert!(lines_for(&v, Rule::PanicHygiene).is_empty(), "panic! only in literals: {v:?}");
+}
+
+#[test]
+fn shared_mut_rule_fires_and_respects_pragma() {
+    let pos = fixture("shared_mut_pos.rs");
+    let v = lint_source("crates/netsim/src/fixture.rs", &pos);
+    let lines = lines_for(&v, Rule::SharedMut);
+    assert_eq!(lines, vec![2, 3, 4, 7, 8, 9, 12], "uses, fields and static mut: {v:?}");
+
+    // Out of determinism scope the same content is clean.
+    let v = lint_source("crates/workloads/src/fixture.rs", &pos);
+    assert!(lines_for(&v, Rule::SharedMut).is_empty());
+
+    let neg = fixture("shared_mut_neg.rs");
+    let v = lint_source("crates/netsim/src/fixture.rs", &neg);
+    assert!(lines_for(&v, Rule::SharedMut).is_empty(), "owned/pragma'd/test state: {v:?}");
+    assert!(lines_for(&v, Rule::PragmaHygiene).is_empty(), "the pragma is used: {v:?}");
+}
+
+#[test]
+fn event_order_rule_fires_and_respects_engine_allowlist() {
+    let pos = fixture("event_order_pos.rs");
+    let v = lint_source("crates/netsim/src/fixture.rs", &pos);
+    let lines = lines_for(&v, Rule::EventOrder);
+    assert!(lines.contains(&2), "BinaryHeap use outside engine: {v:?}");
+    assert!(lines.contains(&5), "BinaryHeap field outside engine: {v:?}");
+    assert!(lines.contains(&10), "heap.push outside engine: {v:?}");
+
+    // The identical enqueue helpers are legal only inside engine.rs.
+    let neg = fixture("event_order_neg.rs");
+    let v = lint_source("crates/netsim/src/engine.rs", &neg);
+    assert!(lines_for(&v, Rule::EventOrder).is_empty(), "schedule/run may push: {v:?}");
+    let v = lint_source("crates/netsim/src/fixture.rs", &neg);
+    assert!(!lines_for(&v, Rule::EventOrder).is_empty(), "same code elsewhere fires");
+
+    // Inside engine.rs, a push from any other fn still fires.
+    let rogue = "pub struct E { heap: std::collections::BinaryHeap<u64> }\n\
+                 impl E {\n    pub fn sneak(&mut self) {\n        self.heap.push(1);\n    }\n}\n";
+    let v = lint_source("crates/netsim/src/engine.rs", rogue);
+    assert_eq!(lines_for(&v, Rule::EventOrder), vec![4], "push outside schedule/run: {v:?}");
+}
+
+#[test]
+fn unit_safety_rule_fires_on_raw_typed_signatures() {
+    let pos = fixture("unit_safety_pos.rs");
+    let v = lint_source("crates/transports/src/fixture.rs", &pos);
+    let lines = lines_for(&v, Rule::UnitSafety);
+    assert!(lines.contains(&2), "deadline: u64 must fire: {v:?}");
+    assert!(lines.contains(&6), "rate_bps: f64 / gap_ns: u64 must fire: {v:?}");
+    assert!(lines.contains(&13), "timeout_us: u64 in an impl must fire: {v:?}");
+
+    // Out of scope crates and the newtype-defining files are exempt.
+    let v = lint_source("crates/workloads/src/fixture.rs", &pos);
+    assert!(lines_for(&v, Rule::UnitSafety).is_empty());
+    let v = lint_source("crates/netsim/src/time.rs", &pos);
+    assert!(lines_for(&v, Rule::UnitSafety).is_empty(), "newtype constructors are exempt");
+
+    let neg = fixture("unit_safety_neg.rs");
+    let v = lint_source("crates/transports/src/fixture.rs", &neg);
+    assert!(lines_for(&v, Rule::UnitSafety).is_empty(), "newtyped/private/byte-count: {v:?}");
+}
+
+#[test]
+fn rto_common_rule_fires_outside_owner_files() {
+    let pos = fixture("rto_common_pos.rs");
+    let v = lint_source("crates/transports/src/fixture.rs", &pos);
+    let lines = lines_for(&v, Rule::RtoCommon);
+    assert!(!lines.contains(&2), "the use line is allowed: {v:?}");
+    assert!(lines.contains(&5), "rto_token( call must fire: {v:?}");
+    assert!(lines.contains(&9), "Token {{ kind: TIMER_RTO }} must fire: {v:?}");
+    assert!(lines.contains(&13), ".on_rto( call must fire: {v:?}");
+
+    // The owner files may do all of this.
+    let v = lint_source("crates/transports/src/common.rs", &pos);
+    assert!(lines_for(&v, Rule::RtoCommon).is_empty(), "common.rs owns the machinery");
+    let v = lint_source("crates/transports/src/tcp_base.rs", &pos);
+    assert!(lines_for(&v, Rule::RtoCommon).is_empty(), "tcp_base.rs owns the state machine");
+
+    let neg = fixture("rto_common_neg.rs");
+    let v = lint_source("crates/transports/src/fixture.rs", &neg);
+    assert!(lines_for(&v, Rule::RtoCommon).is_empty(), "match arms and compares: {v:?}");
+}
+
+#[test]
+fn pragma_hygiene_rule_fires_on_stale_and_malformed_pragmas() {
+    let pos = fixture("pragma_hygiene_pos.rs");
+    let v = lint_source("crates/netsim/src/fixture.rs", &pos);
+    let lines = lines_for(&v, Rule::PragmaHygiene);
+    assert!(lines.contains(&3), "allow(determinism) suppressing nothing must fire: {v:?}");
+    assert!(lines.contains(&6), "allow(no_such_rule) must fire: {v:?}");
+    assert!(lines.contains(&11), "typo'd directive must fire: {v:?}");
+    assert_eq!(lines.len(), 3, "exactly the three bad pragmas: {v:?}");
+
+    let neg = fixture("pragma_hygiene_neg.rs");
+    let v = lint_source("crates/netsim/src/fixture.rs", &neg);
+    assert!(lines_for(&v, Rule::PragmaHygiene).is_empty(), "used/escaped/test pragmas: {v:?}");
+    assert!(lines_for(&v, Rule::Determinism).is_empty(), "all Instants suppressed: {v:?}");
+}
+
+/// The ratchet: baseline counts may only decrease. A regression fails
+/// the gate, an improvement demands a rewrite, and the rewrite refuses
+/// to raise any existing entry.
+#[test]
+fn baseline_counts_can_only_decrease() {
+    // Three real violations from the shared_mut fixture struct body.
+    let all = lint_source("crates/netsim/src/fixture.rs", &fixture("shared_mut_pos.rs"));
+    let all: Vec<_> = all.into_iter().filter(|v| v.rule == Rule::SharedMut).collect();
+    assert_eq!(all.len(), 7);
+
+    // Adopt them; at the recorded count the gate is clean.
+    let base = Baseline::from_violations(&all);
+    assert!(base.apply(&all).is_clean());
+
+    // Fixing some makes the baseline stale: the gate demands a ratchet.
+    let fewer = &all[..2];
+    let out = base.apply(fewer);
+    assert!(!out.is_clean() && !out.stale.is_empty(), "improvement must force a rewrite");
+
+    // Ratcheting down succeeds and locks in the lower count…
+    let lower = Baseline::ratcheted_from(&base, fewer).expect("ratchet down");
+    assert!(lower.apply(fewer).is_clean());
+    let out = lower.apply(&all[..3]);
+    assert!(!out.is_clean() && !out.regressions.is_empty(), "2 -> 3 is a regression");
+
+    // …and the rewrite path refuses to raise the entry back up.
+    assert!(Baseline::ratcheted_from(&lower, &all[..3]).is_err(), "counts may only decrease");
+}
+
+fn workspace_root() -> &'static Path {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
         .parent()
         .and_then(Path::parent)
-        .expect("simlint lives at <root>/crates/simlint");
-    let violations = lint_workspace(root).expect("lint workspace");
-    assert!(
-        violations.is_empty(),
-        "simlint found {} violation(s):\n{}",
-        violations.len(),
-        violations.iter().map(|v| v.to_string()).collect::<Vec<_>>().join("\n")
-    );
+        .expect("simlint lives at <root>/crates/simlint")
+}
+
+/// THE gate: the real workspace must be clean after the baseline is
+/// applied. This is what wires simlint into plain `cargo test` — the
+/// exact pass the CLI and scripts/check.sh run.
+#[test]
+fn workspace_is_clean() {
+    let outcome = simlint::gate(workspace_root()).expect("lint workspace");
+    assert!(outcome.is_clean(), "simlint gate failed:\n{}", simlint::output::render_text(&outcome));
+}
+
+/// Machine-readable output must be byte-identical across runs over the
+/// same tree (CI runs the pass twice and diffs).
+#[test]
+fn reports_are_deterministic() {
+    let root = workspace_root();
+    let a = simlint::gate(root).expect("first pass");
+    let b = simlint::gate(root).expect("second pass");
+    assert_eq!(simlint::output::render_json(&a), simlint::output::render_json(&b));
+    assert_eq!(simlint::output::render_sarif(&a), simlint::output::render_sarif(&b));
 }

@@ -1,6 +1,9 @@
 //! The DCTCP transport endpoint (the paper's primary reactive baseline
 //! and PPT's HCP loop).
 
+// The MwRecorder oracle handle below is the one sanctioned RefCell use:
+// a measurement tap, not simulation state (see its doc comment).
+// simlint: allow(shared_mut)
 use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::rc::Rc;
@@ -17,6 +20,11 @@ pub use crate::common::TIMER_RTO;
 
 /// Shared map for recording each flow's maximum window — consumed by the
 /// "hypothetical DCTCP" oracle experiments (Fig 2/3/20).
+///
+/// This is observational plumbing between the measurement pass and the
+/// replay pass of a single-threaded experiment, never engine state: no
+/// event ordering depends on it, and it will not cross shard boundaries.
+// simlint: allow(shared_mut)
 pub type MwRecorder = Rc<RefCell<BTreeMap<FlowId, u64>>>;
 
 /// Plain DCTCP: all data at the highest priority, ECN-driven window.

@@ -11,8 +11,25 @@ cargo fmt --all -- --check
 echo "==> cargo clippy (deny warnings)"
 cargo clippy --all-targets -- -D warnings
 
-echo "==> simlint"
-cargo run -q -p simlint
+echo "==> simlint (json gate, deterministic output, baseline ratchet)"
+LINT_TMP="${TMPDIR:-/tmp}/simlint-gate.$$"
+mkdir -p "$LINT_TMP"
+# The gate itself: fails on fresh violations, baseline regressions or
+# stale baseline entries.
+cargo run -q -p simlint -- --format json > "$LINT_TMP/pass1.json"
+# Machine-readable output must be byte-identical across runs.
+cargo run -q -p simlint -- --format json > "$LINT_TMP/pass2.json"
+cmp "$LINT_TMP/pass1.json" "$LINT_TMP/pass2.json"
+
+echo "==> simlint rule table vs DESIGN.md §12"
+cargo run -q -p simlint -- --list-rules > "$LINT_TMP/rules.txt"
+while read -r rule_id _; do
+    grep -q "\`$rule_id\`" DESIGN.md || {
+        echo "check.sh: rule \`$rule_id\` missing from DESIGN.md §12" >&2
+        exit 1
+    }
+done < "$LINT_TMP/rules.txt"
+rm -rf "$LINT_TMP"
 
 echo "==> tier-1: build + tests"
 cargo build --release
