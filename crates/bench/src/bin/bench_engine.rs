@@ -12,7 +12,8 @@
 
 use std::time::Instant;
 
-use ppt::harness::{run_experiment, Experiment, Scheme, TopoKind};
+use ppt::harness::{run_experiment, run_experiment_with, Experiment, Scheme, TopoKind};
+use ppt::netsim::SanLevel;
 use ppt::sweep::SweepSpec;
 use ppt::trace::JsonObject;
 use ppt::workloads::{all_to_all, SizeDistribution, WorkloadSpec};
@@ -57,6 +58,38 @@ fn measure_engine(runs: u32) -> EngineNumbers {
     best.expect("at least one measured run")
 }
 
+/// The same pinned scenario with the simsan runtime invariant sanitizer
+/// at its default per-epoch cadence (audit every 4096 events): best
+/// wall-clock over `runs`. The ratio against the unsanitized number is
+/// the sanitizer's overhead, tracked in BENCH_engine.json (target: at
+/// most ~10%, see DESIGN.md §13).
+fn measure_engine_sanitized(runs: u32) -> EngineNumbers {
+    let exp = engine_scenario();
+    let mut best: Option<EngineNumbers> = None;
+    run_experiment_with(&exp, |t| t.sim.set_sanitizer(SanLevel::PerEpoch)); // warmup
+    for _ in 0..runs {
+        let t0 = Instant::now();
+        let outcome = run_experiment_with(&exp, |t| t.sim.set_sanitizer(SanLevel::PerEpoch));
+        let wall_ns = t0.elapsed().as_nanos() as u64;
+        assert!(
+            outcome.sim.san_violations().is_empty(),
+            "bench scenario must be violation-free: {:?}",
+            outcome.sim.san_violations()
+        );
+        let pool = outcome.sim.pool_stats();
+        let n = EngineNumbers {
+            events: outcome.report.events,
+            wall_ns,
+            pool_hits: pool.recycled,
+            pool_misses: pool.fresh,
+        };
+        if best.as_ref().map(|b| n.wall_ns < b.wall_ns).unwrap_or(true) {
+            best = Some(n);
+        }
+    }
+    best.expect("at least one measured run")
+}
+
 /// An 8-point grid (2 schemes x 2 loads x 2 seeds) timed at a given
 /// worker count. Same spec both times, so the serial/parallel wall-clock
 /// ratio is the sweep layer's scaling on this machine.
@@ -87,6 +120,10 @@ fn main() {
     let pool_hit_rate =
         if pool_total == 0 { 0.0 } else { engine.pool_hits as f64 / pool_total as f64 };
 
+    let sanitized = measure_engine_sanitized(3);
+    let ns_per_event_sanitized = sanitized.wall_ns as f64 / sanitized.events.max(1) as f64;
+    let simsan_overhead = ns_per_event_sanitized / ns_per_event.max(f64::MIN_POSITIVE);
+
     let sweep_serial_ns = measure_sweep(1);
     let sweep_parallel_ns = measure_sweep(4);
     let cores = std::thread::available_parallelism().map(|n| n.get() as u64).unwrap_or(1);
@@ -103,6 +140,8 @@ fn main() {
         .f64("ns_per_event", ns_per_event)
         .f64("events_per_sec", events_per_sec)
         .f64("pool_hit_rate", pool_hit_rate)
+        .f64("ns_per_event_sanitized", ns_per_event_sanitized)
+        .f64("simsan_overhead", simsan_overhead)
         .u64("sweep_points", 8)
         .u64("sweep_serial_ns", sweep_serial_ns)
         .u64("sweep_jobs4_ns", sweep_parallel_ns)

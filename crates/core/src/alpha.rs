@@ -56,7 +56,7 @@ impl AlphaEstimator {
     /// Record acked bytes (or packets — units only need to be consistent),
     /// with `marked` of them carrying an echoed CE mark.
     pub fn on_ack(&mut self, acked: u64, marked: u64) {
-        debug_assert!(marked <= acked);
+        debug_assert!(marked <= acked, "marked bytes {marked} exceed acked {acked}");
         self.acked += acked;
         self.marked += marked;
     }
@@ -104,7 +104,7 @@ pub struct MinTracker {
 impl MinTracker {
     /// Track minima over the last `window` observations (≥ 1).
     pub fn new(window: usize) -> Self {
-        assert!(window >= 1);
+        assert!(window >= 1, "MinTracker window must be at least 1");
         MinTracker { window, values: VecDeque::with_capacity(window + 1) }
     }
 

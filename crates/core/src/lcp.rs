@@ -38,7 +38,7 @@ pub fn initial_window_case1(bdp_bytes: u64, hcp_initial_window_bytes: u64) -> u6
 /// DCTCP cuts its window by at most half, so I never exceeds W_max / 2.
 /// Returns 0 when α_min ≥ 1/2 (no spare capacity to exploit).
 pub fn initial_window_case2(alpha_min: f64, w_max_bytes: u64) -> u64 {
-    debug_assert!((0.0..=1.0).contains(&alpha_min));
+    debug_assert!((0.0..=1.0).contains(&alpha_min), "alpha_min {alpha_min} outside [0, 1]");
     let frac = 0.5 - alpha_min;
     if frac <= 0.0 {
         0

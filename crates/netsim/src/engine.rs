@@ -17,7 +17,8 @@ use crate::link::Link;
 use crate::packet::{Packet, Payload};
 use crate::queue::PrioQueues;
 use crate::rng::Pcg32;
-use crate::switch::{enqueue_policy, EnqueueOutcome, PortCounters, SwitchConfig};
+use crate::sanitizer::{host_port_key, switch_port_key, SanLevel, SanViolation, Sanitizer};
+use crate::switch::{enqueue_policy, EnqueueOutcome, MarkScope, PortCounters, SwitchConfig};
 use crate::time::{SimDuration, SimTime};
 use crate::units::Rate;
 
@@ -246,6 +247,9 @@ pub enum StopReason {
     MaxTime,
     /// The `max_events` budget was exhausted mid-run.
     MaxEvents,
+    /// The sanitizer detected an invariant violation (see
+    /// [`Simulator::set_sanitizer`] and [`Simulator::san_violations`]).
+    SanViolation,
 }
 
 impl StopReason {
@@ -255,6 +259,7 @@ impl StopReason {
             StopReason::AllFlowsDone => "all_flows_done",
             StopReason::MaxTime => "max_time",
             StopReason::MaxEvents => "max_events",
+            StopReason::SanViolation => "san_violation",
         }
     }
 }
@@ -349,6 +354,9 @@ pub struct Simulator<P: Payload> {
     retransmits_total: u64,
     /// `None` = tracing disabled: every emission site reduces to one branch.
     trace: Option<Box<dyn TraceSink>>,
+    /// `None` = sanitizer disabled: every observation hook reduces to one
+    /// branch (simsan, see [`crate::sanitizer`]).
+    san: Option<Box<Sanitizer>>,
     /// Measure wall-clock time in transport handlers (Fig-19 substitute).
     pub measure_cpu: bool,
 }
@@ -380,6 +388,7 @@ impl<P: Payload> Simulator<P> {
             retransmit_counts: Vec::new(),
             retransmits_total: 0,
             trace: None,
+            san: None,
             measure_cpu: false,
         }
     }
@@ -720,8 +729,8 @@ impl<P: Payload> Simulator<P> {
     /// Apply timed fault op `idx` (dispatch target for `Ev::Fault`).
     fn apply_fault(&mut self, idx: u32) {
         let now = self.now;
-        let op = match self.faults.as_ref() {
-            Some(fs) => fs.schedule.ops[idx as usize].op,
+        let op = match self.faults.as_ref().and_then(|fs| fs.schedule.ops.get(idx as usize)) {
+            Some(timed) => timed.op,
             None => return,
         };
         match op {
@@ -852,12 +861,64 @@ impl<P: Payload> Simulator<P> {
     }
 
     // ---------------------------------------------------------------
+    // Sanitizer (simsan)
+    // ---------------------------------------------------------------
+
+    /// Install the runtime invariant sanitizer at the given cadence
+    /// (see [`crate::sanitizer`] and DESIGN.md §13). The ledger is seeded
+    /// from the engine's current state, so installing between `run()`
+    /// calls is supported. Replaces any previously installed sanitizer.
+    pub fn set_sanitizer(&mut self, level: SanLevel) {
+        let mut san = Box::new(Sanitizer::new(level));
+        for (i, slot) in self.pool.slots.iter().enumerate() {
+            if slot.is_some() {
+                san.seed_pool_slot(i);
+            }
+        }
+        for (hi, slot) in self.hosts.iter().enumerate() {
+            if let Some(nic) = &slot.nic {
+                san.seed_port(
+                    host_port_key(hi as u32),
+                    nic.queues.total_bytes(),
+                    nic.queues.len() as u64,
+                    nic.busy,
+                );
+            }
+        }
+        for (si, sw) in self.switches.iter().enumerate() {
+            for (pi, port) in sw.ports.iter().enumerate() {
+                san.seed_port(
+                    switch_port_key(si as u32, pi as u16),
+                    port.queues.total_bytes(),
+                    port.queues.len() as u64,
+                    port.busy,
+                );
+            }
+        }
+        san.seed_faults(self.faults.as_ref().map_or(0, |fs| fs.drops));
+        self.san = Some(san);
+    }
+
+    /// Whether the sanitizer is currently installed.
+    pub fn sanitizer_enabled(&self) -> bool {
+        self.san.is_some()
+    }
+
+    /// Every sanitizer violation recorded so far (empty when disabled).
+    pub fn san_violations(&self) -> &[SanViolation] {
+        self.san.as_deref().map_or(&[], |s| s.violations())
+    }
+
+    // ---------------------------------------------------------------
     // Event loop
     // ---------------------------------------------------------------
 
     // simlint: hot-path
     fn schedule(&mut self, at: SimTime, ev: Ev) {
         debug_assert!(at >= self.now, "scheduling into the past");
+        if let Some(s) = self.san.as_mut() {
+            s.observe_schedule(at, self.now, self.seq);
+        }
         self.heap.push(QEntry { at, seq: self.seq, ev });
         self.seq += 1;
     }
@@ -898,12 +959,27 @@ impl<P: Payload> Simulator<P> {
                 stop = StopReason::MaxTime;
                 break;
             }
+            if let Some(s) = self.san.as_mut() {
+                s.observe_pop(entry.at, entry.seq, self.now);
+            }
             self.now = entry.at;
             self.events += 1;
             self.dispatch(entry.ev);
+            if self.san.is_some() && self.san_tick() {
+                stop = StopReason::SanViolation;
+                break;
+            }
             if self.events >= limits.max_events {
                 stop = StopReason::MaxEvents;
                 break;
+            }
+        }
+        if self.san.is_some() && stop != StopReason::SanViolation {
+            // Final audit; at a quiescent end (heap drained) no packet may
+            // still be parked in the pool.
+            self.san_audit(stop == StopReason::AllFlowsDone);
+            if self.san_flush() {
+                stop = StopReason::SanViolation;
             }
         }
         RunReport {
@@ -930,6 +1006,9 @@ impl<P: Payload> Simulator<P> {
                 self.with_transport(host, |t, ctx| t.on_flow_start(&flow, ctx));
             }
             Ev::Deliver { to, pkt } => {
+                if let Some(s) = self.san.as_mut() {
+                    s.observe_free(self.now, pkt.0 as usize);
+                }
                 let pkt = self.pool.take(pkt);
                 match to {
                     NodeId::Host(h) => {
@@ -962,6 +1041,7 @@ impl<P: Payload> Simulator<P> {
         let mut effects = std::mem::take(&mut self.effects);
         effects.clear();
         let now = self.now;
+        let sanitize = self.san.is_some();
         {
             let trace = self.trace.as_deref_mut();
             let slot = &mut self.hosts[host.0 as usize];
@@ -969,7 +1049,7 @@ impl<P: Payload> Simulator<P> {
                 .transport
                 .as_deref_mut()
                 .unwrap_or_else(|| panic!("no transport installed on {host:?}")); // simlint: allow(panic_hygiene)
-            let mut ctx = Ctx::with_trace(now, host, &mut effects, trace);
+            let mut ctx = Ctx::with_trace(now, host, &mut effects, trace).with_sanitizer(sanitize);
             if self.measure_cpu {
                 let t0 = std::time::Instant::now(); // simlint: allow(determinism)
                 f(transport, &mut ctx);
@@ -993,6 +1073,13 @@ impl<P: Payload> Simulator<P> {
                 *c += 1;
             }
         }
+        // Sanitizer notes likewise are ledger-only: the vec is empty unless
+        // the sanitizer is installed (Ctx::san_note gates on it).
+        for note in effects.san_notes.drain(..) {
+            if let Some(s) = self.san.as_mut() {
+                s.observe_note(now, note);
+            }
+        }
         for (at, token) in effects.timers.drain(..) {
             let at = at.max(now);
             self.schedule(at, Ev::Timer { host, token });
@@ -1013,6 +1100,9 @@ impl<P: Payload> Simulator<P> {
 
     /// Enqueue a packet at a host NIC and kick the transmitter if idle.
     fn host_enqueue(&mut self, host: HostId, pkt: Packet<P>) {
+        if let Some(s) = self.san.as_mut() {
+            s.observe_queue_push(host_port_key(host.0), pkt.wire_bytes as u64);
+        }
         let slot = self.hosts[host.0 as usize].nic.as_mut().expect("host not cabled"); // simlint: allow(panic_hygiene)
         slot.queues.push(pkt);
         if !slot.busy {
@@ -1059,11 +1149,51 @@ impl<P: Payload> Simulator<P> {
             link_rate: rate,
         });
         let (tflow, tprio, tbytes) = (pkt.flow.0, pkt.priority, pkt.payload_bytes() as u64);
+        let (twire, tecn) = (pkt.wire_bytes as u64, pkt.ecn.capable && !pkt.ecn.ce);
         let sw = &mut self.switches[si];
         let port = &mut sw.ports[pi];
+        let evicted_before = port.counters.evicted;
         let outcome = enqueue_policy(&sw.cfg, &mut port.queues, &mut port.counters, pkt);
         let backlog = port.queues.total_bytes();
         let busy = port.busy;
+        if self.san.is_some() {
+            let key = switch_port_key(switch.0, pi as u16);
+            let evicted = port.counters.evicted != evicted_before;
+            let qpkts = port.queues.len() as u64;
+            // ECN consistency inputs for a marked admission: the rule (if
+            // any) at this priority and the scoped backlog the mark
+            // decision saw (marking happens pre-push, so subtract the
+            // packet's own wire bytes from the post-push scoped backlog).
+            let mark_inputs = match outcome {
+                EnqueueOutcome::Queued { marked: true } => {
+                    let rule = sw.cfg.ecn[tprio as usize];
+                    let thr = if tecn { rule.map(|r| r.threshold_bytes) } else { None };
+                    let scoped = match rule.map(|r| r.scope) {
+                        Some(MarkScope::Queue) => port.queues.bytes_at(tprio),
+                        Some(MarkScope::Range(lo, hi)) => port.queues.bytes_in_range(lo..hi),
+                        _ => port.queues.total_bytes(),
+                    };
+                    Some((scoped.saturating_sub(twire), thr))
+                }
+                _ => None,
+            };
+            let wire = match outcome {
+                EnqueueOutcome::Queued { .. } => Some(twire),
+                EnqueueOutcome::Trimmed => Some(crate::packet::TRIMMED_BYTES as u64),
+                EnqueueOutcome::Dropped => None,
+            };
+            if let Some(s) = self.san.as_mut() {
+                if let Some(w) = wire {
+                    s.observe_queue_push(key, w);
+                }
+                if evicted {
+                    s.observe_queue_resync(key, backlog, qpkts);
+                }
+                if let Some((scoped, thr)) = mark_inputs {
+                    s.observe_ecn_mark(self.now, key, scoped, thr);
+                }
+            }
+        }
         if self.trace.is_some() {
             let (sw, port) = (switch.0, pi as u16);
             match outcome {
@@ -1113,6 +1243,9 @@ impl<P: Payload> Simulator<P> {
         let Some(pkt) = slot.queues.pop() else { return };
         slot.busy = true;
         let link_id = slot.link;
+        if let Some(s) = self.san.as_mut() {
+            s.observe_queue_pop(self.now, host_port_key(host.0), pkt.wire_bytes as u64);
+        }
         self.transmit(NodeId::Host(host), 0, link_id, pkt);
     }
 
@@ -1128,11 +1261,17 @@ impl<P: Payload> Simulator<P> {
         let Some(pkt) = slot.queues.pop() else { return };
         slot.busy = true;
         let link_id = slot.link;
+        if let Some(s) = self.san.as_mut() {
+            s.observe_queue_pop(self.now, switch_port_key(switch.0, port), pkt.wire_bytes as u64);
+        }
         self.emit(TraceEvent::Dequeue { sw: switch.0, port, flow: pkt.flow.0, prio: pkt.priority });
         self.transmit(NodeId::Switch(switch), port, link_id, pkt);
     }
 
     fn transmit(&mut self, node: NodeId, port: u16, link_id: LinkId, pkt: Packet<P>) {
+        if let Some(s) = self.san.as_mut() {
+            s.observe_tx_start(self.now, san_port_key(node, port));
+        }
         let link = &mut self.links[link_id.0 as usize];
         link.tx_bytes += pkt.wire_bytes as u64;
         link.tx_packets += 1;
@@ -1146,6 +1285,9 @@ impl<P: Payload> Simulator<P> {
         // sender still pays the full serialization delay (TxDone fires as
         // usual) but no Deliver is scheduled — the bits die on the wire.
         if self.faults.is_some() && self.fault_loses_packet(link_id, &pkt) {
+            if let Some(s) = self.san.as_mut() {
+                s.observe_fault_drop();
+            }
             self.emit(TraceEvent::FaultDrop {
                 link: link_id.0,
                 flow: pkt.flow.0,
@@ -1156,11 +1298,17 @@ impl<P: Payload> Simulator<P> {
             return;
         }
         let pkt = self.pool.insert(pkt);
+        if let Some(s) = self.san.as_mut() {
+            s.observe_alloc(self.now, pkt.0 as usize);
+        }
         self.schedule(arrive_at, Ev::Deliver { to, pkt });
         self.schedule(self.now + ser, Ev::TxDone { node, port });
     }
 
     fn tx_done(&mut self, node: NodeId, port: u16) {
+        if let Some(s) = self.san.as_mut() {
+            s.observe_tx_done(self.now, san_port_key(node, port));
+        }
         match node {
             NodeId::Host(h) => {
                 let slot = self.hosts[h.0 as usize].nic.as_mut().expect("host not cabled"); // simlint: allow(panic_hygiene)
@@ -1202,6 +1350,147 @@ impl<P: Payload> Simulator<P> {
         self.samplers[idx as usize].samples.push(sample);
         if now + interval <= until {
             self.schedule(now + interval, Ev::Sample(idx));
+        }
+    }
+
+    // ---------------------------------------------------------------
+    // Sanitizer audits (cadence-driven; see crate::sanitizer)
+    // ---------------------------------------------------------------
+
+    /// Count one dispatched event against the sanitizer cadence; when an
+    /// audit is due, run it and flush. Returns true when the run must stop
+    /// with [`StopReason::SanViolation`].
+    fn san_tick(&mut self) -> bool {
+        let due = match self.san.as_mut() {
+            Some(s) => s.tick(),
+            None => return false,
+        };
+        if !due {
+            return false;
+        }
+        self.san_audit(false);
+        self.san_flush()
+    }
+
+    /// Cross-check the sanitizer ledger against the engine's real state.
+    fn san_audit(&mut self, quiescent: bool) {
+        let Some(mut san) = self.san.take() else { return };
+        let now = self.now;
+        san.audit_pool(now, self.pool.stats().live, quiescent);
+        for (hi, slot) in self.hosts.iter().enumerate() {
+            if let Some(nic) = &slot.nic {
+                san.audit_port(
+                    now,
+                    host_port_key(hi as u32),
+                    nic.queues.total_bytes(),
+                    nic.queues.len() as u64,
+                    nic.busy,
+                    nic.queues.audit_counters(),
+                );
+            }
+        }
+        for (si, sw) in self.switches.iter().enumerate() {
+            for (pi, port) in sw.ports.iter().enumerate() {
+                san.audit_port(
+                    now,
+                    switch_port_key(si as u32, pi as u16),
+                    port.queues.total_bytes(),
+                    port.queues.len() as u64,
+                    port.busy,
+                    port.queues.audit_counters(),
+                );
+            }
+        }
+        san.audit_faults(now, self.faults.as_ref().map_or(0, |fs| fs.drops));
+        self.san = Some(san);
+    }
+
+    /// Emit every not-yet-reported violation as a `SanViolation` trace
+    /// event (stamped with its detection time); returns true when any
+    /// violation has ever been recorded.
+    fn san_flush(&mut self) -> bool {
+        let Some(mut san) = self.san.take() else { return false };
+        for v in san.unflushed() {
+            if let Some(sink) = self.trace.as_mut() {
+                let ev = TraceEvent::SanViolation {
+                    check: v.check,
+                    subject: v.subject,
+                    expected: v.expected,
+                    actual: v.actual,
+                };
+                sink.emit(v.at.0, &ev);
+            }
+        }
+        let any = san.mark_flushed();
+        self.san = Some(san);
+        any
+    }
+}
+
+/// Sanitizer ledger key for an egress port (host NICs always use port 0).
+fn san_port_key(node: NodeId, port: u16) -> u64 {
+    match node {
+        NodeId::Host(h) => host_port_key(h.0),
+        NodeId::Switch(s) => switch_port_key(s.0, port),
+    }
+}
+
+/// Deliberate state-corruption hooks for the simsan selftest suite
+/// (`tests/sanitizer.rs`): each seeds exactly one corruption class that
+/// the sanitizer must flag. Compiled only for tests and the
+/// `simsan-selftest` feature — release artifacts never contain them.
+#[cfg(any(test, feature = "simsan-selftest"))]
+impl<P: Payload> Simulator<P> {
+    /// Leak one pooled packet buffer: a slot vanishes from the free list
+    /// without its packet ever being delivered, so `pool_stats().live`
+    /// inflates relative to the sanitizer's ledger. No-op until at least
+    /// one packet has cycled through the pool.
+    pub fn corrupt_pool_leak(&mut self) {
+        self.pool.free.pop();
+    }
+
+    /// Replay a free of an already-freed pool slot into the sanitizer's
+    /// ledger — the event stream a double-free bug would produce. No-op
+    /// until at least one slot has been freed or the sanitizer is off.
+    pub fn corrupt_pool_double_free(&mut self) {
+        let now = self.now;
+        let slot = self.pool.free.first().copied();
+        if let (Some(slot), Some(s)) = (slot, self.san.as_mut()) {
+            s.observe_free(now, slot as usize);
+        }
+    }
+
+    /// Push two heap entries with the *same* `(time, seq)` key, breaking
+    /// the strictly-increasing sequence numbers the FIFO tie-break relies
+    /// on. The payload is an out-of-range fault op, which dispatches as a
+    /// no-op. Do not combine with an installed fault schedule.
+    pub fn corrupt_tie_break(&mut self) {
+        let entry = QEntry { at: self.now, seq: self.seq, ev: Ev::Fault(u32::MAX) };
+        self.heap.push(entry); // simlint: allow(event_order)
+        self.heap.push(entry); // simlint: allow(event_order)
+        self.seq += 1;
+    }
+
+    /// Skew a host NIC's internal byte counters away from its queue
+    /// contents (the accounting-drift bug class).
+    pub fn corrupt_queue_counter(&mut self, host: HostId, skew_bytes: u64) {
+        if let Some(nic) = self.hosts[host.0 as usize].nic.as_mut() {
+            nic.queues.corrupt_skew_bytes(skew_bytes);
+        }
+    }
+
+    /// Schedule a TxDone for a host NIC with no serialization in flight
+    /// (the phantom-completion bug class).
+    pub fn corrupt_phantom_tx_done(&mut self, host: HostId) {
+        self.schedule(self.now, Ev::TxDone { node: NodeId::Host(host), port: 0 });
+    }
+
+    /// Bump the fault layer's drop counter without any packet having been
+    /// destroyed, leaving a drop the `FaultReport` cannot attribute.
+    /// No-op unless a fault schedule is installed.
+    pub fn corrupt_fault_attribution(&mut self) {
+        if let Some(fs) = self.faults.as_mut() {
+            fs.drops += 1;
         }
     }
 }

@@ -105,14 +105,14 @@ impl FaultSchedule {
 
     /// Set the random data-packet loss probability.
     pub fn with_data_loss(mut self, p: f64) -> Self {
-        debug_assert!((0.0..=1.0).contains(&p));
+        debug_assert!((0.0..=1.0).contains(&p), "loss probability {p} outside [0, 1]");
         self.data_loss = p;
         self
     }
 
     /// Set the random control-packet (ACK) loss probability.
     pub fn with_ack_loss(mut self, p: f64) -> Self {
-        debug_assert!((0.0..=1.0).contains(&p));
+        debug_assert!((0.0..=1.0).contains(&p), "loss probability {p} outside [0, 1]");
         self.ack_loss = p;
         self
     }

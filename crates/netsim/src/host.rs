@@ -4,6 +4,7 @@ use dcn_trace::{TraceEvent, TraceSink};
 
 use crate::ids::{FlowId, HostId};
 use crate::packet::{Packet, Payload};
+use crate::sanitizer::SanNote;
 use crate::time::{SimDuration, SimTime};
 
 /// A flow (application message) to be transferred from `src` to `dst`.
@@ -44,6 +45,10 @@ pub struct Effects<P> {
     /// Flows that retransmitted data this dispatch (recovery accounting;
     /// drained into the engine's per-flow counters).
     pub(crate) retransmits: Vec<FlowId>,
+    /// Sanitizer observations from inside the handler (always empty
+    /// unless the simulator's sanitizer is installed; drained into the
+    /// engine's simsan ledger, never into the event heap).
+    pub(crate) san_notes: Vec<SanNote>,
 }
 
 impl<P> Default for Effects<P> {
@@ -53,6 +58,7 @@ impl<P> Default for Effects<P> {
             timers: Vec::new(),
             completed: Vec::new(),
             retransmits: Vec::new(),
+            san_notes: Vec::new(),
         }
     }
 }
@@ -69,11 +75,17 @@ impl<P> Effects<P> {
         &self.retransmits
     }
 
+    /// Sanitizer notes queued via [`Ctx::san_note`] (unit-test accessor).
+    pub fn san_notes(&self) -> &[SanNote] {
+        &self.san_notes
+    }
+
     pub(crate) fn clear(&mut self) {
         self.packets.clear();
         self.timers.clear();
         self.completed.clear();
         self.retransmits.clear();
+        self.san_notes.clear();
     }
 }
 
@@ -86,6 +98,7 @@ pub struct Ctx<'a, P> {
     host: HostId,
     effects: &'a mut Effects<P>,
     trace: Option<&'a mut dyn TraceSink>,
+    sanitize: bool,
 }
 
 impl<'a, P: Payload> Ctx<'a, P> {
@@ -93,7 +106,7 @@ impl<'a, P: Payload> Ctx<'a, P> {
     /// every dispatch; it is public so transport handlers can be driven
     /// directly in unit tests. Tracing is detached (`Ctx::emit` is a no-op).
     pub fn new(now: SimTime, host: HostId, effects: &'a mut Effects<P>) -> Self {
-        Ctx { now, host, effects, trace: None }
+        Ctx { now, host, effects, trace: None, sanitize: false }
     }
 
     /// Like [`Ctx::new`] but wired to a trace sink, so transport handlers
@@ -105,13 +118,36 @@ impl<'a, P: Payload> Ctx<'a, P> {
         effects: &'a mut Effects<P>,
         trace: Option<&'a mut dyn TraceSink>,
     ) -> Self {
-        Ctx { now, host, effects, trace }
+        Ctx { now, host, effects, trace, sanitize: false }
+    }
+
+    /// Enable or disable the sanitizer note channel, builder-style. The
+    /// engine sets this from `Simulator::sanitizer_enabled()`, so probes
+    /// behind [`Ctx::sanitizing`] cost one branch when simsan is off.
+    pub fn with_sanitizer(mut self, on: bool) -> Self {
+        self.sanitize = on;
+        self
     }
 
     /// Whether a trace sink is attached. Lets handlers skip bookkeeping
     /// (or allocation) whose only purpose is to feed the trace.
     pub fn tracing(&self) -> bool {
         self.trace.is_some()
+    }
+
+    /// Whether the simulator's sanitizer is installed. Transport-side
+    /// invariant probes gate on this so sanitized-off runs do no work.
+    pub fn sanitizing(&self) -> bool {
+        self.sanitize
+    }
+
+    /// Queue a sanitizer observation (dropped unless [`Ctx::sanitizing`]).
+    /// Feeds the engine's simsan ledger only — never the event heap — so
+    /// calling it cannot perturb event ordering.
+    pub fn san_note(&mut self, note: SanNote) {
+        if self.sanitize {
+            self.effects.san_notes.push(note);
+        }
     }
 
     /// Publish a protocol-level trace event stamped with the current

@@ -39,6 +39,7 @@ pub mod link;
 pub mod packet;
 pub mod queue;
 pub mod rng;
+pub mod sanitizer;
 pub mod switch;
 pub mod time;
 pub mod topology;
@@ -57,6 +58,7 @@ pub use packet::{
     NUM_PRIORITIES, TRIMMED_BYTES,
 };
 pub use rng::Pcg32;
+pub use sanitizer::{SanLevel, SanNote, SanViolation};
 pub use switch::{EcnRule, EnqueueOutcome, MarkScope, PortCounters, RangeCap, SwitchConfig};
 pub use time::{SimDuration, SimTime};
 pub use topology::{fat_tree, leaf_spine, star, FatTreeParams, LeafSpineParams, Topology};

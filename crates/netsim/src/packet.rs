@@ -106,7 +106,10 @@ pub struct Packet<P> {
 impl<P: Payload> Packet<P> {
     /// Build a full-size data packet carrying `payload_bytes` of user data.
     pub fn data(flow: FlowId, src: HostId, dst: HostId, payload_bytes: u32, payload: P) -> Self {
-        debug_assert!(payload_bytes > 0 && payload_bytes <= MSS_BYTES);
+        debug_assert!(
+            payload_bytes > 0 && payload_bytes <= MSS_BYTES,
+            "data packet payload {payload_bytes} outside 1..=MSS"
+        );
         Packet {
             flow,
             src,
@@ -138,7 +141,7 @@ impl<P: Payload> Packet<P> {
 
     /// Set the strict priority (0..=7), builder-style.
     pub fn with_priority(mut self, prio: u8) -> Self {
-        debug_assert!((prio as usize) < NUM_PRIORITIES);
+        debug_assert!((prio as usize) < NUM_PRIORITIES, "priority {prio} out of range");
         self.priority = prio;
         self
     }

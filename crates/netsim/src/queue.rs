@@ -36,7 +36,7 @@ impl<P> PrioQueues<P> {
     /// Append a packet to its priority queue.
     pub fn push(&mut self, pkt: Packet<P>) {
         let p = pkt.priority as usize;
-        debug_assert!(p < NUM_PRIORITIES);
+        debug_assert!(p < NUM_PRIORITIES, "packet priority {p} out of range");
         self.bytes[p] += pkt.wire_bytes as u64;
         self.total_bytes += pkt.wire_bytes as u64;
         self.queues[p].push_back(pkt);
@@ -93,6 +93,36 @@ impl<P> PrioQueues<P> {
     /// True when no packet is queued.
     pub fn is_empty(&self) -> bool {
         self.total_bytes == 0 && self.len() == 0
+    }
+
+    /// Recompute the byte counters from the queue contents and compare
+    /// them against the incrementally maintained ones. Returns
+    /// `Some((recomputed_total, counter_total))` when any per-priority or
+    /// total counter has drifted; `None` when accounting is consistent.
+    /// Used by the simsan queue-accounting audit.
+    pub fn audit_counters(&self) -> Option<(u64, u64)> {
+        let mut sum = 0u64;
+        let mut per_ok = true;
+        for p in 0..NUM_PRIORITIES {
+            let b: u64 = self.queues[p].iter().map(|pkt| pkt.wire_bytes as u64).sum();
+            if b != self.bytes[p] {
+                per_ok = false;
+            }
+            sum += b;
+        }
+        if sum != self.total_bytes || !per_ok {
+            Some((sum, self.total_bytes))
+        } else {
+            None
+        }
+    }
+
+    /// Deliberately skew the byte counters away from the queue contents
+    /// (simsan selftest hook for the accounting-drift bug class).
+    #[cfg(any(test, feature = "simsan-selftest"))]
+    pub fn corrupt_skew_bytes(&mut self, skew: u64) {
+        self.bytes[0] += skew;
+        self.total_bytes += skew;
     }
 }
 

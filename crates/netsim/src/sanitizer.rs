@@ -1,0 +1,566 @@
+//! simsan — the runtime invariant sanitizer for the simulation core.
+//!
+//! An opt-in shadow-state auditor threaded through the engine hot path
+//! behind a zero-cost-when-off flag ([`crate::Simulator::set_sanitizer`]).
+//! The sanitizer maintains its own ledger of what the engine *should*
+//! hold — pool occupancy, per-port queue accounting, link occupancy,
+//! event-clock discipline, fault attribution — fed by observation hooks
+//! at the same places the engine mutates its real state, and checks the
+//! two against each other at a configurable cadence.
+//!
+//! Observer-effect contract: the sanitizer never schedules events, never
+//! draws from any RNG, and emits nothing into the trace stream unless an
+//! invariant is actually violated — so a clean sanitized run is
+//! byte-identical to an unsanitized one (`tests/sanitizer.rs` proves it
+//! across every scheme). All ledger state is plain owned data inside the
+//! engine; nothing here is visible to transports or switches.
+//!
+//! Violations are recorded as [`SanViolation`]s, surfaced through the
+//! trace layer as `TraceEvent::SanViolation`, and turn the run's
+//! `StopReason` into `StopReason::SanViolation` (abnormal), which
+//! triggers the harness flight-recorder dump. See DESIGN.md §13 for the
+//! invariant catalogue.
+
+use std::collections::BTreeMap;
+
+use dcn_trace::SanCheck;
+
+use crate::time::SimTime;
+
+/// How often the sanitizer cross-checks its ledger against engine state.
+///
+/// Observation hooks (pool alloc/free, queue push/pop, tx start/done,
+/// heap pop) run on every event regardless of level — the level only
+/// controls when the *audit* (the O(ports + queue-depth) comparison
+/// sweep) runs and when accumulated violations abort the run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SanLevel {
+    /// Audit after every dispatched event (most precise localization,
+    /// highest overhead).
+    PerEvent,
+    /// Audit every [`EPOCH_EVENTS`] events and at end of run (the
+    /// recommended default; bench-measured overhead is a few percent).
+    PerEpoch,
+    /// Audit only once, when the run stops.
+    AtEnd,
+}
+
+impl SanLevel {
+    /// Stable tag for logs and CLI plumbing.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            SanLevel::PerEvent => "event",
+            SanLevel::PerEpoch => "epoch",
+            SanLevel::AtEnd => "end",
+        }
+    }
+
+    /// Parse a `PPT_SANITIZE` / `--sanitize` value. `"1"` selects the
+    /// recommended per-epoch cadence; `"0"` and `""` mean off (`None`).
+    pub fn parse(s: &str) -> Option<SanLevel> {
+        match s {
+            "event" | "per-event" => Some(SanLevel::PerEvent),
+            "1" | "epoch" | "per-epoch" => Some(SanLevel::PerEpoch),
+            "end" | "at-end" => Some(SanLevel::AtEnd),
+            _ => None,
+        }
+    }
+}
+
+/// Events between audits at [`SanLevel::PerEpoch`].
+pub const EPOCH_EVENTS: u64 = 4096;
+
+/// One detected invariant breach.
+#[derive(Clone, Copy, Debug)]
+pub struct SanViolation {
+    /// Which invariant family was breached.
+    pub check: SanCheck,
+    /// Simulated time at detection.
+    pub at: SimTime,
+    /// The entity involved: a port ledger key, pool slot, flow id, heap
+    /// sequence number or link id, depending on `check`.
+    pub subject: u64,
+    /// What the ledger says the value should be.
+    pub expected: u64,
+    /// What the engine actually holds.
+    pub actual: u64,
+}
+
+/// A sanitizer observation reported from inside a transport handler via
+/// `Ctx::san_note` (the transports cannot see the engine-side ledger, so
+/// they push notes through the effects channel instead; the engine
+/// drains them counter-only, never touching the event heap).
+#[derive(Clone, Copy, Debug)]
+pub enum SanNote {
+    /// A transport invariant breached outright (cwnd == 0, RTO armed
+    /// with nothing outstanding, ...).
+    Violation {
+        /// Invariant family (normally `TransportConservation`).
+        check: SanCheck,
+        /// Flow the breach was observed on.
+        flow: u64,
+        /// Expected value.
+        expected: u64,
+        /// Actual value.
+        actual: u64,
+    },
+    /// Cumulative-ACK observation; the ledger enforces that a flow's
+    /// cumulative ACK never moves backwards.
+    AckAdvance {
+        /// Flow observed.
+        flow: u64,
+        /// Cumulative contiguous bytes ACKed so far.
+        cum_acked: u64,
+    },
+}
+
+/// Ledger key for a host NIC egress port.
+pub fn host_port_key(host: u32) -> u64 {
+    host as u64
+}
+
+/// Ledger key for a switch egress port.
+pub fn switch_port_key(switch: u32, port: u16) -> u64 {
+    (1u64 << 32) | ((switch as u64) << 16) | port as u64
+}
+
+/// Shadow state for one egress port.
+#[derive(Clone, Copy, Debug, Default)]
+struct PortShadow {
+    /// Bytes the ledger believes are queued. Exact for host NICs; for
+    /// switch ports it is resynced from engine state after push-out
+    /// evictions (the engine cannot observe evicted packets one by one).
+    bytes: u64,
+    /// Packets the ledger believes are queued.
+    pkts: u64,
+    /// Whether a serialization is in flight on this port.
+    tx_busy: bool,
+}
+
+/// The simsan ledger. Owned by the engine (`Simulator::san`); every
+/// field is plain owned state so the determinism contract (no shared
+/// mutability, no entropy) holds for sanitized runs too.
+#[derive(Debug)]
+pub struct Sanitizer {
+    level: SanLevel,
+    // --- packet-pool conservation ---
+    slot_live: Vec<bool>,
+    live: u64,
+    // --- event-clock discipline ---
+    last_pop: Option<(SimTime, u64)>,
+    max_seq: Option<u64>,
+    // --- queue accounting + link occupancy ---
+    ports: BTreeMap<u64, PortShadow>,
+    // --- transport conservation ---
+    last_cum_ack: BTreeMap<u64, u64>,
+    // --- fault attribution ---
+    fault_drops: u64,
+    // --- audit/output state ---
+    violations: Vec<SanViolation>,
+    flushed: usize,
+    events_since_audit: u64,
+}
+
+impl Sanitizer {
+    /// A fresh ledger auditing at `level`.
+    pub fn new(level: SanLevel) -> Self {
+        Sanitizer {
+            level,
+            slot_live: Vec::new(),
+            live: 0,
+            last_pop: None,
+            max_seq: None,
+            ports: BTreeMap::new(),
+            last_cum_ack: BTreeMap::new(),
+            fault_drops: 0,
+            violations: Vec::new(),
+            flushed: 0,
+            events_since_audit: 0,
+        }
+    }
+
+    /// The configured cadence.
+    pub fn level(&self) -> SanLevel {
+        self.level
+    }
+
+    /// Every violation recorded so far, in detection order.
+    pub fn violations(&self) -> &[SanViolation] {
+        &self.violations
+    }
+
+    fn record(&mut self, check: SanCheck, at: SimTime, subject: u64, expected: u64, actual: u64) {
+        self.violations.push(SanViolation { check, at, subject, expected, actual });
+    }
+
+    // ---------------------------------------------------------------
+    // Seeding (mid-run install support)
+    // ---------------------------------------------------------------
+
+    /// Mark a pool slot as live at install time, so a sanitizer attached
+    /// between `run()` calls starts from the engine's real state.
+    pub(crate) fn seed_pool_slot(&mut self, slot: usize) {
+        if self.slot_live.len() <= slot {
+            self.slot_live.resize(slot + 1, false);
+        }
+        if !self.slot_live[slot] {
+            self.slot_live[slot] = true;
+            self.live += 1;
+        }
+    }
+
+    /// Seed one port's shadow from the engine's current state.
+    pub(crate) fn seed_port(&mut self, key: u64, bytes: u64, pkts: u64, busy: bool) {
+        self.ports.insert(key, PortShadow { bytes, pkts, tx_busy: busy });
+    }
+
+    /// Seed the fault-drop ledger from the engine's current total.
+    pub(crate) fn seed_faults(&mut self, drops: u64) {
+        self.fault_drops = drops;
+    }
+
+    // ---------------------------------------------------------------
+    // Observation hooks (called from the engine hot path when enabled)
+    // ---------------------------------------------------------------
+
+    /// A pool slot was handed out for an in-flight packet.
+    pub(crate) fn observe_alloc(&mut self, when: SimTime, slot: usize) {
+        if self.slot_live.len() <= slot {
+            self.slot_live.resize(slot + 1, false);
+        }
+        if self.slot_live[slot] {
+            // Allocated twice without an intervening free.
+            self.record(SanCheck::PoolConservation, when, slot as u64, 0, 1);
+        } else {
+            self.slot_live[slot] = true;
+            self.live += 1;
+        }
+    }
+
+    /// A pool slot was consumed by a delivery.
+    pub(crate) fn observe_free(&mut self, when: SimTime, slot: usize) {
+        match self.slot_live.get_mut(slot) {
+            Some(live) if *live => {
+                *live = false;
+                self.live -= 1;
+            }
+            // Freed twice, or freed without ever being allocated.
+            _ => self.record(SanCheck::PoolConservation, when, slot as u64, 1, 0),
+        }
+    }
+
+    /// The engine assigned heap sequence number `seq` to an event at
+    /// `when` while the clock reads `now_at`.
+    pub(crate) fn observe_schedule(&mut self, when: SimTime, now_at: SimTime, seq: u64) {
+        if when < now_at {
+            self.record(SanCheck::SchedulePast, now_at, seq, now_at.0, when.0);
+        }
+        if let Some(max) = self.max_seq {
+            if seq <= max {
+                // Sequence numbers must be strictly increasing: a rewind
+                // breaks the FIFO tie-break for same-time events.
+                self.record(SanCheck::TieBreak, now_at, seq, max + 1, seq);
+            }
+        }
+        self.max_seq = Some(self.max_seq.map_or(seq, |m| m.max(seq)));
+    }
+
+    /// An event at `(when, seq)` was popped for dispatch while the clock
+    /// still read `now_before`.
+    pub(crate) fn observe_pop(&mut self, when: SimTime, seq: u64, now_before: SimTime) {
+        if when < now_before {
+            self.record(SanCheck::ClockMonotonic, now_before, seq, now_before.0, when.0);
+        }
+        if let Some((last_at, last_seq)) = self.last_pop {
+            if when < last_at {
+                self.record(SanCheck::ClockMonotonic, now_before, seq, last_at.0, when.0);
+            } else if when == last_at && seq <= last_seq {
+                self.record(SanCheck::TieBreak, now_before, seq, last_seq + 1, seq);
+            }
+        }
+        self.last_pop = Some((when, seq));
+    }
+
+    /// A packet of `wire_bytes` entered the queue bank behind `key`.
+    pub(crate) fn observe_queue_push(&mut self, key: u64, wire_bytes: u64) {
+        let shadow = self.ports.entry(key).or_default();
+        shadow.bytes += wire_bytes;
+        shadow.pkts += 1;
+    }
+
+    /// A packet of `wire_bytes` left the queue bank behind `key`.
+    pub(crate) fn observe_queue_pop(&mut self, when: SimTime, key: u64, wire_bytes: u64) {
+        let shadow = self.ports.entry(key).or_default();
+        let had_bytes = shadow.bytes;
+        let underflow = shadow.pkts == 0 || shadow.bytes < wire_bytes;
+        if underflow {
+            // More left the queue than the ledger ever saw enter; reset the
+            // shadow so one corruption doesn't cascade per-packet.
+            shadow.bytes = 0;
+            shadow.pkts = 0;
+        } else {
+            shadow.bytes -= wire_bytes;
+            shadow.pkts -= 1;
+        }
+        if underflow {
+            self.record(SanCheck::QueueAccounting, when, key, had_bytes, wire_bytes);
+        }
+    }
+
+    /// Push-out eviction inside `enqueue_policy` removed packets the
+    /// engine could not observe individually; resync this port's shadow
+    /// from the post-admission engine state.
+    pub(crate) fn observe_queue_resync(&mut self, key: u64, bytes: u64, pkts: u64) {
+        let shadow = self.ports.entry(key).or_default();
+        shadow.bytes = bytes;
+        shadow.pkts = pkts;
+    }
+
+    /// A serialization started on the port behind `key`.
+    pub(crate) fn observe_tx_start(&mut self, when: SimTime, key: u64) {
+        let shadow = self.ports.entry(key).or_default();
+        let was_busy = shadow.tx_busy;
+        shadow.tx_busy = true;
+        if was_busy {
+            // Two serializations in flight on one port.
+            self.record(SanCheck::LinkOccupancy, when, key, 0, 1);
+        }
+    }
+
+    /// A TxDone dispatched for the port behind `key`.
+    pub(crate) fn observe_tx_done(&mut self, when: SimTime, key: u64) {
+        let shadow = self.ports.entry(key).or_default();
+        let was_busy = shadow.tx_busy;
+        shadow.tx_busy = false;
+        if !was_busy {
+            // TxDone without a matching prior transmit (phantom TxDone).
+            self.record(SanCheck::LinkOccupancy, when, key, 1, 0);
+        }
+    }
+
+    /// The fault layer destroyed a packet on the wire.
+    pub(crate) fn observe_fault_drop(&mut self) {
+        self.fault_drops += 1;
+    }
+
+    /// An ECN mark was applied; `scoped_after` is the post-enqueue
+    /// backlog of the rule's scope. Under mark-on-enqueue, a marked
+    /// packet implies the scoped backlog met the threshold.
+    pub(crate) fn observe_ecn_mark(
+        &mut self,
+        when: SimTime,
+        key: u64,
+        scoped_after: u64,
+        threshold: Option<u64>,
+    ) {
+        match threshold {
+            // Marked at a priority with no ECN rule configured.
+            None => self.record(SanCheck::EcnMark, when, key, 0, 1),
+            Some(k) => {
+                if scoped_after < k {
+                    self.record(SanCheck::EcnMark, when, key, k, scoped_after);
+                }
+            }
+        }
+    }
+
+    /// Drain one transport-side note into the ledger.
+    pub(crate) fn observe_note(&mut self, when: SimTime, note: SanNote) {
+        match note {
+            SanNote::Violation { check, flow, expected, actual } => {
+                self.record(check, when, flow, expected, actual);
+            }
+            SanNote::AckAdvance { flow, cum_acked } => {
+                let last = self.last_cum_ack.entry(flow).or_insert(0);
+                let prev = *last;
+                *last = prev.max(cum_acked);
+                if cum_acked < prev {
+                    self.record(SanCheck::TransportConservation, when, flow, prev, cum_acked);
+                }
+            }
+        }
+    }
+
+    // ---------------------------------------------------------------
+    // Audits (cadence-driven comparison sweeps, driven by the engine)
+    // ---------------------------------------------------------------
+
+    /// Count one dispatched event; returns true when the cadence says an
+    /// audit is due now.
+    pub(crate) fn tick(&mut self) -> bool {
+        match self.level {
+            SanLevel::PerEvent => true,
+            SanLevel::PerEpoch => {
+                self.events_since_audit += 1;
+                if self.events_since_audit >= EPOCH_EVENTS {
+                    self.events_since_audit = 0;
+                    true
+                } else {
+                    false
+                }
+            }
+            SanLevel::AtEnd => false,
+        }
+    }
+
+    /// Compare the pool ledger against `pool_live` (the engine's
+    /// `pool_stats().live`). At a quiescent run end no packet may remain
+    /// in flight.
+    pub(crate) fn audit_pool(&mut self, when: SimTime, pool_live: u64, quiescent: bool) {
+        if pool_live != self.live {
+            self.record(SanCheck::PoolConservation, when, u64::MAX, self.live, pool_live);
+        }
+        if quiescent && pool_live > 0 {
+            // Live packets with a drained heap: leaked in-flight slots.
+            self.record(SanCheck::PoolConservation, when, u64::MAX, 0, pool_live);
+        }
+    }
+
+    /// Compare one port's shadow against the engine's queue bank and
+    /// busy flag. `recount` is `Some((recomputed, counter))` when the
+    /// queue bank's internal byte counters disagree with its contents.
+    pub(crate) fn audit_port(
+        &mut self,
+        when: SimTime,
+        key: u64,
+        bytes: u64,
+        pkts: u64,
+        busy: bool,
+        recount: Option<(u64, u64)>,
+    ) {
+        if let Some((recomputed, counter)) = recount {
+            self.record(SanCheck::QueueAccounting, when, key, recomputed, counter);
+        }
+        let shadow = *self.ports.entry(key).or_default();
+        if shadow.bytes != bytes {
+            self.record(SanCheck::QueueAccounting, when, key, shadow.bytes, bytes);
+        }
+        if shadow.pkts != pkts {
+            self.record(SanCheck::QueueAccounting, when, key, shadow.pkts, pkts);
+        }
+        if shadow.tx_busy != busy {
+            self.record(SanCheck::LinkOccupancy, when, key, shadow.tx_busy as u64, busy as u64);
+        }
+    }
+
+    /// Compare the fault-drop ledger against the engine's attributed
+    /// total (`FaultState::drops`, surfaced as `FaultReport.fault_drops`).
+    pub(crate) fn audit_faults(&mut self, when: SimTime, attributed: u64) {
+        if attributed != self.fault_drops {
+            self.record(SanCheck::FaultAttribution, when, 0, self.fault_drops, attributed);
+        }
+    }
+
+    /// Violations recorded since the last flush (the engine emits these
+    /// as `TraceEvent::SanViolation` and marks them flushed).
+    pub(crate) fn unflushed(&self) -> &[SanViolation] {
+        &self.violations[self.flushed..]
+    }
+
+    /// Mark every recorded violation as flushed; returns true when any
+    /// violation has ever been recorded (the run must stop abnormally).
+    pub(crate) fn mark_flushed(&mut self) -> bool {
+        self.flushed = self.violations.len();
+        !self.violations.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const T0: SimTime = SimTime(1_000);
+
+    #[test]
+    fn pool_ledger_flags_double_free_and_leaks() {
+        let mut s = Sanitizer::new(SanLevel::AtEnd);
+        s.observe_alloc(T0, 0);
+        s.observe_free(T0, 0);
+        assert!(s.violations().is_empty());
+        s.observe_free(T0, 0);
+        assert_eq!(s.violations().len(), 1);
+        assert_eq!(s.violations()[0].check, SanCheck::PoolConservation);
+
+        // A pool that says one live packet vs an empty ledger is a leak.
+        let mut s = Sanitizer::new(SanLevel::AtEnd);
+        s.audit_pool(T0, 1, true);
+        assert_eq!(s.violations().len(), 2, "mismatch + quiescence: {:?}", s.violations());
+    }
+
+    #[test]
+    fn clock_and_tie_break_discipline() {
+        let mut s = Sanitizer::new(SanLevel::AtEnd);
+        s.observe_schedule(SimTime(10), SimTime(5), 0);
+        s.observe_schedule(SimTime(10), SimTime(5), 1);
+        assert!(s.violations().is_empty());
+        // Sequence rewind: the FIFO tie-break is broken.
+        s.observe_schedule(SimTime(10), SimTime(5), 1);
+        assert_eq!(s.violations()[0].check, SanCheck::TieBreak);
+        // Scheduling into the past.
+        s.observe_schedule(SimTime(3), SimTime(5), 9);
+        assert!(s.violations().iter().any(|v| v.check == SanCheck::SchedulePast));
+
+        let mut s = Sanitizer::new(SanLevel::AtEnd);
+        s.observe_pop(SimTime(5), 0, SimTime(5));
+        s.observe_pop(SimTime(5), 2, SimTime(5));
+        assert!(s.violations().is_empty());
+        s.observe_pop(SimTime(4), 3, SimTime(5));
+        assert_eq!(s.violations()[0].check, SanCheck::ClockMonotonic);
+    }
+
+    #[test]
+    fn queue_shadow_catches_skew() {
+        let mut s = Sanitizer::new(SanLevel::AtEnd);
+        let key = host_port_key(3);
+        s.observe_queue_push(key, 1500);
+        s.observe_queue_push(key, 64);
+        s.observe_queue_pop(T0, key, 1500);
+        s.audit_port(T0, key, 64, 1, false, None);
+        assert!(s.violations().is_empty());
+        // Engine counter drifted by 100 bytes.
+        s.audit_port(T0, key, 164, 1, false, None);
+        assert_eq!(s.violations()[0].check, SanCheck::QueueAccounting);
+    }
+
+    #[test]
+    fn link_occupancy_catches_phantom_txdone() {
+        let mut s = Sanitizer::new(SanLevel::AtEnd);
+        let key = switch_port_key(0, 2);
+        s.observe_tx_start(T0, key);
+        s.observe_tx_done(T0, key);
+        assert!(s.violations().is_empty());
+        s.observe_tx_done(T0, key);
+        assert_eq!(s.violations()[0].check, SanCheck::LinkOccupancy);
+    }
+
+    #[test]
+    fn ack_ledger_enforces_monotone_cum_ack() {
+        let mut s = Sanitizer::new(SanLevel::AtEnd);
+        s.observe_note(T0, SanNote::AckAdvance { flow: 7, cum_acked: 1000 });
+        s.observe_note(T0, SanNote::AckAdvance { flow: 7, cum_acked: 4000 });
+        assert!(s.violations().is_empty());
+        s.observe_note(T0, SanNote::AckAdvance { flow: 7, cum_acked: 2000 });
+        assert_eq!(s.violations()[0].check, SanCheck::TransportConservation);
+    }
+
+    #[test]
+    fn epoch_cadence_fires_every_epoch() {
+        let mut s = Sanitizer::new(SanLevel::PerEpoch);
+        let due: u64 = (0..EPOCH_EVENTS * 2).map(|_| s.tick() as u64).sum();
+        assert_eq!(due, 2);
+        let mut s = Sanitizer::new(SanLevel::PerEvent);
+        assert!(s.tick() && s.tick());
+        let mut s = Sanitizer::new(SanLevel::AtEnd);
+        assert!(!s.tick());
+    }
+
+    #[test]
+    fn level_parsing() {
+        assert_eq!(SanLevel::parse("1"), Some(SanLevel::PerEpoch));
+        assert_eq!(SanLevel::parse("epoch"), Some(SanLevel::PerEpoch));
+        assert_eq!(SanLevel::parse("event"), Some(SanLevel::PerEvent));
+        assert_eq!(SanLevel::parse("end"), Some(SanLevel::AtEnd));
+        assert_eq!(SanLevel::parse("0"), None);
+        assert_eq!(SanLevel::parse(""), None);
+    }
+}

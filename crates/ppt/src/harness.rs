@@ -580,6 +580,16 @@ where
     }
     workloads::install_flows(&mut topo.sim, &topo.hosts, &exp.flows);
     pre_run(&mut topo);
+    if !topo.sim.sanitizer_enabled() {
+        // PPT_SANITIZE=event|1|epoch|end installs the simsan runtime
+        // invariant auditor (DESIGN.md §13); pre_run hooks that already
+        // installed one keep their chosen cadence.
+        if let Ok(v) = std::env::var("PPT_SANITIZE") {
+            if let Some(level) = netsim::SanLevel::parse(&v) {
+                topo.sim.set_sanitizer(level);
+            }
+        }
+    }
     if let Some(spec) = &exp.faults {
         if !spec.is_empty() {
             let sched = spec.resolve(&topo);
@@ -622,6 +632,18 @@ fn warn_abnormal(exp: &Experiment, sim: &mut netsim::Simulator<Proto>, report: &
             f.goodput_during_fault_bytes,
         );
     }
+    if report.stop == netsim::StopReason::SanViolation {
+        for v in sim.san_violations() {
+            eprintln!(
+                "san violation: check={} at={} subject={} expected={} actual={}",
+                v.check.as_str(),
+                v.at.0,
+                v.subject,
+                v.expected,
+                v.actual,
+            );
+        }
+    }
     let Some(sink) = sim.take_trace_sink() else { return };
     if let Some(rec) = sink.as_any().downcast_ref::<FlightRecorder>() {
         if !rec.is_empty() {
@@ -656,8 +678,19 @@ impl TraceData {
 /// event. Same experiment (topology, scheme, flows, seed) ⇒ identical
 /// event stream.
 pub fn run_experiment_traced(exp: &Experiment) -> (Outcome, TraceData) {
-    let mut outcome =
-        run_experiment_with(exp, |topo| topo.sim.set_trace_sink(Box::new(MemorySink::new())));
+    run_experiment_traced_with(exp, |_| {})
+}
+
+/// [`run_experiment_traced`] with a pre-run hook (runs after the memory
+/// sink is installed — use it for samplers or [`netsim::Simulator::set_sanitizer`]).
+pub fn run_experiment_traced_with<F>(exp: &Experiment, pre_run: F) -> (Outcome, TraceData)
+where
+    F: FnOnce(&mut Topology<Proto>),
+{
+    let mut outcome = run_experiment_with(exp, |topo| {
+        topo.sim.set_trace_sink(Box::new(MemorySink::new()));
+        pre_run(topo);
+    });
     let events = outcome
         .sim
         .take_trace_sink()

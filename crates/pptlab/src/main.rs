@@ -56,6 +56,10 @@ OPTIONS (compare, sweep, trace):
   --metrics         (compare) also collect + print per-scheme metrics
   --out DIR         (trace, faults) output directory; faults only writes events
                     when --out is given                [default: . / off]
+  --sanitize [LVL]  (compare, sweep, trace, faults) run simsan, the runtime
+                    invariant sanitizer, on every simulation. LVL is the
+                    audit cadence: event | epoch | end  [default: epoch]
+                    (equivalent to setting PPT_SANITIZE=LVL)
   --faults SPEC     (compare, trace, faults) deterministic fault schedule.
                     SPEC is comma-separated items:
                       loss=F        per-packet data-loss probability
@@ -284,6 +288,20 @@ fn with_faults(exp: Experiment, faults: &Option<FaultSpec>) -> Experiment {
         Some(f) => exp.with_faults(f.clone()),
         None => exp,
     }
+}
+
+/// Turn `--sanitize [LVL]` into the `PPT_SANITIZE` environment variable the
+/// harness reads before every experiment. A bare `--sanitize` means the
+/// per-epoch cadence; the flag never changes simulation results (the
+/// sanitizer only observes), so traces stay byte-identical either way.
+fn apply_sanitize_flag(args: &Args) -> Result<(), String> {
+    let Some(v) = args.get("sanitize") else { return Ok(()) };
+    let level = if v == "true" { "epoch" } else { v };
+    if ppt::netsim::SanLevel::parse(level).is_none() {
+        return Err(format!("--sanitize: unknown level '{level}' (event | epoch | end)"));
+    }
+    std::env::set_var("PPT_SANITIZE", level);
+    Ok(())
 }
 
 fn cmd_compare(args: &Args) -> Result<(), String> {
@@ -552,6 +570,10 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             };
+            if let Err(e) = apply_sanitize_flag(&args) {
+                eprintln!("error: {e}\n\n{USAGE}");
+                return ExitCode::FAILURE;
+            }
             let run = match cmd.as_str() {
                 "compare" => cmd_compare,
                 "sweep" => cmd_sweep,

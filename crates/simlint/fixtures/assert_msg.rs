@@ -1,0 +1,23 @@
+pub fn checks(x: u64, y: u64) {
+    debug_assert!(x > 0);
+    assert!(x != y);
+    debug_assert!(x > 0, "x must be positive");
+    assert!(x <= y, "x {x} exceeds y {y}");
+    assert_eq!(x, y);
+    debug_assert!(
+        x > y,
+        "multi-line message: {x} vs {y}"
+    );
+    debug_assert!(
+        x > y
+    );
+    // simlint: allow(assert_msg)
+    debug_assert!(x > 0);
+}
+
+#[cfg(test)]
+mod tests {
+    pub fn t(x: u64) {
+        assert!(x > 0);
+    }
+}

@@ -30,6 +30,7 @@
 //! | `event_order`     | only the engine's enqueue helpers may push the event heap; the `(time, seq)` FIFO tie-break is engine-internal |
 //! | `unit_safety`     | public fns in `netsim`/`core`/`transports` take `SimTime`/`SimDuration`/`Rate` newtypes, not raw `u64`/`f64`, when the parameter name denotes a time or rate |
 //! | `rto_common`      | no hand-rolled `TIMER_RTO` arm/service blocks outside `transports::common` |
+//! | `assert_msg`      | every `assert!` / `debug_assert!` in the determinism crates carries a message string naming the violated invariant (`assert_eq!`/`assert_ne!` print both operands already and are exempt) |
 //! | `pragma_hygiene`  | an `allow(...)` pragma that suppresses nothing (or names an unknown rule/directive) is itself a violation |
 //! | `paper_constants` | λ_LCP = 0.1 < λ_HCP = 0.17 (Eq. 3) and the 1-ACK-per-2-LCP-packets constant match DESIGN.md |
 //! | `trace_schema`    | every `TraceEvent` variant has a JSONL encoder arm in `encode_line` (`crates/trace/src/event.rs`) |

@@ -5,8 +5,14 @@
 //!
 //! ```text
 //! cargo run -p simlint -- [<workspace-root>] [--format text|json|sarif]
-//!                         [--write-baseline] [--no-baseline] [--list-rules]
+//!                         [--baseline <path>] [--write-baseline]
+//!                         [--no-baseline] [--list-rules]
 //! ```
+//!
+//! `--baseline <path>` reads (and, with `--write-baseline`, writes) the
+//! ratchet file at an explicit location instead of
+//! `<root>/simlint.baseline` — CI jobs keep per-branch baselines out of
+//! the tree this way.
 //!
 //! Exit codes: 0 clean, 1 gate failure (violations, baseline
 //! regressions or stale entries), 2 usage/IO error.
@@ -25,6 +31,7 @@ enum Format {
 struct Args {
     root: Option<PathBuf>,
     format: Format,
+    baseline: Option<PathBuf>,
     write_baseline: bool,
     no_baseline: bool,
     list_rules: bool,
@@ -34,6 +41,7 @@ fn parse_args() -> Result<Args, String> {
     let mut args = Args {
         root: None,
         format: Format::Text,
+        baseline: None,
         write_baseline: false,
         no_baseline: false,
         list_rules: false,
@@ -41,6 +49,10 @@ fn parse_args() -> Result<Args, String> {
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
         match arg.as_str() {
+            "--baseline" => {
+                let v = it.next().ok_or("--baseline needs a file path")?;
+                args.baseline = Some(PathBuf::from(v));
+            }
             "--format" => {
                 let v = it.next().ok_or("--format needs a value: text|json|sarif")?;
                 args.format = match v.as_str() {
@@ -99,7 +111,7 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    let baseline_path = root.join(simlint::BASELINE_FILE);
+    let baseline_path = args.baseline.clone().unwrap_or_else(|| root.join(simlint::BASELINE_FILE));
     let baseline = if args.no_baseline {
         Baseline::default()
     } else {

@@ -90,6 +90,27 @@ pub fn render_json(outcome: &Outcome) -> String {
     out
 }
 
+/// A violation's file path as a SARIF artifact URI: repo-relative,
+/// forward slashes only, no leading `./` or `/`. Violations already
+/// carry workspace-relative paths, but anything that slipped through a
+/// host-specific join (backslashes on Windows, a `./` prefix from a
+/// CLI argument) is normalized here so SARIF consumers resolve every
+/// URI against the repo root.
+fn artifact_uri(file: &str) -> String {
+    let unixy = file.replace('\\', "/");
+    let mut s = unixy.as_str();
+    loop {
+        if let Some(rest) = s.strip_prefix("./") {
+            s = rest;
+        } else if let Some(rest) = s.strip_prefix('/') {
+            s = rest;
+        } else {
+            break;
+        }
+    }
+    s.to_owned()
+}
+
 /// Minimal SARIF 2.1.0 log: one run, the full rule table as driver
 /// metadata, one result per fresh violation (baseline notes become
 /// tool-level notifications).
@@ -119,7 +140,7 @@ pub fn render_sarif(outcome: &Outcome) -> String {
              \"region\":{{\"startLine\":{}}}}}}}]}}",
             v.rule.id(),
             json_escape(&v.message),
-            json_escape(&v.file),
+            json_escape(&artifact_uri(&v.file)),
             v.line
         ));
     }
@@ -204,6 +225,18 @@ mod tests {
         }
         assert!(s.contains("\"ruleId\":\"shared_mut\""));
         assert!(s.contains("\"startLine\":3"));
+    }
+
+    #[test]
+    fn sarif_artifact_uris_are_repo_relative() {
+        assert_eq!(artifact_uri("crates/a.rs"), "crates/a.rs");
+        assert_eq!(artifact_uri("./crates/a.rs"), "crates/a.rs");
+        assert_eq!(artifact_uri("crates\\netsim\\src\\engine.rs"), "crates/netsim/src/engine.rs");
+        assert_eq!(artifact_uri("/crates/a.rs"), "crates/a.rs");
+        let mut o = outcome();
+        o.fresh[0].file = ".\\crates\\a.rs".into();
+        let s = render_sarif(&o);
+        assert!(s.contains("\"uri\":\"crates/a.rs\""), "normalized URI missing: {s}");
     }
 
     #[test]

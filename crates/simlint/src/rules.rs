@@ -37,6 +37,9 @@ pub enum Rule {
     /// No hand-rolled `TIMER_RTO` arm/service blocks outside
     /// `transports::common` (locks in the PR 4 dedupe).
     RtoCommon,
+    /// `assert!` / `debug_assert!` in determinism crates must carry a
+    /// message string: a bare boolean tells a crash report nothing.
+    AssertMsg,
     /// An `allow(...)` pragma that suppresses nothing is itself a
     /// violation, so the pragma count ratchets down.
     PragmaHygiene,
@@ -59,6 +62,7 @@ pub const ALL_RULES: &[Rule] = &[
     Rule::EventOrder,
     Rule::UnitSafety,
     Rule::RtoCommon,
+    Rule::AssertMsg,
     Rule::PragmaHygiene,
 ];
 
@@ -74,6 +78,7 @@ pub const RULE_TABLE: &[Rule] = &[
     Rule::EventOrder,
     Rule::UnitSafety,
     Rule::RtoCommon,
+    Rule::AssertMsg,
     Rule::PragmaHygiene,
     Rule::PaperConstants,
     Rule::TraceSchema,
@@ -92,6 +97,7 @@ impl Rule {
             Rule::EventOrder => "event_order",
             Rule::UnitSafety => "unit_safety",
             Rule::RtoCommon => "rto_common",
+            Rule::AssertMsg => "assert_msg",
             Rule::PragmaHygiene => "pragma_hygiene",
             Rule::PaperConstants => "paper_constants",
             Rule::TraceSchema => "trace_schema",
@@ -127,6 +133,9 @@ impl Rule {
             Rule::RtoCommon => {
                 "no hand-rolled TIMER_RTO handling outside transports::common"
             }
+            Rule::AssertMsg => {
+                "assert!/debug_assert! in determinism crates carry a message naming the invariant"
+            }
             Rule::PragmaHygiene => "an allow(...) pragma that suppresses nothing is a violation",
             Rule::PaperConstants => "paper constants match DESIGN.md (lambda pair, EWD ACK ratio)",
             Rule::TraceSchema => "every TraceEvent variant has a JSONL encoder arm",
@@ -145,6 +154,7 @@ impl Rule {
             Rule::EventOrder => check_event_order(rel_path, class, src, f),
             Rule::UnitSafety => check_unit_safety(rel_path, class, src, f),
             Rule::RtoCommon => check_rto_common(rel_path, class, src, f),
+            Rule::AssertMsg => check_assert_msg(rel_path, class, src, f),
             Rule::PragmaHygiene => check_pragma_hygiene(rel_path, class, src, f),
             Rule::PaperConstants | Rule::TraceSchema => {}
         }
@@ -699,6 +709,77 @@ fn check_rto_common(rel_path: &str, class: FileClass, src: &MaskedSource, f: &mu
                     "hand-rolled TIMER_RTO handling; route through transports::common::{arm_rto, service_rto}"
                         .into(),
                 );
+            }
+        }
+    }
+}
+
+/// Does the `assert!`-family invocation opening right of `(line_idx,
+/// from)` carry a message string? Scans the masked lines from the
+/// macro's own delimiter, tracking bracket depth; a message is present
+/// iff a `"` appears after a depth-1 comma (masking keeps the quote
+/// delimiters, so a string literal anywhere in the trailing arguments —
+/// plain or format — is visible as its quotes). `assert_eq!`-style
+/// two-argument macros never reach here: the caller token-matches only
+/// `assert` / `debug_assert` at identifier boundaries.
+fn assert_has_message(lines: &[String], line_idx: usize, from: usize) -> bool {
+    let mut depth = 0i32;
+    let mut opened = false;
+    let mut past_first_comma = false;
+    for (li, line) in lines.iter().enumerate().skip(line_idx) {
+        let text = if li == line_idx { &line[from..] } else { line.as_str() };
+        for c in text.chars() {
+            match c {
+                '(' | '[' | '{' => {
+                    depth += 1;
+                    opened = true;
+                }
+                ')' | ']' | '}' => {
+                    depth -= 1;
+                    if opened && depth == 0 {
+                        return false;
+                    }
+                }
+                ',' if depth == 1 => past_first_comma = true,
+                '"' if past_first_comma => return true,
+                _ => {}
+            }
+        }
+        // The macro bang was never followed by a delimiter on this or
+        // the starting line: nothing to scan.
+        if !opened && li > line_idx {
+            return false;
+        }
+    }
+    false
+}
+
+fn check_assert_msg(rel_path: &str, class: FileClass, src: &MaskedSource, f: &mut Findings) {
+    if !class.in_determinism_scope {
+        return;
+    }
+    for (idx, line) in src.lines.iter().enumerate() {
+        let line_no = idx + 1;
+        if src.is_test(line_no) {
+            continue;
+        }
+        for name in ["assert", "debug_assert"] {
+            for at in token_positions(line, name) {
+                let after = at + name.len();
+                if !line[after..].trim_start().starts_with('!') {
+                    continue;
+                }
+                if !assert_has_message(&src.lines, idx, after) {
+                    f.push(
+                        src,
+                        rel_path,
+                        line_no,
+                        Rule::AssertMsg,
+                        format!(
+                            "`{name}!` without a message; say which invariant broke (and with what values)"
+                        ),
+                    );
+                }
             }
         }
     }

@@ -303,6 +303,22 @@ fn rto_common_rule_fires_outside_owner_files() {
 }
 
 #[test]
+fn assert_msg_rule_fires_on_messageless_asserts() {
+    let src = fixture("assert_msg.rs");
+    let v = lint_source("crates/netsim/src/fixture.rs", &src);
+    let lines = lines_for(&v, Rule::AssertMsg);
+    // The bare single-line asserts (2, 3) and the bare multi-line one
+    // (11) fire; messaged asserts, assert_eq!, the pragma'd line and the
+    // #[cfg(test)] block do not.
+    assert_eq!(lines, vec![2, 3, 11], "bare asserts must fire: {v:?}");
+    assert!(lines_for(&v, Rule::PragmaHygiene).is_empty(), "the allow pragma is used: {v:?}");
+
+    // Out of determinism scope the same content is clean.
+    let v = lint_source("crates/workloads/src/fixture.rs", &src);
+    assert!(lines_for(&v, Rule::AssertMsg).is_empty());
+}
+
+#[test]
 fn pragma_hygiene_rule_fires_on_stale_and_malformed_pragmas() {
     let pos = fixture("pragma_hygiene_pos.rs");
     let v = lint_source("crates/netsim/src/fixture.rs", &pos);

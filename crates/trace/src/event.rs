@@ -58,6 +58,55 @@ impl LcpCloseReason {
     }
 }
 
+/// Which runtime invariant a sanitizer violation report refers to.
+///
+/// The tags mirror the invariant families of DESIGN.md §13; the engine's
+/// simsan auditor (`netsim::sanitizer`) emits one
+/// [`TraceEvent::SanViolation`] per detected breach.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SanCheck {
+    /// Packet-pool conservation: every in-flight slot allocated exactly
+    /// once, freed exactly once, none live at a quiescent run end.
+    PoolConservation,
+    /// Event-clock discipline: dispatch times never decrease.
+    ClockMonotonic,
+    /// FIFO tie-break: heap sequence numbers must be assigned in strictly
+    /// increasing order so same-time events dispatch in insertion order.
+    TieBreak,
+    /// A handler scheduled an event before the current simulated time.
+    SchedulePast,
+    /// Queue accounting: byte counters recomputed from queue contents (or
+    /// the shadow ledger) disagree with `PrioQueues` internals.
+    QueueAccounting,
+    /// An ECN mark was applied inconsistently with the instantaneous
+    /// backlog / configured rule.
+    EcnMark,
+    /// Link occupancy: at most one serialization in flight per port, and
+    /// every TxDone must match a prior transmit.
+    LinkOccupancy,
+    /// Transport conservation: cwnd > 0, monotone cumulative ACKs,
+    /// armed RTO implies outstanding data.
+    TransportConservation,
+    /// Fault-injected drops not fully attributed in the `FaultReport`.
+    FaultAttribution,
+}
+
+impl SanCheck {
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            SanCheck::PoolConservation => "pool_conservation",
+            SanCheck::ClockMonotonic => "clock_monotonic",
+            SanCheck::TieBreak => "tie_break",
+            SanCheck::SchedulePast => "schedule_past",
+            SanCheck::QueueAccounting => "queue_accounting",
+            SanCheck::EcnMark => "ecn_mark",
+            SanCheck::LinkOccupancy => "link_occupancy",
+            SanCheck::TransportConservation => "transport_conservation",
+            SanCheck::FaultAttribution => "fault_attribution",
+        }
+    }
+}
+
 /// One trace event. Time is carried next to the event by the sink
 /// (`TraceSink::emit(at, ev)`), not inside it.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -103,6 +152,11 @@ pub enum TraceEvent {
     /// The fault layer dropped a packet in flight (random loss or a down
     /// link); `bytes` is the wire size of the lost packet.
     FaultDrop { link: u32, flow: u64, prio: u8, bytes: u64 },
+    /// The runtime sanitizer (simsan) detected an invariant breach.
+    /// `subject` identifies the entity (port key, pool slot, flow or link
+    /// id — which one depends on `check`); `expected`/`actual` carry the
+    /// disagreeing quantities.
+    SanViolation { check: SanCheck, subject: u64, expected: u64, actual: u64 },
 }
 
 impl TraceEvent {
@@ -128,6 +182,7 @@ impl TraceEvent {
             TraceEvent::LinkDown { .. } => "link_down",
             TraceEvent::LinkUp { .. } => "link_up",
             TraceEvent::FaultDrop { .. } => "fault_drop",
+            TraceEvent::SanViolation { .. } => "san_violation",
         }
     }
 }
@@ -211,6 +266,13 @@ pub fn encode_line(out: &mut String, at: u64, ev: &TraceEvent) {
             let _ =
                 write!(out, ",\"link\":{link},\"flow\":{flow},\"prio\":{prio},\"bytes\":{bytes}");
         }
+        TraceEvent::SanViolation { check, subject, expected, actual } => {
+            let _ = write!(
+                out,
+                ",\"check\":\"{}\",\"subject\":{subject},\"expected\":{expected},\"actual\":{actual}",
+                check.as_str()
+            );
+        }
     }
     out.push('}');
 }
@@ -239,6 +301,12 @@ mod tests {
         TraceEvent::LinkDown { link: 3 },
         TraceEvent::LinkUp { link: 3 },
         TraceEvent::FaultDrop { link: 3, flow: 1, prio: 4, bytes: 1500 },
+        TraceEvent::SanViolation {
+            check: SanCheck::QueueAccounting,
+            subject: 5,
+            expected: 2920,
+            actual: 4380,
+        },
     ];
 
     #[test]

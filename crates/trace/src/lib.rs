@@ -27,7 +27,7 @@ pub mod json;
 pub mod metrics;
 pub mod sink;
 
-pub use event::{encode_line, LcpCloseReason, LcpTrigger, TraceEvent};
+pub use event::{encode_line, LcpCloseReason, LcpTrigger, SanCheck, TraceEvent};
 pub use json::JsonObject;
 pub use metrics::MetricsRegistry;
 pub use sink::{FlightRecorder, JsonlSink, MemorySink, TraceSink};

@@ -3,7 +3,8 @@
 
 use std::collections::BTreeMap;
 
-use netsim::{Ctx, Payload};
+use netsim::trace::SanCheck;
+use netsim::{Ctx, Payload, SanNote};
 
 use crate::tcp_base::DctcpFlowTx;
 
@@ -180,11 +181,32 @@ pub fn rto_token(flow: u64) -> u64 {
     Token { kind: TIMER_RTO, generation: 0, flow }.encode()
 }
 
+/// simsan probe shared by [`arm_rto`] and [`service_rto`]: every live
+/// TCP-family sender must hold a positive congestion window and only ever
+/// advance its cumulative ACK. Queues ledger notes via [`Ctx::san_note`]
+/// (one branch when the sanitizer is off); never schedules anything, so
+/// sanitized runs stay byte-identical.
+fn san_probe<P: Payload>(flow: &DctcpFlowTx, ctx: &mut Ctx<'_, P>) {
+    if !ctx.sanitizing() {
+        return;
+    }
+    if flow.cwnd_bytes() == 0 {
+        ctx.san_note(SanNote::Violation {
+            check: SanCheck::TransportConservation,
+            flow: flow.id.0,
+            expected: 1,
+            actual: 0,
+        });
+    }
+    ctx.san_note(SanNote::AckAdvance { flow: flow.id.0, cum_acked: flow.cum_acked() });
+}
+
 /// (Re-)arm the RTO timer at `flow`'s current deadline. No-op for finished
 /// flows. Call after every pump that may have started or moved the
 /// deadline; timers cannot be cancelled, so extra arms are harmless.
 pub fn arm_rto<P: Payload>(flow: &DctcpFlowTx, ctx: &mut Ctx<'_, P>) {
     if !flow.is_done() {
+        san_probe(flow, ctx);
         ctx.timer_at(flow.rto_deadline(), rto_token(flow.id.0));
     }
 }
@@ -198,6 +220,7 @@ pub fn service_rto<P: Payload>(flow: &mut DctcpFlowTx, ctx: &mut Ctx<'_, P>) -> 
         return false;
     }
     let now = ctx.now();
+    san_probe(flow, ctx);
     if now < flow.rto_deadline() {
         ctx.timer_at(flow.rto_deadline(), rto_token(flow.id.0));
         return false;

@@ -30,7 +30,7 @@ pub struct TcpRx {
 impl TcpRx {
     /// New receiver state, learning the size from the first data packet.
     pub fn new(flow: FlowId, peer: HostId, size: u64, lcp_coalesce: u32) -> Self {
-        assert!(lcp_coalesce >= 1);
+        assert!(lcp_coalesce >= 1, "lcp_coalesce of 0 would never send an ACK");
         TcpRx {
             flow,
             peer,

@@ -45,6 +45,20 @@ mkdir -p "$TRACE_TMP/a" "$TRACE_TMP/b"
 cmp "$TRACE_TMP/a/events.jsonl" "$TRACE_TMP/b/events.jsonl"
 cmp "$TRACE_TMP/a/metrics.json" "$TRACE_TMP/b/metrics.json"
 test -s "$TRACE_TMP/a/events.jsonl"
+
+echo "==> simsan golden replay (sanitized run byte-identical, zero violations)"
+# Zero observer effect (DESIGN.md §13.3): the same traced run with the
+# runtime sanitizer on must reproduce the unsanitized stream byte for
+# byte, and a san_violation in the stream would itself break the cmp.
+mkdir -p "$TRACE_TMP/san"
+PPT_SANITIZE=1 ./target/release/pptlab trace --schemes ppt --topo star:4:10:20 \
+    --workload websearch --flows 40 --seed 42 --out "$TRACE_TMP/san" > /dev/null
+cmp "$TRACE_TMP/a/events.jsonl" "$TRACE_TMP/san/events.jsonl"
+cmp "$TRACE_TMP/a/metrics.json" "$TRACE_TMP/san/metrics.json"
+if grep -q san_violation "$TRACE_TMP/san/events.jsonl"; then
+    echo "check.sh: sanitized golden replay reported a san_violation" >&2
+    exit 1
+fi
 rm -rf "$TRACE_TMP"
 
 echo "==> sweep smoke (serial vs parallel byte-identity)"
