@@ -8,7 +8,7 @@
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
-use dcn_trace::{TraceEvent, TraceSink};
+use dcn_trace::{LogHistogram, Series, TraceEvent, TraceSink};
 
 use crate::faults::{FaultOp, FaultSchedule};
 use crate::host::{Ctx, Effects, FlowDesc, Transport};
@@ -19,6 +19,10 @@ use crate::queue::PrioQueues;
 use crate::rng::Pcg32;
 use crate::sanitizer::{host_port_key, switch_port_key, SanLevel, SanViolation, Sanitizer};
 use crate::switch::{enqueue_policy, EnqueueOutcome, MarkScope, PortCounters, SwitchConfig};
+use crate::telemetry::{
+    CcSnapshot, Telemetry, TelemetryConfig, IDX_CC_CWND, IDX_CC_INFLIGHT, IDX_FLOWS_LIVE,
+    IDX_POOL_HIT, IDX_POOL_LIVE,
+};
 use crate::time::{SimDuration, SimTime};
 use crate::units::Rate;
 
@@ -125,6 +129,19 @@ enum Ev {
     Fault(u32),
 }
 
+/// Profiler accumulator slot for an event, in [`dcn_trace::ProfKind::ALL`]
+/// order (the engine keeps `Ev` private, so the mapping lives here).
+fn prof_kind_index(ev: Ev) -> usize {
+    match ev {
+        Ev::FlowStart(_) => 0,
+        Ev::Deliver { .. } => 1,
+        Ev::TxDone { .. } => 2,
+        Ev::Timer { .. } => 3,
+        Ev::Sample(_) => 4,
+        Ev::Fault(_) => 5,
+    }
+}
+
 #[derive(Clone, Copy)]
 struct QEntry {
     at: SimTime,
@@ -198,6 +215,9 @@ enum SampleTarget {
     Link(LinkId),
     /// Queue occupancy of a switch egress port.
     Port(SwitchId, u16),
+    /// The continuous-telemetry tick: a whole-fabric snapshot into the
+    /// [`Telemetry`] series table (see `Simulator::enable_telemetry`).
+    Telemetry,
 }
 
 /// One time-series measurement.
@@ -347,6 +367,9 @@ pub struct Simulator<P: Payload> {
     effects: Effects<P>,
     events: u64,
     flows_completed: usize,
+    /// Flows whose `FlowStart` has dispatched; with `flows_completed`
+    /// this makes the telemetry live-flow count O(1) per sample tick.
+    flows_started: usize,
     /// `None` = fault injection disabled: the hot path pays one branch.
     faults: Option<FaultState>,
     /// Per-flow retransmit counts (fed by `Ctx::note_retransmit`).
@@ -357,6 +380,10 @@ pub struct Simulator<P: Payload> {
     /// `None` = sanitizer disabled: every observation hook reduces to one
     /// branch (simsan, see [`crate::sanitizer`]).
     san: Option<Box<Sanitizer>>,
+    /// `None` = continuous telemetry disabled (see [`crate::telemetry`]);
+    /// boxed so the disabled hot path carries one pointer, not the whole
+    /// series table.
+    telemetry: Option<Box<Telemetry>>,
     /// Measure wall-clock time in transport handlers (Fig-19 substitute).
     pub measure_cpu: bool,
 }
@@ -384,11 +411,13 @@ impl<P: Payload> Simulator<P> {
             effects: Effects::default(),
             events: 0,
             flows_completed: 0,
+            flows_started: 0,
             faults: None,
             retransmit_counts: Vec::new(),
             retransmits_total: 0,
             trace: None,
             san: None,
+            telemetry: None,
             measure_cpu: false,
         }
     }
@@ -599,6 +628,73 @@ impl<P: Payload> Simulator<P> {
     /// Recorded samples of a sampler.
     pub fn samples(&self, id: SamplerId) -> &[Sample] {
         &self.samplers[id.0 as usize].samples
+    }
+
+    /// Install the continuous-telemetry layer (DESIGN.md §14): a
+    /// deterministic whole-fabric sampler ticking every `cfg.interval`,
+    /// starting one interval from now. Sampling only *reads* simulation
+    /// state, so enabling telemetry leaves the trace and FCT streams of
+    /// the run byte-identical; the sampler stops rearming once every flow
+    /// has completed so the event heap still drains.
+    ///
+    /// Call after the topology is built (the series table is laid out
+    /// from the switch/port/link counts at install time).
+    pub fn enable_telemetry(&mut self, cfg: TelemetryConfig) {
+        assert!(self.telemetry.is_none(), "telemetry already enabled");
+        assert!(cfg.interval > SimDuration::ZERO, "telemetry interval must be positive");
+        let cap = cfg.series_capacity;
+        let mut series = vec![
+            Series::new("flows.live", cap),
+            Series::new("pool.live", cap),
+            Series::new("pool.hit_rate", cap),
+            Series::new("cc.cwnd_bytes", cap),
+            Series::new("cc.inflight_bytes", cap),
+        ];
+        debug_assert_eq!(
+            series.len(),
+            crate::telemetry::IDX_FIRST_DYNAMIC,
+            "scalar series layout drifted from the IDX_* constants"
+        );
+        let port_base = series.len();
+        for (si, sw) in self.switches.iter().enumerate() {
+            for pi in 0..sw.ports.len() {
+                series.push(Series::new(format!("sw{si}.port{pi}.queue_bytes"), cap));
+                series.push(Series::new(format!("sw{si}.port{pi}.queue_pkts"), cap));
+            }
+        }
+        let link_base = series.len();
+        for li in 0..self.links.len() {
+            series.push(Series::new(format!("link{li}.util"), cap));
+        }
+        let last_link_tx = self.links.iter().map(|l| l.tx_bytes).collect();
+        self.telemetry = Some(Box::new(Telemetry {
+            cfg,
+            series,
+            port_base,
+            link_base,
+            fct_ns: LogHistogram::new(),
+            queue_delay_ns: LogHistogram::new(),
+            queue_depth_bytes: LogHistogram::new(),
+            last_link_tx,
+            last_sample_at: self.now,
+            samples_taken: 0,
+            prof_counts: [0; 6],
+            prof_ns: [0; 6],
+        }));
+        // `until` is unused for the telemetry target (rearming is gated on
+        // flow completion instead), so pass the far-future sentinel.
+        self.add_sampler(SampleTarget::Telemetry, cfg.interval, SimTime(u64::MAX));
+    }
+
+    /// The telemetry state, when enabled.
+    pub fn telemetry(&self) -> Option<&Telemetry> {
+        self.telemetry.as_deref()
+    }
+
+    /// Detach and return the telemetry state (e.g. to move it into a
+    /// post-run report without cloning the series table).
+    pub fn take_telemetry(&mut self) -> Option<Box<Telemetry>> {
+        self.telemetry.take()
     }
 
     /// The link id a host's NIC transmits on (for sampling utilization).
@@ -951,6 +1047,10 @@ impl<P: Payload> Simulator<P> {
         }
 
         let mut stop = StopReason::AllFlowsDone;
+        // The self-profiler is opt-in (`TelemetryConfig::prof`): it reads
+        // the wall clock around every dispatch, and its numbers are
+        // machine noise — never part of any determinism golden.
+        let prof = self.telemetry.as_deref().is_some_and(|t| t.prof_enabled());
         while let Some(entry) = self.heap.pop() {
             if entry.at > limits.max_time {
                 // Put it back for a potential future run() call.
@@ -964,7 +1064,18 @@ impl<P: Payload> Simulator<P> {
             }
             self.now = entry.at;
             self.events += 1;
-            self.dispatch(entry.ev);
+            if prof {
+                let kind = prof_kind_index(entry.ev);
+                let t0 = std::time::Instant::now(); // simlint: allow(determinism)
+                self.dispatch(entry.ev);
+                let elapsed = t0.elapsed().as_nanos() as u64;
+                if let Some(t) = self.telemetry.as_deref_mut() {
+                    t.prof_counts[kind] += 1;
+                    t.prof_ns[kind] += elapsed;
+                }
+            } else {
+                self.dispatch(entry.ev);
+            }
             if self.san.is_some() && self.san_tick() {
                 stop = StopReason::SanViolation;
                 break;
@@ -996,6 +1107,7 @@ impl<P: Payload> Simulator<P> {
         match ev {
             Ev::FlowStart(idx) => {
                 let flow = self.flows[idx as usize].clone();
+                self.flows_started += 1;
                 self.emit(TraceEvent::FlowStart {
                     flow: flow.id.0,
                     src: flow.src.0,
@@ -1089,6 +1201,10 @@ impl<P: Payload> Simulator<P> {
             if slot.is_none() {
                 *slot = Some(now);
                 self.flows_completed += 1;
+                if let Some(t) = self.telemetry.as_deref_mut() {
+                    let start = self.flows[flow.0 as usize].start;
+                    t.fct_ns.record(now.saturating_since(start).as_nanos());
+                }
                 self.emit(TraceEvent::FlowComplete { flow: flow.0 });
             }
         }
@@ -1099,7 +1215,8 @@ impl<P: Payload> Simulator<P> {
     }
 
     /// Enqueue a packet at a host NIC and kick the transmitter if idle.
-    fn host_enqueue(&mut self, host: HostId, pkt: Packet<P>) {
+    fn host_enqueue(&mut self, host: HostId, mut pkt: Packet<P>) {
+        pkt.enq_at = self.now;
         if let Some(s) = self.san.as_mut() {
             s.observe_queue_push(host_port_key(host.0), pkt.wire_bytes as u64);
         }
@@ -1140,6 +1257,7 @@ impl<P: Payload> Simulator<P> {
             )
         };
         let mut pkt = pkt;
+        pkt.enq_at = self.now;
         pkt.payload.on_switch_hop(crate::packet::HopTelemetry {
             qlen_bytes: qlen,
             qlen_high_bytes: qlen_high,
@@ -1243,6 +1361,9 @@ impl<P: Payload> Simulator<P> {
         let Some(pkt) = slot.queues.pop() else { return };
         slot.busy = true;
         let link_id = slot.link;
+        if let Some(t) = self.telemetry.as_deref_mut() {
+            t.queue_delay_ns.record(self.now.saturating_since(pkt.enq_at).as_nanos());
+        }
         if let Some(s) = self.san.as_mut() {
             s.observe_queue_pop(self.now, host_port_key(host.0), pkt.wire_bytes as u64);
         }
@@ -1261,6 +1382,9 @@ impl<P: Payload> Simulator<P> {
         let Some(pkt) = slot.queues.pop() else { return };
         slot.busy = true;
         let link_id = slot.link;
+        if let Some(t) = self.telemetry.as_deref_mut() {
+            t.queue_delay_ns.record(self.now.saturating_since(pkt.enq_at).as_nanos());
+        }
         if let Some(s) = self.san.as_mut() {
             s.observe_queue_pop(self.now, switch_port_key(switch.0, port), pkt.wire_bytes as u64);
         }
@@ -1334,6 +1458,16 @@ impl<P: Payload> Simulator<P> {
             let s = &self.samplers[idx as usize];
             (s.interval, s.until, s.target)
         };
+        if let SampleTarget::Telemetry = target {
+            self.telemetry_sample();
+            // Rearm only while flows are outstanding — a deterministic
+            // condition — so the heap drains and `AllFlowsDone` still
+            // fires exactly as it would without telemetry.
+            if self.flows_completed < self.flows.len() {
+                self.schedule(now + interval, Ev::Sample(idx));
+            }
+            return;
+        }
         let sample = match target {
             SampleTarget::Link(l) => {
                 Sample { at: now, value: self.links[l.0 as usize].tx_bytes, per_priority: [0; 8] }
@@ -1346,11 +1480,64 @@ impl<P: Payload> Simulator<P> {
                 }
                 Sample { at: now, value: q.total_bytes(), per_priority: per }
             }
+            SampleTarget::Telemetry => unreachable!("telemetry target handled above"),
         };
         self.samplers[idx as usize].samples.push(sample);
         if now + interval <= until {
             self.schedule(now + interval, Ev::Sample(idx));
         }
+    }
+
+    /// One telemetry tick: snapshot fabric state into the series table.
+    /// Strictly read-only with respect to simulation state — the only
+    /// mutations are to the telemetry ledgers themselves — which is what
+    /// keeps telemetry-enabled runs byte-identical (DESIGN.md §14).
+    fn telemetry_sample(&mut self) {
+        // Detach the box so the borrow checker lets us walk `self` while
+        // filling the series; reattached below.
+        let Some(mut t) = self.telemetry.take() else { return };
+        let now = self.now;
+        let at = now.0;
+        // Every completed flow started, so started - completed = live;
+        // O(1) where a scan over `flows` would cost O(n) per tick.
+        let live_flows = self.flows_started - self.flows_completed;
+        t.series[IDX_FLOWS_LIVE].push(at, live_flows as f64);
+        let pool = self.pool.stats();
+        t.series[IDX_POOL_LIVE].push(at, pool.live as f64);
+        t.series[IDX_POOL_HIT].push(at, pool.hit_rate());
+        let mut cc = CcSnapshot::default();
+        for host in &self.hosts {
+            if let Some(transport) = host.transport.as_deref() {
+                cc.add(&transport.cc_snapshot());
+            }
+        }
+        t.series[IDX_CC_CWND].push(at, cc.cwnd_bytes as f64);
+        t.series[IDX_CC_INFLIGHT].push(at, cc.inflight_bytes as f64);
+        let mut idx = t.port_base;
+        for sw in &self.switches {
+            for port in &sw.ports {
+                let backlog = port.queues.total_bytes();
+                t.series[idx].push(at, backlog as f64);
+                t.series[idx + 1].push(at, port.queues.len() as f64);
+                t.queue_depth_bytes.record(backlog);
+                idx += 2;
+            }
+        }
+        // Utilization = bytes the link moved this window over the bytes it
+        // could have moved; capped at 1.0 because a serialization that
+        // straddles the window boundary books its bytes at start-of-tx.
+        let window = now.saturating_since(t.last_sample_at);
+        for (li, link) in self.links.iter().enumerate() {
+            let tx = link.tx_bytes;
+            let delta = tx - t.last_link_tx[li];
+            t.last_link_tx[li] = tx;
+            let capacity = link.rate.bytes_in(window);
+            let util = if capacity == 0 { 0.0 } else { (delta as f64 / capacity as f64).min(1.0) };
+            t.series[t.link_base + li].push(at, util);
+        }
+        t.last_sample_at = now;
+        t.samples_taken += 1;
+        self.telemetry = Some(t);
     }
 
     // ---------------------------------------------------------------

@@ -214,4 +214,11 @@ pub trait Transport<P: Payload> {
 
     /// A timer armed via [`Ctx::timer_at`] fired.
     fn on_timer(&mut self, token: u64, ctx: &mut Ctx<'_, P>);
+
+    /// Aggregate congestion-control state over this endpoint's active
+    /// flows, read by the telemetry sampler (never on the hot path).
+    /// Transports without a window concept keep the zero default.
+    fn cc_snapshot(&self) -> crate::telemetry::CcSnapshot {
+        crate::telemetry::CcSnapshot::default()
+    }
 }

@@ -26,6 +26,9 @@
 //! - Destination-based shortest-path routing with per-flow ECMP.
 //! - Star and leaf-spine topology builders matching the paper's setups.
 //! - Link-utilization and queue-occupancy samplers.
+//! - Continuous telemetry: a deterministic whole-fabric interval sampler
+//!   filling ring-buffered series and log-bucket histograms, plus an
+//!   opt-in wall-clock dispatch profiler (see [`telemetry`]).
 //! - Per-host transport CPU accounting (the kernel-overhead substitute).
 //!
 //! Protocols live in the `transports` crate; they implement
@@ -41,6 +44,7 @@ pub mod queue;
 pub mod rng;
 pub mod sanitizer;
 pub mod switch;
+pub mod telemetry;
 pub mod time;
 pub mod topology;
 pub mod units;
@@ -60,6 +64,7 @@ pub use packet::{
 pub use rng::Pcg32;
 pub use sanitizer::{SanLevel, SanNote, SanViolation};
 pub use switch::{EcnRule, EnqueueOutcome, MarkScope, PortCounters, RangeCap, SwitchConfig};
+pub use telemetry::{CcSnapshot, Telemetry, TelemetryConfig};
 pub use time::{SimDuration, SimTime};
 pub use topology::{fat_tree, leaf_spine, star, FatTreeParams, LeafSpineParams, Topology};
 pub use units::{bdp_bytes, Rate};

@@ -99,6 +99,11 @@ pub struct Packet<P> {
     /// Set when a switch has removed the payload; `wire_bytes` is then
     /// [`TRIMMED_BYTES`] and the receiver must request retransmission.
     pub trimmed: bool,
+    /// When this packet last entered an egress queue (host NIC or switch
+    /// port); the engine restamps it at every hop and reads it at dequeue
+    /// to feed the telemetry queueing-delay histogram. One 8-byte store
+    /// per enqueue, paid whether or not telemetry is on.
+    pub(crate) enq_at: SimTime,
     /// Protocol header.
     pub payload: P,
 }
@@ -119,6 +124,7 @@ impl<P: Payload> Packet<P> {
             ecn: Ecn::capable(),
             trimmable: false,
             trimmed: false,
+            enq_at: SimTime::ZERO,
             payload,
         }
     }
@@ -135,6 +141,7 @@ impl<P: Payload> Packet<P> {
             ecn: Ecn::not_capable(),
             trimmable: false,
             trimmed: false,
+            enq_at: SimTime::ZERO,
             payload,
         }
     }

@@ -1,0 +1,220 @@
+//! The engine's continuous-telemetry layer (DESIGN.md §14).
+//!
+//! A [`TelemetryConfig`] installed via `Simulator::enable_telemetry`
+//! arms a deterministic interval sampler: an `Ev::Sample` event rearmed
+//! every `interval` that *reads* engine state — per-port queue
+//! bytes/packets, per-link utilization since the last tick, live flow
+//! counts, packet-pool live/hit-rate, and the per-scheme aggregate
+//! cwnd/in-flight reported by [`crate::host::Transport::cc_snapshot`] —
+//! into ring-buffered [`Series`] and log-bucket [`LogHistogram`]s.
+//!
+//! Determinism contract: sampling never mutates simulation state and
+//! never emits into the installed trace sink, so a telemetry-enabled run
+//! reproduces an untelemetered run's trace and FCT streams byte for
+//! byte. The one deliberate exception is the `prof` knob: a wall-clock
+//! self-profiler around the dispatch loop whose numbers are machine
+//! noise by construction and are therefore excluded from every golden.
+
+use dcn_trace::{encode_line, LogHistogram, ProfKind, Series, TraceEvent};
+
+use crate::time::{SimDuration, SimTime};
+
+/// Configuration for `Simulator::enable_telemetry`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TelemetryConfig {
+    /// Sampling interval; the first sample fires one interval after
+    /// installation, and rearming stops once every flow has completed so
+    /// the event heap can drain.
+    pub interval: SimDuration,
+    /// Ring capacity of every series (points retained per series).
+    pub series_capacity: usize,
+    /// Also run the wall-clock per-event-kind self-profiler. Off by
+    /// default: profile numbers are nondeterministic by nature and must
+    /// never reach byte-compared output.
+    pub prof: bool,
+}
+
+impl TelemetryConfig {
+    /// Default capacity (4096 points) and no profiler.
+    pub fn new(interval: SimDuration) -> Self {
+        TelemetryConfig { interval, series_capacity: 4096, prof: false }
+    }
+
+    /// Enable the wall-clock self-profiler, builder-style.
+    pub fn with_prof(mut self) -> Self {
+        self.prof = true;
+        self
+    }
+
+    /// Override the per-series ring capacity, builder-style.
+    pub fn with_series_capacity(mut self, cap: usize) -> Self {
+        self.series_capacity = cap;
+        self
+    }
+}
+
+/// Aggregate congestion-control state reported by one transport endpoint
+/// (summed over its active flows, then over hosts by the sampler).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CcSnapshot {
+    /// Sum of congestion windows, bytes.
+    pub cwnd_bytes: u64,
+    /// Sum of unacknowledged in-flight bytes.
+    pub inflight_bytes: u64,
+    /// Flows contributing to the sums.
+    pub flows: u64,
+}
+
+impl CcSnapshot {
+    /// Accumulate another snapshot into this one.
+    pub fn add(&mut self, other: &CcSnapshot) {
+        self.cwnd_bytes += other.cwnd_bytes;
+        self.inflight_bytes += other.inflight_bytes;
+        self.flows += other.flows;
+    }
+}
+
+/// Series index of the live-flow count.
+pub(crate) const IDX_FLOWS_LIVE: usize = 0;
+/// Series index of the packet-pool live-slot count.
+pub(crate) const IDX_POOL_LIVE: usize = 1;
+/// Series index of the packet-pool recycle hit rate.
+pub(crate) const IDX_POOL_HIT: usize = 2;
+/// Series index of the aggregate congestion window.
+pub(crate) const IDX_CC_CWND: usize = 3;
+/// Series index of the aggregate in-flight bytes.
+pub(crate) const IDX_CC_INFLIGHT: usize = 4;
+/// First per-port series index (two series per switch port follow, then
+/// one utilization series per link).
+pub(crate) const IDX_FIRST_DYNAMIC: usize = 5;
+
+/// Telemetry state owned by the simulator while enabled: the series
+/// table, the three histograms, the sampler's utilization baseline and
+/// the (optional) profiler accumulators.
+#[derive(Debug)]
+pub struct Telemetry {
+    pub(crate) cfg: TelemetryConfig,
+    /// Fixed layout: the scalar series (`IDX_*`), then
+    /// `sw{si}.port{pi}.queue_bytes`/`.queue_pkts` pairs in (switch,
+    /// port) order from `port_base`, then `link{li}.util` from `link_base`.
+    pub(crate) series: Vec<Series>,
+    pub(crate) port_base: usize,
+    pub(crate) link_base: usize,
+    /// Flow completion times (recorded at completion, nanoseconds).
+    pub(crate) fct_ns: LogHistogram,
+    /// Per-packet time spent queued at a host NIC or switch egress port
+    /// before serialization started, nanoseconds.
+    pub(crate) queue_delay_ns: LogHistogram,
+    /// Per-port backlog bytes observed at every sampler tick.
+    pub(crate) queue_depth_bytes: LogHistogram,
+    /// Cumulative link tx bytes at the previous tick (utilization deltas).
+    pub(crate) last_link_tx: Vec<u64>,
+    pub(crate) last_sample_at: SimTime,
+    pub(crate) samples_taken: u64,
+    /// Wall-clock profiler accumulators, indexed in [`ProfKind::ALL`]
+    /// order. Only written when `cfg.prof` is set.
+    pub(crate) prof_counts: [u64; 6],
+    pub(crate) prof_ns: [u64; 6],
+}
+
+impl Telemetry {
+    /// The configured sampling interval.
+    pub fn interval(&self) -> SimDuration {
+        self.cfg.interval
+    }
+
+    /// Whether the wall-clock self-profiler is on.
+    pub fn prof_enabled(&self) -> bool {
+        self.cfg.prof
+    }
+
+    /// Sampler ticks taken so far.
+    pub fn samples_taken(&self) -> u64 {
+        self.samples_taken
+    }
+
+    /// Every series, in the fixed layout order (stable across runs).
+    pub fn series(&self) -> &[Series] {
+        &self.series
+    }
+
+    /// Look up a series by name (e.g. `"flows.live"`, `"link3.util"`).
+    pub fn series_named(&self, name: &str) -> Option<&Series> {
+        self.series.iter().find(|s| s.name() == name)
+    }
+
+    /// Flow-completion-time histogram, nanoseconds.
+    pub fn fct_hist(&self) -> &LogHistogram {
+        &self.fct_ns
+    }
+
+    /// Per-packet queueing-delay histogram, nanoseconds.
+    pub fn queue_delay_hist(&self) -> &LogHistogram {
+        &self.queue_delay_ns
+    }
+
+    /// Sampled per-port queue-depth histogram, bytes.
+    pub fn queue_depth_hist(&self) -> &LogHistogram {
+        &self.queue_depth_bytes
+    }
+
+    /// Wall-clock dispatch profile as `(kind, count, total_ns)` rows in
+    /// [`ProfKind::ALL`] order; `None` unless the `prof` knob was set.
+    pub fn prof_breakdown(&self) -> Option<[(ProfKind, u64, u64); 6]> {
+        if !self.cfg.prof {
+            return None;
+        }
+        let mut rows = [(ProfKind::FlowStart, 0u64, 0u64); 6];
+        for (i, kind) in ProfKind::ALL.iter().enumerate() {
+            rows[i] = (*kind, self.prof_counts[i], self.prof_ns[i]);
+        }
+        Some(rows)
+    }
+
+    /// Encode the sampled series as [`TraceEvent::Sample`] JSONL lines
+    /// (series id = layout index), appending to `out`. With
+    /// `include_prof`, [`TraceEvent::Profile`] rows follow — wall-clock
+    /// data, so callers must keep it out of byte-compared artifacts.
+    pub fn dump_events(&self, out: &mut String, include_prof: bool) {
+        for (i, s) in self.series.iter().enumerate() {
+            for p in s.points() {
+                encode_line(out, p.at, &TraceEvent::Sample { series: i as u32, value: p.value });
+                out.push('\n');
+            }
+        }
+        if include_prof {
+            if let Some(rows) = self.prof_breakdown() {
+                for (kind, count, total_ns) in rows {
+                    encode_line(
+                        out,
+                        self.last_sample_at.0,
+                        &TraceEvent::Profile { kind, count, total_ns },
+                    );
+                    out.push('\n');
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_builders_apply() {
+        let cfg = TelemetryConfig::new(SimDuration::from_micros(10))
+            .with_prof()
+            .with_series_capacity(128);
+        assert_eq!(cfg.interval, SimDuration::from_micros(10));
+        assert!(cfg.prof, "with_prof must set the knob");
+        assert_eq!(cfg.series_capacity, 128);
+    }
+
+    #[test]
+    fn cc_snapshot_accumulates() {
+        let mut a = CcSnapshot { cwnd_bytes: 10, inflight_bytes: 5, flows: 1 };
+        a.add(&CcSnapshot { cwnd_bytes: 20, inflight_bytes: 15, flows: 2 });
+        assert_eq!(a, CcSnapshot { cwnd_bytes: 30, inflight_bytes: 20, flows: 3 });
+    }
+}

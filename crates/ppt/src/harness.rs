@@ -2,12 +2,15 @@
 //! workload, run, and collect FCT statistics — the loop every figure of
 //! the paper runs.
 
-use netsim::trace::{encode_line, FlightRecorder, MemorySink, MetricsRegistry, TraceEvent};
+use netsim::trace::{
+    encode_line, FlightRecorder, JsonObject, LogHistogram, MemorySink, MetricsRegistry, ProfKind,
+    TraceEvent,
+};
 use netsim::{Rate, RunLimits, SimDuration, SimTime, SwitchConfig, Topology};
 use transports::{MwRecorder, Proto, TcpCfg};
 use workloads::FlowSpec;
 
-use dcn_stats::FctStats;
+use dcn_stats::{FctStats, SeriesAnalysis};
 use ppt_core::PptConfig;
 
 /// Ring capacity of the always-on flight recorder: enough to show the
@@ -481,6 +484,42 @@ impl FaultSpec {
     }
 }
 
+/// Continuous-telemetry knobs for an experiment (plain data; cloned with
+/// the experiment into sweep points and mapped onto
+/// [`netsim::TelemetryConfig`] at install time).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TelemetrySpec {
+    /// Sampling interval of the deterministic whole-fabric sampler.
+    pub interval: SimDuration,
+    /// Points retained per series (ring capacity).
+    pub series_capacity: usize,
+    /// Also run the wall-clock dispatch self-profiler (nondeterministic
+    /// numbers — kept out of byte-compared output unless asked for).
+    pub prof: bool,
+}
+
+impl TelemetrySpec {
+    /// Sampler at `interval` with the default ring capacity, no profiler.
+    pub fn new(interval: SimDuration) -> Self {
+        TelemetrySpec { interval, series_capacity: 4096, prof: false }
+    }
+
+    /// Enable the self-profiler, builder-style.
+    pub fn with_prof(mut self) -> Self {
+        self.prof = true;
+        self
+    }
+
+    fn config(&self) -> netsim::TelemetryConfig {
+        let mut cfg =
+            netsim::TelemetryConfig::new(self.interval).with_series_capacity(self.series_capacity);
+        if self.prof {
+            cfg = cfg.with_prof();
+        }
+        cfg
+    }
+}
+
 /// A fully-described experiment.
 #[derive(Clone, Debug)]
 pub struct Experiment {
@@ -490,6 +529,9 @@ pub struct Experiment {
     pub flows: Vec<FlowSpec>,
     /// Faults to inject during the (main) run; `None` ⇒ clean network.
     pub faults: Option<FaultSpec>,
+    /// Continuous telemetry for the main run; `None` ⇒ off. The oracle
+    /// recording pass of `Hypothetical` schemes is never telemetered.
+    pub telemetry: Option<TelemetrySpec>,
     /// Wall stop (simulated); generous defaults cover stragglers.
     pub max_time: SimTime,
     pub max_events: u64,
@@ -504,6 +546,7 @@ impl Experiment {
             scheme,
             flows,
             faults: None,
+            telemetry: None,
             max_time: SimTime(30_000_000_000), // 30s simulated
             max_events: 4_000_000_000,
         }
@@ -512,6 +555,12 @@ impl Experiment {
     /// Attach a fault schedule to the experiment.
     pub fn with_faults(mut self, faults: FaultSpec) -> Self {
         self.faults = Some(faults);
+        self
+    }
+
+    /// Enable continuous telemetry on the main run.
+    pub fn with_telemetry(mut self, telemetry: TelemetrySpec) -> Self {
+        self.telemetry = Some(telemetry);
         self
     }
 }
@@ -524,10 +573,107 @@ pub struct Outcome {
     pub completion_ratio: f64,
     /// Aggregate switch counters (drops, marks, trims).
     pub counters: netsim::PortCounters,
-    /// The simulator (for post-hoc inspection: samplers, links).
+    /// The simulator (for post-hoc inspection: samplers, links, raw
+    /// telemetry via [`netsim::Simulator::telemetry`]).
     pub sim: netsim::Simulator<Proto>,
     /// Engine report.
     pub report: netsim::RunReport,
+    /// Telemetry summary, when the experiment enabled telemetry.
+    pub telemetry: Option<TelemetrySummary>,
+}
+
+/// `Send`-able digest of a run's telemetry: per-series analyses, the
+/// three histograms and the optional profile rows. Everything except
+/// `prof` is a pure function of simulated state, so its JSON encoding is
+/// byte-identical across reruns and sweep job counts (DESIGN.md §14).
+#[derive(Clone, Debug)]
+pub struct TelemetrySummary {
+    /// Sampling interval used.
+    pub interval: SimDuration,
+    /// Sampler ticks taken.
+    pub samples: u64,
+    /// Per-series amplitude/oscillation analyses, in series-table order.
+    pub series: Vec<SeriesAnalysis>,
+    /// Flow completion times, nanoseconds.
+    pub fct_ns: LogHistogram,
+    /// Per-packet queueing delay, nanoseconds.
+    pub queue_delay_ns: LogHistogram,
+    /// Sampled per-port queue depth, bytes.
+    pub queue_depth_bytes: LogHistogram,
+    /// Wall-clock dispatch profile `(kind, count, total_ns)` rows when
+    /// the profiler ran — machine noise, excluded from goldens.
+    pub prof: Option<Vec<(ProfKind, u64, u64)>>,
+}
+
+impl TelemetrySummary {
+    /// Digest the engine's telemetry state.
+    pub fn from_telemetry(t: &netsim::Telemetry) -> Self {
+        TelemetrySummary {
+            interval: t.interval(),
+            samples: t.samples_taken(),
+            series: dcn_stats::analyze_all(t.series()),
+            fct_ns: t.fct_hist().clone(),
+            queue_delay_ns: t.queue_delay_hist().clone(),
+            queue_depth_bytes: t.queue_depth_hist().clone(),
+            prof: t.prof_breakdown().map(|rows| rows.to_vec()),
+        }
+    }
+
+    /// Deterministic JSON encoding for `pptlab report`. Profile rows are
+    /// wall-clock noise, so they only appear when `include_prof` is set —
+    /// default report output stays byte-comparable.
+    pub fn to_json(&self, include_prof: bool) -> String {
+        let mut series = String::from("[");
+        for (i, a) in self.series.iter().enumerate() {
+            if i > 0 {
+                series.push(',');
+            }
+            let mut obj = JsonObject::new()
+                .str("name", &a.name)
+                .u64("points", a.points as u64)
+                .f64("mean", a.mean)
+                .f64("min", a.min)
+                .f64("max", a.max)
+                .f64("peak_to_peak", a.peak_to_peak);
+            if let Some(p) = a.period_ns {
+                obj = obj.u64("period_ns", p).f64("period_strength", a.period_strength);
+            }
+            series.push_str(&obj.bool("oscillating", a.oscillating).finish());
+        }
+        series.push(']');
+        let mut obj = JsonObject::new()
+            .u64("interval_ns", self.interval.as_nanos())
+            .u64("samples", self.samples)
+            .raw("series", &series)
+            .raw("fct_ns", &self.fct_ns.to_json())
+            .raw("queue_delay_ns", &self.queue_delay_ns.to_json())
+            .raw("queue_depth_bytes", &self.queue_depth_bytes.to_json());
+        if include_prof {
+            if let Some(rows) = &self.prof {
+                let mut prof = String::from("[");
+                for (i, (kind, count, total_ns)) in rows.iter().enumerate() {
+                    if i > 0 {
+                        prof.push(',');
+                    }
+                    prof.push_str(
+                        &JsonObject::new()
+                            .str("kind", kind.as_str())
+                            .u64("count", *count)
+                            .u64("total_ns", *total_ns)
+                            .finish(),
+                    );
+                }
+                prof.push(']');
+                obj = obj.raw("prof", &prof);
+            }
+        }
+        obj.finish()
+    }
+
+    /// Series flagged as oscillating by the analysis pass.
+    pub fn oscillating(&self) -> impl Iterator<Item = &SeriesAnalysis> {
+        self.series.iter().filter(|a| a.oscillating)
+    }
 }
 
 /// Run an experiment end to end. `Hypothetical` schemes automatically run
@@ -596,6 +742,9 @@ where
             topo.sim.set_fault_schedule(sched);
         }
     }
+    if let Some(spec) = &exp.telemetry {
+        topo.sim.enable_telemetry(spec.config());
+    }
     if !topo.sim.trace_enabled() {
         // No caller-installed sink: keep a bounded flight recorder running
         // so abnormal stops can dump the tail of the event stream.
@@ -608,7 +757,8 @@ where
     let fct = FctStats::from_sim(&topo.sim);
     let completion_ratio = FctStats::completion_ratio(&topo.sim);
     let counters = topo.sim.total_counters();
-    Outcome { fct, completion_ratio, counters, sim: topo.sim, report }
+    let telemetry = topo.sim.telemetry().map(TelemetrySummary::from_telemetry);
+    Outcome { fct, completion_ratio, counters, sim: topo.sim, report, telemetry }
 }
 
 /// Report an abnormal stop on stderr and, when the run was recorded by
@@ -647,11 +797,59 @@ fn warn_abnormal(exp: &Experiment, sim: &mut netsim::Simulator<Proto>, report: &
     let Some(sink) = sim.take_trace_sink() else { return };
     if let Some(rec) = sink.as_any().downcast_ref::<FlightRecorder>() {
         if !rec.is_empty() {
-            eprintln!("flight recorder: last {} of {} events:", rec.len(), rec.total_seen());
-            eprint!("{}", rec.to_jsonl());
+            // With PPT_DUMP_DIR set, the ring dump goes to its own file —
+            // parallel sweep workers would otherwise interleave multi-line
+            // dumps on shared stderr. Stderr remains the default.
+            match std::env::var("PPT_DUMP_DIR") {
+                Ok(dir) if !dir.is_empty() => {
+                    let path = dump_file_path(&dir, exp);
+                    match std::fs::write(&path, rec.to_jsonl()) {
+                        Ok(()) => eprintln!(
+                            "flight recorder: last {} of {} events dumped to {}",
+                            rec.len(),
+                            rec.total_seen(),
+                            path,
+                        ),
+                        Err(e) => {
+                            eprintln!(
+                                "flight recorder: failed to write {path}: {e}; dumping to stderr"
+                            );
+                            eprintln!(
+                                "flight recorder: last {} of {} events:",
+                                rec.len(),
+                                rec.total_seen()
+                            );
+                            eprint!("{}", rec.to_jsonl());
+                        }
+                    }
+                }
+                _ => {
+                    eprintln!(
+                        "flight recorder: last {} of {} events:",
+                        rec.len(),
+                        rec.total_seen()
+                    );
+                    eprint!("{}", rec.to_jsonl());
+                }
+            }
         }
     }
     sim.set_trace_sink(sink);
+}
+
+/// A collision-free dump file name: scheme + pid + a process-wide counter
+/// (several sweep workers in one process may dump concurrently).
+fn dump_file_path(dir: &str, exp: &Experiment) -> String {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static DUMP_SEQ: AtomicU64 = AtomicU64::new(0);
+    let n = DUMP_SEQ.fetch_add(1, Ordering::Relaxed);
+    format!(
+        "{}/ppt-dump-{}-{}-{}.jsonl",
+        dir.trim_end_matches('/'),
+        exp.scheme.name(),
+        std::process::id(),
+        n,
+    )
 }
 
 /// A captured event stream from a traced run.

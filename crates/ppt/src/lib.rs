@@ -49,6 +49,6 @@ pub use workloads;
 
 pub use harness::{
     collect_metrics, run_experiment, run_experiment_traced, run_experiment_with, Experiment,
-    InstallError, Outcome, Scheme, SchemeEnv, TopoKind, TraceData,
+    InstallError, Outcome, Scheme, SchemeEnv, TelemetrySpec, TelemetrySummary, TopoKind, TraceData,
 };
 pub use sweep::{run_points, PointResult, SweepPoint, SweepSpec};

@@ -98,6 +98,8 @@ pub struct PointResult {
     pub counters: PortCounters,
     /// Engine report.
     pub report: RunReport,
+    /// Telemetry summary, when the point's experiment enabled telemetry.
+    pub telemetry: Option<crate::harness::TelemetrySummary>,
 }
 
 impl PointResult {
@@ -109,6 +111,7 @@ impl PointResult {
             completion_ratio: outcome.completion_ratio,
             counters: outcome.counters,
             report: outcome.report,
+            telemetry: outcome.telemetry.clone(),
         }
     }
 }

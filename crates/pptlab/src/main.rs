@@ -13,7 +13,7 @@ use std::process::ExitCode;
 
 use ppt::harness::{
     collect_metrics, run_experiment, run_experiment_traced, Experiment, FaultCmd, FaultSpec,
-    Scheme, TopoKind,
+    Scheme, TelemetrySpec, TelemetrySummary, TopoKind,
 };
 use ppt::netsim::{SimDuration, SimTime};
 use ppt::stats::{analyze_lcp, analyze_recovery};
@@ -33,6 +33,8 @@ USAGE:
   pptlab sweep [OPTIONS]       run a scheme x load x seed grid and print one row per point
   pptlab trace [OPTIONS]       record a traced run: events.jsonl + metrics.json
   pptlab faults [OPTIONS]      traced fault-injection run; one JSONL recovery summary per scheme
+  pptlab report [OPTIONS]      telemetered run: series summaries, histogram percentiles,
+                               oscillation flags and (with --prof) a profile breakdown
   pptlab gen [OPTIONS] > t.csv generate a flow trace as CSV on stdout
   pptlab schemes               list scheme ids
   pptlab topos                 list topology ids
@@ -54,12 +56,21 @@ OPTIONS (compare, sweep, trace):
   --seeds a,b,c     (sweep) grid of seeds             [default: 42]
   --json            (compare) one JSON document / (sweep) one JSON line per point
   --metrics         (compare) also collect + print per-scheme metrics
-  --out DIR         (trace, faults) output directory; faults only writes events
-                    when --out is given                [default: . / off]
+  --out DIR         (trace, faults, report) output directory; faults/report only
+                    write files when --out is given. report writes
+                    <id>.report.json + <id>.telemetry.jsonl per scheme
+                                                      [default: . / off]
   --sanitize [LVL]  (compare, sweep, trace, faults) run simsan, the runtime
                     invariant sanitizer, on every simulation. LVL is the
                     audit cadence: event | epoch | end  [default: epoch]
                     (equivalent to setting PPT_SANITIZE=LVL)
+  --telemetry [IVL] (compare, sweep, trace, faults, report) enable the
+                    deterministic continuous-telemetry sampler at interval
+                    IVL: <n>ns | <n>us | <n>ms | bare <n> = microseconds
+                    [default: 10us]. Sampling only reads state, so traces
+                    and FCTs stay byte-identical with or without it.
+  --prof            (report) also run the wall-clock dispatch profiler and
+                    include its (non-deterministic) breakdown in output
   --faults SPEC     (compare, trace, faults) deterministic fault schedule.
                     SPEC is comma-separated items:
                       loss=F        per-packet data-loss probability
@@ -290,6 +301,47 @@ fn with_faults(exp: Experiment, faults: &Option<FaultSpec>) -> Experiment {
     }
 }
 
+/// Parse a sampling interval: `<n>ns`, `<n>us`, `<n>ms`, or a bare
+/// number meaning microseconds.
+fn parse_interval(v: &str) -> Result<SimDuration, String> {
+    let bad = || format!("bad interval '{v}' (want <n>ns | <n>us | <n>ms | <n>)");
+    let (digits, mult) = if let Some(d) = v.strip_suffix("ns") {
+        (d, 1)
+    } else if let Some(d) = v.strip_suffix("us") {
+        (d, 1_000)
+    } else if let Some(d) = v.strip_suffix("ms") {
+        (d, 1_000_000)
+    } else {
+        (v, 1_000)
+    };
+    let n: u64 = digits.parse().map_err(|_| bad())?;
+    if n == 0 {
+        return Err(bad());
+    }
+    Ok(SimDuration(n * mult))
+}
+
+/// The optional `--telemetry [IVL]` spec shared by every run command.
+/// A bare `--telemetry` means the 10 µs default interval.
+fn parse_telemetry_arg(args: &Args) -> Result<Option<TelemetrySpec>, String> {
+    let Some(v) = args.get("telemetry") else { return Ok(None) };
+    let v = if v == "true" { "10us" } else { v };
+    let interval = parse_interval(v).map_err(|e| format!("--telemetry: {e}"))?;
+    let mut spec = TelemetrySpec::new(interval);
+    if args.flag("prof") {
+        spec = spec.with_prof();
+    }
+    Ok(Some(spec))
+}
+
+/// Attach `telemetry` (when present) to an experiment.
+fn with_telemetry(exp: Experiment, telemetry: &Option<TelemetrySpec>) -> Experiment {
+    match telemetry {
+        Some(t) => exp.with_telemetry(*t),
+        None => exp,
+    }
+}
+
 /// Turn `--sanitize [LVL]` into the `PPT_SANITIZE` environment variable the
 /// harness reads before every experiment. A bare `--sanitize` means the
 /// per-epoch cadence; the flag never changes simulation results (the
@@ -328,10 +380,13 @@ fn cmd_compare(args: &Args) -> Result<(), String> {
     // results come back in scheme order no matter how many workers ran.
     let jobs: usize = args.parse_or("jobs", 1)?;
     let faults = parse_faults_arg(args)?;
+    let telemetry = parse_telemetry_arg(args)?;
     let results = run_points(schemes.len(), jobs, |i| {
         let scheme = schemes[i].1.clone();
-        let exp =
-            with_faults(Experiment::new(setup.topo, scheme, setup.flow_list.clone()), &faults);
+        let exp = with_telemetry(
+            with_faults(Experiment::new(setup.topo, scheme, setup.flow_list.clone()), &faults),
+            &telemetry,
+        );
         let outcome = run_experiment(&exp);
         let metrics = with_metrics.then(|| collect_metrics(&outcome).to_json());
         (outcome.fct.summary(), outcome.completion_ratio, outcome.counters.dropped, metrics)
@@ -406,10 +461,14 @@ fn cmd_trace(args: &Args) -> Result<(), String> {
     // byte-identical for any --jobs.
     let jobs: usize = args.parse_or("jobs", 1)?;
     let faults = parse_faults_arg(args)?;
+    let telemetry = parse_telemetry_arg(args)?;
     let results = run_points(schemes.len(), jobs, |i| {
-        let exp = with_faults(
-            Experiment::new(setup.topo, schemes[i].1.clone(), setup.flow_list.clone()),
-            &faults,
+        let exp = with_telemetry(
+            with_faults(
+                Experiment::new(setup.topo, schemes[i].1.clone(), setup.flow_list.clone()),
+                &faults,
+            ),
+            &telemetry,
         );
         let (outcome, trace) = run_experiment_traced(&exp);
         (trace, collect_metrics(&outcome).to_json())
@@ -450,9 +509,13 @@ fn cmd_faults(args: &Args) -> Result<(), String> {
     }
 
     let jobs: usize = args.parse_or("jobs", 1)?;
+    let telemetry = parse_telemetry_arg(args)?;
     let results = run_points(schemes.len(), jobs, |i| {
-        let exp = Experiment::new(setup.topo, schemes[i].1.clone(), setup.flow_list.clone())
-            .with_faults(faults.clone());
+        let exp = with_telemetry(
+            Experiment::new(setup.topo, schemes[i].1.clone(), setup.flow_list.clone())
+                .with_faults(faults.clone()),
+            &telemetry,
+        );
         let (outcome, trace) = run_experiment_traced(&exp);
         (
             trace,
@@ -509,7 +572,14 @@ fn cmd_sweep(args: &Args) -> Result<(), String> {
     let json_mode = args.flag("json");
 
     let scheme_list: Vec<Scheme> = schemes.iter().map(|(_, s)| s.clone()).collect();
-    let spec = SweepSpec::new().jobs(jobs).grid(topo, &scheme_list, &dist, &loads, flows, &seeds);
+    let telemetry = parse_telemetry_arg(args)?;
+    let mut spec =
+        SweepSpec::new().jobs(jobs).grid(topo, &scheme_list, &dist, &loads, flows, &seeds);
+    if let Some(t) = telemetry {
+        for p in &mut spec.points {
+            p.exp.telemetry = Some(t);
+        }
+    }
     if !json_mode {
         println!(
             "sweep: {} points ({} schemes x {} loads x {} seeds) on {topo:?}, \
@@ -528,7 +598,7 @@ fn cmd_sweep(args: &Args) -> Result<(), String> {
     for r in spec.run() {
         let s = r.fct.summary();
         if json_mode {
-            let doc = JsonObject::new()
+            let mut doc = JsonObject::new()
                 .str("point", &r.label)
                 .str("scheme", &r.scheme.name())
                 .f64("overall_avg_us", s.overall_avg_us)
@@ -536,9 +606,13 @@ fn cmd_sweep(args: &Args) -> Result<(), String> {
                 .f64("small_p99_us", s.small_p99_us)
                 .f64("large_avg_us", s.large_avg_us)
                 .f64("completion_ratio", r.completion_ratio)
-                .u64("drops", r.counters.dropped)
-                .finish();
-            println!("{doc}");
+                .u64("drops", r.counters.dropped);
+            if let Some(t) = &r.telemetry {
+                doc = doc
+                    .u64("telemetry_samples", t.samples)
+                    .u64("oscillating_series", t.oscillating().count() as u64);
+            }
+            println!("{}", doc.finish());
         } else {
             println!(
                 "{:<34} {:>12.1} {:>12.1} {:>12.1} {:>12.1} {:>8.1} {:>10}",
@@ -555,6 +629,133 @@ fn cmd_sweep(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// Render the `pptlab report` terminal block for one scheme.
+fn render_report(name: &str, t: &TelemetrySummary) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "--- telemetry: {name} (interval {} us, {} samples) ---",
+        t.interval.as_nanos() / 1_000,
+        t.samples,
+    );
+    let _ = writeln!(
+        out,
+        "{:<26} {:>10} {:>12} {:>12} {:>12} {:>12}",
+        "histogram", "count", "p50", "p90", "p99", "max"
+    );
+    for (label, h) in [
+        ("fct (ns)", &t.fct_ns),
+        ("queue_delay (ns)", &t.queue_delay_ns),
+        ("queue_depth (bytes)", &t.queue_depth_bytes),
+    ] {
+        let _ = writeln!(
+            out,
+            "{:<26} {:>10} {:>12} {:>12} {:>12} {:>12}",
+            label,
+            h.count(),
+            h.percentile(50.0),
+            h.percentile(90.0),
+            h.percentile(99.0),
+            h.max(),
+        );
+    }
+    let oscillating: Vec<_> = t.oscillating().collect();
+    let _ =
+        writeln!(out, "oscillating series: {} of {} analyzed", oscillating.len(), t.series.len());
+    for a in &oscillating {
+        let _ = writeln!(
+            out,
+            "  {:<26} period={} ns strength={:.2} peak_to_peak={:.1}",
+            a.name,
+            a.period_ns.unwrap_or(0),
+            a.period_strength,
+            a.peak_to_peak,
+        );
+    }
+    if let Some(rows) = &t.prof {
+        let _ = writeln!(out, "profile (wall-clock; non-deterministic, never in goldens):");
+        for (kind, count, total_ns) in rows {
+            if *count == 0 {
+                continue;
+            }
+            let _ = writeln!(
+                out,
+                "  {:<12} count={:<12} total={} ns ({} ns/event)",
+                kind.as_str(),
+                count,
+                total_ns,
+                total_ns / count,
+            );
+        }
+    }
+    out
+}
+
+fn cmd_report(args: &Args) -> Result<(), String> {
+    let schemes = parse_schemes(args, "ppt")?;
+    let setup = parse_setup(args, 80)?;
+    let faults = parse_faults_arg(args)?;
+    // report always samples: default to the 10 µs interval when the flag
+    // was not given explicitly.
+    let telemetry = Some(parse_telemetry_arg(args)?.unwrap_or_else(|| {
+        let spec = TelemetrySpec::new(SimDuration::from_micros(10));
+        if args.flag("prof") {
+            spec.with_prof()
+        } else {
+            spec
+        }
+    }));
+    let prof = args.flag("prof");
+    let json_mode = args.flag("json");
+    let out_dir = args.get("out").map(std::path::PathBuf::from);
+    if let Some(dir) = &out_dir {
+        std::fs::create_dir_all(dir).map_err(|e| format!("--out {}: {e}", dir.display()))?;
+    }
+
+    let jobs: usize = args.parse_or("jobs", 1)?;
+    let results = run_points(schemes.len(), jobs, |i| {
+        let exp = with_telemetry(
+            with_faults(
+                Experiment::new(setup.topo, schemes[i].1.clone(), setup.flow_list.clone()),
+                &faults,
+            ),
+            &telemetry,
+        );
+        let outcome = run_experiment(&exp);
+        let summary = outcome.telemetry.clone().expect("report runs always enable telemetry");
+        // The raw sampled points as TraceEvent::Sample JSONL (Profile rows
+        // only under --prof: they are wall-clock noise).
+        let mut dump = String::new();
+        if let Some(t) = outcome.sim.telemetry() {
+            t.dump_events(&mut dump, prof);
+        }
+        (summary, dump)
+    });
+
+    // All printing happens here, in scheme order, so output is
+    // byte-identical for any --jobs (profile rows excepted, by design).
+    for ((id, scheme), (summary, dump)) in schemes.iter().zip(results) {
+        let name = scheme.name();
+        let report_json = JsonObject::new()
+            .str("scheme", &name)
+            .raw("telemetry", &summary.to_json(prof))
+            .finish();
+        if let Some(dir) = &out_dir {
+            let rp = dir.join(format!("{id}.report.json"));
+            std::fs::write(&rp, &report_json).map_err(|e| format!("{}: {e}", rp.display()))?;
+            let tp = dir.join(format!("{id}.telemetry.jsonl"));
+            std::fs::write(&tp, &dump).map_err(|e| format!("{}: {e}", tp.display()))?;
+        }
+        if json_mode {
+            println!("{report_json}");
+        } else {
+            print!("{}", render_report(&name, &summary));
+        }
+    }
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let Some(cmd) = argv.first() else {
@@ -562,7 +763,7 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     };
     match cmd.as_str() {
-        "compare" | "sweep" | "trace" | "faults" => {
+        "compare" | "sweep" | "trace" | "faults" | "report" => {
             let args = match Args::parse(&argv[1..]) {
                 Ok(a) => a,
                 Err(e) => {
@@ -578,6 +779,7 @@ fn main() -> ExitCode {
                 "compare" => cmd_compare,
                 "sweep" => cmd_sweep,
                 "faults" => cmd_faults,
+                "report" => cmd_report,
                 _ => cmd_trace,
             };
             if let Err(e) = run(&args) {

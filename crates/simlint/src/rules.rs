@@ -138,7 +138,7 @@ impl Rule {
             }
             Rule::PragmaHygiene => "an allow(...) pragma that suppresses nothing is a violation",
             Rule::PaperConstants => "paper constants match DESIGN.md (lambda pair, EWD ACK ratio)",
-            Rule::TraceSchema => "every TraceEvent variant has a JSONL encoder arm",
+            Rule::TraceSchema => "every TraceEvent variant has a kind() arm and a JSONL encoder arm",
         }
     }
 
@@ -979,25 +979,50 @@ pub fn check_trace_schema(root: &Path, out: &mut Vec<Violation>) {
         return;
     }
 
-    // The encoder: from `fn encode_line` to its top-level closing brace.
-    let Some(start) = masked.lines.iter().position(|l| l.contains("fn encode_line")) else {
-        fail(1, "`fn encode_line` not found".into());
-        return;
+    // Brace-counted body of a named fn: from the first line containing
+    // `needle` until depth returns to zero. Works for free fns and for
+    // methods nested inside an impl block.
+    let fn_body = |needle: &str| -> Option<&[String]> {
+        let start = masked.lines.iter().position(|l| l.contains(needle))?;
+        let mut depth = 0i32;
+        let mut opened = false;
+        for (off, line) in masked.lines[start..].iter().enumerate() {
+            for c in line.chars() {
+                match c {
+                    '{' => {
+                        depth += 1;
+                        opened = true;
+                    }
+                    '}' => depth -= 1,
+                    _ => {}
+                }
+            }
+            if opened && depth == 0 {
+                return Some(&masked.lines[start..start + off + 1]);
+            }
+        }
+        Some(&masked.lines[start..])
     };
-    let end = masked.lines[start..]
-        .iter()
-        .position(|l| l.trim_end() == "}")
-        .map_or(masked.lines.len(), |p| start + p + 1);
-    let body = &masked.lines[start..end];
 
-    for (line_no, v) in &variants {
-        let needle = format!("TraceEvent::{v}");
-        let encoded = body.iter().any(|l| !token_positions(l, &needle).is_empty());
-        if !encoded {
-            fail(
-                *line_no,
-                format!("`{needle}` has no encoder arm in encode_line; events.jsonl would drop it"),
-            );
+    // Every variant needs an arm in both halves of the schema: `kind()`
+    // (the stable event-kind string, used for filtering and the SAMPLES
+    // gallery) and `encode_line` (the JSONL encoder). `Sample`/`Profile`
+    // style additions that only patch one of the two are exactly the
+    // drift this rule exists to catch.
+    for (fn_name, missing_what) in [
+        ("fn kind", "kind() arm; its event-kind string would be unnameable"),
+        ("fn encode_line", "encoder arm in encode_line; events.jsonl would drop it"),
+    ] {
+        let Some(body) = fn_body(fn_name) else {
+            fail(1, format!("`{fn_name}` not found"));
+            continue;
+        };
+        for (line_no, v) in &variants {
+            let needle = format!("TraceEvent::{v}");
+            let covered = body.iter().any(|l| !token_positions(l, &needle).is_empty());
+            if !covered {
+                fail(*line_no, format!("`{needle}` has no {missing_what}"));
+            }
         }
     }
 }

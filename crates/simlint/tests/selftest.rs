@@ -177,6 +177,15 @@ pub enum TraceEvent {
     Orphan { flow: u64 },
 }
 
+impl TraceEvent {
+    pub fn kind(&self) -> &'static str {
+        match self {
+            TraceEvent::FlowStart { .. } => \"flow_start\",
+            TraceEvent::Orphan { .. } => \"orphan\",
+        }
+    }
+}
+
 pub fn encode_line(out: &mut String, at: u64, ev: &TraceEvent) {
     match ev {
         TraceEvent::FlowStart { flow } => {}
@@ -196,7 +205,21 @@ pub fn encode_line(out: &mut String, at: u64, ev: &TraceEvent) {
         "encoded variant must not fire: {out:?}"
     );
 
-    // Fixed: every variant has an arm → clean.
+    // A variant with an encoder arm but no kind() arm must also fire —
+    // both halves of the schema are checked independently.
+    let kindless = broken.replace("            TraceEvent::Orphan { .. } => \"orphan\",\n", "");
+    let kindless = kindless.replace("_ => {}", "TraceEvent::Orphan { flow } => {}");
+    std::fs::write(trace_src.join("event.rs"), kindless).expect("write kindless fixture");
+    let mut out = Vec::new();
+    simlint::rules::check_trace_schema(&tmp, &mut out);
+    assert!(
+        out.iter().any(|v| v.rule == Rule::TraceSchema
+            && v.message.contains("Orphan")
+            && v.message.contains("kind()")),
+        "variant without a kind() arm must fire: {out:?}"
+    );
+
+    // Fixed: every variant has both arms → clean.
     let fixed = broken.replace("_ => {}", "TraceEvent::Orphan { flow } => {}");
     std::fs::write(trace_src.join("event.rs"), fixed).expect("write fixed fixture");
     let mut out = Vec::new();

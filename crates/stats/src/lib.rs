@@ -11,6 +11,7 @@ pub mod fct;
 pub mod lcp;
 pub mod recovery;
 pub mod series;
+pub mod telemetry;
 
 pub use fct::{FctRecord, FctStats, FctSummary, SMALL_FLOW_MAX_BYTES};
 pub use lcp::{analyze_lcp, LcpLoop, LcpReport};
@@ -19,3 +20,4 @@ pub use series::{
     jain_index, mean_utilization, occupancy_split, utilization_series, OccupancySplit,
     UtilizationPoint,
 };
+pub use telemetry::{analyze_all, analyze_series, SeriesAnalysis, OSC_THRESHOLD};

@@ -1,0 +1,240 @@
+//! Analysis pass over the engine's telemetry series (DESIGN.md §14):
+//! per-series amplitude and dominant-oscillation detection — the seed of
+//! the stability lab.
+//!
+//! Dual-loop / ECN transports can hide limit cycles behind healthy
+//! *average* numbers (see "Nonlinear Instabilities in D2TCP-II" and
+//! "Disentangling Flaws in Linux DCTCP", PAPERS.md): a queue that swings
+//! between empty and the ECN threshold every few RTTs has a fine mean and
+//! a terrible tail. Because the sampler is deterministic, the series here
+//! are exactly reproducible, so oscillation verdicts are too — the same
+//! run always yields the same flags.
+//!
+//! Detection is two-stage. The primary detector is lag autocorrelation on
+//! the mean-removed series: find the first negative-correlation lag (the
+//! half-cycle), then the strongest positive peak past it (the full
+//! cycle). A peak at lag `L` with normalized correlation ≥
+//! [`OSC_THRESHOLD`] flags the series as oscillating with period
+//! `L × dt`. When autocorrelation finds no confident peak, a
+//! zero-crossing count still produces a period *estimate* (twice the mean
+//! half-cycle length) without setting the flag.
+
+use netsim::trace::Series;
+
+/// Minimum points before analysis attempts period detection.
+pub const MIN_POINTS: usize = 8;
+
+/// Normalized autocorrelation a candidate period must reach for the
+/// series to be flagged oscillating.
+pub const OSC_THRESHOLD: f64 = 0.2;
+
+/// Summary statistics and oscillation verdict for one telemetry series.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SeriesAnalysis {
+    /// Series name (e.g. `"sw0.port1.queue_bytes"`).
+    pub name: String,
+    /// Points analyzed.
+    pub points: usize,
+    /// Arithmetic mean of the values.
+    pub mean: f64,
+    /// Smallest value.
+    pub min: f64,
+    /// Largest value.
+    pub max: f64,
+    /// `max - min`: the swing a mean hides.
+    pub peak_to_peak: f64,
+    /// Dominant oscillation period in nanoseconds — from the
+    /// autocorrelation peak when confident, else the zero-crossing
+    /// estimate, else `None` (flat or aperiodic).
+    pub period_ns: Option<u64>,
+    /// Normalized autocorrelation at the chosen period (0 when the
+    /// period came from the zero-crossing fallback or is absent).
+    pub period_strength: f64,
+    /// True when the autocorrelation peak cleared [`OSC_THRESHOLD`].
+    pub oscillating: bool,
+}
+
+/// Analyze one sampled series. Total-ordering note: the input is produced
+/// by the deterministic sampler, and every operation here is
+/// IEEE-754-exact over it in a fixed order, so equal runs give equal
+/// analyses.
+pub fn analyze_series(series: &Series) -> SeriesAnalysis {
+    let values: Vec<f64> = series.points().map(|p| p.value).collect();
+    let times: Vec<u64> = series.points().map(|p| p.at).collect();
+    let n = values.len();
+    let mut out = SeriesAnalysis {
+        name: series.name().to_string(),
+        points: n,
+        mean: 0.0,
+        min: 0.0,
+        max: 0.0,
+        peak_to_peak: 0.0,
+        period_ns: None,
+        period_strength: 0.0,
+        oscillating: false,
+    };
+    if n == 0 {
+        return out;
+    }
+    let sum: f64 = values.iter().sum();
+    out.mean = sum / n as f64;
+    out.min = values.iter().copied().fold(f64::INFINITY, f64::min);
+    out.max = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    out.peak_to_peak = out.max - out.min;
+    if n < MIN_POINTS || out.peak_to_peak <= 0.0 {
+        return out;
+    }
+    // Mean sample spacing; the sampler is uniform, so this is exact up to
+    // integer division.
+    let span = times[n - 1].saturating_sub(times[0]);
+    if span == 0 {
+        return out;
+    }
+    let dt = span / (n as u64 - 1);
+    let centered: Vec<f64> = values.iter().map(|v| v - out.mean).collect();
+    let energy: f64 = centered.iter().map(|x| x * x).sum();
+    if energy <= 0.0 {
+        return out;
+    }
+    if let Some((lag, strength)) = autocorr_peak(&centered, energy) {
+        out.period_ns = Some(lag as u64 * dt);
+        out.period_strength = strength;
+        out.oscillating = strength >= OSC_THRESHOLD;
+        return out;
+    }
+    if let Some(period) = zero_crossing_period(&centered, dt) {
+        out.period_ns = Some(period);
+    }
+    out
+}
+
+/// Analyze every series of a run, in table order.
+pub fn analyze_all(series: &[Series]) -> Vec<SeriesAnalysis> {
+    series.iter().map(analyze_series).collect()
+}
+
+/// Find the dominant positive autocorrelation peak past the first
+/// negative-correlation lag. Returns `(lag, normalized_correlation)`.
+fn autocorr_peak(centered: &[f64], energy: f64) -> Option<(usize, f64)> {
+    let n = centered.len();
+    let max_lag = n / 2;
+    let r = |lag: usize| -> f64 {
+        let mut acc = 0.0;
+        for i in 0..n - lag {
+            acc += centered[i] * centered[i + lag];
+        }
+        acc / energy
+    };
+    // The half-cycle: the first lag anti-correlated with lag zero.
+    let first_neg = (1..max_lag).find(|&lag| r(lag) < 0.0)?;
+    let mut best: Option<(usize, f64)> = None;
+    for lag in first_neg + 1..max_lag {
+        let v = r(lag);
+        if best.is_none_or(|(_, b)| v > b) {
+            best = Some((lag, v));
+        }
+    }
+    let (lag, strength) = best?;
+    if strength <= 0.0 {
+        return None;
+    }
+    Some((lag, strength))
+}
+
+/// Period estimate from mean-crossing count: `crossings / 2` full cycles
+/// over the observed span. Needs at least two full cycles to say anything.
+fn zero_crossing_period(centered: &[f64], dt: u64) -> Option<u64> {
+    let mut crossings = 0u64;
+    let mut prev_sign = 0i8;
+    for &x in centered {
+        let sign = if x > 0.0 {
+            1
+        } else if x < 0.0 {
+            -1
+        } else {
+            0
+        };
+        if sign != 0 {
+            if prev_sign != 0 && sign != prev_sign {
+                crossings += 1;
+            }
+            prev_sign = sign;
+        }
+    }
+    if crossings < 4 {
+        return None;
+    }
+    let span = dt * (centered.len() as u64 - 1);
+    Some(2 * span / crossings)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn series_of(values: &[f64], dt: u64) -> Series {
+        let mut s = Series::new("test", values.len().max(1));
+        for (i, v) in values.iter().enumerate() {
+            s.push(i as u64 * dt, *v);
+        }
+        s
+    }
+
+    #[test]
+    fn empty_series_yields_zeroes() {
+        let a = analyze_series(&series_of(&[], 1000));
+        assert_eq!(a.points, 0);
+        assert_eq!(a.period_ns, None);
+        assert!(!a.oscillating, "empty series cannot oscillate");
+    }
+
+    #[test]
+    fn flat_series_is_not_oscillating() {
+        let a = analyze_series(&series_of(&[7.0; 64], 1000));
+        assert_eq!(a.mean, 7.0);
+        assert_eq!(a.peak_to_peak, 0.0);
+        assert_eq!(a.period_ns, None);
+        assert!(!a.oscillating, "constant series must not be flagged");
+    }
+
+    #[test]
+    fn square_wave_period_detected() {
+        // Period-8 square wave, 8 cycles: +1 +1 +1 +1 -1 -1 -1 -1 ...
+        let mut v = Vec::new();
+        for i in 0..64 {
+            v.push(if (i / 4) % 2 == 0 { 1.0 } else { -1.0 });
+        }
+        let a = analyze_series(&series_of(&v, 1000));
+        assert!(a.oscillating, "square wave must be flagged oscillating");
+        let period = a.period_ns.expect("square wave has a period");
+        assert_eq!(period, 8000, "period-8 wave at dt=1000ns");
+        assert!(a.period_strength >= OSC_THRESHOLD);
+        assert_eq!(a.peak_to_peak, 2.0);
+    }
+
+    #[test]
+    fn ramp_is_not_flagged() {
+        let v: Vec<f64> = (0..64).map(|i| i as f64).collect();
+        let a = analyze_series(&series_of(&v, 1000));
+        assert!(!a.oscillating, "a monotone ramp is not an oscillation");
+    }
+
+    #[test]
+    fn short_series_skips_detection() {
+        let a = analyze_series(&series_of(&[0.0, 1.0, 0.0, 1.0], 1000));
+        assert_eq!(a.period_ns, None, "below MIN_POINTS no period is attempted");
+        assert!(!a.oscillating);
+        assert_eq!(a.peak_to_peak, 1.0);
+    }
+
+    #[test]
+    fn analysis_is_deterministic() {
+        let mut v = Vec::new();
+        for i in 0..100 {
+            v.push((i % 10) as f64);
+        }
+        let a = analyze_series(&series_of(&v, 500));
+        let b = analyze_series(&series_of(&v, 500));
+        assert_eq!(a, b, "same series must give the identical analysis");
+    }
+}

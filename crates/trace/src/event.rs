@@ -107,6 +107,48 @@ impl SanCheck {
     }
 }
 
+/// The engine event kinds the dispatch-loop self-profiler attributes
+/// wall-clock time to (DESIGN.md §14). Mirrors the engine's internal
+/// event enum one-to-one; `ALL` fixes the reporting order.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ProfKind {
+    /// Flow-start dispatches (application handoff to the transport).
+    FlowStart,
+    /// Packet deliveries (host receive + switch forwarding).
+    Deliver,
+    /// Egress serialization completions.
+    TxDone,
+    /// Transport timer fires.
+    Timer,
+    /// Telemetry/legacy sampler ticks.
+    Sample,
+    /// Timed fault operations.
+    Fault,
+}
+
+impl ProfKind {
+    /// Every kind, in the order profile breakdowns are reported.
+    pub const ALL: [ProfKind; 6] = [
+        ProfKind::FlowStart,
+        ProfKind::Deliver,
+        ProfKind::TxDone,
+        ProfKind::Timer,
+        ProfKind::Sample,
+        ProfKind::Fault,
+    ];
+
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            ProfKind::FlowStart => "flow_start",
+            ProfKind::Deliver => "deliver",
+            ProfKind::TxDone => "tx_done",
+            ProfKind::Timer => "timer",
+            ProfKind::Sample => "sample",
+            ProfKind::Fault => "fault",
+        }
+    }
+}
+
 /// One trace event. Time is carried next to the event by the sink
 /// (`TraceSink::emit(at, ev)`), not inside it.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -157,6 +199,15 @@ pub enum TraceEvent {
     /// id — which one depends on `check`); `expected`/`actual` carry the
     /// disagreeing quantities.
     SanViolation { check: SanCheck, subject: u64, expected: u64, actual: u64 },
+    /// One telemetry sampler reading: `series` indexes the run's series
+    /// table (written alongside the stream). Only post-run telemetry
+    /// export writes these — the live golden trace path never sees them,
+    /// which is what keeps telemetry-on runs byte-identical (DESIGN.md §14).
+    Sample { series: u32, value: f64 },
+    /// Engine self-profiler totals for one event kind: wall-clock
+    /// nanoseconds, so only written behind the explicit `prof` knob and
+    /// always excluded from determinism goldens (DESIGN.md §14).
+    Profile { kind: ProfKind, count: u64, total_ns: u64 },
 }
 
 impl TraceEvent {
@@ -183,6 +234,8 @@ impl TraceEvent {
             TraceEvent::LinkUp { .. } => "link_up",
             TraceEvent::FaultDrop { .. } => "fault_drop",
             TraceEvent::SanViolation { .. } => "san_violation",
+            TraceEvent::Sample { .. } => "sample",
+            TraceEvent::Profile { .. } => "profile",
         }
     }
 }
@@ -273,6 +326,17 @@ pub fn encode_line(out: &mut String, at: u64, ev: &TraceEvent) {
                 check.as_str()
             );
         }
+        TraceEvent::Sample { series, value } => {
+            let _ = write!(out, ",\"series\":{series},\"value\":");
+            crate::json::push_f64(out, value);
+        }
+        TraceEvent::Profile { kind, count, total_ns } => {
+            let _ = write!(
+                out,
+                ",\"kind\":\"{}\",\"count\":{count},\"total_ns\":{total_ns}",
+                kind.as_str()
+            );
+        }
     }
     out.push('}');
 }
@@ -307,6 +371,8 @@ mod tests {
             expected: 2920,
             actual: 4380,
         },
+        TraceEvent::Sample { series: 12, value: 46_720.0 },
+        TraceEvent::Profile { kind: ProfKind::Deliver, count: 420_000, total_ns: 180_000_000 },
     ];
 
     #[test]

@@ -17,6 +17,9 @@
 //! - **[`MetricsRegistry`]**: BTreeMap-keyed counters and gauges with a
 //!   hand-rolled, deterministically ordered JSON snapshot. No serde; the
 //!   workspace stays offline.
+//! - **[`Series`] / [`LogHistogram`]**: continuous-telemetry containers —
+//!   a bounded ring time series and an HDR-style log-bucket histogram —
+//!   filled by the engine's deterministic interval sampler (DESIGN.md §14).
 //!
 //! Determinism contract: every event field is derived from simulated state,
 //! and every serialization iterates in `BTreeMap`/insertion order, so the
@@ -26,8 +29,10 @@ pub mod event;
 pub mod json;
 pub mod metrics;
 pub mod sink;
+pub mod telemetry;
 
-pub use event::{encode_line, LcpCloseReason, LcpTrigger, SanCheck, TraceEvent};
+pub use event::{encode_line, LcpCloseReason, LcpTrigger, ProfKind, SanCheck, TraceEvent};
 pub use json::JsonObject;
 pub use metrics::MetricsRegistry;
 pub use sink::{FlightRecorder, JsonlSink, MemorySink, TraceSink};
+pub use telemetry::{LogHistogram, Series, SeriesPoint};

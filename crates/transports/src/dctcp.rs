@@ -173,6 +173,16 @@ impl Transport<Proto> for DctcpTransport {
             Self::pump(flow, self.ecn_enabled, ctx);
         }
     }
+
+    fn cc_snapshot(&self) -> netsim::CcSnapshot {
+        let mut snap = netsim::CcSnapshot::default();
+        for flow in self.tx.values().filter(|f| !f.is_done()) {
+            snap.cwnd_bytes += flow.cwnd_bytes();
+            snap.inflight_bytes += flow.inflight_bytes();
+            snap.flows += 1;
+        }
+        snap
+    }
 }
 
 /// Convenience: install a fresh DCTCP endpoint on every host of a

@@ -435,6 +435,21 @@ impl Transport<Proto> for PptTransport {
             _ => {}
         }
     }
+
+    fn cc_snapshot(&self) -> netsim::CcSnapshot {
+        let mut snap = netsim::CcSnapshot::default();
+        for f in self.tx.values().filter(|f| !f.hcp.is_done()) {
+            // The PPT window is the dual-loop total: the HCP congestion
+            // window plus the open LCP's window, when one exists. LCP
+            // segments claim flow bytes through the shared HCP ledger, so
+            // its in-flight is already covered by `inflight_bytes`.
+            snap.cwnd_bytes +=
+                f.hcp.cwnd_bytes() + f.lcp.as_ref().map_or(0, |l| l.initial_window_bytes());
+            snap.inflight_bytes += f.hcp.inflight_bytes();
+            snap.flows += 1;
+        }
+        snap
+    }
 }
 
 /// Install PPT on every host of a topology.

@@ -88,6 +88,29 @@ done
 test -s "$FAULT_TMP/serial.jsonl"
 rm -rf "$FAULT_TMP"
 
+echo "==> telemetry smoke (report byte-identical across reruns; goldens untouched)"
+TELEM_TMP="${TMPDIR:-/tmp}/pptlab-telemetry-smoke.$$"
+mkdir -p "$TELEM_TMP/a" "$TELEM_TMP/b" "$TELEM_TMP/t" "$TELEM_TMP/plain"
+# The report pipeline (sampler -> series analysis -> histograms -> JSON)
+# must be a pure function of simulated state: two identical invocations,
+# byte-compared (DESIGN.md §14.2).
+./target/release/pptlab report --schemes ppt,dctcp --topo star:5:10:20 --workload websearch \
+    --flows 40 --seed 42 --telemetry 10us --json --out "$TELEM_TMP/a" > "$TELEM_TMP/a.jsonl"
+./target/release/pptlab report --schemes ppt,dctcp --topo star:5:10:20 --workload websearch \
+    --flows 40 --seed 42 --telemetry 10us --json --out "$TELEM_TMP/b" > "$TELEM_TMP/b.jsonl"
+cmp "$TELEM_TMP/a.jsonl" "$TELEM_TMP/b.jsonl"
+for f in "$TELEM_TMP/a/"*.report.json "$TELEM_TMP/a/"*.telemetry.jsonl; do
+    cmp "$f" "$TELEM_TMP/b/$(basename "$f")"
+done
+test -s "$TELEM_TMP/a.jsonl"
+# Arming the sampler must not move a byte of the trace golden.
+./target/release/pptlab trace --schemes ppt --topo star:4:10:20 --workload websearch \
+    --flows 40 --seed 42 --telemetry 10us --out "$TELEM_TMP/t" > /dev/null
+./target/release/pptlab trace --schemes ppt --topo star:4:10:20 --workload websearch \
+    --flows 40 --seed 42 --out "$TELEM_TMP/plain" > /dev/null
+cmp "$TELEM_TMP/t/events.jsonl" "$TELEM_TMP/plain/events.jsonl"
+rm -rf "$TELEM_TMP"
+
 echo "==> engine perf smoke (appends to BENCH_engine.json)"
 ./target/release/bench_engine
 
