@@ -6,8 +6,9 @@
 //! Tracked series: events/sec and ns/event of a fixed pinned-seed run,
 //! the packet-pool hit rate, sanitizer and telemetry overhead ratios, a
 //! per-event-kind wall-clock profile from the engine self-profiler, and
-//! serial-vs-parallel sweep wall-clock. The baseline / sanitized /
-//! telemetry passes are interleaved in rotating order within each
+//! serial-vs-parallel sweep wall-clock. The baseline (calendar queue) /
+//! heap-oracle / sanitized / telemetry passes are interleaved in rotating
+//! order within each
 //! measurement round (after a discarded warmup of each) so the overhead
 //! ratios compare like against like — back-to-back blocks drift with
 //! cache and frequency state and have produced impossible sub-1.0
@@ -22,7 +23,7 @@
 use std::time::Instant;
 
 use ppt::harness::{run_experiment_with, Experiment, Scheme, TopoKind};
-use ppt::netsim::{SanLevel, SimDuration, TelemetryConfig};
+use ppt::netsim::{QueueKind, SanLevel, SimDuration, TelemetryConfig};
 use ppt::sweep::SweepSpec;
 use ppt::trace::JsonObject;
 use ppt::workloads::{all_to_all, SizeDistribution, WorkloadSpec};
@@ -47,11 +48,14 @@ fn engine_scenario() -> Experiment {
     Experiment::new(topo, Scheme::Dctcp, flows)
 }
 
-/// The three engine configurations measured against each other.
+/// The engine configurations measured against each other.
 #[derive(Clone, Copy, PartialEq, Eq)]
 enum Variant {
-    /// The plain hot path.
+    /// The plain hot path (calendar queue, the engine default).
     Baseline,
+    /// The `BinaryHeap` oracle queue: same events, same dispatch order —
+    /// the ratio against baseline is the calendar queue's measured win.
+    HeapQueue,
     /// simsan at its default per-epoch cadence (audit every 4096 events);
     /// the ratio against baseline is tracked against the ~10% budget of
     /// DESIGN.md §13.
@@ -63,7 +67,8 @@ enum Variant {
 }
 
 impl Variant {
-    const ALL: [Variant; 3] = [Variant::Baseline, Variant::Sanitized, Variant::Telemetry];
+    const ALL: [Variant; 4] =
+        [Variant::Baseline, Variant::HeapQueue, Variant::Sanitized, Variant::Telemetry];
 }
 
 struct EngineNumbers {
@@ -79,6 +84,7 @@ fn run_variant(exp: &Experiment, variant: Variant) -> EngineNumbers {
     let t0 = Instant::now();
     let outcome = run_experiment_with(exp, |t| match variant {
         Variant::Baseline => {}
+        Variant::HeapQueue => t.sim.set_queue_kind(QueueKind::Heap),
         Variant::Sanitized => t.sim.set_sanitizer(SanLevel::PerEpoch),
         Variant::Telemetry => t.sim.enable_telemetry(TelemetryConfig::new(
             SimDuration::from_micros(TELEMETRY_INTERVAL_US),
@@ -87,6 +93,11 @@ fn run_variant(exp: &Experiment, variant: Variant) -> EngineNumbers {
     let wall_ns = t0.elapsed().as_nanos() as u64;
     match variant {
         Variant::Baseline => {}
+        Variant::HeapQueue => assert_eq!(
+            outcome.sim.queue_kind(),
+            QueueKind::Heap,
+            "heap variant must run on the oracle queue"
+        ),
         Variant::Sanitized => assert!(
             outcome.sim.san_violations().is_empty(),
             "bench scenario must be violation-free: {:?}",
@@ -110,7 +121,11 @@ fn run_variant(exp: &Experiment, variant: Variant) -> EngineNumbers {
 /// per-round overhead ratios of the sanitized and telemetry variants
 /// against that same round's baseline.
 struct Measurement {
-    best: [EngineNumbers; 3],
+    best: [EngineNumbers; 4],
+    /// Median of per-round `heap / baseline` wall-clock ratios: how much
+    /// slower the BinaryHeap oracle is than the calendar queue (>1 means
+    /// the calendar queue wins).
+    heap_queue_ratio: f64,
     /// Median of per-round `sanitized / baseline` wall-clock ratios.
     simsan_overhead: f64,
     /// Minimum of those ratios: the cleanest-round lower bound.
@@ -128,7 +143,7 @@ fn median(xs: &mut [f64]) -> f64 {
 }
 
 /// Measure every variant interleaved: one discarded warmup of each, then
-/// `runs` rounds of baseline → sanitized → telemetry. Interleaving means
+/// `runs` rounds of baseline → heap → sanitized → telemetry. Interleaving means
 /// a slow patch of the machine hits all three variants roughly equally
 /// instead of biasing whichever back-to-back block ran during it — the
 /// bug that once produced an impossible 0.81× sanitizer "overhead" in
@@ -141,11 +156,12 @@ fn measure_interleaved(runs: u32) -> Measurement {
     for variant in Variant::ALL {
         run_variant(&exp, variant); // warmup, discarded
     }
-    let mut best: [Option<EngineNumbers>; 3] = [None, None, None];
+    let mut best: [Option<EngineNumbers>; 4] = [None, None, None, None];
+    let mut heap_ratios = Vec::new();
     let mut san_ratios = Vec::new();
     let mut telem_ratios = Vec::new();
     for round in 0..runs as usize {
-        let mut round_wall = [0u64; 3];
+        let mut round_wall = [0u64; 4];
         // Rotate the in-round order: under load that drifts monotonically
         // across a round, a fixed order would systematically tax whichever
         // variant always ran last.
@@ -158,17 +174,27 @@ fn measure_interleaved(runs: u32) -> Measurement {
             }
         }
         let base = round_wall[0].max(1) as f64;
-        san_ratios.push(round_wall[1] as f64 / base);
-        telem_ratios.push(round_wall[2] as f64 / base);
+        heap_ratios.push(round_wall[1] as f64 / base);
+        san_ratios.push(round_wall[2] as f64 / base);
+        telem_ratios.push(round_wall[3] as f64 / base);
     }
     let floor = |xs: &[f64]| xs.iter().copied().fold(f64::INFINITY, f64::min);
-    Measurement {
+    let m = Measurement {
         best: best.map(|slot| slot.expect("at least one measured run")),
+        heap_queue_ratio: median(&mut heap_ratios),
         simsan_overhead_floor: floor(&san_ratios),
         telemetry_overhead_floor: floor(&telem_ratios),
         simsan_overhead: median(&mut san_ratios),
         telemetry_overhead: median(&mut telem_ratios),
-    }
+    };
+    // Differential sanity: both queues must dispatch the exact same
+    // schedule (the byte-level check lives in tests/determinism.rs and
+    // scripts/check.sh; event counts are the cheap in-bench guard).
+    assert_eq!(
+        m.best[0].events, m.best[1].events,
+        "calendar and heap queues must dispatch identical event counts"
+    );
+    m
 }
 
 /// One profiled run: telemetry with the wall-clock self-profiler on,
@@ -179,10 +205,11 @@ fn measure_interleaved(runs: u32) -> Measurement {
 /// cancels exactly (unlike the cross-run overhead ratios). Run outside
 /// the timed loop — profiling is excluded from the overhead numbers just
 /// as it is from the determinism goldens.
-fn profile_breakdown() -> (String, f64) {
+fn profile_breakdown() -> (String, f64, f64) {
     let exp = engine_scenario();
     let cfg = TelemetryConfig::new(SimDuration::from_micros(TELEMETRY_INTERVAL_US)).with_prof();
     let outcome = run_experiment_with(&exp, |t| t.sim.enable_telemetry(cfg));
+    let mean_batch = outcome.sim.telemetry().and_then(|t| t.mean_batch_len()).unwrap_or(1.0);
     let rows = outcome
         .sim
         .telemetry()
@@ -208,7 +235,7 @@ fn profile_breakdown() -> (String, f64) {
         }
     }
     arr.push(']');
-    (arr, sample_ns as f64 / total_ns.max(1) as f64)
+    (arr, sample_ns as f64 / total_ns.max(1) as f64, mean_batch)
 }
 
 /// An 8-point grid (2 schemes x 2 loads x 2 seeds) timed at a given
@@ -235,19 +262,20 @@ fn measure_sweep(jobs: usize) -> u64 {
 
 fn main() {
     let m = measure_interleaved(7);
-    let [engine, sanitized, telemetry] = &m.best;
+    let [engine, heap, sanitized, telemetry] = &m.best;
     let ns_per_event = engine.wall_ns as f64 / engine.events.max(1) as f64;
     let events_per_sec = engine.events as f64 * 1e9 / engine.wall_ns.max(1) as f64;
     let pool_total = engine.pool_hits + engine.pool_misses;
     let pool_hit_rate =
         if pool_total == 0 { 0.0 } else { engine.pool_hits as f64 / pool_total as f64 };
 
+    let ns_per_event_heap = heap.wall_ns as f64 / heap.events.max(1) as f64;
     let ns_per_event_sanitized = sanitized.wall_ns as f64 / sanitized.events.max(1) as f64;
     // The telemetry run's event count includes the sample dispatches
     // themselves; the wall-clock overhead ratios are end-to-end.
     let ns_per_event_telemetry = telemetry.wall_ns as f64 / telemetry.events.max(1) as f64;
 
-    let (profile, sampler_share) = profile_breakdown();
+    let (profile, sampler_share, mean_batch) = profile_breakdown();
 
     let sweep_serial_ns = measure_sweep(1);
     let sweep_parallel_ns = measure_sweep(4);
@@ -256,12 +284,16 @@ fn main() {
     let doc = JsonObject::new()
         .str("bench", "engine")
         .str("phase", &phase_label())
+        .str("queue", "calendar")
         .u64("cores", cores)
         .u64("engine_events", engine.events)
         .u64("engine_wall_ns", engine.wall_ns)
         .f64("ns_per_event", ns_per_event)
         .f64("events_per_sec", events_per_sec)
         .f64("pool_hit_rate", pool_hit_rate)
+        .f64("ns_per_event_heap", ns_per_event_heap)
+        .f64("heap_queue_ratio", m.heap_queue_ratio)
+        .f64("prof_mean_batch", mean_batch)
         .f64("ns_per_event_sanitized", ns_per_event_sanitized)
         .f64("simsan_overhead", m.simsan_overhead)
         .f64("simsan_overhead_floor", m.simsan_overhead_floor)

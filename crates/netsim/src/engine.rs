@@ -1,12 +1,11 @@
 //! The discrete-event simulation engine.
 //!
 //! A [`Simulator`] owns every node, link and flow, plus a single
-//! time-ordered event heap. Determinism: events at equal times are
-//! dispatched in insertion order (FIFO tie-break on a monotone sequence
-//! number), and nothing in the engine consults wall-clock randomness.
-
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+//! time-ordered event queue (see [`crate::sched`]: a calendar queue by
+//! default, with the `BinaryHeap` oracle selectable for differential
+//! checks). Determinism: events at equal times are dispatched in insertion
+//! order (FIFO tie-break on a monotone sequence number), and nothing in
+//! the engine consults wall-clock randomness.
 
 use dcn_trace::{LogHistogram, Series, TraceEvent, TraceSink};
 
@@ -14,10 +13,11 @@ use crate::faults::{FaultOp, FaultSchedule};
 use crate::host::{Ctx, Effects, FlowDesc, Transport};
 use crate::ids::{FlowId, HostId, LinkId, NodeId, SwitchId};
 use crate::link::Link;
-use crate::packet::{Packet, Payload};
+use crate::packet::{Packet, PacketMeta, Payload};
 use crate::queue::PrioQueues;
 use crate::rng::Pcg32;
 use crate::sanitizer::{host_port_key, switch_port_key, SanLevel, SanViolation, Sanitizer};
+use crate::sched::{QEntry, Queue, QueueKind};
 use crate::switch::{enqueue_policy, EnqueueOutcome, MarkScope, PortCounters, SwitchConfig};
 use crate::telemetry::{
     CcSnapshot, Telemetry, TelemetryConfig, IDX_CC_CWND, IDX_CC_INFLIGHT, IDX_FLOWS_LIVE,
@@ -58,8 +58,14 @@ impl PoolStats {
 /// slots cycle on wire-latency timescales and the steady state allocates
 /// nothing: the slab high-water mark is the peak number of packets
 /// simultaneously in flight, not the total sent.
+///
+/// Struct-of-arrays layout: the `Copy` metadata every forwarding decision
+/// reads sits in one dense array (one cache line per event), while the
+/// protocol payloads — variable-sized, only touched at delivery — live in
+/// a parallel array whose `Option` doubles as the slot-liveness flag.
 struct PacketPool<P> {
-    slots: Vec<Option<Packet<P>>>,
+    meta: Vec<PacketMeta>,
+    payload: Vec<Option<P>>,
     free: Vec<u32>,
     fresh: u64,
     recycled: u64,
@@ -67,30 +73,39 @@ struct PacketPool<P> {
 
 impl<P> PacketPool<P> {
     fn new() -> Self {
-        PacketPool { slots: Vec::new(), free: Vec::new(), fresh: 0, recycled: 0 }
+        PacketPool {
+            meta: Vec::new(),
+            payload: Vec::new(),
+            free: Vec::new(),
+            fresh: 0,
+            recycled: 0,
+        }
     }
 
     // simlint: hot-path
     fn insert(&mut self, pkt: Packet<P>) -> PkRef {
+        let (meta, payload) = pkt.into_parts();
         match self.free.pop() {
             Some(i) => {
                 self.recycled += 1;
-                self.slots[i as usize] = Some(pkt);
+                self.meta[i as usize] = meta;
+                self.payload[i as usize] = Some(payload);
                 PkRef(i)
             }
             None => {
                 self.fresh += 1;
-                self.slots.push(Some(pkt));
-                PkRef((self.slots.len() - 1) as u32)
+                self.meta.push(meta);
+                self.payload.push(Some(payload));
+                PkRef((self.payload.len() - 1) as u32)
             }
         }
     }
 
     fn take(&mut self, r: PkRef) -> Packet<P> {
-        match self.slots[r.0 as usize].take() {
-            Some(pkt) => {
+        match self.payload[r.0 as usize].take() {
+            Some(payload) => {
                 self.free.push(r.0);
-                pkt
+                Packet::from_parts(self.meta[r.0 as usize], payload)
             }
             // A PkRef is minted once by insert() and consumed once by
             // dispatch; a double-take is an engine bug, not a user error.
@@ -103,15 +118,15 @@ impl<P> PacketPool<P> {
         PoolStats {
             fresh: self.fresh,
             recycled: self.recycled,
-            live: (self.slots.len() - self.free.len()) as u64,
+            live: (self.payload.len() - self.free.len()) as u64,
         }
     }
 }
 
 /// Engine-internal events. Deliberately `Copy`-sized: the one non-`Copy`
 /// payload (an in-flight packet) lives in the [`PacketPool`] slab and is
-/// carried here by index, so heap sift operations move 24-byte entries
-/// instead of whole packets.
+/// carried here by index, so queue entries are 24-byte values that move
+/// through bucket sorts and heap sifts without touching whole packets.
 #[derive(Clone, Copy, Debug)]
 enum Ev {
     /// The application starts flow `flows[idx]` at its source host.
@@ -139,31 +154,6 @@ fn prof_kind_index(ev: Ev) -> usize {
         Ev::Timer { .. } => 3,
         Ev::Sample(_) => 4,
         Ev::Fault(_) => 5,
-    }
-}
-
-#[derive(Clone, Copy)]
-struct QEntry {
-    at: SimTime,
-    seq: u64,
-    ev: Ev,
-}
-
-impl PartialEq for QEntry {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
-}
-impl Eq for QEntry {}
-impl PartialOrd for QEntry {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for QEntry {
-    // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops first.
-    fn cmp(&self, other: &Self) -> Ordering {
-        (other.at, other.seq).cmp(&(self.at, self.seq))
     }
 }
 
@@ -260,7 +250,7 @@ impl Default for RunLimits {
 /// Why [`Simulator::run`] returned.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum StopReason {
-    /// The event heap drained: no further progress is possible. (Flows may
+    /// The event queue drained: no further progress is possible. (Flows may
     /// still be incomplete if the transport gave up on them.)
     AllFlowsDone,
     /// The `max_time` limit was reached; pending events were kept.
@@ -354,8 +344,12 @@ struct FaultState {
 /// The simulator.
 pub struct Simulator<P: Payload> {
     now: SimTime,
-    heap: BinaryHeap<QEntry>,
-    /// In-flight packets, referenced from the heap by [`PkRef`].
+    /// The event queue (calendar by default; see [`crate::sched`]).
+    queue: Queue<Ev>,
+    /// Scratch buffer for same-tick batch draining in [`Self::run`],
+    /// parked here so it is allocated once per simulator.
+    batch: Vec<QEntry<Ev>>,
+    /// In-flight packets, referenced from the event queue by [`PkRef`].
     pool: PacketPool<P>,
     seq: u64,
     links: Vec<Link>,
@@ -399,7 +393,8 @@ impl<P: Payload> Simulator<P> {
     pub fn new() -> Self {
         Simulator {
             now: SimTime::ZERO,
-            heap: BinaryHeap::new(),
+            queue: Queue::new(QueueKind::Calendar),
+            batch: Vec::new(),
             pool: PacketPool::new(),
             seq: 0,
             links: Vec::new(),
@@ -420,6 +415,27 @@ impl<P: Payload> Simulator<P> {
             telemetry: None,
             measure_cpu: false,
         }
+    }
+
+    /// Switch the event-queue implementation (default: calendar). Pending
+    /// entries migrate with their `(time, seq)` keys intact, so the
+    /// dispatch order — and every golden digest — is unchanged; switching
+    /// mid-run is therefore legal, if pointless. The heap kind exists as
+    /// the differential oracle (`pptlab --queue heap`, `PPT_QUEUE`).
+    pub fn set_queue_kind(&mut self, kind: QueueKind) {
+        if self.queue.kind() == kind {
+            return;
+        }
+        let mut dst = Queue::new(kind);
+        while let Some(e) = self.queue.pop() {
+            dst.push(e);
+        }
+        self.queue = dst;
+    }
+
+    /// The active event-queue implementation.
+    pub fn queue_kind(&self) -> QueueKind {
+        self.queue.kind()
     }
 
     // ---------------------------------------------------------------
@@ -635,7 +651,7 @@ impl<P: Payload> Simulator<P> {
     /// starting one interval from now. Sampling only *reads* simulation
     /// state, so enabling telemetry leaves the trace and FCT streams of
     /// the run byte-identical; the sampler stops rearming once every flow
-    /// has completed so the event heap still drains.
+    /// has completed so the event queue still drains.
     ///
     /// Call after the topology is built (the series table is laid out
     /// from the switch/port/link counts at install time).
@@ -680,6 +696,8 @@ impl<P: Payload> Simulator<P> {
             samples_taken: 0,
             prof_counts: [0; 6],
             prof_ns: [0; 6],
+            prof_batches: 0,
+            prof_batch_events: 0,
         }));
         // `until` is unused for the telemetry target (rearming is gated on
         // flow completion instead), so pass the far-future sentinel.
@@ -966,7 +984,7 @@ impl<P: Payload> Simulator<P> {
     /// calls is supported. Replaces any previously installed sanitizer.
     pub fn set_sanitizer(&mut self, level: SanLevel) {
         let mut san = Box::new(Sanitizer::new(level));
-        for (i, slot) in self.pool.slots.iter().enumerate() {
+        for (i, slot) in self.pool.payload.iter().enumerate() {
             if slot.is_some() {
                 san.seed_pool_slot(i);
             }
@@ -1015,7 +1033,7 @@ impl<P: Payload> Simulator<P> {
         if let Some(s) = self.san.as_mut() {
             s.observe_schedule(at, self.now, self.seq);
         }
-        self.heap.push(QEntry { at, seq: self.seq, ev });
+        self.queue.push(QEntry { at, seq: self.seq, ev });
         self.seq += 1;
     }
 
@@ -1033,7 +1051,7 @@ impl<P: Payload> Simulator<P> {
             for i in 0..self.flows.len() {
                 self.schedule(self.flows[i].start, Ev::FlowStart(i as u32));
             }
-            // Timed fault ops enter the heap after every FlowStart, in
+            // Timed fault ops enter the queue after every FlowStart, in
             // schedule order — a fixed sequence-number layout that makes
             // identical schedules reproduce identical tie-breaks.
             let n_ops = self.faults.as_ref().map_or(0, |fs| fs.schedule.ops.len());
@@ -1051,43 +1069,70 @@ impl<P: Payload> Simulator<P> {
         // the wall clock around every dispatch, and its numbers are
         // machine noise — never part of any determinism golden.
         let prof = self.telemetry.as_deref().is_some_and(|t| t.prof_enabled());
-        while let Some(entry) = self.heap.pop() {
-            if entry.at > limits.max_time {
-                // Put it back for a potential future run() call.
-                self.heap.push(entry);
-                self.now = limits.max_time;
-                stop = StopReason::MaxTime;
-                break;
-            }
-            if let Some(s) = self.san.as_mut() {
-                s.observe_pop(entry.at, entry.seq, self.now);
-            }
-            self.now = entry.at;
-            self.events += 1;
-            if prof {
-                let kind = prof_kind_index(entry.ev);
-                let t0 = std::time::Instant::now(); // simlint: allow(determinism)
-                self.dispatch(entry.ev);
-                let elapsed = t0.elapsed().as_nanos() as u64;
-                if let Some(t) = self.telemetry.as_deref_mut() {
-                    t.prof_counts[kind] += 1;
-                    t.prof_ns[kind] += elapsed;
+        // Drain same-tick batches: one queue probe covers every event that
+        // shares the earliest timestamp (TxDone/Deliver bursts at
+        // synchronized serialization boundaries). The batch is popped in
+        // `(time, seq)` order, and anything a dispatch schedules carries a
+        // later seq than the whole batch, so dispatch order is identical
+        // to popping one entry at a time. The scratch buffer lives on the
+        // simulator; take it to keep `self` borrowable during dispatch.
+        let mut batch = std::mem::take(&mut self.batch);
+        'runloop: loop {
+            match self.queue.peek_key() {
+                None => break,
+                // Not due yet: leave it queued for a future run() call.
+                Some((at, _)) if at > limits.max_time => {
+                    self.now = limits.max_time;
+                    stop = StopReason::MaxTime;
+                    break;
                 }
-            } else {
-                self.dispatch(entry.ev);
+                Some(_) => {}
             }
-            if self.san.is_some() && self.san_tick() {
-                stop = StopReason::SanViolation;
-                break;
+            // The pre-refactor loop dispatched at least one event per
+            // run() call even with an exhausted budget; keep that shape.
+            let budget = limits.max_events.saturating_sub(self.events).max(1);
+            self.queue.pop_batch(&mut batch, usize::try_from(budget).unwrap_or(usize::MAX));
+            for i in 0..batch.len() {
+                let entry = batch[i];
+                if let Some(s) = self.san.as_mut() {
+                    s.observe_pop(entry.at, entry.seq, self.now);
+                }
+                self.now = entry.at;
+                self.events += 1;
+                if prof {
+                    let kind = prof_kind_index(entry.ev);
+                    let t0 = std::time::Instant::now(); // simlint: allow(determinism)
+                    self.dispatch(entry.ev);
+                    let elapsed = t0.elapsed().as_nanos() as u64;
+                    if let Some(t) = self.telemetry.as_deref_mut() {
+                        t.prof_counts[kind] += 1;
+                        t.prof_ns[kind] += elapsed;
+                    }
+                } else {
+                    self.dispatch(entry.ev);
+                }
+                let violated = self.san.is_some() && self.san_tick();
+                if violated || self.events >= limits.max_events {
+                    stop = if violated { StopReason::SanViolation } else { StopReason::MaxEvents };
+                    // Undrained tail flows back with its keys intact.
+                    for &e in &batch[i + 1..] {
+                        self.queue.push(e);
+                    }
+                    break 'runloop;
+                }
             }
-            if self.events >= limits.max_events {
-                stop = StopReason::MaxEvents;
-                break;
+            if prof {
+                if let Some(t) = self.telemetry.as_deref_mut() {
+                    t.prof_batches += 1;
+                    t.prof_batch_events += batch.len() as u64;
+                }
             }
         }
+        batch.clear();
+        self.batch = batch;
         if self.san.is_some() && stop != StopReason::SanViolation {
-            // Final audit; at a quiescent end (heap drained) no packet may
-            // still be parked in the pool.
+            // Final audit; at a quiescent end (queue drained) no packet
+            // may still be parked in the pool.
             self.san_audit(stop == StopReason::AllFlowsDone);
             if self.san_flush() {
                 stop = StopReason::SanViolation;
@@ -1172,13 +1217,13 @@ impl<P: Payload> Simulator<P> {
             }
         }
         // Apply effects in a fixed order — timers, completions, packets —
-        // so heap sequence numbers (and therefore FIFO tie-breaks) are
+        // so queue sequence numbers (and therefore FIFO tie-breaks) are
         // assigned exactly as they always were. `effects` is a local moved
         // out of `self`, so packets drain straight into `host_enqueue`
         // without an intermediate collect; the buffers are handed back at
         // the end and reused across every transport invocation.
         // Retransmit notes first: they only bump counters (never touch the
-        // heap), so draining them here cannot shift sequence numbers.
+        // queue), so draining them here cannot shift sequence numbers.
         for flow in effects.retransmits.drain(..) {
             self.retransmits_total += 1;
             if let Some(c) = self.retransmit_counts.get_mut(flow.0 as usize) {
@@ -1461,7 +1506,7 @@ impl<P: Payload> Simulator<P> {
         if let SampleTarget::Telemetry = target {
             self.telemetry_sample();
             // Rearm only while flows are outstanding — a deterministic
-            // condition — so the heap drains and `AllFlowsDone` still
+            // condition — so the queue drains and `AllFlowsDone` still
             // fires exactly as it would without telemetry.
             if self.flows_completed < self.flows.len() {
                 self.schedule(now + interval, Ev::Sample(idx));
@@ -1647,14 +1692,14 @@ impl<P: Payload> Simulator<P> {
         }
     }
 
-    /// Push two heap entries with the *same* `(time, seq)` key, breaking
+    /// Push two queue entries with the *same* `(time, seq)` key, breaking
     /// the strictly-increasing sequence numbers the FIFO tie-break relies
     /// on. The payload is an out-of-range fault op, which dispatches as a
     /// no-op. Do not combine with an installed fault schedule.
     pub fn corrupt_tie_break(&mut self) {
         let entry = QEntry { at: self.now, seq: self.seq, ev: Ev::Fault(u32::MAX) };
-        self.heap.push(entry); // simlint: allow(event_order)
-        self.heap.push(entry); // simlint: allow(event_order)
+        self.queue.push(entry); // simlint: allow(event_order)
+        self.queue.push(entry); // simlint: allow(event_order)
         self.seq += 1;
     }
 

@@ -9,8 +9,10 @@
 //! Design choices (following the smoltcp school of networking Rust):
 //! - **Synchronous, single-threaded, event-driven.** The workload is
 //!   CPU-bound; an async runtime would add nondeterminism for no benefit.
-//! - **Deterministic.** One totally-ordered event heap with FIFO tie-break;
-//!   no wall-clock or hash-map iteration order leaks into behaviour.
+//! - **Deterministic.** One totally-ordered event queue with FIFO
+//!   tie-break (a calendar queue by default, with a `BinaryHeap` oracle
+//!   for differential checks — see [`sched`]); no wall-clock or hash-map
+//!   iteration order leaks into behaviour.
 //! - **Arena + ids, not pointers.** Nodes and links live in `Vec`s and are
 //!   addressed by small copyable ids.
 //! - **Effects, not re-entrancy.** Transport handlers write packets/timers
@@ -18,6 +20,9 @@
 //!
 //! ## Feature inventory
 //!
+//! - Calendar-queue event scheduler with O(1) near-horizon insert,
+//!   same-tick batch draining, and a swappable `BinaryHeap` oracle
+//!   (see [`sched`]).
 //! - Hosts with 8-level strict-priority NIC egress queues.
 //! - Switches with per-port shared buffers, 8 strict-priority queues,
 //!   instantaneous-queue ECN marking with configurable scopes (per-queue /
@@ -43,6 +48,7 @@ pub mod packet;
 pub mod queue;
 pub mod rng;
 pub mod sanitizer;
+pub mod sched;
 pub mod switch;
 pub mod telemetry;
 pub mod time;
@@ -63,6 +69,7 @@ pub use packet::{
 };
 pub use rng::Pcg32;
 pub use sanitizer::{SanLevel, SanNote, SanViolation};
+pub use sched::QueueKind;
 pub use switch::{EcnRule, EnqueueOutcome, MarkScope, PortCounters, RangeCap, SwitchConfig};
 pub use telemetry::{CcSnapshot, Telemetry, TelemetryConfig};
 pub use time::{SimDuration, SimTime};

@@ -108,6 +108,60 @@ pub struct Packet<P> {
     pub payload: P,
 }
 
+/// The `Copy` half of a [`Packet`] — everything except the protocol
+/// payload. The engine's packet pool stores metadata and payloads in
+/// separate arrays (struct-of-arrays) so forwarding decisions, which only
+/// read metadata, touch one densely packed cache line per event; payloads
+/// are fetched only at delivery.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct PacketMeta {
+    pub(crate) flow: FlowId,
+    pub(crate) src: HostId,
+    pub(crate) dst: HostId,
+    pub(crate) priority: u8,
+    pub(crate) wire_bytes: u32,
+    pub(crate) ecn: Ecn,
+    pub(crate) trimmable: bool,
+    pub(crate) trimmed: bool,
+    pub(crate) enq_at: SimTime,
+}
+
+impl<P> Packet<P> {
+    /// Split into the `Copy` metadata and the payload (for pooled storage).
+    pub(crate) fn into_parts(self) -> (PacketMeta, P) {
+        (
+            PacketMeta {
+                flow: self.flow,
+                src: self.src,
+                dst: self.dst,
+                priority: self.priority,
+                wire_bytes: self.wire_bytes,
+                ecn: self.ecn,
+                trimmable: self.trimmable,
+                trimmed: self.trimmed,
+                enq_at: self.enq_at,
+            },
+            self.payload,
+        )
+    }
+
+    /// Reassemble from pooled parts (inverse of [`Packet::into_parts`]).
+    pub(crate) fn from_parts(meta: PacketMeta, payload: P) -> Self {
+        Packet {
+            flow: meta.flow,
+            src: meta.src,
+            dst: meta.dst,
+            priority: meta.priority,
+            wire_bytes: meta.wire_bytes,
+            ecn: meta.ecn,
+            trimmable: meta.trimmable,
+            trimmed: meta.trimmed,
+            enq_at: meta.enq_at,
+            payload,
+        }
+    }
+}
+
 impl<P: Payload> Packet<P> {
     /// Build a full-size data packet carrying `payload_bytes` of user data.
     pub fn data(flow: FlowId, src: HostId, dst: HostId, payload_bytes: u32, payload: P) -> Self {

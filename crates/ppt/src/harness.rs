@@ -694,6 +694,7 @@ where
             let rec: MwRecorder =
                 std::rc::Rc::new(std::cell::RefCell::new(std::collections::BTreeMap::new()));
             let mut topo = exp.topo.build(Scheme::Dctcp.switch_config(&exp.env));
+            apply_queue_env(&mut topo);
             let tcp = exp.env.tcp_cfg();
             for &h in &topo.hosts.clone() {
                 topo.sim.set_transport(
@@ -711,6 +712,7 @@ where
     };
 
     let mut topo = exp.topo.build(exp.scheme.switch_config(&exp.env));
+    apply_queue_env(&mut topo);
     match (&exp.scheme, &oracle) {
         (Scheme::Hypothetical(frac), Some(rec)) => {
             transports::install_hypothetical(&mut topo, &exp.env.tcp_cfg(), rec, *frac);
@@ -759,6 +761,19 @@ where
     let counters = topo.sim.total_counters();
     let telemetry = topo.sim.telemetry().map(TelemetrySummary::from_telemetry);
     Outcome { fct, completion_ratio, counters, sim: topo.sim, report, telemetry }
+}
+
+/// Apply the `PPT_QUEUE=heap|calendar` debug knob (set by `pptlab
+/// --queue`): selects the engine's event-queue implementation before any
+/// event is scheduled. Both implementations pop in the same `(time, seq)`
+/// order, so this knob can never change results — that is exactly what it
+/// exists to prove (see `scripts/check.sh`'s byte-identity smoke).
+fn apply_queue_env(topo: &mut Topology<Proto>) {
+    if let Ok(v) = std::env::var("PPT_QUEUE") {
+        if let Some(kind) = netsim::QueueKind::parse(&v) {
+            topo.sim.set_queue_kind(kind);
+        }
+    }
 }
 
 /// Report an abnormal stop on stderr and, when the run was recorded by

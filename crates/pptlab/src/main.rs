@@ -64,6 +64,12 @@ OPTIONS (compare, sweep, trace):
                     invariant sanitizer, on every simulation. LVL is the
                     audit cadence: event | epoch | end  [default: epoch]
                     (equivalent to setting PPT_SANITIZE=LVL)
+  --queue KIND      (compare, sweep, trace, faults, report) event-queue
+                    implementation: calendar (default) | heap (the
+                    BinaryHeap oracle). Both dispatch in the same
+                    (time, seq) order, so results are byte-identical —
+                    the knob exists for differential verification
+                    (equivalent to setting PPT_QUEUE=KIND)
   --telemetry [IVL] (compare, sweep, trace, faults, report) enable the
                     deterministic continuous-telemetry sampler at interval
                     IVL: <n>ns | <n>us | <n>ms | bare <n> = microseconds
@@ -353,6 +359,20 @@ fn apply_sanitize_flag(args: &Args) -> Result<(), String> {
         return Err(format!("--sanitize: unknown level '{level}' (event | epoch | end)"));
     }
     std::env::set_var("PPT_SANITIZE", level);
+    Ok(())
+}
+
+/// Turn `--queue KIND` into the `PPT_QUEUE` environment variable the
+/// harness reads before every experiment. Selects the engine's event-queue
+/// implementation (calendar by default); both pop in the same `(time,
+/// seq)` order, so the knob exists purely for differential checks and
+/// never changes results.
+fn apply_queue_flag(args: &Args) -> Result<(), String> {
+    let Some(v) = args.get("queue") else { return Ok(()) };
+    let Some(kind) = ppt::netsim::QueueKind::parse(v) else {
+        return Err(format!("--queue: unknown kind '{v}' (heap | calendar)"));
+    };
+    std::env::set_var("PPT_QUEUE", kind.as_str());
     Ok(())
 }
 
@@ -771,7 +791,7 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             };
-            if let Err(e) = apply_sanitize_flag(&args) {
+            if let Err(e) = apply_sanitize_flag(&args).and_then(|()| apply_queue_flag(&args)) {
                 eprintln!("error: {e}\n\n{USAGE}");
                 return ExitCode::FAILURE;
             }

@@ -545,24 +545,37 @@ fn check_shared_mut(rel_path: &str, class: FileClass, src: &MaskedSource, f: &mu
     }
 }
 
-/// The one file allowed to own the event heap.
+/// The file that drives the event loop (and may requeue entries).
 const ENGINE_FILE: &str = "crates/netsim/src/engine.rs";
-/// Fns inside `engine.rs` allowed to push the heap: the enqueue helper
+/// The file that owns the queue implementations (heap oracle + calendar).
+const SCHED_FILE: &str = "crates/netsim/src/sched.rs";
+/// Fns inside `engine.rs` allowed to push the queue: the enqueue helper
 /// and the run loop's requeue (both preserve the `(time, seq)` seq
 /// assignment that makes same-timestamp delivery FIFO).
 const ENGINE_PUSH_FNS: &[&str] = &["schedule", "run"];
+/// Fns inside `sched.rs` allowed to push: the `EventQueue::push`
+/// implementations plus the internal redistribution helpers that move
+/// entries between tiers without minting new `(time, seq)` keys.
+const SCHED_PUSH_FNS: &[&str] = &["push", "promote", "rewind"];
 
 fn check_event_order(rel_path: &str, class: FileClass, src: &MaskedSource, f: &mut Findings) {
     if !class.in_determinism_scope {
         return;
     }
-    let is_engine = rel_path == ENGINE_FILE;
+    // Which fns (if any) in this file are sanctioned event-queue pushers.
+    let sanctioned: Option<&[&str]> = if rel_path == ENGINE_FILE {
+        Some(ENGINE_PUSH_FNS)
+    } else if rel_path == SCHED_FILE {
+        Some(SCHED_PUSH_FNS)
+    } else {
+        None
+    };
     for (idx, line) in src.lines.iter().enumerate() {
         let line_no = idx + 1;
         if src.is_test(line_no) {
             continue;
         }
-        if !is_engine {
+        if sanctioned.is_none() {
             for tok in ["BinaryHeap", "QEntry"] {
                 if !token_positions(line, tok).is_empty() {
                     f.push(
@@ -571,15 +584,18 @@ fn check_event_order(rel_path: &str, class: FileClass, src: &MaskedSource, f: &m
                         line_no,
                         Rule::EventOrder,
                         format!(
-                            "`{tok}` outside the engine: the event heap and its (time, seq) tie-break are engine-internal; schedule via the Ctx API"
+                            "`{tok}` outside the scheduler core: the event queue and its (time, seq) tie-break live in netsim's sched/engine; schedule via the Ctx API"
                         ),
                     );
                 }
             }
         }
-        if line.contains("heap.push") {
+        for tok in ["heap.push", "queue.push"] {
+            if token_positions(line, tok).is_empty() {
+                continue;
+            }
             let fn_name = src.items.enclosing_fn(line_no).map(|i| i.name.as_str());
-            let allowed = is_engine && fn_name.is_some_and(|n| ENGINE_PUSH_FNS.contains(&n));
+            let allowed = sanctioned.is_some_and(|fns| fn_name.is_some_and(|n| fns.contains(&n)));
             if !allowed {
                 f.push(
                     src,
@@ -587,9 +603,10 @@ fn check_event_order(rel_path: &str, class: FileClass, src: &MaskedSource, f: &m
                     line_no,
                     Rule::EventOrder,
                     format!(
-                        "direct event-heap push in `{}`: only the engine's enqueue helpers ({}) may push, so every event gets its (time, seq) tie-break",
+                        "direct event-queue push in `{}`: only the scheduler core's sanctioned fns (engine: {}; sched: {}) may push, so every event gets its (time, seq) tie-break",
                         fn_name.unwrap_or("<file scope>"),
                         ENGINE_PUSH_FNS.join("/"),
+                        SCHED_PUSH_FNS.join("/"),
                     ),
                 );
             }

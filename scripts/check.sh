@@ -46,6 +46,16 @@ cmp "$TRACE_TMP/a/events.jsonl" "$TRACE_TMP/b/events.jsonl"
 cmp "$TRACE_TMP/a/metrics.json" "$TRACE_TMP/b/metrics.json"
 test -s "$TRACE_TMP/a/events.jsonl"
 
+echo "==> queue equivalence smoke (calendar vs heap byte-identity)"
+# The calendar queue is the default; the BinaryHeap oracle must produce
+# the exact same event stream and metrics on the pinned golden scenario
+# (DESIGN.md §10.1). A single reordered same-tick event breaks the cmp.
+mkdir -p "$TRACE_TMP/heap"
+PPT_QUEUE=heap ./target/release/pptlab trace --schemes ppt --topo star:4:10:20 \
+    --workload websearch --flows 40 --seed 42 --out "$TRACE_TMP/heap" > /dev/null
+cmp "$TRACE_TMP/a/events.jsonl" "$TRACE_TMP/heap/events.jsonl"
+cmp "$TRACE_TMP/a/metrics.json" "$TRACE_TMP/heap/metrics.json"
+
 echo "==> simsan golden replay (sanitized run byte-identical, zero violations)"
 # Zero observer effect (DESIGN.md §13.3): the same traced run with the
 # runtime sanitizer on must reproduce the unsanitized stream byte for
@@ -112,6 +122,6 @@ cmp "$TELEM_TMP/t/events.jsonl" "$TELEM_TMP/plain/events.jsonl"
 rm -rf "$TELEM_TMP"
 
 echo "==> engine perf smoke (appends to BENCH_engine.json)"
-./target/release/bench_engine
+BENCH_ENGINE_PHASE=calendar ./target/release/bench_engine
 
 echo "check.sh: all green"

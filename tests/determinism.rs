@@ -46,19 +46,38 @@ fn fnv1a64(bytes: &[u8]) -> u64 {
     h
 }
 
-/// (trace JSONL hash, FCT digest) for one pinned-seed traced run.
-fn golden_digests(scheme: Scheme, seed: u64) -> (u64, u64) {
-    use ppt::harness::run_experiment_traced;
+/// The four pinned `(scheme, seed, trace digest, FCT digest)` goldens.
+/// The default engine queue (the calendar queue) must reproduce these,
+/// and so must the `BinaryHeap` oracle — see
+/// `pinned_seed_goldens_hold_on_the_heap_oracle_queue`.
+const PINNED_GOLDENS: [(Scheme, u64, u64, u64); 4] = [
+    (Scheme::Ppt, 42u64, 0x393f_3bd8_9c20_8596_u64, 0x544f_c7e6_370c_f276_u64),
+    (Scheme::Dctcp, 42, 0x0d9e_974c_1169_b1bb, 0xdfbd_16a2_71d0_99be),
+    (Scheme::Ndp, 7, 0xa624_4279_1c93_0e9f, 0x64cd_8caa_b1be_ec7b),
+    (Scheme::Homa, 7, 0xd072_7754_f98c_10f5, 0xe4ec_42a4_cd20_bf42),
+];
+
+/// (trace JSONL hash, FCT digest) for one pinned-seed traced run, under
+/// the given event-queue implementation.
+fn golden_digests_on(scheme: Scheme, seed: u64, queue: ppt::netsim::QueueKind) -> (u64, u64) {
+    use ppt::harness::run_experiment_traced_with;
     let topo = TopoKind::Star { n: 5, rate_gbps: 10, delay_us: 20 };
     let spec = WorkloadSpec::new(SizeDistribution::web_search(), 0.5, topo.edge_rate(), 60, seed);
     let flows = all_to_all(topo.hosts(), &spec);
-    let (outcome, trace) = run_experiment_traced(&Experiment::new(topo, scheme, flows));
+    let (outcome, trace) = run_experiment_traced_with(&Experiment::new(topo, scheme, flows), |t| {
+        t.sim.set_queue_kind(queue)
+    });
     let trace_hash = fnv1a64(trace.to_jsonl().as_bytes());
     let mut fct_buf = String::new();
     for r in outcome.fct.records() {
         fct_buf.push_str(&format!("{},{}\n", r.size_bytes, r.fct.as_nanos()));
     }
     (trace_hash, fnv1a64(fct_buf.as_bytes()))
+}
+
+/// (trace JSONL hash, FCT digest) under the engine's default queue.
+fn golden_digests(scheme: Scheme, seed: u64) -> (u64, u64) {
+    golden_digests_on(scheme, seed, ppt::netsim::QueueKind::Calendar)
 }
 
 /// Golden equivalence: the engine must reproduce the pre-refactor event
@@ -72,12 +91,7 @@ fn pinned_seed_goldens_are_byte_identical() {
     // landed: loops that expire without ever seeing an LP ACK now
     // serialize as "no_lp_acks" instead of "expired". Event ordering and
     // FCTs did not move (the FCT digest is unchanged).
-    for (scheme, seed, want_trace, want_fct) in [
-        (Scheme::Ppt, 42u64, 0x393f_3bd8_9c20_8596_u64, 0x544f_c7e6_370c_f276_u64),
-        (Scheme::Dctcp, 42, 0x0d9e_974c_1169_b1bb, 0xdfbd_16a2_71d0_99be),
-        (Scheme::Ndp, 7, 0xa624_4279_1c93_0e9f, 0x64cd_8caa_b1be_ec7b),
-        (Scheme::Homa, 7, 0xd072_7754_f98c_10f5, 0xe4ec_42a4_cd20_bf42),
-    ] {
+    for (scheme, seed, want_trace, want_fct) in PINNED_GOLDENS {
         let name = scheme.name();
         let (trace_hash, fct_hash) = golden_digests(scheme, seed);
         assert_eq!(
@@ -88,10 +102,29 @@ fn pinned_seed_goldens_are_byte_identical() {
     }
 }
 
+/// Differential golden: the `BinaryHeap` oracle queue must reproduce the
+/// exact same pinned digests as the calendar queue. Together with
+/// `pinned_seed_goldens_are_byte_identical` this proves the two event-queue
+/// implementations are byte-indistinguishable on real workloads, not just
+/// on the randomized unit sequences in `netsim::sched`.
+#[test]
+fn pinned_seed_goldens_hold_on_the_heap_oracle_queue() {
+    for (scheme, seed, want_trace, want_fct) in PINNED_GOLDENS {
+        let name = scheme.name();
+        let (trace_hash, fct_hash) = golden_digests_on(scheme, seed, ppt::netsim::QueueKind::Heap);
+        assert_eq!(
+            (trace_hash, fct_hash),
+            (want_trace, want_fct),
+            "{name} seed {seed}: heap-oracle digests diverged from pinned goldens \
+             (got trace={trace_hash:#018x} fct={fct_hash:#018x})"
+        );
+    }
+}
+
 /// (trace hash, FCT digest) for the pinned fault-injection golden: 1%
 /// data loss plus a host-0 uplink outage from 100 µs to 600 µs.
-fn fault_golden_digests(seed: u64) -> (u64, u64) {
-    use ppt::harness::{run_experiment_traced, FaultCmd, FaultSpec};
+fn fault_golden_digests_on(seed: u64, queue: ppt::netsim::QueueKind) -> (u64, u64) {
+    use ppt::harness::{run_experiment_traced_with, FaultCmd, FaultSpec};
     use ppt::netsim::SimTime;
     let topo = TopoKind::Star { n: 5, rate_gbps: 10, delay_us: 20 };
     let spec = WorkloadSpec::new(SizeDistribution::web_search(), 0.5, topo.edge_rate(), 60, seed);
@@ -101,14 +134,33 @@ fn fault_golden_digests(seed: u64) -> (u64, u64) {
         from: SimTime(100_000),
         until: SimTime(600_000),
     });
-    let (outcome, trace) =
-        run_experiment_traced(&Experiment::new(topo, Scheme::Ppt, flows).with_faults(faults));
+    let (outcome, trace) = run_experiment_traced_with(
+        &Experiment::new(topo, Scheme::Ppt, flows).with_faults(faults),
+        |t| t.sim.set_queue_kind(queue),
+    );
     let trace_hash = fnv1a64(trace.to_jsonl().as_bytes());
     let mut fct_buf = String::new();
     for r in outcome.fct.records() {
         fct_buf.push_str(&format!("{},{}\n", r.size_bytes, r.fct.as_nanos()));
     }
     (trace_hash, fnv1a64(fct_buf.as_bytes()))
+}
+
+fn fault_golden_digests(seed: u64) -> (u64, u64) {
+    fault_golden_digests_on(seed, ppt::netsim::QueueKind::Calendar)
+}
+
+/// The pinned fault golden (seed 42) must also hold on the heap oracle:
+/// fault command scheduling, loss draws and retransmission timers all flow
+/// through the same event queue, so this exercises the queue-equivalence
+/// claim under pathological (bursty, far-future timer) schedules too.
+#[test]
+fn pinned_fault_golden_holds_on_the_heap_oracle_queue() {
+    assert_eq!(
+        fault_golden_digests_on(42, ppt::netsim::QueueKind::Heap),
+        (0x79e9_57e3_0224_766e_u64, 0xe5d2_a262_ff6d_197e_u64),
+        "heap-oracle fault digests diverged from pinned golden (seed 42)"
+    );
 }
 
 /// Fault injection must not cost any determinism: the pinned fault
