@@ -39,13 +39,29 @@ fn phase_label() -> String {
     std::env::var("BENCH_ENGINE_PHASE").unwrap_or_else(|_| "post-refactor".into())
 }
 
+/// The transport driven through the scenario. `BENCH_ENGINE_SCHEME`
+/// switches it (and is echoed as the `scheme` field) so milestone rows
+/// for a new transport measure that transport's hot path; the default
+/// stays DCTCP so the long-running trajectory keeps comparing like
+/// against like.
+fn scheme_under_test() -> (Scheme, String) {
+    let id = std::env::var("BENCH_ENGINE_SCHEME").unwrap_or_else(|_| "dctcp".into());
+    let scheme = match id.as_str() {
+        "dctcp" => Scheme::Dctcp,
+        "ppt" => Scheme::Ppt,
+        "powertcp" => Scheme::PowerTcp,
+        other => panic!("BENCH_ENGINE_SCHEME: unknown scheme '{other}' (dctcp | ppt | powertcp)"),
+    };
+    (scheme, id)
+}
+
 /// The fixed engine scenario: big enough to amortize setup, small enough
 /// to finish in about a second even on a loaded CI core.
 fn engine_scenario() -> Experiment {
     let topo = TopoKind::Star { n: 8, rate_gbps: 10, delay_us: 20 };
     let spec = WorkloadSpec::new(SizeDistribution::web_search(), 0.5, topo.edge_rate(), 400, 42);
     let flows = all_to_all(topo.hosts(), &spec);
-    Experiment::new(topo, Scheme::Dctcp, flows)
+    Experiment::new(topo, scheme_under_test().0, flows)
 }
 
 /// The engine configurations measured against each other.
@@ -284,6 +300,7 @@ fn main() {
     let doc = JsonObject::new()
         .str("bench", "engine")
         .str("phase", &phase_label())
+        .str("scheme", &scheme_under_test().1)
         .str("queue", "calendar")
         .u64("cores", cores)
         .u64("engine_events", engine.events)

@@ -142,6 +142,12 @@ enum Ev {
     Sample(u32),
     /// Timed fault operation `schedule.ops[idx]` applies.
     Fault(u32),
+    /// A PFC pause (`xoff == true`) or resume frame from `origin` arrives
+    /// at `to` for priority `prio`. Pause frames are zero-payload MAC
+    /// control frames: they never enter egress queues or the packet pool,
+    /// so they are carried entirely by this `Copy` event and reach the
+    /// neighbour after pure propagation delay.
+    Pfc { to: NodeId, origin: SwitchId, prio: u8, xoff: bool },
 }
 
 /// Profiler accumulator slot for an event, in [`dcn_trace::ProfKind::ALL`]
@@ -154,6 +160,9 @@ fn prof_kind_index(ev: Ev) -> usize {
         Ev::Timer { .. } => 3,
         Ev::Sample(_) => 4,
         Ev::Fault(_) => 5,
+        // Pause frames are accounted as deliveries: they are the wire
+        // arrivals of (zero-payload) control frames.
+        Ev::Pfc { .. } => 1,
     }
 }
 
@@ -163,6 +172,13 @@ struct PortState<P> {
     queues: PrioQueues<P>,
     busy: bool,
     counters: PortCounters,
+    /// PFC receive state: bit `p` set = priority `p` must not be served
+    /// (a pause frame from the downstream neighbour is in effect). Always
+    /// zero when no switch on the fabric runs PFC.
+    paused_mask: u8,
+    /// PFC transmit state (switch egress ports only): bit `p` set = this
+    /// port has an unreleased XOFF outstanding for priority `p`.
+    xoff_sent: u8,
 }
 
 impl<P> PortState<P> {
@@ -172,6 +188,8 @@ impl<P> PortState<P> {
             queues: PrioQueues::new(),
             busy: false,
             counters: PortCounters::default(),
+            paused_mask: 0,
+            xoff_sent: 0,
         }
     }
 }
@@ -196,6 +214,10 @@ struct SwitchSlot<P> {
     /// of chasing a `Vec<Vec<u16>>` double indirection.
     route_offsets: Vec<u32>,
     route_ports: Vec<u16>,
+    /// PFC: number of egress ports currently asserting XOFF, per priority.
+    /// Pause frames broadcast on the 0→1 edge, resumes on the 1→0 edge, so
+    /// overlapping congested ports nest like overlapping switch stalls.
+    pfc_xoff_count: [u16; 8],
 }
 
 /// What a sampler observes.
@@ -457,6 +479,7 @@ impl<P: Payload> Simulator<P> {
             cfg,
             route_offsets: Vec::new(),
             route_ports: Vec::new(),
+            pfc_xoff_count: [0; 8],
         });
         id
     }
@@ -1186,7 +1209,141 @@ impl<P: Payload> Simulator<P> {
             }
             Ev::Sample(idx) => self.take_sample(idx),
             Ev::Fault(idx) => self.apply_fault(idx),
+            Ev::Pfc { to, origin, prio, xoff } => self.apply_pfc(to, origin, prio, xoff),
         }
+    }
+
+    // ---------------------------------------------------------------
+    // PFC backpressure (hop-by-hop pause/resume; see DESIGN.md §15)
+    // ---------------------------------------------------------------
+
+    /// Re-evaluate the PFC thresholds of one switch egress port after its
+    /// backlog changed (any enqueue, dequeue or eviction). Crossing XOFF
+    /// upward or XON downward flips the port's `xoff_sent` bit and moves
+    /// the switch-wide assertion count; pause/resume frames broadcast only
+    /// on that count's 0↔1 edges, to every upstream neighbour in fixed
+    /// port-index order so the frame sequence is deterministic.
+    fn pfc_update(&mut self, switch: SwitchId, pi: usize) {
+        let si = switch.0 as usize;
+        let Some(pfc) = self.switches[si].cfg.pfc else { return };
+        for p in 0..crate::packet::NUM_PRIORITIES as u8 {
+            let bit = 1u8 << p;
+            if pfc.priority_mask & bit == 0 {
+                continue;
+            }
+            let (backlog, xoff_sent) = {
+                let port = &self.switches[si].ports[pi];
+                (port.queues.bytes_at(p), port.xoff_sent & bit != 0)
+            };
+            if !xoff_sent && backlog >= pfc.xoff_bytes {
+                self.switches[si].ports[pi].xoff_sent |= bit;
+                self.switches[si].pfc_xoff_count[p as usize] += 1;
+                self.emit(TraceEvent::PfcXoff {
+                    sw: switch.0,
+                    port: pi as u16,
+                    prio: p,
+                    qlen: backlog,
+                    on: true,
+                });
+                if self.switches[si].pfc_xoff_count[p as usize] == 1 {
+                    self.pfc_broadcast(switch, p, true);
+                }
+            } else if xoff_sent && backlog <= pfc.xon_bytes {
+                self.switches[si].ports[pi].xoff_sent &= !bit;
+                self.switches[si].pfc_xoff_count[p as usize] -= 1;
+                self.emit(TraceEvent::PfcXoff {
+                    sw: switch.0,
+                    port: pi as u16,
+                    prio: p,
+                    qlen: backlog,
+                    on: false,
+                });
+                if self.switches[si].pfc_xoff_count[p as usize] == 0 {
+                    self.pfc_broadcast(switch, p, false);
+                }
+            }
+        }
+    }
+
+    /// Send a pause (`xoff`) or resume frame for `prio` from `switch` to
+    /// every neighbour. The frame rides the reverse direction of each
+    /// attached full-duplex link with pure propagation delay: MAC control
+    /// frames bypass egress queues and serialization entirely, which also
+    /// means a pause still reaches neighbours whose forward path is
+    /// congested.
+    fn pfc_broadcast(&mut self, switch: SwitchId, prio: u8, xoff: bool) {
+        let si = switch.0 as usize;
+        for pi in 0..self.switches[si].ports.len() {
+            let link = self.switches[si].ports[pi].link;
+            let l = &self.links[link.0 as usize];
+            let (to, delay) = (l.to, l.delay);
+            self.schedule(self.now + delay, Ev::Pfc { to, origin: switch, prio, xoff });
+        }
+    }
+
+    /// Apply a received pause/resume frame at the neighbour: set or clear
+    /// the paused bit on the egress port facing `origin`, and on resume
+    /// kick the transmitter if backlog was left waiting behind the pause.
+    fn apply_pfc(&mut self, to: NodeId, origin: SwitchId, prio: u8, xoff: bool) {
+        let bit = 1u8 << prio;
+        match to {
+            NodeId::Host(h) => {
+                let changed = match self.hosts[h.0 as usize].nic.as_mut() {
+                    Some(nic) => {
+                        let was = nic.paused_mask & bit != 0;
+                        if xoff {
+                            nic.paused_mask |= bit;
+                        } else {
+                            nic.paused_mask &= !bit;
+                        }
+                        was != xoff
+                    }
+                    None => return,
+                };
+                if changed {
+                    self.emit(TraceEvent::PfcPause { host: h.0, prio, on: xoff });
+                }
+                if !xoff {
+                    let nic = self.hosts[h.0 as usize].nic.as_ref().expect("host not cabled"); // simlint: allow(panic_hygiene)
+                    if !nic.busy && !nic.queues.is_empty() {
+                        self.start_tx_host(h);
+                    }
+                }
+            }
+            NodeId::Switch(s) => {
+                // The egress port whose link faces the congested switch is
+                // the one that must stop serving the paused priority.
+                let Some(pi) = self.switch_port_towards(s, NodeId::Switch(origin)) else {
+                    return;
+                };
+                let port = &mut self.switches[s.0 as usize].ports[pi as usize];
+                let was = port.paused_mask & bit != 0;
+                if xoff {
+                    port.paused_mask |= bit;
+                } else {
+                    port.paused_mask &= !bit;
+                }
+                if was != xoff {
+                    self.emit(TraceEvent::PfcSwPause { sw: s.0, port: pi, prio, on: xoff });
+                }
+                if !xoff {
+                    let port = &self.switches[s.0 as usize].ports[pi as usize];
+                    if !port.busy && !port.queues.is_empty() {
+                        self.start_tx_switch(s, pi);
+                    }
+                }
+            }
+        }
+    }
+
+    /// PFC receive state of a host NIC (bit `p` set = priority `p` paused).
+    pub fn host_paused_mask(&self, host: HostId) -> u8 {
+        self.hosts[host.0 as usize].nic.as_ref().map_or(0, |nic| nic.paused_mask)
+    }
+
+    /// PFC receive state of a switch egress port.
+    pub fn switch_port_paused_mask(&self, switch: SwitchId, port: u16) -> u8 {
+        self.switches[switch.0 as usize].ports[port as usize].paused_mask
     }
 
     /// Run a transport handler on `host` with a fresh effects sink, then
@@ -1390,6 +1547,10 @@ impl<P: Payload> Simulator<P> {
                 }
             }
         }
+        // PFC thresholds see the post-admission backlog (push-out evictions
+        // may also have drained other priorities below XON, so this runs
+        // on every outcome).
+        self.pfc_update(switch, pi);
         match outcome {
             EnqueueOutcome::Dropped => {}
             EnqueueOutcome::Queued { .. } | EnqueueOutcome::Trimmed => {
@@ -1403,7 +1564,7 @@ impl<P: Payload> Simulator<P> {
     /// Begin serializing the head-of-line packet at a host NIC.
     fn start_tx_host(&mut self, host: HostId) {
         let slot = self.hosts[host.0 as usize].nic.as_mut().expect("host not cabled"); // simlint: allow(panic_hygiene)
-        let Some(pkt) = slot.queues.pop() else { return };
+        let Some(pkt) = slot.queues.pop_unpaused(slot.paused_mask) else { return };
         slot.busy = true;
         let link_id = slot.link;
         if let Some(t) = self.telemetry.as_deref_mut() {
@@ -1424,7 +1585,7 @@ impl<P: Payload> Simulator<P> {
             }
         }
         let slot = &mut self.switches[switch.0 as usize].ports[port as usize];
-        let Some(pkt) = slot.queues.pop() else { return };
+        let Some(pkt) = slot.queues.pop_unpaused(slot.paused_mask) else { return };
         slot.busy = true;
         let link_id = slot.link;
         if let Some(t) = self.telemetry.as_deref_mut() {
@@ -1434,6 +1595,8 @@ impl<P: Payload> Simulator<P> {
             s.observe_queue_pop(self.now, switch_port_key(switch.0, port), pkt.wire_bytes as u64);
         }
         self.emit(TraceEvent::Dequeue { sw: switch.0, port, flow: pkt.flow.0, prio: pkt.priority });
+        // The dequeue may have drained this port's backlog through XON.
+        self.pfc_update(switch, port as usize);
         self.transmit(NodeId::Switch(switch), port, link_id, pkt);
     }
 

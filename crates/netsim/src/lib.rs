@@ -70,7 +70,9 @@ pub use packet::{
 pub use rng::Pcg32;
 pub use sanitizer::{SanLevel, SanNote, SanViolation};
 pub use sched::QueueKind;
-pub use switch::{EcnRule, EnqueueOutcome, MarkScope, PortCounters, RangeCap, SwitchConfig};
+pub use switch::{
+    EcnRule, EnqueueOutcome, MarkScope, PfcConfig, PortCounters, RangeCap, SwitchConfig,
+};
 pub use telemetry::{CcSnapshot, Telemetry, TelemetryConfig};
 pub use time::{SimDuration, SimTime};
 pub use topology::{fat_tree, leaf_spine, star, FatTreeParams, LeafSpineParams, Topology};

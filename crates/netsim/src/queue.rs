@@ -54,6 +54,23 @@ impl<P> PrioQueues<P> {
         None
     }
 
+    /// Remove and return the head of the highest-priority non-empty queue
+    /// whose priority bit is clear in `paused_mask` (bit `p` set = priority
+    /// `p` is PFC-paused). Byte accounting is identical to [`pop`].
+    pub fn pop_unpaused(&mut self, paused_mask: u8) -> Option<Packet<P>> {
+        for p in 0..NUM_PRIORITIES {
+            if paused_mask & (1 << p) != 0 {
+                continue;
+            }
+            if let Some(pkt) = self.queues[p].pop_front() {
+                self.bytes[p] -= pkt.wire_bytes as u64;
+                self.total_bytes -= pkt.wire_bytes as u64;
+                return Some(pkt);
+            }
+        }
+        None
+    }
+
     /// Evict the most recently queued packet of the lowest-priority
     /// non-empty queue whose priority is strictly below `above`.
     /// Models shared-buffer push-out: arriving high-priority traffic
@@ -163,6 +180,24 @@ mod tests {
         q.pop();
         assert_eq!(q.total_bytes(), 0);
         assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn pop_unpaused_skips_paused_priorities() {
+        let mut q = PrioQueues::new();
+        q.push(pkt(0, 100));
+        q.push(pkt(3, 200));
+        q.push(pkt(5, 300));
+        // P0 paused: the P3 packet is served first.
+        assert_eq!(q.pop_unpaused(0b0000_0001).unwrap().payload_bytes(), 200);
+        // P0 and P5 paused: nothing eligible remains but the bank is not empty.
+        assert!(q.pop_unpaused(0b0010_0001).is_none());
+        assert!(!q.is_empty());
+        // Unpausing resumes normal strict-priority service with intact bytes.
+        assert_eq!(q.total_bytes(), 100 + 300 + 2 * 40);
+        assert_eq!(q.pop_unpaused(0).unwrap().payload_bytes(), 100);
+        assert_eq!(q.pop_unpaused(0).unwrap().payload_bytes(), 300);
+        assert_eq!(q.total_bytes(), 0);
     }
 
     #[test]

@@ -45,6 +45,36 @@ pub struct RangeCap {
     pub cap_bytes: u64,
 }
 
+/// PFC-style hop-by-hop backpressure thresholds (802.1Qbb flavoured).
+///
+/// When a priority's backlog at an egress port reaches `xoff_bytes`, the
+/// switch sends a pause frame for that priority to every upstream neighbour;
+/// when the backlog drains to `xon_bytes` or below it sends a resume.
+/// `priority_mask` selects which priorities participate (bit `p` set =
+/// priority `p` is lossless-flow-controlled).
+#[derive(Clone, Copy, Debug)]
+pub struct PfcConfig {
+    /// Per-priority backlog at which the port asserts XOFF, bytes.
+    pub xoff_bytes: u64,
+    /// Per-priority backlog at or below which XOFF is released (XON).
+    /// Must be below `xoff_bytes` for hysteresis.
+    pub xon_bytes: u64,
+    /// Bit `p` set = PFC governs priority `p`.
+    pub priority_mask: u8,
+}
+
+impl PfcConfig {
+    /// Thresholds derived from the port buffer: XOFF at a quarter of the
+    /// buffer, XON at an eighth, all eight priorities governed.
+    pub fn for_buffer(port_buffer_bytes: u64) -> Self {
+        PfcConfig {
+            xoff_bytes: (port_buffer_bytes / 4).max(1),
+            xon_bytes: port_buffer_bytes / 8,
+            priority_mask: 0xFF,
+        }
+    }
+}
+
 /// Per-switch (applied to every egress port) configuration.
 #[derive(Clone, Debug)]
 pub struct SwitchConfig {
@@ -64,6 +94,8 @@ pub struct SwitchConfig {
     /// thresholds — high-priority traffic is never starved of buffer by
     /// low-priority backlog).
     pub push_out: bool,
+    /// PFC backpressure thresholds; `None` disables hop-by-hop pausing.
+    pub pfc: Option<PfcConfig>,
 }
 
 impl SwitchConfig {
@@ -76,6 +108,7 @@ impl SwitchConfig {
             trim_threshold_bytes: None,
             range_caps: Vec::new(),
             push_out: false,
+            pfc: None,
         }
     }
 
@@ -89,6 +122,7 @@ impl SwitchConfig {
             trim_threshold_bytes: None,
             range_caps: Vec::new(),
             push_out: false,
+            pfc: None,
         }
     }
 
@@ -111,6 +145,7 @@ impl SwitchConfig {
             trim_threshold_bytes: None,
             range_caps: Vec::new(),
             push_out: true,
+            pfc: None,
         }
     }
 
@@ -122,6 +157,7 @@ impl SwitchConfig {
             trim_threshold_bytes: Some(trim_threshold_bytes),
             range_caps: Vec::new(),
             push_out: false,
+            pfc: None,
         }
     }
 
@@ -134,6 +170,13 @@ impl SwitchConfig {
     /// Add a byte cap for priorities `[lo, hi)`, builder-style.
     pub fn with_range_cap(mut self, lo: u8, hi: u8, cap_bytes: u64) -> Self {
         self.range_caps.push(RangeCap { lo, hi, cap_bytes });
+        self
+    }
+
+    /// Enable PFC backpressure with explicit thresholds, builder-style.
+    pub fn with_pfc(mut self, pfc: PfcConfig) -> Self {
+        debug_assert!(pfc.xon_bytes < pfc.xoff_bytes, "PFC needs XON < XOFF hysteresis");
+        self.pfc = Some(pfc);
         self
     }
 }

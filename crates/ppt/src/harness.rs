@@ -39,6 +39,10 @@ pub struct SchemeEnv {
     pub send_buffer: u64,
     /// NDP trim threshold.
     pub trim_threshold: u64,
+    /// Run switches in PFC backpressure mode (per-priority XOFF/XON
+    /// pause, thresholds derived from the port buffer). Off by default;
+    /// `pptlab --switch pfc` and the fault suite turn it on.
+    pub pfc: bool,
 }
 
 impl SchemeEnv {
@@ -55,7 +59,22 @@ impl SchemeEnv {
             min_rto: SimDuration::from_millis(10),
             send_buffer: 2 << 20,
             trim_threshold: 8 * netsim::MTU_BYTES as u64,
+            pfc: false,
         }
+    }
+
+    /// Scale every buffer-denominated knob by `factor` — the tiny-buffer
+    /// regime study (ROADMAP: do PPT's LCP gains survive shallow
+    /// buffers?). The port buffer, both ECN thresholds, and the trim
+    /// threshold shrink together; each stays at least one MTU and the
+    /// thresholds never exceed the buffer.
+    pub fn scale_buffers(mut self, factor: f64) -> Self {
+        let scale = |v: u64| ((v as f64 * factor) as u64).max(netsim::MTU_BYTES as u64);
+        self.port_buffer = scale(self.port_buffer);
+        self.k_high = scale(self.k_high).min(self.port_buffer);
+        self.k_low = scale(self.k_low).min(self.port_buffer);
+        self.trim_threshold = scale(self.trim_threshold).min(self.port_buffer);
+        self
     }
 
     /// The paper's 15-host 10 G testbed (§6.1, Table 3): 80 µs RTT,
@@ -148,6 +167,9 @@ pub enum Scheme {
     Aeolus,
     Ndp,
     Hpcc,
+    /// ROADMAP item 4: window control from in-flight power (queue +
+    /// throughput gradient) over HPCC's INT telemetry.
+    PowerTcp,
     /// Appendix B: PPT's LCP + scheduling layered over HPCC, with
     /// priority-aware INT.
     HpccPpt,
@@ -180,6 +202,7 @@ impl Scheme {
             Scheme::Aeolus => "Aeolus".into(),
             Scheme::Ndp => "NDP".into(),
             Scheme::Hpcc => "HPCC".into(),
+            Scheme::PowerTcp => "PowerTCP".into(),
             Scheme::HpccPpt => "PPT-over-HPCC".into(),
             Scheme::Swift => "Swift-like".into(),
             Scheme::SwiftPpt => "PPT-over-Swift".into(),
@@ -187,8 +210,20 @@ impl Scheme {
         }
     }
 
-    /// The switch configuration this scheme requires.
+    /// The switch configuration this scheme requires. With `env.pfc`
+    /// set, PFC backpressure (thresholds derived from the port buffer)
+    /// is layered on top of whatever the scheme asked for.
     pub fn switch_config(&self, env: &SchemeEnv) -> SwitchConfig {
+        let cfg = self.base_switch_config(env);
+        if env.pfc {
+            let pfc = netsim::PfcConfig::for_buffer(cfg.port_buffer_bytes);
+            cfg.with_pfc(pfc)
+        } else {
+            cfg
+        }
+    }
+
+    fn base_switch_config(&self, env: &SchemeEnv) -> SwitchConfig {
         match self {
             Scheme::Dctcp | Scheme::Pias => SwitchConfig::dctcp(env.port_buffer, env.k_high),
             Scheme::Tcp10 | Scheme::Halfback | Scheme::ExpressPass => {
@@ -208,7 +243,7 @@ impl Scheme {
             Scheme::Homa => transports::homa_switch_config(env.port_buffer, false),
             Scheme::Aeolus => transports::homa_switch_config(env.port_buffer, true),
             Scheme::Ndp => SwitchConfig::ndp(env.port_buffer, env.trim_threshold),
-            Scheme::Hpcc | Scheme::Swift => SwitchConfig::basic(env.port_buffer),
+            Scheme::Hpcc | Scheme::PowerTcp | Scheme::Swift => SwitchConfig::basic(env.port_buffer),
             Scheme::HpccPpt => {
                 // No ECN for the INT-driven HCP band; PPT's low threshold
                 // for the LCP band; push-out protection.
@@ -294,6 +329,7 @@ impl Scheme {
             }
             Scheme::Ndp => transports::install_ndp(topo, env.min_rto),
             Scheme::Hpcc => transports::install_hpcc(topo, &tcp),
+            Scheme::PowerTcp => transports::install_powertcp(topo, &tcp),
             Scheme::HpccPpt => transports::install_hpcc_ppt(topo, &tcp, &env.ppt_cfg()),
             Scheme::Swift => transports::install_swift(topo, &tcp),
             Scheme::SwiftPpt => transports::install_swift_ppt(topo, &tcp, &env.ppt_cfg()),
@@ -693,7 +729,7 @@ where
             // Recording pass: plain DCTCP on the same topology & flows.
             let rec: MwRecorder =
                 std::rc::Rc::new(std::cell::RefCell::new(std::collections::BTreeMap::new()));
-            let mut topo = exp.topo.build(Scheme::Dctcp.switch_config(&exp.env));
+            let mut topo = exp.topo.build(apply_switch_env(Scheme::Dctcp.switch_config(&exp.env)));
             apply_queue_env(&mut topo);
             let tcp = exp.env.tcp_cfg();
             for &h in &topo.hosts.clone() {
@@ -711,7 +747,7 @@ where
         _ => None,
     };
 
-    let mut topo = exp.topo.build(exp.scheme.switch_config(&exp.env));
+    let mut topo = exp.topo.build(apply_switch_env(exp.scheme.switch_config(&exp.env)));
     apply_queue_env(&mut topo);
     match (&exp.scheme, &oracle) {
         (Scheme::Hypothetical(frac), Some(rec)) => {
@@ -761,6 +797,21 @@ where
     let counters = topo.sim.total_counters();
     let telemetry = topo.sim.telemetry().map(TelemetrySummary::from_telemetry);
     Outcome { fct, completion_ratio, counters, sim: topo.sim, report, telemetry }
+}
+
+/// Apply the `PPT_SWITCH=pfc` knob (set by `pptlab --switch pfc`): layer
+/// PFC backpressure over the scheme's switch config before the topology
+/// is built. A config that already carries PFC (programmatic `env.pfc`)
+/// keeps its thresholds. Tests use [`SchemeEnv::pfc`] instead — env vars
+/// are process-global and would race across parallel test threads.
+fn apply_switch_env(cfg: SwitchConfig) -> SwitchConfig {
+    match std::env::var("PPT_SWITCH").as_deref() {
+        Ok("pfc") if cfg.pfc.is_none() => {
+            let buf = cfg.port_buffer_bytes;
+            cfg.with_pfc(netsim::PfcConfig::for_buffer(buf))
+        }
+        _ => cfg,
+    }
 }
 
 /// Apply the `PPT_QUEUE=heap|calendar` debug knob (set by `pptlab
@@ -1003,6 +1054,7 @@ mod tests {
             Scheme::Aeolus,
             Scheme::Ndp,
             Scheme::Hpcc,
+            Scheme::PowerTcp,
             Scheme::HpccPpt,
             Scheme::Swift,
             Scheme::SwiftPpt,
@@ -1036,6 +1088,31 @@ mod tests {
                 assert!(cap.lo < cap.hi && cap.hi as usize <= netsim::NUM_PRIORITIES);
             }
         }
+    }
+
+    #[test]
+    fn env_pfc_layers_backpressure_on_every_scheme() {
+        let mut env = SchemeEnv::paper_sim(Rate::gbps(40), SimDuration::from_micros(12));
+        env.pfc = true;
+        for scheme in all_schemes() {
+            let cfg = scheme.switch_config(&env);
+            let pfc = cfg.pfc.unwrap_or_else(|| panic!("{}: env.pfc ignored", scheme.name()));
+            assert!(pfc.xon_bytes < pfc.xoff_bytes, "{}: no hysteresis", scheme.name());
+            assert!(pfc.xoff_bytes < cfg.port_buffer_bytes, "{}: no headroom", scheme.name());
+        }
+    }
+
+    #[test]
+    fn scale_buffers_shrinks_all_thresholds_consistently() {
+        let env = SchemeEnv::paper_testbed().scale_buffers(0.1);
+        assert_eq!(env.port_buffer, 100_000);
+        assert_eq!(env.k_high, 10_000);
+        assert_eq!(env.k_low, 8_000);
+        assert!(env.trim_threshold <= env.port_buffer);
+        // Extreme shrink floors at one MTU and keeps K ≤ buffer.
+        let tiny = SchemeEnv::paper_testbed().scale_buffers(1e-9);
+        assert_eq!(tiny.port_buffer, netsim::MTU_BYTES as u64);
+        assert!(tiny.k_high <= tiny.port_buffer && tiny.k_low <= tiny.port_buffer);
     }
 
     #[test]

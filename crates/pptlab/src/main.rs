@@ -64,6 +64,13 @@ OPTIONS (compare, sweep, trace):
                     invariant sanitizer, on every simulation. LVL is the
                     audit cadence: event | epoch | end  [default: epoch]
                     (equivalent to setting PPT_SANITIZE=LVL)
+  --switch MODE     (compare, sweep, trace, faults, report) switch mode:
+                    default | pfc. pfc layers per-priority XOFF/XON
+                    backpressure (lossless pausing) over every scheme's
+                    switch config (equivalent to setting PPT_SWITCH=pfc)
+  --buffers F       (compare, sweep, trace, faults, report) scale every
+                    buffer-denominated knob (port buffer, ECN/trim
+                    thresholds) by F, e.g. 0.1 for the tiny-buffer regime
   --queue KIND      (compare, sweep, trace, faults, report) event-queue
                     implementation: calendar (default) | heap (the
                     BinaryHeap oracle). Both dispatch in the same
@@ -105,6 +112,7 @@ fn parse_scheme(id: &str) -> Option<Scheme> {
         "aeolus" => Scheme::Aeolus,
         "ndp" => Scheme::Ndp,
         "hpcc" => Scheme::Hpcc,
+        "powertcp" => Scheme::PowerTcp,
         "hpcc-ppt" => Scheme::HpccPpt,
         "swift" => Scheme::Swift,
         "swift-ppt" => Scheme::SwiftPpt,
@@ -135,6 +143,7 @@ const SCHEME_IDS: &[&str] = &[
     "aeolus",
     "ndp",
     "hpcc",
+    "powertcp",
     "hpcc-ppt",
     "swift",
     "swift-ppt",
@@ -362,6 +371,40 @@ fn apply_sanitize_flag(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// Turn `--switch MODE` into the `PPT_SWITCH` environment variable the
+/// harness reads before building each topology. `pfc` layers per-priority
+/// XOFF/XON backpressure over every scheme's switch config; `default`
+/// leaves the scheme's own config untouched.
+fn apply_switch_flag(args: &Args) -> Result<(), String> {
+    match args.get("switch") {
+        None | Some("default") => Ok(()),
+        Some("pfc") => {
+            std::env::set_var("PPT_SWITCH", "pfc");
+            Ok(())
+        }
+        Some(v) => Err(format!("--switch: unknown mode '{v}' (default | pfc)")),
+    }
+}
+
+/// Parse `--buffers F`: a positive scale factor applied to every
+/// buffer-denominated threshold of each experiment's environment.
+fn parse_buffers_arg(args: &Args) -> Result<Option<f64>, String> {
+    let Some(v) = args.get("buffers") else { return Ok(None) };
+    let f: f64 = v.parse().map_err(|_| format!("--buffers: cannot parse '{v}'"))?;
+    if f.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater) {
+        return Err(format!("--buffers: scale must be positive, got '{v}'"));
+    }
+    Ok(Some(f))
+}
+
+/// Apply `--buffers` (when present) to an experiment's environment.
+fn with_buffers(mut exp: Experiment, buffers: &Option<f64>) -> Experiment {
+    if let Some(f) = buffers {
+        exp.env = exp.env.clone().scale_buffers(*f);
+    }
+    exp
+}
+
 /// Turn `--queue KIND` into the `PPT_QUEUE` environment variable the
 /// harness reads before every experiment. Selects the engine's event-queue
 /// implementation (calendar by default); both pop in the same `(time,
@@ -401,11 +444,15 @@ fn cmd_compare(args: &Args) -> Result<(), String> {
     let jobs: usize = args.parse_or("jobs", 1)?;
     let faults = parse_faults_arg(args)?;
     let telemetry = parse_telemetry_arg(args)?;
+    let buffers = parse_buffers_arg(args)?;
     let results = run_points(schemes.len(), jobs, |i| {
         let scheme = schemes[i].1.clone();
-        let exp = with_telemetry(
-            with_faults(Experiment::new(setup.topo, scheme, setup.flow_list.clone()), &faults),
-            &telemetry,
+        let exp = with_buffers(
+            with_telemetry(
+                with_faults(Experiment::new(setup.topo, scheme, setup.flow_list.clone()), &faults),
+                &telemetry,
+            ),
+            &buffers,
         );
         let outcome = run_experiment(&exp);
         let metrics = with_metrics.then(|| collect_metrics(&outcome).to_json());
@@ -482,13 +529,17 @@ fn cmd_trace(args: &Args) -> Result<(), String> {
     let jobs: usize = args.parse_or("jobs", 1)?;
     let faults = parse_faults_arg(args)?;
     let telemetry = parse_telemetry_arg(args)?;
+    let buffers = parse_buffers_arg(args)?;
     let results = run_points(schemes.len(), jobs, |i| {
-        let exp = with_telemetry(
-            with_faults(
-                Experiment::new(setup.topo, schemes[i].1.clone(), setup.flow_list.clone()),
-                &faults,
+        let exp = with_buffers(
+            with_telemetry(
+                with_faults(
+                    Experiment::new(setup.topo, schemes[i].1.clone(), setup.flow_list.clone()),
+                    &faults,
+                ),
+                &telemetry,
             ),
-            &telemetry,
+            &buffers,
         );
         let (outcome, trace) = run_experiment_traced(&exp);
         (trace, collect_metrics(&outcome).to_json())
@@ -530,11 +581,15 @@ fn cmd_faults(args: &Args) -> Result<(), String> {
 
     let jobs: usize = args.parse_or("jobs", 1)?;
     let telemetry = parse_telemetry_arg(args)?;
+    let buffers = parse_buffers_arg(args)?;
     let results = run_points(schemes.len(), jobs, |i| {
-        let exp = with_telemetry(
-            Experiment::new(setup.topo, schemes[i].1.clone(), setup.flow_list.clone())
-                .with_faults(faults.clone()),
-            &telemetry,
+        let exp = with_buffers(
+            with_telemetry(
+                Experiment::new(setup.topo, schemes[i].1.clone(), setup.flow_list.clone())
+                    .with_faults(faults.clone()),
+                &telemetry,
+            ),
+            &buffers,
         );
         let (outcome, trace) = run_experiment_traced(&exp);
         (
@@ -593,11 +648,17 @@ fn cmd_sweep(args: &Args) -> Result<(), String> {
 
     let scheme_list: Vec<Scheme> = schemes.iter().map(|(_, s)| s.clone()).collect();
     let telemetry = parse_telemetry_arg(args)?;
+    let buffers = parse_buffers_arg(args)?;
     let mut spec =
         SweepSpec::new().jobs(jobs).grid(topo, &scheme_list, &dist, &loads, flows, &seeds);
     if let Some(t) = telemetry {
         for p in &mut spec.points {
             p.exp.telemetry = Some(t);
+        }
+    }
+    if let Some(f) = buffers {
+        for p in &mut spec.points {
+            p.exp.env = p.exp.env.clone().scale_buffers(f);
         }
     }
     if !json_mode {
@@ -734,13 +795,17 @@ fn cmd_report(args: &Args) -> Result<(), String> {
     }
 
     let jobs: usize = args.parse_or("jobs", 1)?;
+    let buffers = parse_buffers_arg(args)?;
     let results = run_points(schemes.len(), jobs, |i| {
-        let exp = with_telemetry(
-            with_faults(
-                Experiment::new(setup.topo, schemes[i].1.clone(), setup.flow_list.clone()),
-                &faults,
+        let exp = with_buffers(
+            with_telemetry(
+                with_faults(
+                    Experiment::new(setup.topo, schemes[i].1.clone(), setup.flow_list.clone()),
+                    &faults,
+                ),
+                &telemetry,
             ),
-            &telemetry,
+            &buffers,
         );
         let outcome = run_experiment(&exp);
         let summary = outcome.telemetry.clone().expect("report runs always enable telemetry");
@@ -791,7 +856,10 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             };
-            if let Err(e) = apply_sanitize_flag(&args).and_then(|()| apply_queue_flag(&args)) {
+            if let Err(e) = apply_sanitize_flag(&args)
+                .and_then(|()| apply_queue_flag(&args))
+                .and_then(|()| apply_switch_flag(&args))
+            {
                 eprintln!("error: {e}\n\n{USAGE}");
                 return ExitCode::FAILURE;
             }

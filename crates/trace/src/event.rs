@@ -186,6 +186,17 @@ pub enum TraceEvent {
     CwndUpdate { flow: u64, cwnd: u64 },
     /// PIAS demoted `flow` between priority levels.
     PiasDemote { flow: u64, from: u8, to: u8 },
+    /// A switch egress port crossed a PFC threshold for priority `prio`
+    /// and broadcast pause (`on == true`, backlog ≥ XOFF) or resume
+    /// (`on == false`, backlog ≤ XON) frames to every upstream neighbour.
+    /// `qlen` is the priority's backlog at the crossing.
+    PfcXoff { sw: u32, port: u16, prio: u8, qlen: u64, on: bool },
+    /// A host NIC applied a received pause (`on == true`) or resume
+    /// (`on == false`) frame for priority `prio`.
+    PfcPause { host: u32, prio: u8, on: bool },
+    /// A switch egress port applied a received pause/resume frame for
+    /// priority `prio` (the port faces the congested downstream switch).
+    PfcSwPause { sw: u32, port: u16, prio: u8, on: bool },
     /// A scheduled fault took `link` down: everything serialized onto it
     /// until the matching [`TraceEvent::LinkUp`] is lost on the wire.
     LinkDown { link: u32 },
@@ -230,6 +241,9 @@ impl TraceEvent {
             TraceEvent::AlphaUpdate { .. } => "alpha_update",
             TraceEvent::CwndUpdate { .. } => "cwnd_update",
             TraceEvent::PiasDemote { .. } => "pias_demote",
+            TraceEvent::PfcXoff { .. } => "pfc_xoff",
+            TraceEvent::PfcPause { .. } => "pfc_pause",
+            TraceEvent::PfcSwPause { .. } => "pfc_sw_pause",
             TraceEvent::LinkDown { .. } => "link_down",
             TraceEvent::LinkUp { .. } => "link_up",
             TraceEvent::FaultDrop { .. } => "fault_drop",
@@ -309,6 +323,18 @@ pub fn encode_line(out: &mut String, at: u64, ev: &TraceEvent) {
         TraceEvent::PiasDemote { flow, from, to } => {
             let _ = write!(out, ",\"flow\":{flow},\"from\":{from},\"to\":{to}");
         }
+        TraceEvent::PfcXoff { sw, port, prio, qlen, on } => {
+            let _ = write!(
+                out,
+                ",\"sw\":{sw},\"port\":{port},\"prio\":{prio},\"qlen\":{qlen},\"on\":{on}"
+            );
+        }
+        TraceEvent::PfcPause { host, prio, on } => {
+            let _ = write!(out, ",\"host\":{host},\"prio\":{prio},\"on\":{on}");
+        }
+        TraceEvent::PfcSwPause { sw, port, prio, on } => {
+            let _ = write!(out, ",\"sw\":{sw},\"port\":{port},\"prio\":{prio},\"on\":{on}");
+        }
         TraceEvent::LinkDown { link } => {
             let _ = write!(out, ",\"link\":{link}");
         }
@@ -362,6 +388,9 @@ mod tests {
         TraceEvent::AlphaUpdate { flow: 1, alpha: 0.0625 },
         TraceEvent::CwndUpdate { flow: 1, cwnd: 14_600 },
         TraceEvent::PiasDemote { flow: 1, from: 0, to: 1 },
+        TraceEvent::PfcXoff { sw: 0, port: 2, prio: 3, qlen: 260_000, on: true },
+        TraceEvent::PfcPause { host: 4, prio: 3, on: true },
+        TraceEvent::PfcSwPause { sw: 1, port: 0, prio: 3, on: false },
         TraceEvent::LinkDown { link: 3 },
         TraceEvent::LinkUp { link: 3 },
         TraceEvent::FaultDrop { link: 3, flow: 1, prio: 4, bytes: 1500 },

@@ -28,6 +28,7 @@ pub mod hpcc_ppt;
 pub mod hypothetical;
 pub mod ndp;
 pub mod pias;
+pub mod powertcp;
 pub mod ppt;
 pub mod proto;
 pub mod rc3;
@@ -44,9 +45,12 @@ pub use hpcc_ppt::{install_hpcc_ppt, HpccPptTransport};
 pub use hypothetical::{install_hypothetical, HypotheticalTransport};
 pub use ndp::{install_ndp, NdpCfg, NdpTransport};
 pub use pias::{install_pias, PiasCfg, PiasTransport};
+pub use powertcp::{install_powertcp, PowerTcpTransport};
 pub use ppt::{install_ppt, PptTransport};
 pub use proto::{AckHdr, DataHdr, HomaHdr, IntHop, NdpHdr, Proto};
 pub use rc3::{install_rc3, Rc3Cfg, Rc3Transport};
 pub use rx::TcpRx;
 pub use swift::{install_swift, install_swift_ppt, SwiftPptTransport, SwiftTransport};
-pub use tcp_base::{AckOutcome, CcMode, CcState, DctcpFlowTx, HpccCc, SegOut, SwiftCc, TcpCfg};
+pub use tcp_base::{
+    AckOutcome, CcMode, CcState, DctcpFlowTx, HpccCc, PowerTcpCc, SegOut, SwiftCc, TcpCfg,
+};

@@ -1,0 +1,193 @@
+//! PowerTCP — window control from in-network power.
+//!
+//! "PowerTCP: Pushing the Performance Limits of Datacenter Networks"
+//! (NSDI'22): every ACK echoes the per-hop INT stack HPCC already
+//! carries, and the sender computes normalized *power* Γ — current
+//! (throughput + queue gradient) times voltage (queue + BDP) over the
+//! base power C²τ — then sets W = γ·(W_c/Γ + β) + (1−γ)·W. Reacting to
+//! the queue *gradient* lets PowerTCP back off while the queue is still
+//! building, a reaction HPCC only has once the queue level itself moves.
+//! The INT plumbing (collection at switch egress, echo in ACKs) is
+//! shared with `hpcc.rs` verbatim.
+
+use std::collections::BTreeMap;
+
+use netsim::{Ctx, Ecn, FlowDesc, FlowId, Packet, Transport};
+
+use crate::common::{arm_rto, service_rto, Token, TIMER_RTO};
+use crate::proto::{DataHdr, Proto};
+use crate::rx::TcpRx;
+use crate::tcp_base::{CcMode, DctcpFlowTx, PowerTcpCc, TcpCfg};
+
+/// The PowerTCP endpoint.
+pub struct PowerTcpTransport {
+    tcp: TcpCfg,
+    /// Line-rate start: the initial window is one BDP.
+    bdp_bytes: u64,
+    tx: BTreeMap<FlowId, DctcpFlowTx>,
+    rx: BTreeMap<FlowId, TcpRx>,
+}
+
+impl PowerTcpTransport {
+    /// New endpoint (γ = 0.9, β = 1 MSS); `bdp_bytes` sizes the
+    /// line-rate initial window.
+    pub fn new(tcp: TcpCfg, bdp_bytes: u64) -> Self {
+        PowerTcpTransport { tcp, bdp_bytes, tx: BTreeMap::new(), rx: BTreeMap::new() }
+    }
+
+    fn pump(&mut self, id: FlowId, ctx: &mut Ctx<'_, Proto>) {
+        let now = ctx.now();
+        let Some(flow) = self.tx.get_mut(&id) else { return };
+        let (src, dst, size) = (flow.src, flow.dst, flow.size);
+        while let Some(seg) = flow.next_segment(now) {
+            if seg.retx {
+                ctx.note_retransmit(id);
+            }
+            let hdr = DataHdr {
+                offset: seg.offset,
+                len: seg.len,
+                msg_size: size,
+                lcp: false,
+                retx: seg.retx,
+                sent_at: now,
+                int: Some(Vec::new()),
+            };
+            let mut pkt = Packet::data(id, src, dst, seg.len, Proto::Data(hdr));
+            pkt.ecn = Ecn::not_capable(); // PowerTCP replaces ECN with INT
+            ctx.send(pkt);
+        }
+        arm_rto(flow, ctx);
+    }
+}
+
+impl Transport<Proto> for PowerTcpTransport {
+    fn on_flow_start(&mut self, flow: &FlowDesc, ctx: &mut Ctx<'_, Proto>) {
+        // PowerTCP starts at line rate: IW = one BDP.
+        let mut tcp = self.tcp.clone();
+        tcp.init_cwnd_bytes = tcp.init_cwnd_bytes.max(self.bdp_bytes);
+        // The window law divides by Γ on *every* ACK (unlike HPCC, which
+        // only divides when congested), and an ACK arriving after the
+        // path drained can measure near-zero power — W_c/Γ would then
+        // inflate the window by orders of magnitude and W_c latches the
+        // inflated value an RTT later. Reference implementations bound
+        // the window at a small BDP multiple; 4× leaves room for the
+        // additive probe to fill a shared buffer without letting one
+        // idle-path ACK park megabytes in the NIC queue.
+        tcp.max_cwnd_bytes = tcp.max_cwnd_bytes.min((4 * self.bdp_bytes).max(tcp.init_cwnd_bytes));
+        let cc = PowerTcpCc::new(tcp.base_rtt, tcp.init_cwnd_bytes);
+        let tx = DctcpFlowTx::new(flow.id, flow.src, flow.dst, flow.size_bytes, tcp)
+            .with_cc_mode(CcMode::PowerTcp(cc));
+        self.tx.insert(flow.id, tx);
+        self.pump(flow.id, ctx);
+    }
+
+    fn on_packet(&mut self, pkt: Packet<Proto>, ctx: &mut Ctx<'_, Proto>) {
+        match &pkt.payload {
+            Proto::Data(hdr) => {
+                let rx = self
+                    .rx
+                    .entry(pkt.flow)
+                    .or_insert_with(|| TcpRx::new(pkt.flow, pkt.src, hdr.msg_size, 1));
+                let hdr = hdr.clone();
+                // INT echo path.
+                rx.on_data_with_int(&pkt, &hdr, ctx);
+            }
+            Proto::Ack(ack) => {
+                let ack = ack.clone();
+                let done = {
+                    let Some(flow) = self.tx.get_mut(&pkt.flow) else { return };
+                    flow.on_ack(&ack, ctx.now());
+                    flow.is_done()
+                };
+                if !done {
+                    self.pump(pkt.flow, ctx);
+                }
+            }
+            _ => unreachable!("PowerTCP endpoint received a non-TCP packet"),
+        }
+    }
+
+    fn on_timer(&mut self, token: u64, ctx: &mut Ctx<'_, Proto>) {
+        let token = Token::decode(token);
+        if token.kind != TIMER_RTO {
+            return;
+        }
+        let id = FlowId(token.flow);
+        let Some(flow) = self.tx.get_mut(&id) else { return };
+        if service_rto(flow, ctx) {
+            self.pump(id, ctx);
+        }
+    }
+}
+
+/// Install PowerTCP on every host; the initial window is the topology's
+/// edge-link BDP.
+pub fn install_powertcp(topo: &mut netsim::Topology<Proto>, tcp: &TcpCfg) {
+    let bdp = netsim::bdp_bytes(topo.edge_rate, topo.base_rtt);
+    for &h in &topo.hosts.clone() {
+        topo.sim.set_transport(h, Box::new(PowerTcpTransport::new(tcp.clone(), bdp)));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim::{star, Rate, RunLimits, SimDuration, SimTime, SwitchConfig};
+
+    fn setup(n: usize) -> (netsim::Topology<Proto>, TcpCfg) {
+        let rate = Rate::gbps(10);
+        let delay = SimDuration::from_micros(20);
+        // PowerTCP needs no ECN config; plain deep-buffered switch.
+        let topo = star::<Proto>(n, rate, delay, SwitchConfig::basic(200_000));
+        let tcp = TcpCfg::new(topo.base_rtt);
+        (topo, tcp)
+    }
+
+    #[test]
+    fn powertcp_flows_complete() {
+        let (mut topo, tcp) = setup(3);
+        install_powertcp(&mut topo, &tcp);
+        topo.sim.add_flow(topo.hosts[0], topo.hosts[2], 2 << 20, SimTime::ZERO, 1);
+        topo.sim.add_flow(topo.hosts[1], topo.hosts[2], 500_000, SimTime(100_000), 1);
+        let report = topo
+            .sim
+            .run(RunLimits { max_time: SimTime(60_000_000_000), max_events: 2_000_000_000 });
+        assert_eq!(report.flows_completed, 2);
+    }
+
+    #[test]
+    fn powertcp_converges_to_low_queue_occupancy() {
+        // Two long flows share the bottleneck: the power signal targets
+        // λ = C with empty queues, so drops must not occur and the
+        // backlog should stay shallow.
+        let (mut topo, tcp) = setup(3);
+        install_powertcp(&mut topo, &tcp);
+        topo.sim.add_flow(topo.hosts[0], topo.hosts[2], 6 << 20, SimTime::ZERO, 1);
+        topo.sim.add_flow(topo.hosts[1], topo.hosts[2], 6 << 20, SimTime::ZERO, 1);
+        let port = topo
+            .sim
+            .switch_port_towards(topo.leaves[0], netsim::NodeId::Host(topo.hosts[2]))
+            .unwrap();
+        let sampler = topo.sim.sample_port(
+            topo.leaves[0],
+            port,
+            SimDuration::from_micros(50),
+            SimTime(12_000_000),
+        );
+        let report = topo
+            .sim
+            .run(RunLimits { max_time: SimTime(60_000_000_000), max_events: 2_000_000_000 });
+        assert_eq!(report.flows_completed, 2);
+        assert_eq!(
+            topo.sim.total_counters().dropped,
+            0,
+            "PowerTCP should not overflow a 200KB buffer"
+        );
+        // Average backlog over the steady interval should be well under
+        // the buffer (the near-zero-queue property, loosely checked).
+        let samples = topo.sim.samples(sampler);
+        let avg: f64 =
+            samples.iter().map(|s| s.value as f64).sum::<f64>() / samples.len().max(1) as f64;
+        assert!(avg < 100_000.0, "avg queue {avg} too deep for PowerTCP");
+    }
+}

@@ -166,6 +166,93 @@ impl HpccCc {
     }
 }
 
+/// PowerTCP congestion-control state (NSDI'22): the window tracks
+/// in-network *power* — current × voltage, where the current λ is the
+/// per-hop throughput plus queue gradient and the voltage is the queue
+/// plus one BDP — normalized so Γ = 1 at the q = 0, λ = C equilibrium.
+/// Reacting to the gradient term lets it respond to congestion *while
+/// queues are still building*, one RTT earlier than HPCC's inflight
+/// estimate, which only sees the queue level itself.
+#[derive(Clone, Debug)]
+pub struct PowerTcpCc {
+    /// EWMA gain γ of the window update (wc/Γ blends into cwnd at γ).
+    pub gamma: f64,
+    /// Additive increase β per update, bytes.
+    pub beta: f64,
+    /// Base RTT (the τ that converts rate to BDP and scales base power).
+    pub base_rtt: SimDuration,
+    /// Reference window W_c, latched once per RTT like HPCC's.
+    pub wc: f64,
+    pub last_update_seq: u64,
+    /// Previous INT observation per hop, keyed by hop index.
+    pub prev_int: Vec<crate::proto::IntHop>,
+    /// Time-smoothed normalized power Γ (Algorithm 1's ewma over τ).
+    pub smoothed: f64,
+    /// When the previous power measurement was taken (Δt of the ewma).
+    pub last_measure: SimTime,
+}
+
+impl PowerTcpCc {
+    /// PowerTCP defaults: γ = 0.9, β = one MSS, Γ starts at equilibrium.
+    pub fn new(base_rtt: SimDuration, init_cwnd: u64) -> Self {
+        PowerTcpCc {
+            gamma: 0.9,
+            beta: netsim::MSS_BYTES as f64,
+            base_rtt,
+            wc: init_cwnd as f64,
+            last_update_seq: 0,
+            prev_int: Vec::new(),
+            smoothed: 1.0,
+            last_measure: SimTime::ZERO,
+        }
+    }
+
+    /// Normalized power Γ from an echoed INT stack: per hop,
+    /// λ = Δq/Δt + ΔtxBytes/Δt (current), v = q + C·τ (voltage), and the
+    /// base power C²·τ normalizes the product so Γ = 1 means "exactly
+    /// line rate with empty queues". The max over hops is then smoothed
+    /// over one base RTT. Hops without history contribute nothing (the
+    /// first ACK of a flow measures neutral power).
+    pub fn measure_power(&mut self, int: &[crate::proto::IntHop], now: SimTime) -> f64 {
+        let tau = self.base_rtt.as_secs_f64();
+        let mut g_max: f64 = 0.0;
+        for (i, hop) in int.iter().enumerate() {
+            let c = hop.rate_bps as f64 / 8.0; // bytes/sec
+            if c <= 0.0 {
+                continue;
+            }
+            let Some(prev) = self.prev_int.get(i) else { continue };
+            let dt_ns = hop.ts.as_nanos().saturating_sub(prev.ts.as_nanos());
+            if dt_ns == 0 {
+                continue;
+            }
+            let dt = dt_ns as f64 / 1e9;
+            let dq = hop.qlen_bytes as f64 - prev.qlen_bytes as f64;
+            let tx_rate = hop.tx_bytes.saturating_sub(prev.tx_bytes) as f64 / dt;
+            // Draining queues can push λ negative; clamp at zero (the
+            // window still grows through the β term and the small Γ).
+            let lambda = (dq / dt + tx_rate).max(0.0);
+            let voltage = hop.qlen_bytes as f64 + c * tau;
+            let base_power = c * c * tau;
+            g_max = g_max.max(lambda * voltage / base_power);
+        }
+        self.prev_int = int.to_vec();
+        if g_max <= 0.0 {
+            // No history yet (or an idle path): neutral power.
+            g_max = 1.0;
+        }
+        // Time-weighted ewma over one base RTT (PowerTCP Algorithm 1).
+        let dt = now.saturating_since(self.last_measure).as_secs_f64();
+        self.last_measure = now;
+        self.smoothed = if dt >= tau || tau <= 0.0 {
+            g_max
+        } else {
+            (self.smoothed * (tau - dt) + g_max * dt) / tau
+        };
+        self.smoothed
+    }
+}
+
 /// Which window-update law the flow runs. The reliability machinery
 /// (segmentation, SACK, RTO) is identical across all of them.
 #[derive(Clone, Debug)]
@@ -176,6 +263,8 @@ pub enum CcMode {
     Swift(SwiftCc),
     /// INT-based HPCC control.
     Hpcc(HpccCc),
+    /// INT-based PowerTCP control (power = current × voltage).
+    PowerTcp(PowerTcpCc),
 }
 
 /// A segment the transport should put on the wire.
@@ -516,6 +605,24 @@ impl DctcpFlowTx {
                     self.rto_backoff = 0;
                 }
             }
+            CcMode::PowerTcp(p) => {
+                if let Some(int) = &ack.int_echo {
+                    let power = p.measure_power(int, now);
+                    if ack.cum > p.last_update_seq {
+                        p.wc = self.cwnd;
+                        p.last_update_seq = self.snd_hi;
+                    }
+                    // w = γ·(w_c/Γ + β) + (1−γ)·w: multiplicative toward
+                    // the power-balanced window, additive β probing.
+                    self.cwnd = (p.gamma * (p.wc / power.max(1e-3) + p.beta)
+                        + (1.0 - p.gamma) * self.cwnd)
+                        .clamp(self.cfg.mss as f64, self.cfg.max_cwnd_bytes as f64);
+                    self.wmax.observe(self.cwnd as u64);
+                }
+                if newly > 0 {
+                    self.rto_backoff = 0;
+                }
+            }
         }
         self.cc_mode = mode;
 
@@ -829,6 +936,80 @@ mod tests {
         let out = f.on_ack(&ack(last.offset + last.len as u64, vec![], false), SimTime(80_000));
         assert!(out.round_alpha.is_some(), "full-window ACK closes the round");
         assert!(out.round_alpha.unwrap() < 1.0);
+    }
+
+    fn hop(qlen: u64, tx: u64, ts_ns: u64) -> crate::proto::IntHop {
+        crate::proto::IntHop {
+            qlen_bytes: qlen,
+            qlen_high_bytes: qlen,
+            tx_bytes: tx,
+            tx_high_bytes: tx,
+            ts: SimTime(ts_ns),
+            rate_bps: 10_000_000_000,
+        }
+    }
+
+    #[test]
+    fn powertcp_power_is_neutral_at_line_rate_and_rises_with_queue_gradient() {
+        // 10G, τ = 80µs: C = 1.25e9 B/s, BDP = 100KB, base power = C²τ.
+        let mut p = PowerTcpCc::new(SimDuration::from_micros(80), 100_000);
+        // First ACK has no per-hop history: neutral power.
+        let g = p.measure_power(&[hop(0, 0, 0)], SimTime(0));
+        assert!((g - 1.0).abs() < 1e-9, "{g}");
+        // Line rate with empty queue is the equilibrium: λ = C, v = BDP,
+        // so Γ = C·(C·τ)/(C²·τ) = 1 exactly.
+        let g = p.measure_power(&[hop(0, 50_000, 40_000)], SimTime(40_000));
+        assert!((g - 1.0).abs() < 1e-6, "{g}");
+        // A building queue adds its gradient to the current and its depth
+        // to the voltage: power must rise above 1.
+        let g = p.measure_power(&[hop(60_000, 100_000, 80_000)], SimTime(80_000));
+        assert!(g > 1.0, "{g}");
+    }
+
+    #[test]
+    fn powertcp_window_tracks_power() {
+        let c = cfg();
+        let mut f = DctcpFlowTx::new(FlowId(0), HostId(0), HostId(1), 100 << 20, c.clone())
+            .with_cc_mode(CcMode::PowerTcp(PowerTcpCc::new(c.base_rtt, c.init_cwnd_bytes)));
+        while f.next_segment(SimTime::ZERO).is_some() {}
+        let w0 = f.cwnd_bytes();
+        // Neutral power: the window grows by the γ-weighted β probe.
+        let mut a = ack(1460, vec![(0, 1460)], false);
+        a.int_echo = Some(vec![hop(0, 0, 0)]);
+        f.on_ack(&a, SimTime(80_000));
+        assert!(f.cwnd_bytes() > w0, "neutral power must leave room for additive growth");
+        // High power (queue built fast at line rate): multiplicative cut
+        // below the pre-congestion window.
+        let mut a = ack(2920, vec![(1460, 2920)], false);
+        a.int_echo = Some(vec![hop(100_000, 50_000, 40_000)]);
+        f.on_ack(&a, SimTime(160_000));
+        assert!(f.cwnd_bytes() < w0, "high power must shrink the window, got {}", f.cwnd_bytes());
+    }
+
+    #[test]
+    fn powertcp_near_zero_power_cannot_blow_past_the_cap() {
+        // An ACK after an idle/drained path measures Γ ≈ 0; the wc/Γ
+        // term must clamp at max_cwnd_bytes instead of inflating the
+        // window a thousandfold (the divisor floor alone allows 1000×).
+        let mut c = cfg();
+        c.max_cwnd_bytes = 4 * c.init_cwnd_bytes;
+        let mut f = DctcpFlowTx::new(FlowId(0), HostId(0), HostId(1), 100 << 20, c.clone())
+            .with_cc_mode(CcMode::PowerTcp(PowerTcpCc::new(c.base_rtt, c.init_cwnd_bytes)));
+        while f.next_segment(SimTime::ZERO).is_some() {}
+        // Prime per-hop history, then echo an almost-idle observation:
+        // tiny tx delta, empty queue → λ ≈ 0 → Γ ≈ 0 after smoothing.
+        let mut a = ack(1460, vec![(0, 1460)], false);
+        a.int_echo = Some(vec![hop(0, 0, 0)]);
+        f.on_ack(&a, SimTime(80_000));
+        let mut a = ack(2920, vec![(1460, 2920)], false);
+        a.int_echo = Some(vec![hop(0, 1, 160_000)]);
+        f.on_ack(&a, SimTime(160_000));
+        assert!(
+            f.cwnd_bytes() <= c.max_cwnd_bytes,
+            "near-zero power blew the window to {} (cap {})",
+            f.cwnd_bytes(),
+            c.max_cwnd_bytes
+        );
     }
 
     #[test]

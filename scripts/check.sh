@@ -98,6 +98,29 @@ done
 test -s "$FAULT_TMP/serial.jsonl"
 rm -rf "$FAULT_TMP"
 
+echo "==> PFC + powertcp smoke (byte-identity for the new switch mode and scheme)"
+PFC_TMP="${TMPDIR:-/tmp}/pptlab-pfc-smoke.$$"
+mkdir -p "$PFC_TMP/a" "$PFC_TMP/b"
+# compare under --switch pfc: same run, serial vs 4 workers, must agree
+# byte for byte (pause/resume order is part of the event schedule).
+./target/release/pptlab compare --schemes ppt,powertcp --topo star:5:10:20 \
+    --workload websearch --flows 40 --seed 42 --switch pfc --jobs 1 --json \
+    > "$PFC_TMP/serial.json"
+./target/release/pptlab compare --schemes ppt,powertcp --topo star:5:10:20 \
+    --workload websearch --flows 40 --seed 42 --switch pfc --jobs 4 --json \
+    > "$PFC_TMP/jobs4.json"
+cmp "$PFC_TMP/serial.json" "$PFC_TMP/jobs4.json"
+test -s "$PFC_TMP/serial.json"
+# powertcp trace: rerun byte-identity for the INT-driven transport.
+./target/release/pptlab trace --schemes powertcp --topo star:4:10:20 --workload websearch \
+    --flows 40 --seed 42 --out "$PFC_TMP/a" > /dev/null
+./target/release/pptlab trace --schemes powertcp --topo star:4:10:20 --workload websearch \
+    --flows 40 --seed 42 --out "$PFC_TMP/b" > /dev/null
+cmp "$PFC_TMP/a/events.jsonl" "$PFC_TMP/b/events.jsonl"
+cmp "$PFC_TMP/a/metrics.json" "$PFC_TMP/b/metrics.json"
+test -s "$PFC_TMP/a/events.jsonl"
+rm -rf "$PFC_TMP"
+
 echo "==> telemetry smoke (report byte-identical across reruns; goldens untouched)"
 TELEM_TMP="${TMPDIR:-/tmp}/pptlab-telemetry-smoke.$$"
 mkdir -p "$TELEM_TMP/a" "$TELEM_TMP/b" "$TELEM_TMP/t" "$TELEM_TMP/plain"
@@ -122,6 +145,6 @@ cmp "$TELEM_TMP/t/events.jsonl" "$TELEM_TMP/plain/events.jsonl"
 rm -rf "$TELEM_TMP"
 
 echo "==> engine perf smoke (appends to BENCH_engine.json)"
-BENCH_ENGINE_PHASE=calendar ./target/release/bench_engine
+BENCH_ENGINE_PHASE=powertcp BENCH_ENGINE_SCHEME=powertcp ./target/release/bench_engine
 
 echo "check.sh: all green"

@@ -57,22 +57,32 @@ const PINNED_GOLDENS: [(Scheme, u64, u64, u64); 4] = [
     (Scheme::Homa, 7, 0xd072_7754_f98c_10f5, 0xe4ec_42a4_cd20_bf42),
 ];
 
-/// (trace JSONL hash, FCT digest) for one pinned-seed traced run, under
-/// the given event-queue implementation.
-fn golden_digests_on(scheme: Scheme, seed: u64, queue: ppt::netsim::QueueKind) -> (u64, u64) {
+/// (trace JSONL hash, FCT digest) of one traced experiment under the
+/// given event-queue implementation.
+fn experiment_digests_on(exp: &Experiment, queue: ppt::netsim::QueueKind) -> (u64, u64) {
     use ppt::harness::run_experiment_traced_with;
-    let topo = TopoKind::Star { n: 5, rate_gbps: 10, delay_us: 20 };
-    let spec = WorkloadSpec::new(SizeDistribution::web_search(), 0.5, topo.edge_rate(), 60, seed);
-    let flows = all_to_all(topo.hosts(), &spec);
-    let (outcome, trace) = run_experiment_traced_with(&Experiment::new(topo, scheme, flows), |t| {
-        t.sim.set_queue_kind(queue)
-    });
+    let (outcome, trace) = run_experiment_traced_with(exp, |t| t.sim.set_queue_kind(queue));
     let trace_hash = fnv1a64(trace.to_jsonl().as_bytes());
     let mut fct_buf = String::new();
     for r in outcome.fct.records() {
         fct_buf.push_str(&format!("{},{}\n", r.size_bytes, r.fct.as_nanos()));
     }
     (trace_hash, fnv1a64(fct_buf.as_bytes()))
+}
+
+/// The shared pinned-golden experiment: 5-host star, websearch at 0.5
+/// load, 60 flows.
+fn golden_experiment(scheme: Scheme, seed: u64) -> Experiment {
+    let topo = TopoKind::Star { n: 5, rate_gbps: 10, delay_us: 20 };
+    let spec = WorkloadSpec::new(SizeDistribution::web_search(), 0.5, topo.edge_rate(), 60, seed);
+    let flows = all_to_all(topo.hosts(), &spec);
+    Experiment::new(topo, scheme, flows)
+}
+
+/// (trace JSONL hash, FCT digest) for one pinned-seed traced run, under
+/// the given event-queue implementation.
+fn golden_digests_on(scheme: Scheme, seed: u64, queue: ppt::netsim::QueueKind) -> (u64, u64) {
+    experiment_digests_on(&golden_experiment(scheme, seed), queue)
 }
 
 /// (trace JSONL hash, FCT digest) under the engine's default queue.
@@ -119,6 +129,65 @@ fn pinned_seed_goldens_hold_on_the_heap_oracle_queue() {
              (got trace={trace_hash:#018x} fct={fct_hash:#018x})"
         );
     }
+}
+
+/// Pinned goldens for the two PR-10 additions, each asserted under both
+/// event-queue implementations (the heap oracle must reproduce the
+/// calendar queue bit for bit here too).
+///
+/// `POWERTCP_GOLDEN`: the standard golden workload on `Scheme::PowerTcp` —
+/// pins the INT echo path, the power computation, and the window law.
+/// `PFC_GOLDEN`: the same workload on `Scheme::Ppt` with `env.pfc` set —
+/// pins the pause/resume machinery (threshold crossings, pause-frame
+/// propagation, fixed-port-order resume) end to end.
+const POWERTCP_GOLDEN: (u64, u64) = (0xc75b_c408_55e6_d0c9, 0x70df_3d3a_e6c6_bb2c);
+const PFC_GOLDEN: (u64, u64) = (0x2ffc_8001_bf01_33c1, 0x0f03_df53_6c37_1a32);
+
+/// Golden digests for the PFC switch mode: the pinned workload with PFC
+/// backpressure layered over PPT's switch config.
+fn pfc_golden_digests_on(seed: u64, queue: ppt::netsim::QueueKind) -> (u64, u64) {
+    let mut exp = golden_experiment(Scheme::Ppt, seed);
+    exp.env.pfc = true;
+    experiment_digests_on(&exp, queue)
+}
+
+#[test]
+fn powertcp_and_pfc_mode_goldens_hold_on_both_queues() {
+    use ppt::netsim::QueueKind;
+    for queue in [QueueKind::Calendar, QueueKind::Heap] {
+        let ptcp = golden_digests_on(Scheme::PowerTcp, 42, queue);
+        assert_eq!(
+            ptcp, POWERTCP_GOLDEN,
+            "PowerTCP digests drifted on {queue:?} \
+             (got trace={:#018x} fct={:#018x})",
+            ptcp.0, ptcp.1
+        );
+        let pfc = pfc_golden_digests_on(42, queue);
+        assert_eq!(
+            pfc, PFC_GOLDEN,
+            "PFC-mode digests drifted on {queue:?} \
+             (got trace={:#018x} fct={:#018x})",
+            pfc.0, pfc.1
+        );
+    }
+}
+
+/// The new goldens also hold across the parallel sweep layer: jobs 1 and
+/// jobs 4 reproduce the same digests (PFC pause state and INT telemetry
+/// live entirely inside each `Simulator`).
+#[test]
+fn powertcp_and_pfc_mode_goldens_for_any_job_count() {
+    use ppt::netsim::QueueKind;
+    use ppt::sweep::run_points;
+    let digests = |jobs: usize| {
+        run_points(2, jobs, |i| match i {
+            0 => golden_digests_on(Scheme::PowerTcp, 42, QueueKind::Calendar),
+            _ => pfc_golden_digests_on(42, QueueKind::Calendar),
+        })
+    };
+    let serial = digests(1);
+    assert_eq!(serial, digests(4), "PR-10 goldens diverged between jobs=1 and jobs=4");
+    assert_eq!(serial, vec![POWERTCP_GOLDEN, PFC_GOLDEN]);
 }
 
 /// (trace hash, FCT digest) for the pinned fault-injection golden: 1%

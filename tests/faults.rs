@@ -3,11 +3,12 @@
 //! the paper says it does when its ACK stream is destroyed.
 
 use ppt::harness::{
-    run_experiment, run_experiment_traced, Experiment, FaultCmd, FaultSpec, Scheme, TopoKind,
+    run_experiment, run_experiment_traced, run_experiment_traced_with, Experiment, FaultCmd,
+    FaultSpec, Scheme, TopoKind,
 };
 use ppt::netsim::SimTime;
-use ppt::stats::analyze_lcp;
-use ppt::trace::LcpCloseReason;
+use ppt::stats::{analyze_lcp, analyze_recovery};
+use ppt::trace::{LcpCloseReason, TraceEvent};
 use ppt::workloads::{all_to_all, SizeDistribution, WorkloadSpec};
 
 fn workload(topo: TopoKind, n_flows: usize, seed: u64) -> Vec<ppt::workloads::FlowSpec> {
@@ -122,6 +123,116 @@ fn lp_ack_blackhole_closes_lcp_as_no_lp_acks_after_two_rtts() {
             l.flow
         );
     }
+}
+
+/// Compact, order-preserving projection of the run's PFC control traffic:
+/// every XOFF/XON threshold crossing and every pause/resume applied at a
+/// host NIC or a switch egress port, with timestamps.
+fn pfc_event_log(events: &[(u64, TraceEvent)]) -> Vec<(u64, String)> {
+    events
+        .iter()
+        .filter_map(|(at, ev)| match ev {
+            TraceEvent::PfcXoff { sw, port, prio, on, .. } => {
+                Some((*at, format!("xoff sw{sw} p{port} q{prio} {on}")))
+            }
+            TraceEvent::PfcPause { host, prio, on } => {
+                Some((*at, format!("pause h{host} q{prio} {on}")))
+            }
+            TraceEvent::PfcSwPause { sw, port, prio, on } => {
+                Some((*at, format!("swpause sw{sw} p{port} q{prio} {on}")))
+            }
+            _ => None,
+        })
+        .collect()
+}
+
+/// PFC-storm case: a congested cross-rack incast (which keeps the PFC
+/// machinery pausing and resuming throughout) plus an 800 µs uplink
+/// outage. The fabric must (a) propagate pauses upstream past the first
+/// switch, (b) release every pause it took — in an order that repeats
+/// bit-identically, engine resume loops walk ports in fixed index order —
+/// (c) wedge no flow, and (d) leave the degraded window attributable by
+/// `dcn_stats::recovery`.
+#[test]
+fn pfc_storm_during_uplink_outage_recovers_deterministically() {
+    let topo = TopoKind::FatTree { k: 4, edge_gbps: 10 };
+    // 6 cross-rack senders blast 300KB each at host 6 almost at once: the
+    // destination ToR port crosses XOFF immediately and the pause front
+    // climbs into the aggregation layer.
+    let flows = ppt::workloads::incast_burst(6, 300_000, 1_000);
+    let run = |sanitize: bool| {
+        let faults = FaultSpec::new(23).cmd(FaultCmd::HostUplinkDown {
+            host: 0,
+            from: SimTime(400_000),
+            until: SimTime(1_200_000),
+        });
+        let mut exp = Experiment::new(topo, Scheme::Ppt, flows.clone()).with_faults(faults);
+        exp.env.pfc = true;
+        run_experiment_traced_with(&exp, move |t| {
+            if sanitize {
+                t.sim.set_sanitizer(ppt::netsim::SanLevel::PerEpoch);
+            }
+        })
+    };
+
+    let (outcome, trace) = run(false);
+
+    // (c) no flow is permanently wedged by the storm + outage combination.
+    assert_eq!(
+        outcome.report.flows_completed, outcome.report.flows_total,
+        "flows wedged under PFC + outage"
+    );
+    assert!(outcome.report.faults.max_stall.as_nanos() >= 800_000, "outage window not recorded");
+
+    // (a) pauses exist and propagate upstream: host NICs paused at the
+    // edge AND at least one switch-to-switch pause (an aggregation egress
+    // frozen by a downstream ToR's XOFF).
+    let log = pfc_event_log(&trace.events);
+    assert!(
+        log.iter().any(|(_, e)| e.starts_with("pause") && e.ends_with("true")),
+        "no host NIC was ever paused"
+    );
+    assert!(
+        log.iter().any(|(_, e)| e.starts_with("swpause") && e.ends_with("true")),
+        "pause front never climbed past the first switch"
+    );
+
+    // (b) every pause released: replaying the log leaves no port paused.
+    let mut live: std::collections::BTreeSet<String> = std::collections::BTreeSet::new();
+    for (_, e) in &log {
+        let (key, on) = e.rsplit_once(' ').unwrap();
+        if on == "true" {
+            live.insert(key.to_string());
+        } else {
+            live.remove(key);
+        }
+    }
+    assert!(live.is_empty(), "pauses never released: {live:?}");
+
+    // (b') the resume order is deterministic: an identical rerun replays
+    // the exact same pause/resume sequence, timestamps included.
+    let (_, trace2) = run(false);
+    assert_eq!(log, pfc_event_log(&trace2.events), "PFC pause/resume order is nondeterministic");
+
+    // Acceptance gate: a sanitized PFC fault run is simsan-clean, and the
+    // sanitizer changes nothing the trace can see.
+    let (san_outcome, san_trace) = run(true);
+    assert!(
+        san_outcome.sim.san_violations().is_empty(),
+        "sanitized PFC fault run: {:?}",
+        san_outcome.sim.san_violations()
+    );
+    assert_eq!(log, pfc_event_log(&san_trace.events), "simsan perturbed the PFC sequence");
+
+    // (d) recovery attribution: the analysis pass sees exactly the one
+    // 800 µs outage and bounds the degraded window with it.
+    let rec = analyze_recovery(&trace.events, outcome.report.faults);
+    assert_eq!(rec.outages.len(), 1, "expected exactly one attributed outage");
+    assert!(
+        rec.total_outage_ns() >= 800_000,
+        "attributed outage too short: {} ns",
+        rec.total_outage_ns()
+    );
 }
 
 /// The fault layer draws from its own dedicated RNG stream: a run with a

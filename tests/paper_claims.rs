@@ -105,6 +105,52 @@ fn underfilling_loses_to_full_filling() {
     );
 }
 
+/// ROADMAP tiny-buffer question: with every buffer-denominated knob 10×
+/// smaller (1 MB → 100 KB port buffers, K scaled alongside), does PPT's
+/// LCP still find spare capacity? Claim under test: low-priority traffic
+/// still completes (the ECN-guarded loop backs off instead of drowning),
+/// and goodput degrades gracefully — the shallow fabric's FCTs stay within
+/// a small factor of the deep-buffer baseline rather than collapsing.
+#[test]
+fn ppt_lcp_survives_the_tiny_buffer_regime() {
+    use ppt::harness::run_experiment_traced;
+    use ppt::stats::analyze_lcp;
+
+    let topo = TopoKind::Star { n: 8, rate_gbps: 10, delay_us: 20 };
+    let flows = websearch(topo, 0.5, 150, 55);
+
+    let deep = run_experiment(&Experiment::new(topo, Scheme::Ppt, flows.clone()));
+    assert_eq!(deep.completion_ratio, 1.0, "deep-buffer baseline must be clean");
+
+    let mut tiny_exp = Experiment::new(topo, Scheme::Ppt, flows);
+    tiny_exp.env = tiny_exp.env.clone().scale_buffers(0.1);
+    assert_eq!(tiny_exp.env.port_buffer, 100_000);
+    let (tiny, trace) = run_experiment_traced(&tiny_exp);
+
+    // LCP still completes its low-priority traffic: every flow finishes,
+    // and the low loop actually ran (opened and closed by flow completion,
+    // not starved out by the shallow queues).
+    assert_eq!(tiny.completion_ratio, 1.0, "flows lost in the tiny-buffer regime");
+    let lcp = analyze_lcp(&trace.events, topo.base_rtt());
+    assert!(!lcp.loops.is_empty(), "LCP never opened at 10x smaller buffers");
+    assert!(
+        lcp.closed_flow_done > 0,
+        "no LCP loop survived to completion: {} expired, {} no-lp-acks",
+        lcp.closed_expired,
+        lcp.closed_no_lp_acks
+    );
+
+    // Graceful degradation: the shallow fabric costs something (more
+    // marks/drops are expected) but overall FCT stays within 2x of the
+    // deep-buffer run instead of collapsing.
+    assert!(
+        tiny.fct.overall_avg_us() < deep.fct.overall_avg_us() * 2.0,
+        "tiny-buffer FCT collapsed: tiny={:.1}us deep={:.1}us",
+        tiny.fct.overall_avg_us(),
+        deep.fct.overall_avg_us()
+    );
+}
+
 /// §6: RC3's aggressive low loops drop heavily under incast while PPT's
 /// ECN-guarded loop does not.
 #[test]
